@@ -1,0 +1,122 @@
+//! Criterion benchmarks of the simulator kernels that dominate the
+//! figure-reproduction runtime: trap-bank aging updates, serpentine
+//! routing, TDC trace capture, full-design conditioning steps, and the
+//! analysis kernels.
+
+use bti_physics::{AgingState, BtiModel, Celsius, DutyCycle, Hours, LogicLevel};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fpga_fabric::{FpgaDevice, RouteRequest, TileCoord};
+use pentimento::analysis::{KernelEstimator, KernelRegression};
+use pentimento::{build_target_design, Skeleton};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdc::{TdcConfig, TdcSensor};
+
+fn bench_trap_bank_advance(c: &mut Criterion) {
+    let model = BtiModel::ultrascale_plus();
+    c.bench_function("aging_state_advance_1h", |b| {
+        let mut state = AgingState::new(&model);
+        b.iter(|| {
+            state.advance(
+                &model,
+                black_box(Hours::new(1.0)),
+                DutyCycle::ALWAYS_ONE,
+                Celsius::new(60.0),
+            );
+        });
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let device = FpgaDevice::zcu102_new(1);
+    c.bench_function("route_serpentine_10000ps", |b| {
+        b.iter(|| {
+            device
+                .route_with_target_delay(&RouteRequest::new(
+                    black_box(TileCoord::new(4, 4)),
+                    10_000.0,
+                ))
+                .expect("routable")
+        });
+    });
+    c.bench_function("skeleton_paper_standard_64_routes", |b| {
+        b.iter(|| Skeleton::paper_standard(black_box(&device)).expect("fits"));
+    });
+}
+
+fn bench_tdc_capture(c: &mut Criterion) {
+    let device = FpgaDevice::zcu102_new(2);
+    let route = device
+        .route_with_target_delay(&RouteRequest::new(TileCoord::new(4, 4), 5_000.0))
+        .expect("routable");
+    let mut sensor = TdcSensor::place(&device, route, TdcConfig::lab()).expect("placeable");
+    let mut rng = StdRng::seed_from_u64(2);
+    sensor.calibrate(&device, &mut rng).expect("calibrates");
+    c.bench_function("tdc_measure_10_traces", |b| {
+        b.iter(|| sensor.measure(black_box(&device), &mut rng).expect("measures"));
+    });
+}
+
+fn bench_device_run(c: &mut Criterion) {
+    c.bench_function("device_run_1h_64_routes", |b| {
+        let device = FpgaDevice::zcu102_new(3);
+        let skeleton = Skeleton::paper_standard(&device).expect("fits");
+        let values = vec![LogicLevel::One; skeleton.len()];
+        let mut device = device;
+        device
+            .load_design(build_target_design(&skeleton, &values))
+            .expect("loads");
+        b.iter(|| device.run_for(black_box(Hours::new(1.0))));
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let x: Vec<f64> = (0..400).map(f64::from).collect();
+    let y: Vec<f64> = x.iter().map(|v| 0.05 * v + (v * 13.0).sin()).collect();
+    c.bench_function("kernel_regression_smooth_400pts", |b| {
+        let kr =
+            KernelRegression::fit(&x, &y, 10.0, KernelEstimator::LocallyLinear).expect("fits");
+        b.iter(|| black_box(&kr).smooth());
+    });
+}
+
+fn bench_bitstream(c: &mut Criterion) {
+    let device = FpgaDevice::zcu102_new(5);
+    let skeleton = Skeleton::paper_standard(&device).expect("fits");
+    let values = vec![LogicLevel::One; skeleton.len()];
+    let design = build_target_design(&skeleton, &values);
+    c.bench_function("bitstream_assemble_64_route_design", |b| {
+        b.iter(|| fpga_fabric::Bitstream::assemble(black_box(&design)));
+    });
+    let bits = fpga_fabric::Bitstream::assemble(&design);
+    c.bench_function("bitstream_disassemble_64_route_design", |b| {
+        b.iter(|| {
+            bits.disassemble(|id| device.wire_segment(id))
+                .expect("valid stream")
+        });
+    });
+}
+
+fn bench_opentitan(c: &mut Criterion) {
+    c.bench_function("table1_regeneration", |b| {
+        let assets = opentitan::earl_grey_assets();
+        b.iter(|| {
+            assets
+                .iter()
+                .map(opentitan::Table1Row::regenerate)
+                .collect::<Vec<_>>()
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = kernels;
+    config = config();
+    targets = bench_trap_bank_advance, bench_routing, bench_tdc_capture,
+              bench_device_run, bench_analysis, bench_bitstream, bench_opentitan
+}
+criterion_main!(kernels);

@@ -1,0 +1,119 @@
+//! Attack-accuracy sweep (Section 6 narrative claims, quantified):
+//! bit-recovery accuracy per route length and burn duration for both
+//! threat models, through the full TDC pipeline on aged cloud devices.
+
+use bench::{exit_by, save_artifact, ShapeReport};
+use bti_physics::LogicLevel;
+use cloud::{Provider, ProviderConfig};
+use pentimento::threat_model1::{self, ThreatModel1Config};
+use pentimento::threat_model2::{self, ThreatModel2Config};
+use pentimento::{MeasurementMode, RouteSeries};
+
+fn per_length_accuracy(
+    series: &[RouteSeries],
+    recovered: &[LogicLevel],
+    target: f64,
+) -> (usize, usize) {
+    let mut correct = 0;
+    let mut total = 0;
+    for (s, r) in series.iter().zip(recovered) {
+        if s.target_ps == target {
+            total += 1;
+            if s.burn_value == *r {
+                correct += 1;
+            }
+        }
+    }
+    (correct, total)
+}
+
+fn main() {
+    let lengths = [1_000.0, 2_000.0, 5_000.0, 10_000.0];
+    let mut csv = String::from("model,burn_hours,target_ps,correct,total,accuracy\n");
+    let mut report = ShapeReport::new();
+
+    println!("Threat Model 1 (drift classification, TDC, aged cloud device)");
+    println!("{:>10} | {:>9} {:>9} {:>9} {:>9} | {:>7}", "burn h", "1000", "2000", "5000", "10000", "overall");
+    let mut tm1_200h_overall = 0.0;
+    for burn_hours in [50usize, 100, 200] {
+        let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, 500 + burn_hours as u64));
+        let config = ThreatModel1Config {
+            route_lengths_ps: lengths.to_vec(),
+            routes_per_length: 8,
+            burn_hours,
+            measure_every: 1,
+            mode: MeasurementMode::Tdc,
+            seed: 500 + burn_hours as u64,
+            measurement_repeats: 4,
+        };
+        let outcome = threat_model1::run(&mut provider, &config).expect("attack completes");
+        let mut row = format!("{burn_hours:>10} |");
+        for target in lengths {
+            let (c, t) = per_length_accuracy(&outcome.series, &outcome.recovered, target);
+            row.push_str(&format!(" {:>7.0}%{}", 100.0 * c as f64 / t as f64, " "));
+            csv.push_str(&format!(
+                "tm1,{burn_hours},{target},{c},{t},{:.4}\n",
+                c as f64 / t as f64
+            ));
+        }
+        row.push_str(&format!("| {:>6.1}%", outcome.metrics.accuracy * 100.0));
+        println!("{row}");
+        if burn_hours == 200 {
+            tm1_200h_overall = outcome.metrics.accuracy;
+        }
+    }
+
+    println!("\nThreat Model 2 (recovery classification, TDC, aged cloud device)");
+    println!("{:>10} | {:>9} {:>9} {:>9} {:>9} | {:>7}", "burn h", "1000", "2000", "5000", "10000", "overall");
+    let mut tm2_200h_long = 0.0;
+    for victim_hours in [100usize, 200] {
+        let mut provider = Provider::new(ProviderConfig::aws_f1_like(2, 900 + victim_hours as u64));
+        let config = ThreatModel2Config {
+            route_lengths_ps: lengths.to_vec(),
+            routes_per_length: 8,
+            victim_hours,
+            attack_hours: 25,
+            condition_level: LogicLevel::Zero,
+            mode: MeasurementMode::Tdc,
+            seed: 900 + victim_hours as u64,
+            measurement_repeats: 8,
+            victim_hold_and_recover_hours: 0,
+        };
+        let outcome = threat_model2::run(&mut provider, &config).expect("attack completes");
+        let mut row = format!("{victim_hours:>10} |");
+        let mut long_correct = 0;
+        let mut long_total = 0;
+        for target in lengths {
+            let (c, t) = per_length_accuracy(&outcome.series, &outcome.recovered, target);
+            if target >= 5_000.0 {
+                long_correct += c;
+                long_total += t;
+            }
+            row.push_str(&format!(" {:>7.0}%{}", 100.0 * c as f64 / t as f64, " "));
+            csv.push_str(&format!(
+                "tm2,{victim_hours},{target},{c},{t},{:.4}\n",
+                c as f64 / t as f64
+            ));
+        }
+        row.push_str(&format!("| {:>6.1}%", outcome.metrics.accuracy * 100.0));
+        println!("{row}");
+        if victim_hours == 200 {
+            tm2_200h_long = long_correct as f64 / long_total as f64;
+        }
+    }
+
+    report.check(
+        "TM1 after 200 h recovers the full secret (>= 95% overall)",
+        tm1_200h_overall >= 0.95,
+        format!("{:.1}%", tm1_200h_overall * 100.0),
+    );
+    report.check(
+        "TM2 after 200 h recovers long-route (>=5000 ps) bits (>= 85%)",
+        tm2_200h_long >= 0.85,
+        format!("{:.1}%", tm2_200h_long * 100.0),
+    );
+    if let Ok(path) = save_artifact("attack_accuracy.csv", &csv) {
+        println!("\nwrote {}", path.display());
+    }
+    exit_by(report.finish());
+}

@@ -1,0 +1,91 @@
+//! The temporal covert-channel comparison (Section 7): BTI remanence vs
+//! the thermal channel of Tian & Szefer. Thermal symbols die within
+//! minutes of the board idling in the pool; BTI messages survive a day.
+
+use baselines::{transmit_thermal_bit, ThermalReceiver};
+use bench::{exit_by, save_artifact, ShapeReport};
+use bti_physics::Hours;
+use fpga_fabric::FpgaDevice;
+use pentimento::covert::{transmit_and_receive, CovertChannelConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut report = ShapeReport::new();
+    let message = [true, false, true, true, false, false, true, false];
+
+    // --- BTI channel capacity vs pool-idle gap. --------------------------
+    println!("BTI covert channel: 8-bit message, 100 h transmit, 25 h receive (oracle)\n");
+    println!("{:>10} | {:>10} {:>14}", "gap h", "bit errors", "capacity bits");
+    let mut csv = String::from("channel,gap_hours,bit_errors,capacity_bits\n");
+    let mut capacity_at_24h = 0.0;
+    for gap in [0.0, 24.0, 100.0, 300.0, 600.0] {
+        let mut device = FpgaDevice::zcu102_new(404);
+        let outcome = transmit_and_receive(
+            &mut device,
+            &message,
+            gap,
+            &CovertChannelConfig::default(),
+        )
+        .expect("channel runs");
+        println!(
+            "{gap:>10.0} | {:>10} {:>14.2}",
+            outcome.bit_errors, outcome.capacity_bits
+        );
+        csv.push_str(&format!(
+            "bti,{gap},{},{:.3}\n",
+            outcome.bit_errors, outcome.capacity_bits
+        ));
+        if (gap - 24.0).abs() < 1e-9 {
+            capacity_at_24h = outcome.capacity_bits;
+        }
+    }
+    report.check(
+        "the BTI channel still delivers the full message after a 24 h pool idle",
+        capacity_at_24h > 7.5,
+        format!("{capacity_at_24h:.2} of 8 bits"),
+    );
+
+    // --- Thermal channel lifetime. ---------------------------------------
+    println!("\nThermal channel (Tian & Szefer style): one hot/cold symbol\n");
+    println!("{:>10} | {:>12} {:>10}", "gap min", "reading C", "decoded");
+    let receiver = ThermalReceiver::default();
+    let mut rng = StdRng::seed_from_u64(404);
+    let mut decoded_at = Vec::new();
+    for gap_minutes in [0.0, 2.0, 5.0, 15.0, 60.0] {
+        let mut device = FpgaDevice::aws_f1(404, Hours::ZERO);
+        let ambient = device.thermal().ambient();
+        transmit_thermal_bit(&mut device, true, Hours::new(0.5));
+        device.run_for(Hours::new(gap_minutes / 60.0));
+        let reading = receiver.read(&device, &mut rng);
+        let decoded = receiver.decode(reading, ambient, 5.0);
+        println!("{gap_minutes:>10.0} | {:>12.1} {:>10}", reading.value(), decoded);
+        csv.push_str(&format!(
+            "thermal,{:.3},{},{}\n",
+            gap_minutes / 60.0,
+            i32::from(!decoded),
+            f64::from(decoded)
+        ));
+        decoded_at.push((gap_minutes, decoded));
+    }
+    report.check(
+        "the thermal symbol survives an instant handoff",
+        decoded_at[0].1,
+        String::new(),
+    );
+    report.check(
+        "the thermal symbol is gone after 15 minutes in the pool (paper: 'within a few minutes')",
+        !decoded_at[3].1 && !decoded_at[4].1,
+        String::new(),
+    );
+    report.check(
+        "BTI outlives thermal by orders of magnitude (24 h vs minutes)",
+        capacity_at_24h > 7.5 && !decoded_at[4].1,
+        String::new(),
+    );
+
+    if let Ok(path) = save_artifact("covert_channel.csv", &csv) {
+        println!("\nwrote {}", path.display());
+    }
+    exit_by(report.finish());
+}

@@ -1,0 +1,52 @@
+//! Regenerates **Figure 2**'s concept: data-dependent BTI on a single
+//! CMOS inverter — a held 0 input degrades the PMOS (NBTI) and slows
+//! rising outputs; a held 1 input degrades the NMOS (PBTI) and slows
+//! falling outputs; Δps encodes the previous input.
+
+use bench::{exit_by, ShapeReport};
+use bti_physics::{BtiModel, Celsius, Hours, Inverter, LogicLevel};
+
+fn main() {
+    let model = BtiModel::ultrascale_plus();
+    let t = Celsius::new(60.0);
+    let mut held_zero = Inverter::new(&model, 25.0);
+    let mut held_one = Inverter::new(&model, 25.0);
+
+    println!("Figure 2: BTI on a single inverter (25 ps stage, 60C)");
+    println!("{:>6} | {:>22} | {:>22}", "hours", "held-0 input (NBTI)", "held-1 input (PBTI)");
+    println!("{:>6} | {:>10} {:>11} | {:>10} {:>11}", "", "rise ps", "Δps", "fall ps", "Δps");
+    let mut last = (0.0, 0.0);
+    for step in 0..=8 {
+        if step > 0 {
+            held_zero.hold_input(&model, LogicLevel::Zero, Hours::new(25.0), t);
+            held_one.hold_input(&model, LogicLevel::One, Hours::new(25.0), t);
+        }
+        last = (held_zero.delta_ps(&model), held_one.delta_ps(&model));
+        println!(
+            "{:>6} | {:>10.4} {:>+11.5} | {:>10.4} {:>+11.5}",
+            step * 25,
+            held_zero.rise_delay_ps(&model),
+            last.0,
+            held_one.fall_delay_ps(&model),
+            last.1,
+        );
+    }
+
+    let mut report = ShapeReport::new();
+    report.check(
+        "a held 0 input slows rising edges (NBTI on the PMOS): Δps < 0",
+        last.0 < 0.0,
+        format!("{:+.5} ps", last.0),
+    );
+    report.check(
+        "a held 1 input slows falling edges (PBTI on the NMOS): Δps > 0",
+        last.1 > 0.0,
+        format!("{:+.5} ps", last.1),
+    );
+    report.check(
+        "NBTI effects are typically larger than PBTI (Section 3)",
+        last.0.abs() > last.1.abs(),
+        format!("|{:.5}| vs |{:.5}|", last.0, last.1),
+    );
+    exit_by(report.finish());
+}

@@ -1,0 +1,79 @@
+//! Regenerates **Figure 7** (Experiment 2, cloud environment): Threat
+//! Model 1 on an aged AWS F1 device — 200 hours of conditioning a sealed
+//! marketplace AFI while measuring hourly through the TDC.
+
+use bench::{class_mean_at_hour, exit_by, save_artifact, ShapeReport};
+use bti_physics::LogicLevel;
+use cloud::{Provider, ProviderConfig};
+use pentimento::threat_model1::{self, ThreatModel1Config};
+use pentimento::{ascii_chart, series_to_csv, AsciiChartConfig};
+
+fn main() {
+    let mut provider = Provider::new(ProviderConfig::aws_f1_like(4, 2024));
+    let config = ThreatModel1Config::paper_experiment2(2024);
+    println!("Experiment 2 (cloud): Threat Model 1 on an aged AWS F1 device");
+    println!("200 h of sealed-AFI conditioning, hourly TDC measurement...\n");
+    let outcome = threat_model1::run(&mut provider, &config).expect("attack completes");
+
+    let mut report = ShapeReport::new();
+    let panels = [
+        ('a', 1_000.0, 0.2),
+        ('b', 2_000.0, 0.4),
+        ('c', 5_000.0, 1.0),
+        ('d', 10_000.0, 2.0),
+    ];
+    for (panel, target, paper_hi) in panels {
+        let group: Vec<_> = outcome
+            .series
+            .iter()
+            .filter(|s| s.target_ps == target)
+            .cloned()
+            .collect();
+        println!("--- Figure 7{panel}: {target} ps routes ---");
+        println!(
+            "{}",
+            ascii_chart(&group, &AsciiChartConfig { width: 78, height: 12 })
+        );
+        let up = class_mean_at_hour(&group, target, LogicLevel::One, 200.0);
+        let down = class_mean_at_hour(&group, target, LogicLevel::Zero, 200.0);
+        println!(
+            "mean Δps at hour 200: burn-1 {up:+.2} ps, burn-0 {down:+.2} ps (paper: ±[0,{paper_hi}])\n"
+        );
+        report.check(
+            format!("{target} ps cloud burn-in stays within the paper's ±[0,{paper_hi}] band (x2 slack)"),
+            up.abs() <= 2.0 * paper_hi && down.abs() <= 2.0 * paper_hi,
+            format!("burn-1 {up:+.2}, burn-0 {down:+.2} ps"),
+        );
+        report.check(
+            format!("{target} ps classes split by sign at 200 h"),
+            up > 0.0 && down < 0.0,
+            format!("burn-1 {up:+.2}, burn-0 {down:+.2} ps"),
+        );
+    }
+
+    // Cloud magnitudes are roughly an order of magnitude below the lab's.
+    let cloud_10k = class_mean_at_hour(&outcome.series, 10_000.0, LogicLevel::One, 200.0);
+    report.check(
+        "aged cloud device imprints ~10x weaker than a new ZCU102 (paper: 10-11 ps lab vs 0-2 ps cloud)",
+        cloud_10k > 0.2 && cloud_10k < 3.0,
+        format!("{cloud_10k:+.2} ps at 10000 ps/200 h"),
+    );
+
+    println!(
+        "Type A recovery: {}/{} bits correct ({:.1}% accuracy, d' = {:.2})",
+        (outcome.metrics.accuracy * outcome.metrics.bits as f64).round(),
+        outcome.metrics.bits,
+        outcome.metrics.accuracy * 100.0,
+        outcome.metrics.dprime,
+    );
+    report.check(
+        "Threat Model 1 recovers the sealed design data (accuracy >= 95%)",
+        outcome.metrics.accuracy >= 0.95,
+        format!("{:.1}%", outcome.metrics.accuracy * 100.0),
+    );
+
+    if let Ok(path) = save_artifact("fig7.csv", &series_to_csv(&outcome.series)) {
+        println!("wrote {}", path.display());
+    }
+    exit_by(report.finish());
+}

@@ -1,0 +1,87 @@
+//! Regenerates **Figure 8** (Experiment 3, cloud environment): Threat
+//! Model 2 — the victim computes 200 unobserved hours, releases, and the
+//! attacker reads 25 hours of BTI recovery on the scrubbed device.
+
+use bench::{exit_by, save_artifact, ShapeReport};
+use bti_physics::LogicLevel;
+use cloud::{Provider, ProviderConfig};
+use pentimento::analysis::mean;
+use pentimento::threat_model2::{self, ThreatModel2Config};
+use pentimento::{ascii_chart, series_to_csv, AsciiChartConfig, RouteSeries};
+
+fn main() {
+    let mut provider = Provider::new(ProviderConfig::aws_f1_like(4, 77));
+    let config = ThreatModel2Config::paper_experiment3(77);
+    println!("Experiment 3 (cloud): Threat Model 2 on an aged AWS F1 device");
+    println!("victim burns 200 h unobserved; scrub; attacker watches 25 h of recovery...\n");
+    let outcome = threat_model2::run(&mut provider, &config).expect("attack completes");
+
+    let mut report = ShapeReport::new();
+    report.check(
+        "flash attack reacquired the victim's relinquished device",
+        outcome.reacquired_victim_device,
+        String::new(),
+    );
+
+    for (panel, target) in [('a', 1_000.0), ('b', 2_000.0), ('c', 5_000.0), ('d', 10_000.0)] {
+        let group: Vec<_> = outcome
+            .series
+            .iter()
+            .filter(|s| s.target_ps == target)
+            .cloned()
+            .collect();
+        println!("--- Figure 8{panel}: {target} ps routes, hours 200-225 ---");
+        println!(
+            "{}",
+            ascii_chart(&group, &AsciiChartConfig { width: 78, height: 12 })
+        );
+        let slope = |level: LogicLevel| {
+            let v: Vec<f64> = group
+                .iter()
+                .filter(|s| s.burn_value == level)
+                .map(RouteSeries::slope_ps_per_hour)
+                .collect();
+            mean(&v)
+        };
+        let s1 = slope(LogicLevel::One);
+        let s0 = slope(LogicLevel::Zero);
+        println!("mean recovery slope: was-1 {s1:+.4} ps/h, was-0 {s0:+.4} ps/h\n");
+        if target >= 5_000.0 {
+            report.check(
+                format!("{target} ps routes that held 1 decrease relative to held-0 routes"),
+                s1 < s0,
+                format!("{s1:+.4} vs {s0:+.4} ps/h"),
+            );
+        }
+    }
+
+    println!(
+        "Type B recovery: {}/{} bits correct ({:.1}% accuracy, d' = {:.2})",
+        (outcome.metrics.accuracy * outcome.metrics.bits as f64).round(),
+        outcome.metrics.bits,
+        outcome.metrics.accuracy * 100.0,
+        outcome.metrics.dprime,
+    );
+    report.check(
+        "Threat Model 2 recovers previous-user data well above chance on long routes",
+        {
+            let long: Vec<_> = outcome
+                .series
+                .iter()
+                .zip(&outcome.recovered)
+                .filter(|(s, _)| s.target_ps >= 5_000.0)
+                .collect();
+            let correct = long
+                .iter()
+                .filter(|(s, r)| s.burn_value == **r)
+                .count();
+            correct as f64 / long.len() as f64 >= 0.85
+        },
+        format!("overall accuracy {:.1}%", outcome.metrics.accuracy * 100.0),
+    );
+
+    if let Ok(path) = save_artifact("fig8.csv", &series_to_csv(&outcome.series)) {
+        println!("wrote {}", path.display());
+    }
+    exit_by(report.finish());
+}

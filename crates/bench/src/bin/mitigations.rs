@@ -1,0 +1,127 @@
+//! Evaluates the Section 8 mitigation suite inside the Threat Model 2
+//! timeline and prints a comparison table.
+
+use bench::{exit_by, save_artifact, ShapeReport};
+use pentimento::{evaluate_mitigation, Mitigation, MitigationReport};
+
+fn main() {
+    let seed = 99;
+    let mitigations = [
+        Mitigation::None,
+        Mitigation::PeriodicInversion,
+        Mitigation::DataShuffling,
+        Mitigation::ShortRoutes { scale: 0.2 },
+        Mitigation::HoldAndRecover { hours: 100 },
+        Mitigation::ProviderQuarantine { hours: 500 },
+        Mitigation::KeyRotation { period_hours: 10 },
+        Mitigation::MaskedShares { rotation_period_hours: None },
+        Mitigation::MaskedShares { rotation_period_hours: Some(10) },
+    ];
+
+    println!("Section 8 mitigations vs the Threat Model 2 recovery attack");
+    println!(
+        "{:<38} {:>9} {:>8} {:>16} {:>16}",
+        "mitigation", "accuracy", "d'", "norm gap ps/h/ps", "abs gap ps/h"
+    );
+    let mut reports: Vec<MitigationReport> = Vec::new();
+    for m in mitigations {
+        let r = evaluate_mitigation(m, seed).expect("evaluation completes");
+        println!(
+            "{:<38} {:>8.1}% {:>8.2} {:>16.3e} {:>16.5}",
+            r.mitigation.to_string(),
+            r.metrics.accuracy * 100.0,
+            r.metrics.dprime,
+            r.slope_gap_ps_per_hour,
+            r.absolute_gap_ps_per_hour,
+        );
+        reports.push(r);
+    }
+
+    let baseline = &reports[0];
+    let mut report = ShapeReport::new();
+    report.check(
+        "undefended victim loses the data (baseline accuracy >= 90%)",
+        baseline.metrics.accuracy >= 0.9,
+        format!("{:.1}%", baseline.metrics.accuracy * 100.0),
+    );
+    report.check(
+        "periodic inversion drives recovery toward chance",
+        reports[1].metrics.accuracy <= 0.75,
+        format!("{:.1}%", reports[1].metrics.accuracy * 100.0),
+    );
+    report.check(
+        "inversion erases >90% of the class-separating signal",
+        reports[1].slope_gap_ps_per_hour < 0.1 * baseline.slope_gap_ps_per_hour,
+        format!(
+            "{:.3e} vs {:.3e}",
+            reports[1].slope_gap_ps_per_hour, baseline.slope_gap_ps_per_hour
+        ),
+    );
+    report.check(
+        "route shortening (x0.2) shrinks the absolute sensing signal by >=4x",
+        reports[3].absolute_gap_ps_per_hour < 0.25 * baseline.absolute_gap_ps_per_hour,
+        format!(
+            "{:.5} vs {:.5} ps/h",
+            reports[3].absolute_gap_ps_per_hour, baseline.absolute_gap_ps_per_hour
+        ),
+    );
+    report.check(
+        "hold-and-recover (toggling, 100 h) halves the signal",
+        reports[4].slope_gap_ps_per_hour < 0.6 * baseline.slope_gap_ps_per_hour,
+        format!(
+            "{:.3e} vs {:.3e}",
+            reports[4].slope_gap_ps_per_hour, baseline.slope_gap_ps_per_hour
+        ),
+    );
+    report.check(
+        "provider quarantine (500 h) halves the signal",
+        reports[5].slope_gap_ps_per_hour < 0.6 * baseline.slope_gap_ps_per_hour,
+        format!(
+            "{:.3e} vs {:.3e}",
+            reports[5].slope_gap_ps_per_hour, baseline.slope_gap_ps_per_hour
+        ),
+    );
+    report.check(
+        "key rotation shrinks the signal but the last key still leaks well above chance",
+        reports[6].slope_gap_ps_per_hour < 0.6 * baseline.slope_gap_ps_per_hour
+            && reports[6].metrics.accuracy > 0.7,
+        format!(
+            "gap {:.3e}, accuracy {:.0}%",
+            reports[6].slope_gap_ps_per_hour,
+            reports[6].metrics.accuracy * 100.0
+        ),
+    );
+    report.check(
+        "fixed-mask sharing does not protect the key (XOR of shares leaks it)",
+        reports[7].metrics.accuracy >= 0.9,
+        format!("{:.0}%", reports[7].metrics.accuracy * 100.0),
+    );
+    report.check(
+        "rotating the mask weakens the imprint to the final epoch's",
+        reports[8].slope_gap_ps_per_hour < 0.5 * reports[7].slope_gap_ps_per_hour,
+        format!(
+            "{:.3e} vs {:.3e}",
+            reports[8].slope_gap_ps_per_hour, reports[7].slope_gap_ps_per_hour
+        ),
+    );
+
+    let csv = {
+        let mut out =
+            String::from("mitigation,accuracy,dprime,norm_gap_ps_per_hour_per_ps,abs_gap_ps_per_hour\n");
+        for r in &reports {
+            out.push_str(&format!(
+                "\"{}\",{:.4},{:.4},{:.6e},{:.6}\n",
+                r.mitigation,
+                r.metrics.accuracy,
+                r.metrics.dprime,
+                r.slope_gap_ps_per_hour,
+                r.absolute_gap_ps_per_hour,
+            ));
+        }
+        out
+    };
+    if let Ok(path) = save_artifact("mitigations.csv", &csv) {
+        println!("\nwrote {}", path.display());
+    }
+    exit_by(report.finish());
+}

@@ -1,0 +1,106 @@
+//! Statistical robustness: the headline results must hold across seeds —
+//! different silicon, different secrets, different sensor noise. Runs both
+//! threat models at several seeds in parallel and reports the accuracy
+//! spread; single-seed flukes would show up here as high variance.
+
+use bench::{exit_by, save_artifact, ShapeReport};
+use bti_physics::LogicLevel;
+use cloud::{Provider, ProviderConfig};
+use crossbeam::thread;
+use pentimento::analysis::{mean, std_dev};
+use pentimento::threat_model1::{self, ThreatModel1Config};
+use pentimento::threat_model2::{self, ThreatModel2Config};
+use pentimento::MeasurementMode;
+
+const SEEDS: [u64; 6] = [11, 23, 47, 101, 499, 997];
+
+fn tm1_accuracy(seed: u64) -> f64 {
+    let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, seed));
+    let config = ThreatModel1Config {
+        route_lengths_ps: vec![2_000.0, 5_000.0, 10_000.0],
+        routes_per_length: 8,
+        burn_hours: 150,
+        measure_every: 2,
+        mode: MeasurementMode::Tdc,
+        seed,
+        measurement_repeats: 4,
+    };
+    threat_model1::run(&mut provider, &config)
+        .expect("attack completes")
+        .metrics
+        .accuracy
+}
+
+fn tm2_long_route_accuracy(seed: u64) -> f64 {
+    let mut provider = Provider::new(ProviderConfig::aws_f1_like(2, seed));
+    let config = ThreatModel2Config {
+        route_lengths_ps: vec![5_000.0, 10_000.0],
+        routes_per_length: 8,
+        victim_hours: 200,
+        attack_hours: 25,
+        condition_level: LogicLevel::Zero,
+        mode: MeasurementMode::Tdc,
+        seed,
+        measurement_repeats: 8,
+        victim_hold_and_recover_hours: 0,
+    };
+    let outcome = threat_model2::run(&mut provider, &config).expect("attack completes");
+    outcome.metrics.accuracy
+}
+
+fn main() {
+    println!("Repeatability: both threat models across {} seeds (TDC pipeline)\n", SEEDS.len());
+
+    // Seeds are independent: fan the runs out across threads.
+    let (tm1, tm2): (Vec<f64>, Vec<f64>) = thread::scope(|scope| {
+        let tm1_handles: Vec<_> = SEEDS
+            .iter()
+            .map(|&seed| scope.spawn(move |_| tm1_accuracy(seed)))
+            .collect();
+        let tm2_handles: Vec<_> = SEEDS
+            .iter()
+            .map(|&seed| scope.spawn(move |_| tm2_long_route_accuracy(seed)))
+            .collect();
+        (
+            tm1_handles.into_iter().map(|h| h.join().expect("no panics")).collect(),
+            tm2_handles.into_iter().map(|h| h.join().expect("no panics")).collect(),
+        )
+    })
+    .expect("threads join");
+
+    let mut csv = String::from("model,seed,accuracy\n");
+    println!("{:>8} | {:>10} {:>10}", "seed", "TM1", "TM2 (long)");
+    for (i, &seed) in SEEDS.iter().enumerate() {
+        println!("{seed:>8} | {:>9.1}% {:>9.1}%", tm1[i] * 100.0, tm2[i] * 100.0);
+        csv.push_str(&format!("tm1,{seed},{:.4}\n", tm1[i]));
+        csv.push_str(&format!("tm2,{seed},{:.4}\n", tm2[i]));
+    }
+    println!(
+        "\nTM1: mean {:.1}% (sd {:.1}pp) | TM2 long routes: mean {:.1}% (sd {:.1}pp)",
+        mean(&tm1) * 100.0,
+        std_dev(&tm1) * 100.0,
+        mean(&tm2) * 100.0,
+        std_dev(&tm2) * 100.0
+    );
+
+    let mut report = ShapeReport::new();
+    report.check(
+        "Threat Model 1 succeeds at every seed (accuracy >= 90%)",
+        tm1.iter().all(|&a| a >= 0.9),
+        format!("min {:.1}%", tm1.iter().cloned().fold(1.0f64, f64::min) * 100.0),
+    );
+    report.check(
+        "Threat Model 2 beats chance decisively at every seed (>= 75% on long routes)",
+        tm2.iter().all(|&a| a >= 0.75),
+        format!("min {:.1}%", tm2.iter().cloned().fold(1.0f64, f64::min) * 100.0),
+    );
+    report.check(
+        "seed-to-seed spread is modest (sd <= 10pp for both models)",
+        std_dev(&tm1) <= 0.10 && std_dev(&tm2) <= 0.10,
+        format!("{:.1}pp / {:.1}pp", std_dev(&tm1) * 100.0, std_dev(&tm2) * 100.0),
+    );
+    if let Ok(path) = save_artifact("repeatability.csv", &csv) {
+        println!("wrote {}", path.display());
+    }
+    exit_by(report.finish());
+}

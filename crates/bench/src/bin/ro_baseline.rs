@@ -1,0 +1,98 @@
+//! Regenerates the Section 7 comparison against ring-oscillator sensors:
+//! the RO sees *that* a route aged but not *which bit* it held, and its
+//! design is rejected by cloud rule checks while the TDC's passes.
+
+use baselines::{build_ro_design, RoSensor};
+use bench::{exit_by, ShapeReport};
+use bti_physics::{DutyCycle, Hours, LogicLevel};
+use cloud::{Provider, ProviderConfig, TenantId};
+use fpga_fabric::{FpgaDevice, RouteRequest, TileCoord};
+use pentimento::{build_measure_design, RouteGroupSpec, Skeleton};
+
+fn main() {
+    let mut report = ShapeReport::new();
+
+    // --- Part 1: polarity blindness. ------------------------------------
+    println!("RO vs dual-polarity TDC observable after 200 h of burn-in (new device, 10000 ps route)\n");
+    println!(
+        "{:<10} {:>18} {:>18} {:>14}",
+        "burn bit", "RO period shift", "RO freq shift", "TDC Δps"
+    );
+    let base = FpgaDevice::zcu102_new(55);
+    let route = base
+        .route_with_target_delay(&RouteRequest::new(TileCoord::new(4, 4), 10_000.0))
+        .expect("routable");
+    let sensor = RoSensor::new(route.clone());
+    let base_period = sensor.true_period_ps(&base);
+
+    let mut shifts = Vec::new();
+    let mut deltas = Vec::new();
+    for (bit, duty) in [
+        (LogicLevel::Zero, DutyCycle::ALWAYS_ZERO),
+        (LogicLevel::One, DutyCycle::ALWAYS_ONE),
+    ] {
+        let mut dev = base.clone();
+        dev.condition_route(&route, duty, Hours::new(200.0));
+        let period_shift = sensor.true_period_ps(&dev) - base_period;
+        let freq_shift_khz = (1e9 / sensor.true_period_ps(&dev) - 1e9 / base_period) / 1e3;
+        let delta = dev.route_delta_ps(&route);
+        println!(
+            "{:<10} {:>15.2} ps {:>14.1} kHz {:>11.2} ps",
+            bit, period_shift, freq_shift_khz, delta
+        );
+        shifts.push(period_shift);
+        deltas.push(delta);
+    }
+
+    report.check(
+        "RO period shifts for burn-0 and burn-1 have the same sign (polarity-blind)",
+        shifts[0] > 0.0 && shifts[1] > 0.0,
+        format!("{:.2} ps vs {:.2} ps", shifts[0], shifts[1]),
+    );
+    report.check(
+        "RO shifts are within 2x of each other (cannot classify the bit)",
+        shifts[0] / shifts[1] > 0.5 && shifts[0] / shifts[1] < 2.0,
+        format!("ratio {:.2}", shifts[0] / shifts[1]),
+    );
+    report.check(
+        "TDC Δps signs split by bit value (classifies the bit)",
+        deltas[0] < 0.0 && deltas[1] > 0.0,
+        format!("{:+.2} ps vs {:+.2} ps", deltas[0], deltas[1]),
+    );
+
+    // --- Part 2: cloud deployability. ------------------------------------
+    println!("\nCloud DRC verdicts:");
+    let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, 55));
+    let session = provider.rent(TenantId::new("attacker")).expect("capacity");
+    let device = provider.device(&session).expect("session valid");
+
+    let cloud_route = device
+        .route_with_target_delay(&RouteRequest::new(TileCoord::new(4, 4), 5_000.0))
+        .expect("routable");
+    let ro_verdict = provider.load_design(&session, build_ro_design(&cloud_route));
+    println!("  RO sensor design:  {:?}", ro_verdict.as_ref().err().map(|e| e.to_string()));
+    report.check(
+        "RO sensor design is rejected by the cloud DRC",
+        matches!(ro_verdict, Err(cloud::CloudError::DesignRejected(_))),
+        String::new(),
+    );
+
+    let device = provider.device(&session).expect("session valid");
+    let skeleton = Skeleton::place(
+        device,
+        &[RouteGroupSpec {
+            target_ps: 5_000.0,
+            count: 4,
+        }],
+    )
+    .expect("skeleton fits");
+    let tdc_verdict = provider.load_design(&session, build_measure_design(&skeleton));
+    println!("  TDC sensor design: {:?}", tdc_verdict.as_ref().map(|()| "accepted"));
+    report.check(
+        "TDC measure design passes the cloud DRC",
+        tdc_verdict.is_ok(),
+        String::new(),
+    );
+
+    exit_by(report.finish());
+}

@@ -1,0 +1,100 @@
+//! Regenerates **Table 1**: OpenTitan Earl Grey route-length distributions
+//! for twenty security-critical assets on a Virtex UltraScale+.
+
+use bench::{exit_by, save_artifact, ShapeReport};
+use opentitan::{earl_grey_assets, render_table1, vulnerability_report, Table1Row};
+
+fn main() {
+    let assets = earl_grey_assets();
+    let rows: Vec<Table1Row> = assets.iter().map(Table1Row::regenerate).collect();
+
+    println!("Table 1: OpenTitan Earl Grey distribution of route lengths (ps), regenerated");
+    println!("{}", render_table1(&rows));
+
+    // Vulnerability context (Section 5.3 / 8.1): expected Δps after 200 h
+    // of burn-in on a new device, against a 0.5 ps sensing threshold.
+    let delta_per_ps = 1.05e-3;
+    println!("\nVulnerability report (200 h burn-in on a new device, 0.5 ps threshold):");
+    println!("{:<50} {:>12} {:>12}", "asset", "max Δps", "recoverable");
+    for entry in vulnerability_report(&assets, delta_per_ps, 0.5) {
+        println!(
+            "{:<50} {:>9.2} ps {:>11.0}%",
+            entry.asset.path,
+            entry.max_route_delta_ps,
+            entry.recoverable_fraction * 100.0
+        );
+    }
+
+    let mut report = ShapeReport::new();
+    report.check(
+        "20 assets regenerated",
+        rows.len() == 20,
+        rows.len().to_string(),
+    );
+    // Quantile columns must match the paper within 3% of each asset span.
+    let mut worst = 0.0f64;
+    for row in &rows {
+        let p = &row.asset.paper_stats;
+        let span = (p.max_ps - p.min_ps).max(1.0);
+        for (got, want) in [
+            (row.computed.q25, p.q25_ps),
+            (row.computed.q50, p.q50_ps),
+            (row.computed.q75, p.q75_ps),
+        ] {
+            worst = worst.max((got - want).abs() / span);
+        }
+    }
+    report.check(
+        "quantile columns match the paper within 3% of span",
+        worst < 0.03,
+        format!("worst error {:.2}% of span", worst * 100.0),
+    );
+    let long_assets = rows
+        .iter()
+        .filter(|r| r.computed.max > 1000.0)
+        .count();
+    report.check(
+        "route lengths above 1000 ps are common (paper: 8+ assets)",
+        long_assets >= 8,
+        format!("{long_assets} assets with max > 1000 ps"),
+    );
+    // Stratified sampling cannot reach each population's exact maximum
+    // (narrow buses stop short of it), so allow 1% slack in the ordering.
+    let sorted = rows
+        .windows(2)
+        .all(|w| w[0].computed.max <= w[1].computed.max * 1.01);
+    report.check(
+        "assets sorted ascending by max route length (1% sampling slack)",
+        sorted,
+        String::new(),
+    );
+
+    let csv: String = {
+        let mut out = String::from(
+            "index,path,class,bus_width,mean,sd,min,q25,q50,q75,max,paper_mean,paper_max\n",
+        );
+        for r in &rows {
+            out.push_str(&format!(
+                "{},{},{},{},{:.1},{:.1},{:.0},{:.1},{:.1},{:.1},{:.0},{:.1},{:.0}\n",
+                r.asset.index,
+                r.asset.path,
+                r.asset.class,
+                r.asset.bus_width,
+                r.computed.mean,
+                r.computed.sd,
+                r.computed.min,
+                r.computed.q25,
+                r.computed.q50,
+                r.computed.q75,
+                r.computed.max,
+                r.asset.paper_stats.mean_ps,
+                r.asset.paper_stats.max_ps,
+            ));
+        }
+        out
+    };
+    if let Ok(path) = save_artifact("table1.csv", &csv) {
+        println!("\nwrote {}", path.display());
+    }
+    exit_by(report.finish());
+}

@@ -1,0 +1,152 @@
+//! Shared harness code for the reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's per-experiment index) and prints the same rows or
+//! series the paper reports, followed by explicit `PASS`/`FAIL` shape
+//! checks. CSV artifacts land in `results/`.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use bti_physics::LogicLevel;
+use pentimento::analysis::mean;
+use pentimento::RouteSeries;
+
+/// A named boolean expectation about the regenerated data.
+#[derive(Debug, Clone)]
+pub struct ShapeCheck {
+    /// What the paper claims.
+    pub claim: String,
+    /// Whether the reproduction observed it.
+    pub passed: bool,
+    /// The observed quantity, for the report.
+    pub observed: String,
+}
+
+/// Collects and prints shape checks, returning process-exit success.
+#[derive(Debug, Default)]
+pub struct ShapeReport {
+    checks: Vec<ShapeCheck>,
+}
+
+impl ShapeReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one check.
+    pub fn check(&mut self, claim: impl Into<String>, passed: bool, observed: impl Into<String>) {
+        self.checks.push(ShapeCheck {
+            claim: claim.into(),
+            passed,
+            observed: observed.into(),
+        });
+    }
+
+    /// Prints all checks and returns `true` when everything passed.
+    pub fn finish(&self) -> bool {
+        println!("\n=== shape checks ===");
+        let mut ok = true;
+        for c in &self.checks {
+            let status = if c.passed { "PASS" } else { "FAIL" };
+            println!("[{status}] {} (observed: {})", c.claim, c.observed);
+            ok &= c.passed;
+        }
+        println!(
+            "{}/{} checks passed",
+            self.checks.iter().filter(|c| c.passed).count(),
+            self.checks.len()
+        );
+        ok
+    }
+}
+
+/// Mean of the final |Δps| of the series in one (length, burn) class.
+#[must_use]
+pub fn class_mean_final(series: &[RouteSeries], target_ps: f64, burn: LogicLevel) -> f64 {
+    let v: Vec<f64> = series
+        .iter()
+        .filter(|s| s.target_ps == target_ps && s.burn_value == burn)
+        .map(RouteSeries::last_delta_ps)
+        .collect();
+    mean(&v)
+}
+
+/// Mean Δps of one (length, burn) class at the measurement nearest `hour`.
+#[must_use]
+pub fn class_mean_at_hour(
+    series: &[RouteSeries],
+    target_ps: f64,
+    burn: LogicLevel,
+    hour: f64,
+) -> f64 {
+    let v: Vec<f64> = series
+        .iter()
+        .filter(|s| s.target_ps == target_ps && s.burn_value == burn)
+        .map(|s| {
+            let idx = s
+                .hours
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    (*a - hour).abs().partial_cmp(&(*b - hour).abs()).expect("no NaN")
+                })
+                .map(|(i, _)| i)
+                .expect("series non-empty");
+            s.delta_ps[idx]
+        })
+        .collect();
+    mean(&v)
+}
+
+/// Writes an artifact into `results/` (created on demand), returning its
+/// path.
+pub fn save_artifact(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Exit with status 1 when shape checks failed (so CI catches drift).
+pub fn exit_by(ok: bool) -> ! {
+    std::process::exit(i32::from(!ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(target: f64, burn: LogicLevel, last: f64) -> RouteSeries {
+        RouteSeries::from_raw(0, target, burn, vec![0.0, 1.0], vec![0.0, last])
+    }
+
+    #[test]
+    fn class_means_filter_correctly() {
+        let all = vec![
+            series(1000.0, LogicLevel::One, 2.0),
+            series(1000.0, LogicLevel::One, 4.0),
+            series(1000.0, LogicLevel::Zero, -2.0),
+            series(2000.0, LogicLevel::One, 8.0),
+        ];
+        assert_eq!(class_mean_final(&all, 1000.0, LogicLevel::One), 3.0);
+        assert_eq!(class_mean_final(&all, 2000.0, LogicLevel::One), 8.0);
+        assert_eq!(class_mean_at_hour(&all, 1000.0, LogicLevel::Zero, 1.0), -2.0);
+    }
+
+    #[test]
+    fn shape_report_tracks_failures() {
+        let mut r = ShapeReport::new();
+        r.check("a", true, "1");
+        assert!(r.finish());
+        r.check("b", false, "2");
+        assert!(!r.finish());
+    }
+}

@@ -1,0 +1,103 @@
+//! Arrhenius temperature acceleration of BTI kinetics.
+//!
+//! Both BTI capture (degradation) and emission (recovery) are thermally
+//! activated. The paper exploits this: the lab experiment runs in a 60 °C
+//! oven, and the cloud target design intentionally burns 63 W partly to
+//! heat the die and accelerate burn-in.
+
+use crate::{Celsius, Kelvin};
+
+/// Boltzmann constant in electron-volts per Kelvin.
+pub const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
+
+/// Returns the Arrhenius rate-acceleration factor at temperature `t`
+/// relative to the reference temperature `t_ref`, for a process with
+/// activation energy `activation_ev` (in electron-volts).
+///
+/// The factor is 1.0 at the reference temperature, above 1.0 when hotter,
+/// and below 1.0 when colder:
+///
+/// ```text
+/// A(T) = exp( (Ea / k) · (1/T_ref − 1/T) )
+/// ```
+///
+/// # Panics
+///
+/// Panics if either temperature is at or below absolute zero, or if the
+/// activation energy is negative.
+///
+/// # Example
+///
+/// ```
+/// use bti_physics::{arrhenius_acceleration, Celsius};
+///
+/// let hot = arrhenius_acceleration(Celsius::new(85.0), Celsius::new(60.0), 0.5);
+/// assert!(hot > 1.0);
+/// ```
+#[must_use]
+pub fn arrhenius_acceleration(t: Celsius, t_ref: Celsius, activation_ev: f64) -> f64 {
+    assert!(activation_ev >= 0.0, "activation energy must be non-negative");
+    let t = t.to_kelvin();
+    let t_ref = t_ref.to_kelvin();
+    assert!(
+        t.value() > 0.0 && t_ref.value() > 0.0,
+        "temperatures must be above absolute zero"
+    );
+    ((activation_ev / BOLTZMANN_EV_PER_K) * (1.0 / t_ref.value() - 1.0 / t.value())).exp()
+}
+
+/// Returns the Arrhenius factor between two absolute temperatures.
+#[must_use]
+pub fn arrhenius_acceleration_kelvin(t: Kelvin, t_ref: Kelvin, activation_ev: f64) -> f64 {
+    arrhenius_acceleration(t.to_celsius(), t_ref.to_celsius(), activation_ev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unity_at_reference() {
+        let a = arrhenius_acceleration(Celsius::new(60.0), Celsius::new(60.0), 0.5);
+        assert!((a - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotter_is_faster() {
+        let ref_t = Celsius::new(60.0);
+        let a85 = arrhenius_acceleration(Celsius::new(85.0), ref_t, 0.5);
+        let a25 = arrhenius_acceleration(Celsius::new(25.0), ref_t, 0.5);
+        assert!(a85 > 1.0, "85C accel = {a85}");
+        assert!(a25 < 1.0, "25C accel = {a25}");
+        // With Ea = 0.5 eV a 25 C rise gives a meaningful (2x-5x) speedup.
+        assert!(a85 > 2.0 && a85 < 6.0, "a85 = {a85}");
+    }
+
+    #[test]
+    fn zero_activation_energy_is_temperature_independent() {
+        let a = arrhenius_acceleration(Celsius::new(100.0), Celsius::new(0.0), 0.0);
+        assert!((a - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_temperature() {
+        let ref_t = Celsius::new(60.0);
+        let mut prev = 0.0;
+        for t in [0.0, 20.0, 40.0, 60.0, 80.0, 100.0] {
+            let a = arrhenius_acceleration(Celsius::new(t), ref_t, 0.45);
+            assert!(a > prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn kelvin_variant_agrees() {
+        let a = arrhenius_acceleration(Celsius::new(85.0), Celsius::new(60.0), 0.5);
+        let b = arrhenius_acceleration_kelvin(
+            Celsius::new(85.0).to_kelvin(),
+            Celsius::new(60.0).to_kelvin(),
+            0.5,
+        );
+        assert!((a - b).abs() < 1e-12);
+    }
+}

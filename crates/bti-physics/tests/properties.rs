@@ -1,0 +1,141 @@
+//! Property-based tests of the BTI physics invariants.
+
+use bti_physics::{
+    AgingState, BtiModel, Celsius, DutyCycle, Hours, LogicLevel, Polarity, TrapBank,
+};
+use proptest::prelude::*;
+
+fn duty() -> impl Strategy<Value = DutyCycle> {
+    (0.0f64..=1.0).prop_map(|f| DutyCycle::new(f).expect("in range"))
+}
+
+fn temp() -> impl Strategy<Value = Celsius> {
+    (0.0f64..110.0).prop_map(Celsius::new)
+}
+
+fn dt() -> impl Strategy<Value = Hours> {
+    (0.0f64..500.0).prop_map(Hours::new)
+}
+
+proptest! {
+    /// Trap levels always stay inside [0, 1] no matter the stress history.
+    #[test]
+    fn levels_bounded(steps in proptest::collection::vec((dt(), duty(), temp()), 1..20)) {
+        let model = BtiModel::ultrascale_plus();
+        let mut state = AgingState::new(&model);
+        for (d, duty, t) in steps {
+            state.advance(&model, d, duty, t);
+            for polarity in Polarity::ALL {
+                let level = state.level(polarity);
+                prop_assert!((0.0..=1.0).contains(&level), "level = {level}");
+            }
+        }
+    }
+
+    /// Under pure stress, a bank's level never decreases.
+    #[test]
+    fn pure_stress_is_monotone(durations in proptest::collection::vec(0.1f64..50.0, 1..20)) {
+        let model = BtiModel::ultrascale_plus();
+        let mut bank = model.fresh_bank(Polarity::Pbti);
+        let mut previous = 0.0;
+        for d in durations {
+            bank.advance(Hours::new(d), DutyCycle::ALWAYS_ONE, 1.0, 1.0);
+            prop_assert!(bank.level() >= previous - 1e-12);
+            previous = bank.level();
+        }
+    }
+
+    /// Under pure recovery, a bank's level never increases, and never drops
+    /// below its permanent component.
+    #[test]
+    fn pure_recovery_is_monotone(
+        burn in 1.0f64..400.0,
+        durations in proptest::collection::vec(0.1f64..50.0, 1..20),
+    ) {
+        let model = BtiModel::ultrascale_plus();
+        let mut bank = model.fresh_bank(Polarity::Nbti);
+        bank.advance(Hours::new(burn), DutyCycle::ALWAYS_ZERO, 1.0, 1.0);
+        let mut previous = bank.level();
+        for d in durations {
+            bank.advance(Hours::new(d), DutyCycle::ALWAYS_ONE, 1.0, 1.0);
+            prop_assert!(bank.level() <= previous + 1e-12);
+            prop_assert!(bank.level() >= bank.permanent_level() - 1e-12);
+            previous = bank.level();
+        }
+    }
+
+    /// Aging in two half-steps equals aging in one full step (the kinetics
+    /// are a time-homogeneous linear ODE per bin).
+    #[test]
+    fn advance_is_compositional(total in 0.1f64..300.0, frac in 0.01f64..0.99, d in duty(), t in temp()) {
+        let model = BtiModel::ultrascale_plus();
+        let mut one_shot = AgingState::new(&model);
+        let mut split = AgingState::new(&model);
+        one_shot.advance(&model, Hours::new(total), d, t);
+        split.advance(&model, Hours::new(total * frac), d, t);
+        split.advance(&model, Hours::new(total * (1.0 - frac)), d, t);
+        for polarity in Polarity::ALL {
+            let a = one_shot.level(polarity);
+            let b = split.level(polarity);
+            prop_assert!((a - b).abs() < 1e-9, "{polarity}: {a} vs {b}");
+        }
+    }
+
+    /// Hotter stress never produces less damage.
+    #[test]
+    fn temperature_monotonicity(hours in 1.0f64..300.0, t_lo in 10.0f64..50.0, bump in 1.0f64..50.0) {
+        let model = BtiModel::ultrascale_plus();
+        let mut cool = AgingState::new(&model);
+        let mut hot = AgingState::new(&model);
+        cool.advance_static(&model, Hours::new(hours), LogicLevel::One, Celsius::new(t_lo));
+        hot.advance_static(&model, Hours::new(hours), LogicLevel::One, Celsius::new(t_lo + bump));
+        prop_assert!(hot.level(Polarity::Pbti) >= cool.level(Polarity::Pbti) - 1e-12);
+    }
+
+    /// Δps sign always identifies the statically held burn value.
+    #[test]
+    fn delta_sign_identifies_burn_value(hours in 5.0f64..400.0, bit in any::<bool>()) {
+        let model = BtiModel::ultrascale_plus();
+        let mut state = AgingState::new(&model);
+        state.advance_static(
+            &model,
+            Hours::new(hours),
+            LogicLevel::from_bool(bit),
+            Celsius::new(60.0),
+        );
+        let delta = state.delta_ps(&model, 10_000.0);
+        prop_assert_eq!(delta > 0.0, bit, "Δps = {} for bit {}", delta, bit);
+    }
+
+    /// Longer routes always show proportionally larger imprints.
+    #[test]
+    fn imprint_scales_with_route_length(hours in 1.0f64..300.0, len in 100.0f64..20_000.0) {
+        let model = BtiModel::ultrascale_plus();
+        let mut state = AgingState::new(&model);
+        state.advance_static(&model, Hours::new(hours), LogicLevel::One, Celsius::new(60.0));
+        let d1 = state.delta_ps(&model, len);
+        let d2 = state.delta_ps(&model, 2.0 * len);
+        prop_assert!((d2 - 2.0 * d1).abs() < 1e-9);
+    }
+
+    /// Bank weights remain normalized through arbitrary log-spaced configs.
+    #[test]
+    fn log_spaced_weights_normalized(
+        n in 1usize..30,
+        c_lo in 0.1f64..10.0,
+        c_span in 1.0f64..1000.0,
+        e_lo in 0.1f64..10.0,
+        e_span in 1.0f64..1000.0,
+        perm in 0.0f64..0.9,
+    ) {
+        let bank = TrapBank::log_spaced(
+            Polarity::Nbti,
+            n,
+            (c_lo, c_lo * c_span),
+            (e_lo, e_lo * e_span),
+            perm,
+        ).expect("valid config");
+        let total: f64 = bank.bins().iter().map(|b| b.weight).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,516 @@
+//! The cloud provider: device pool, leases, scrubbing, and time.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bti_physics::Hours;
+use fpga_fabric::{check_design, Design, FpgaDevice};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{AfiId, CloudError, Marketplace, RentalLedger, Session, TenantId};
+
+/// Identifier of a physical device in the provider's fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fpga-{:04}", self.0)
+    }
+}
+
+/// Fleet configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProviderConfig {
+    /// Number of devices in the region.
+    pub pool_size: u32,
+    /// Base RNG seed: device silicon and ages derive from it.
+    pub seed: u64,
+    /// Minimum prior service age of fleet devices, in hours.
+    pub min_device_age_hours: f64,
+    /// Maximum prior service age of fleet devices, in hours.
+    pub max_device_age_hours: f64,
+    /// Power budget enforced by the platform DRC, in watts (AWS: 85).
+    pub power_limit_watts: f64,
+    /// Launch-rate control (Section 8.2 mitigation): how long a returned
+    /// device is quarantined before it can be rented again.
+    pub quarantine: Hours,
+}
+
+impl ProviderConfig {
+    /// An AWS-F1-like region: devices aged two to four years, 85 W limit,
+    /// no quarantine (the vulnerable default the paper attacks).
+    #[must_use]
+    pub fn aws_f1_like(pool_size: u32, seed: u64) -> Self {
+        Self {
+            pool_size,
+            seed,
+            min_device_age_hours: 2.0 * 365.0 * 24.0,
+            max_device_age_hours: 4.0 * 365.0 * 24.0,
+            power_limit_watts: 85.0,
+            quarantine: Hours::ZERO,
+        }
+    }
+
+    /// The same region with the launch-rate-control mitigation enabled.
+    #[must_use]
+    pub fn with_quarantine(mut self, quarantine: Hours) -> Self {
+        self.quarantine = quarantine;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum SlotState {
+    Free { released_at: Option<Hours> },
+    Rented { session_id: u64 },
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Slot {
+    device: FpgaDevice,
+    state: SlotState,
+}
+
+/// The cloud provider: owns the fleet, leases devices, scrubs on release,
+/// and advances global time.
+///
+/// Time is global: [`advance_time`](Provider::advance_time) runs every
+/// rented device's loaded design and lets every idle device relax, which
+/// is what makes quarantine an effective mitigation.
+#[derive(Debug, Clone)]
+pub struct Provider {
+    config: ProviderConfig,
+    slots: HashMap<DeviceId, Slot>,
+    marketplace: Marketplace,
+    ledger: RentalLedger,
+    now: Hours,
+    next_session: u64,
+}
+
+impl Provider {
+    /// Builds a fleet according to `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size` is zero or the age range is inverted.
+    #[must_use]
+    pub fn new(config: ProviderConfig) -> Self {
+        assert!(config.pool_size > 0, "fleet must contain devices");
+        assert!(
+            config.min_device_age_hours <= config.max_device_age_hours,
+            "device age range inverted"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let slots = (0..config.pool_size)
+            .map(|i| {
+                let age = if config.max_device_age_hours > config.min_device_age_hours {
+                    rng.gen_range(config.min_device_age_hours..config.max_device_age_hours)
+                } else {
+                    config.min_device_age_hours
+                };
+                let seed = config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(u64::from(i));
+                (
+                    DeviceId(i),
+                    Slot {
+                        device: FpgaDevice::aws_f1(seed, Hours::new(age)),
+                        state: SlotState::Free { released_at: None },
+                    },
+                )
+            })
+            .collect();
+        Self {
+            config,
+            slots,
+            marketplace: Marketplace::new(),
+            ledger: RentalLedger::new(),
+            now: Hours::ZERO,
+            next_session: 0,
+        }
+    }
+
+    /// The fleet configuration.
+    #[must_use]
+    pub fn config(&self) -> &ProviderConfig {
+        &self.config
+    }
+
+    /// Global wall-clock time since the provider was created.
+    #[must_use]
+    pub fn now(&self) -> Hours {
+        self.now
+    }
+
+    /// The marketplace catalog.
+    #[must_use]
+    pub fn marketplace(&self) -> &Marketplace {
+        &self.marketplace
+    }
+
+    /// Mutable marketplace access (publishing).
+    pub fn marketplace_mut(&mut self) -> &mut Marketplace {
+        &mut self.marketplace
+    }
+
+    /// Number of devices currently rentable.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|(_, s)| self.is_rentable(s))
+            .count()
+    }
+
+    fn is_rentable(&self, slot: &Slot) -> bool {
+        match slot.state {
+            SlotState::Free { released_at } => match released_at {
+                None => true,
+                Some(t) => (self.now - t).value() >= self.config.quarantine.value(),
+            },
+            SlotState::Rented { .. } => false,
+        }
+    }
+
+    /// Leases one device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::CapacityExhausted`] if nothing is rentable
+    /// (either everything is leased or returned boards are quarantined).
+    pub fn rent(&mut self, tenant: TenantId) -> Result<Session, CloudError> {
+        let mut ids: Vec<DeviceId> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| self.is_rentable(s))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        let id = *ids.first().ok_or(CloudError::CapacityExhausted)?;
+        let session = Session::new(self.next_session, tenant.clone(), id);
+        self.next_session += 1;
+        self.slots.get_mut(&id).expect("id from map").state = SlotState::Rented {
+            session_id: session.id(),
+        };
+        self.ledger.record_rent(id, session.id(), tenant, self.now);
+        Ok(session)
+    }
+
+    /// The flash attack: leases *every* rentable device at once, so a
+    /// device released by the victim afterwards must come back through
+    /// the attacker's hands (Assumption 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::CapacityExhausted`] if nothing is rentable.
+    pub fn rent_all(&mut self, tenant: TenantId) -> Result<Vec<Session>, CloudError> {
+        let mut sessions = Vec::new();
+        while let Ok(s) = self.rent(tenant.clone()) {
+            sessions.push(s);
+        }
+        if sessions.is_empty() {
+            return Err(CloudError::CapacityExhausted);
+        }
+        Ok(sessions)
+    }
+
+    /// Releases a lease: the device is **scrubbed** (all digital state
+    /// cleared — the AWS guarantee) and returned to the pool, subject to
+    /// quarantine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::SessionRevoked`] if the session no longer
+    /// owns its device.
+    pub fn release(&mut self, session: Session) -> Result<(), CloudError> {
+        let now = self.now;
+        let slot = self.owned_slot_mut(&session)?;
+        slot.device.wipe();
+        slot.state = SlotState::Free {
+            released_at: Some(now),
+        };
+        self.ledger.record_release(session.id(), now);
+        Ok(())
+    }
+
+    /// The provider's allocation ledger (oldest record first).
+    #[must_use]
+    pub fn ledger(&self) -> &RentalLedger {
+        &self.ledger
+    }
+
+    /// Loads a tenant's own design onto the session's device, enforcing
+    /// the platform DRC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::DesignRejected`] for DRC violations (this is
+    /// what stops ring-oscillator sensors), [`CloudError::SessionRevoked`]
+    /// for a stale session, or a fabric error from loading.
+    pub fn load_design(&mut self, session: &Session, design: Design) -> Result<(), CloudError> {
+        let limit = self.config.power_limit_watts;
+        let violations = check_design(&design, limit);
+        if !violations.is_empty() {
+            return Err(CloudError::DesignRejected(violations));
+        }
+        let slot = self.owned_slot_mut(session)?;
+        slot.device.load_design(design)?;
+        Ok(())
+    }
+
+    /// Loads a marketplace AFI onto the session's device. The renter never
+    /// sees the design internals; the platform moves the sealed image.
+    ///
+    /// # Errors
+    ///
+    /// As [`load_design`](Self::load_design), plus
+    /// [`CloudError::UnknownAfi`].
+    pub fn load_afi(&mut self, session: &Session, afi: AfiId) -> Result<(), CloudError> {
+        // The catalog holds binaries: disassemble against the session's
+        // device (a bitstream built for an incompatible grid fails here),
+        // then re-run the rule checks — publishers can lie.
+        let bitstream = self.marketplace.get(afi)?.bitstream_for_loading().clone();
+        let device = self.device(session)?;
+        let design = bitstream.disassemble(|id| device.wire_segment(id))?;
+        self.load_design(session, design)
+    }
+
+    /// Unloads the session's design (the tenant keeps running the
+    /// instance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::SessionRevoked`] for a stale session.
+    pub fn unload(&mut self, session: &Session) -> Result<Option<Design>, CloudError> {
+        let slot = self.owned_slot_mut(session)?;
+        Ok(slot.device.unload_design())
+    }
+
+    /// Mutable access to the design loaded under a session (a tenant
+    /// changing runtime-held values, e.g. loading a key at runtime).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::SessionRevoked`] for a stale session.
+    pub fn loaded_design_mut(
+        &mut self,
+        session: &Session,
+    ) -> Result<Option<&mut Design>, CloudError> {
+        let slot = self.owned_slot_mut(session)?;
+        Ok(slot.device.loaded_design_mut())
+    }
+
+    /// Advances global time: every rented device runs its loaded design;
+    /// every idle device relaxes.
+    pub fn advance_time(&mut self, dt: Hours) {
+        for slot in self.slots.values_mut() {
+            slot.device.run_for(dt);
+        }
+        self.now += dt;
+    }
+
+    /// Read access to the physical device behind a session.
+    ///
+    /// This is the simulation boundary for on-chip sensors: a real tenant
+    /// interacts with the silicon only through their loaded design (the
+    /// TDC), which is exactly what the `tdc` crate models against this
+    /// reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::SessionRevoked`] for a stale session.
+    pub fn device(&self, session: &Session) -> Result<&FpgaDevice, CloudError> {
+        let slot = self
+            .slots
+            .get(&session.device_id())
+            .ok_or(CloudError::UnknownDevice(session.device_id()))?;
+        match slot.state {
+            SlotState::Rented { session_id } if session_id == session.id() => Ok(&slot.device),
+            _ => Err(CloudError::SessionRevoked),
+        }
+    }
+
+    /// Omniscient device access by id — for experiment harnesses and
+    /// tests, *not* part of the tenant-facing surface.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::UnknownDevice`] for an unknown id.
+    pub fn device_by_id(&self, id: DeviceId) -> Result<&FpgaDevice, CloudError> {
+        self.slots
+            .get(&id)
+            .map(|s| &s.device)
+            .ok_or(CloudError::UnknownDevice(id))
+    }
+
+    fn owned_slot_mut(&mut self, session: &Session) -> Result<&mut Slot, CloudError> {
+        let slot = self
+            .slots
+            .get_mut(&session.device_id())
+            .ok_or(CloudError::UnknownDevice(session.device_id()))?;
+        match slot.state {
+            SlotState::Rented { session_id } if session_id == session.id() => Ok(slot),
+            _ => Err(CloudError::SessionRevoked),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_fabric::{CellKind, NetActivity};
+
+    fn provider(n: u32) -> Provider {
+        Provider::new(ProviderConfig::aws_f1_like(n, 7))
+    }
+
+    #[test]
+    fn rent_release_cycle_scrubs_digital_state() {
+        let mut p = provider(2);
+        let t = TenantId::new("victim");
+        let s = p.rent(t).unwrap();
+        p.load_design(&s, Design::new("secret")).unwrap();
+        let id = s.device_id();
+        p.release(s).unwrap();
+        assert!(p.device_by_id(id).unwrap().loaded_design().is_none());
+    }
+
+    #[test]
+    fn capacity_exhaustion() {
+        let mut p = provider(2);
+        let a = p.rent(TenantId::new("a")).unwrap();
+        let _b = p.rent(TenantId::new("b")).unwrap();
+        assert!(matches!(
+            p.rent(TenantId::new("c")),
+            Err(CloudError::CapacityExhausted)
+        ));
+        p.release(a).unwrap();
+        assert!(p.rent(TenantId::new("c")).is_ok());
+    }
+
+    #[test]
+    fn flash_attack_recaptures_victim_device() {
+        let mut p = provider(4);
+        let victim = p.rent(TenantId::new("victim")).unwrap();
+        let victim_device = victim.device_id();
+        // Attacker grabs the rest of the region.
+        let held = p.rent_all(TenantId::new("attacker")).unwrap();
+        assert_eq!(held.len(), 3);
+        // Victim leaves; the only free device is theirs.
+        p.release(victim).unwrap();
+        let s = p.rent(TenantId::new("attacker")).unwrap();
+        assert_eq!(s.device_id(), victim_device);
+    }
+
+    #[test]
+    fn ring_oscillator_design_is_rejected() {
+        let mut p = provider(1);
+        let s = p.rent(TenantId::new("attacker")).unwrap();
+        let mut ro = Design::new("ro");
+        let n = ro.add_net("loop", NetActivity::Dynamic, None);
+        ro.add_cell("inv", CellKind::Lut, None, vec![n], Some(n));
+        assert!(matches!(
+            p.load_design(&s, ro),
+            Err(CloudError::DesignRejected(_))
+        ));
+    }
+
+    #[test]
+    fn over_power_design_is_rejected() {
+        let mut p = provider(1);
+        let s = p.rent(TenantId::new("t")).unwrap();
+        let mut hot = Design::new("hot");
+        hot.set_power_watts(100.0);
+        assert!(matches!(
+            p.load_design(&s, hot),
+            Err(CloudError::DesignRejected(_))
+        ));
+    }
+
+    #[test]
+    fn stale_session_is_revoked() {
+        let mut p = provider(1);
+        let s = p.rent(TenantId::new("t")).unwrap();
+        let stale = s.clone();
+        p.release(s).unwrap();
+        assert!(matches!(p.device(&stale), Err(CloudError::SessionRevoked)));
+        assert!(matches!(
+            p.load_design(&stale, Design::new("x")),
+            Err(CloudError::SessionRevoked)
+        ));
+    }
+
+    #[test]
+    fn quarantine_withholds_returned_devices() {
+        let cfg = ProviderConfig::aws_f1_like(1, 3).with_quarantine(Hours::new(72.0));
+        let mut p = Provider::new(cfg);
+        let s = p.rent(TenantId::new("victim")).unwrap();
+        p.release(s).unwrap();
+        assert!(matches!(
+            p.rent(TenantId::new("attacker")),
+            Err(CloudError::CapacityExhausted)
+        ));
+        p.advance_time(Hours::new(73.0));
+        assert!(p.rent(TenantId::new("attacker")).is_ok());
+    }
+
+    #[test]
+    fn marketplace_afi_loads_without_exposing_design() {
+        let mut p = provider(1);
+        let vendor = TenantId::new("vendor");
+        let afi = p
+            .marketplace_mut()
+            .publish(vendor, Design::new("ip"), true);
+        let s = p.rent(TenantId::new("renter")).unwrap();
+        p.load_afi(&s, afi).unwrap();
+        assert!(p.device(&s).unwrap().loaded_design().is_some());
+        // The renter still cannot inspect the AFI source.
+        assert!(p
+            .marketplace()
+            .get(afi)
+            .unwrap()
+            .inspect(&TenantId::new("renter"))
+            .is_err());
+    }
+
+    #[test]
+    fn advance_time_moves_the_clock_everywhere() {
+        let mut p = provider(2);
+        p.advance_time(Hours::new(5.0));
+        assert_eq!(p.now(), Hours::new(5.0));
+        assert_eq!(p.device_by_id(DeviceId(0)).unwrap().clock(), Hours::new(5.0));
+        assert_eq!(p.device_by_id(DeviceId(1)).unwrap().clock(), Hours::new(5.0));
+    }
+
+    #[test]
+    fn ledger_tracks_the_attack_timeline() {
+        let mut p = provider(1);
+        let victim = p.rent(TenantId::new("victim")).unwrap();
+        let victim_session = victim.id();
+        let device = victim.device_id();
+        p.advance_time(Hours::new(150.0));
+        p.release(victim).unwrap();
+        let attacker = p.rent(TenantId::new("attacker")).unwrap();
+        let prev = p
+            .ledger()
+            .previous_tenant(device, attacker.id())
+            .expect("victim lease recorded");
+        assert_eq!(prev.session_id, victim_session);
+        assert_eq!(prev.tenant.as_str(), "victim");
+        assert_eq!(prev.duration(), Some(Hours::new(150.0)));
+        assert_eq!(p.ledger().device_utilization(device), Hours::new(150.0));
+    }
+
+    #[test]
+    fn fleet_devices_have_distinct_ages_and_silicon() {
+        let p = provider(4);
+        let ages: Vec<f64> = (0..4)
+            .map(|i| p.device_by_id(DeviceId(i)).unwrap().service_age().value())
+            .collect();
+        assert!(ages.windows(2).any(|w| (w[0] - w[1]).abs() > 1.0));
+        for &a in &ages {
+            assert!((2.0 * 8760.0..=4.0 * 8760.0).contains(&a));
+        }
+    }
+}

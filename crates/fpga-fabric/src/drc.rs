@@ -1,0 +1,224 @@
+//! Design rule checks.
+//!
+//! Cloud providers vet every bitstream before it touches shared hardware.
+//! The check that matters for this paper is **combinational-loop
+//! detection**: ring-oscillator sensors (the classic way to measure BTI)
+//! are self-oscillating combinational cycles and are rejected by AWS,
+//! while the TDC sensor is built from ordinary clocked structures and
+//! passes — one of the paper's key arguments for its sensor choice
+//! (Section 7).
+
+use std::fmt;
+
+use crate::Design;
+#[cfg(test)]
+use crate::CellKind;
+
+/// A rule violation found in a design.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DrcViolation {
+    /// A cycle through purely combinational cells (a ring oscillator).
+    CombinationalLoop {
+        /// Names of the cells on the cycle.
+        cells: Vec<String>,
+    },
+    /// The design exceeds the platform power budget.
+    PowerBudgetExceeded {
+        /// Declared design power, in watts.
+        declared_watts: f64,
+        /// Platform limit, in watts.
+        limit_watts: f64,
+    },
+}
+
+impl fmt::Display for DrcViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CombinationalLoop { cells } => {
+                write!(f, "combinational loop through [{}]", cells.join(" -> "))
+            }
+            Self::PowerBudgetExceeded {
+                declared_watts,
+                limit_watts,
+            } => write!(
+                f,
+                "design power {declared_watts} W exceeds the {limit_watts} W platform budget"
+            ),
+        }
+    }
+}
+
+/// Checks a design against platform rules and returns every violation.
+///
+/// `power_limit_watts` is the platform's power budget (AWS F1 enforces
+/// 85 W); pass `f64::INFINITY` to skip the power rule.
+#[must_use]
+pub fn check_design(design: &Design, power_limit_watts: f64) -> Vec<DrcViolation> {
+    let mut violations = Vec::new();
+    if design.power_watts() > power_limit_watts {
+        violations.push(DrcViolation::PowerBudgetExceeded {
+            declared_watts: design.power_watts(),
+            limit_watts: power_limit_watts,
+        });
+    }
+    if let Some(cells) = find_combinational_cycle(design) {
+        violations.push(DrcViolation::CombinationalLoop { cells });
+    }
+    violations
+}
+
+/// Finds one combinational cycle, if any, returning the cell names on it.
+fn find_combinational_cycle(design: &Design) -> Option<Vec<String>> {
+    // Graph over combinational cells: edge d -> c when cell d drives a net
+    // that feeds cell c and both are combinational.
+    let cells = design.cells();
+    let n = cells.len();
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ci, cell) in cells.iter().enumerate() {
+        if !cell.kind.is_combinational() {
+            continue;
+        }
+        for &net in &cell.inputs {
+            if let Some(driver) = design.driver_of(net) {
+                if cells[driver].kind.is_combinational() {
+                    adjacency[driver].push(ci);
+                }
+            }
+        }
+    }
+
+    // Iterative DFS with colors; reconstruct the cycle from the stack.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    let mut parent = vec![usize::MAX; n];
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        color[start] = Color::Gray;
+        while let Some(&mut (node, ref mut edge)) = stack.last_mut() {
+            if *edge < adjacency[node].len() {
+                let next = adjacency[node][*edge];
+                *edge += 1;
+                match color[next] {
+                    Color::White => {
+                        color[next] = Color::Gray;
+                        parent[next] = node;
+                        stack.push((next, 0));
+                    }
+                    Color::Gray => {
+                        // Found a back edge node -> next: walk parents from
+                        // `node` back to `next` to list the cycle.
+                        let mut cycle = vec![cells[next].name.clone()];
+                        let mut cur = node;
+                        while cur != next {
+                            cycle.push(cells[cur].name.clone());
+                            cur = parent[cur];
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[node] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetActivity;
+
+    /// A 3-stage ring oscillator: three LUT inverters in a loop.
+    fn ring_oscillator() -> Design {
+        let mut d = Design::new("ro-sensor");
+        let n0 = d.add_net("n0", NetActivity::Dynamic, None);
+        let n1 = d.add_net("n1", NetActivity::Dynamic, None);
+        let n2 = d.add_net("n2", NetActivity::Dynamic, None);
+        d.add_cell("inv0", CellKind::Lut, None, vec![n2], Some(n0));
+        d.add_cell("inv1", CellKind::Lut, None, vec![n0], Some(n1));
+        d.add_cell("inv2", CellKind::Lut, None, vec![n1], Some(n2));
+        d
+    }
+
+    /// A TDC-like pipeline: transition generator -> carry cells -> registers.
+    fn tdc_like() -> Design {
+        let mut d = Design::new("tdc-sensor");
+        let launch = d.add_net("launch", NetActivity::Dynamic, None);
+        let c0 = d.add_net("c0", NetActivity::Dynamic, None);
+        let c1 = d.add_net("c1", NetActivity::Dynamic, None);
+        d.add_cell("tg", CellKind::TransitionGenerator, None, vec![], Some(launch));
+        d.add_cell("carry0", CellKind::Carry8, None, vec![launch], Some(c0));
+        d.add_cell("carry1", CellKind::Carry8, None, vec![c0], Some(c1));
+        d.add_cell("cap0", CellKind::Register, None, vec![c0], None);
+        d.add_cell("cap1", CellKind::Register, None, vec![c1], None);
+        d
+    }
+
+    #[test]
+    fn ring_oscillator_is_rejected() {
+        let violations = check_design(&ring_oscillator(), 85.0);
+        assert!(matches!(
+            violations.as_slice(),
+            [DrcViolation::CombinationalLoop { cells }] if cells.len() == 3
+        ));
+    }
+
+    #[test]
+    fn tdc_design_passes() {
+        assert!(check_design(&tdc_like(), 85.0).is_empty());
+    }
+
+    #[test]
+    fn register_in_loop_makes_it_legal() {
+        // A feedback loop through a register is an ordinary state machine.
+        let mut d = Design::new("fsm");
+        let n0 = d.add_net("n0", NetActivity::Dynamic, None);
+        let n1 = d.add_net("n1", NetActivity::Dynamic, None);
+        d.add_cell("lut", CellKind::Lut, None, vec![n1], Some(n0));
+        d.add_cell("reg", CellKind::Register, None, vec![n0], Some(n1));
+        assert!(check_design(&d, 85.0).is_empty());
+    }
+
+    #[test]
+    fn power_budget_enforced() {
+        let mut d = tdc_like();
+        d.set_power_watts(100.0);
+        let violations = check_design(&d, 85.0);
+        assert!(matches!(
+            violations.as_slice(),
+            [DrcViolation::PowerBudgetExceeded { .. }]
+        ));
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut d = Design::new("self");
+        let n = d.add_net("n", NetActivity::Dynamic, None);
+        d.add_cell("lut", CellKind::Lut, None, vec![n], Some(n));
+        let v = check_design(&d, 85.0);
+        assert!(matches!(
+            v.as_slice(),
+            [DrcViolation::CombinationalLoop { cells }] if cells.len() == 1
+        ));
+    }
+
+    #[test]
+    fn violation_display_names_cells() {
+        let v = check_design(&ring_oscillator(), 85.0);
+        let msg = v[0].to_string();
+        assert!(msg.contains("inv0"));
+    }
+}

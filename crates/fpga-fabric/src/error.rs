@@ -1,0 +1,93 @@
+//! Error type for fabric operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{TileCoord, WireId};
+
+/// Errors produced by fabric construction, routing, and design loading.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FabricError {
+    /// A coordinate fell outside the device grid.
+    OutOfGrid {
+        /// The offending coordinate.
+        coord: TileCoord,
+        /// Grid columns.
+        cols: u16,
+        /// Grid rows.
+        rows: u16,
+    },
+    /// The router could not reach the requested delay within tolerance.
+    Unroutable {
+        /// Requested nominal delay in picoseconds.
+        target_ps: f64,
+        /// Best delay achieved before giving up.
+        achieved_ps: f64,
+    },
+    /// A wire needed by a route is already used by a loaded design.
+    WireOccupied(WireId),
+    /// A wire id does not exist on this device.
+    UnknownWire(WireId),
+    /// The requested carry chain does not fit the device.
+    CarryChainTooLong {
+        /// Requested element count.
+        requested: usize,
+        /// Rows available at the requested column.
+        available: usize,
+    },
+    /// A design failed the design rule check (e.g. combinational loop).
+    DesignRuleViolation(String),
+    /// A design references a net or cell that does not exist.
+    MalformedDesign(String),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutOfGrid { coord, cols, rows } => {
+                write!(f, "tile {coord} is outside the {cols}x{rows} grid")
+            }
+            Self::Unroutable {
+                target_ps,
+                achieved_ps,
+            } => write!(
+                f,
+                "could not route to {target_ps} ps (best achieved {achieved_ps} ps)"
+            ),
+            Self::WireOccupied(w) => write!(f, "wire {w} is already occupied"),
+            Self::UnknownWire(w) => write!(f, "wire {w} does not exist on this device"),
+            Self::CarryChainTooLong {
+                requested,
+                available,
+            } => write!(
+                f,
+                "carry chain of {requested} elements exceeds the {available} available rows"
+            ),
+            Self::DesignRuleViolation(msg) => write!(f, "design rule violation: {msg}"),
+            Self::MalformedDesign(msg) => write!(f, "malformed design: {msg}"),
+        }
+    }
+}
+
+impl Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<FabricError>();
+    }
+
+    #[test]
+    fn display_is_concise() {
+        let e = FabricError::Unroutable {
+            target_ps: 5000.0,
+            achieved_ps: 4000.0,
+        };
+        assert!(e.to_string().contains("5000"));
+    }
+}

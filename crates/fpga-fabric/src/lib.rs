@@ -1,0 +1,70 @@
+//! FPGA device-fabric simulator for the Pentimento reproduction.
+//!
+//! This crate models the parts of a Xilinx UltraScale+-class FPGA that the
+//! paper's attack touches: a grid of tiles with **programmable routing**
+//! (wire segments joined by switchbox PIPs), carry-chain columns, per-device
+//! process variation, a thermal model, and — crucially — **per-wire analog
+//! aging state** driven by the [`bti_physics`] substrate.
+//!
+//! # Why aging lives on physical wires
+//!
+//! The attack works because the victim's design and the attacker's
+//! measurement design are *different bitstreams that route through the same
+//! physical transistors*. A [`FpgaDevice`] therefore keys
+//! [`bti_physics::AgingState`] by [`WireId`]. Loading a design, wiping the
+//! device, and loading another design all leave wire aging untouched —
+//! exactly the data remanence the paper demonstrates. A wipe
+//! ([`FpgaDevice::wipe`]) clears every *digital* artifact (configuration,
+//! held values) and none of the analog state.
+//!
+//! # Example
+//!
+//! ```
+//! use bti_physics::{Hours, LogicLevel};
+//! use fpga_fabric::{FpgaDevice, RouteRequest, TileCoord};
+//!
+//! let mut device = FpgaDevice::zcu102_new(7);
+//! let route = device
+//!     .route_with_target_delay(&RouteRequest::new(TileCoord::new(10, 10), 5_000.0))?;
+//! // Victim holds a secret 1 on the route for 200 hours.
+//! device.condition_route(&route, bti_physics::LogicLevel::One.duty(), Hours::new(200.0));
+//! device.wipe(); // provider scrub: digital state only
+//! // The pentimento survives: falling edges are now slower than rising.
+//! let imprint = device.route_delta_ps(&route);
+//! assert!(imprint > 3.0);
+//! # let _ = LogicLevel::One;
+//! # Ok::<(), fpga_fabric::FabricError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitstream;
+mod carry;
+mod delay;
+mod design;
+mod device;
+mod drc;
+mod error;
+mod geometry;
+mod lut;
+mod packer;
+mod router;
+mod thermal;
+mod variation;
+mod wire;
+
+pub use bitstream::Bitstream;
+pub use carry::{CarryChain, CARRY_ELEMENT_PS};
+pub use delay::{RouteDelay, TransitionKind};
+pub use design::{Cell, CellKind, Design, Net, NetActivity};
+pub use device::{DeviceProfile, FpgaDevice};
+pub use drc::{check_design, DrcViolation};
+pub use error::FabricError;
+pub use geometry::{Direction, TileCoord};
+pub use lut::{LutConfigCell, PrecisionInstrument, LUT_BUFFER_DELAY_PS, LUT_BUFFER_SENSITIVITY_SCALE};
+pub use packer::RoutePacker;
+pub use router::{Route, RouteRequest};
+pub use thermal::ThermalModel;
+pub use variation::VariationModel;
+pub use wire::{WireId, WireKind, WireSegment};

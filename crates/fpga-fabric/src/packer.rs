@@ -1,0 +1,175 @@
+//! Packing many delay-targeted routes onto one device.
+//!
+//! Both the paper's 4×16-route experiment layouts and the OpenTitan asset
+//! placement need the same thing: many wire-disjoint serpentine routes of
+//! prescribed delays, packed into vertical bands of the grid. The packer
+//! owns the used-wire set and per-band row cursors, and is fully
+//! deterministic — the attacker rebuilding the same packing on the same
+//! device profile reproduces the victim's skeleton (Assumption 1).
+
+use std::collections::HashSet;
+
+use crate::{FabricError, FpgaDevice, Route, RouteRequest, TileCoord, WireId, WireKind};
+
+/// A deterministic first-fit packer of delay-targeted routes.
+#[derive(Debug, Clone)]
+pub struct RoutePacker<'a> {
+    device: &'a FpgaDevice,
+    bands: u16,
+    band_width: u16,
+    used: HashSet<WireId>,
+    next_row: Vec<u16>,
+    next_band: u16,
+}
+
+impl<'a> RoutePacker<'a> {
+    /// Creates a packer dividing the device into `bands` vertical bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bands` is zero or wider than the grid allows.
+    #[must_use]
+    pub fn new(device: &'a FpgaDevice, bands: u16) -> Self {
+        assert!(bands > 0, "need at least one band");
+        let band_width = (device.cols() - 4) / bands;
+        assert!(band_width >= 8, "bands too narrow for routing");
+        Self {
+            device,
+            bands,
+            band_width,
+            used: HashSet::new(),
+            next_row: vec![1; usize::from(bands)],
+            next_band: 0,
+        }
+    }
+
+    /// The smallest target delay the packer can realize.
+    #[must_use]
+    pub fn min_target_ps() -> f64 {
+        WireKind::Single.base_delay_ps()
+    }
+
+    /// Routes one target, claiming its wires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::Unroutable`] when the target is below the
+    /// segment floor or no band has room left.
+    pub fn pack(&mut self, target_ps: f64) -> Result<Route, FabricError> {
+        if target_ps < Self::min_target_ps() {
+            return Err(FabricError::Unroutable {
+                target_ps,
+                achieved_ps: 0.0,
+            });
+        }
+        for attempt in 0..self.bands {
+            let band = (self.next_band + attempt) % self.bands;
+            let row = self.next_row[usize::from(band)];
+            if row + 2 >= self.device.rows() {
+                continue;
+            }
+            let min_col = 2 + band * self.band_width;
+            let max_col = min_col + self.band_width - 1;
+            let tolerance = ((Self::min_target_ps() / 2.0) + 1.0) / target_ps;
+            let request = RouteRequest::new(TileCoord::new(min_col, row), target_ps)
+                .within_columns(min_col, max_col)
+                .with_tolerance(tolerance.max(0.05));
+            if let Ok(route) = self
+                .device
+                .route_with_target_delay_avoiding(&request, &self.used)
+            {
+                let top = route
+                    .segments()
+                    .iter()
+                    .map(|s| s.from.row.max(s.to.row))
+                    .max()
+                    .unwrap_or(row);
+                self.next_row[usize::from(band)] = top + 1;
+                self.used.extend(route.wire_ids());
+                self.next_band = (band + 1) % self.bands;
+                return Ok(route);
+            }
+        }
+        Err(FabricError::Unroutable {
+            target_ps,
+            achieved_ps: 0.0,
+        })
+    }
+
+    /// Routes a whole batch of targets in order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first target that cannot be packed.
+    pub fn pack_all(&mut self, targets_ps: &[f64]) -> Result<Vec<Route>, FabricError> {
+        targets_ps.iter().map(|&t| self.pack(t)).collect()
+    }
+
+    /// The wires claimed so far.
+    #[must_use]
+    pub fn used_wires(&self) -> &HashSet<WireId> {
+        &self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_the_papers_64_route_layout() {
+        // 16 routes each of 1000/2000/5000/10000 ps — the experiment
+        // layout of Sections 6.1-6.3 — must fit a ZCU102 grid.
+        let device = FpgaDevice::zcu102_new(11);
+        let mut packer = RoutePacker::new(&device, 2);
+        let mut targets = Vec::new();
+        for &len in &[10_000.0, 5_000.0, 2_000.0, 1_000.0] {
+            targets.extend(std::iter::repeat_n(len, 16));
+        }
+        let routes = packer.pack_all(&targets).expect("64 routes must fit");
+        assert_eq!(routes.len(), 64);
+        let mut seen = HashSet::new();
+        for (route, &target) in routes.iter().zip(&targets) {
+            let err = (route.nominal_ps() - target).abs() / target;
+            assert!(err <= 0.05, "target {target}: {}", route.nominal_ps());
+            for w in route.wire_ids() {
+                assert!(seen.insert(w), "wire shared between routes");
+            }
+        }
+    }
+
+    #[test]
+    fn packing_is_deterministic() {
+        let device = FpgaDevice::zcu102_new(12);
+        let targets = [5_000.0, 1_000.0, 2_000.0];
+        let a = RoutePacker::new(&device, 2).pack_all(&targets).unwrap();
+        let b = RoutePacker::new(&device, 2).pack_all(&targets).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sub_segment_target_rejected() {
+        let device = FpgaDevice::zcu102_new(13);
+        let mut packer = RoutePacker::new(&device, 2);
+        assert!(matches!(
+            packer.pack(10.0),
+            Err(FabricError::Unroutable { .. })
+        ));
+    }
+
+    #[test]
+    fn exhausting_the_device_errors_cleanly() {
+        let device = FpgaDevice::zcu102_new(14);
+        let mut packer = RoutePacker::new(&device, 1);
+        let mut packed = 0;
+        loop {
+            match packer.pack(10_000.0) {
+                Ok(_) => packed += 1,
+                Err(FabricError::Unroutable { .. }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+            assert!(packed < 10_000, "packer never exhausted");
+        }
+        assert!(packed > 5, "only packed {packed} routes");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the bitstream codec.
+
+use bti_physics::{DutyCycle, LogicLevel};
+use fpga_fabric::{
+    Bitstream, CellKind, Design, FpgaDevice, NetActivity, RouteRequest, TileCoord,
+};
+use proptest::prelude::*;
+
+fn activity_strategy() -> impl Strategy<Value = NetActivity> {
+    prop_oneof![
+        Just(NetActivity::Dynamic),
+        Just(NetActivity::Static(LogicLevel::Zero)),
+        Just(NetActivity::Static(LogicLevel::One)),
+        (0.0f64..=1.0).prop_map(|f| {
+            // f32 round-trips through the stream; quantize up front.
+            let f = f64::from(f as f32);
+            NetActivity::Duty(DutyCycle::new(f).expect("in range"))
+        }),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = CellKind> {
+    prop_oneof![
+        Just(CellKind::Register),
+        Just(CellKind::Lut),
+        Just(CellKind::Carry8),
+        Just(CellKind::DspMac),
+        Just(CellKind::TransitionGenerator),
+        Just(CellKind::ClockGenerator),
+    ]
+}
+
+fn arbitrary_design() -> impl Strategy<Value = Design> {
+    (
+        "[a-z][a-z0-9_-]{0,24}",
+        0.0f64..100.0,
+        proptest::collection::vec(("[a-z0-9_\\[\\]]{1,16}", activity_strategy(), any::<bool>()), 0..8),
+        proptest::collection::vec(("[a-z0-9_]{1,12}", kind_strategy(), any::<Option<(u16, u16)>>()), 0..6),
+        0u64..1000,
+    )
+        .prop_map(|(name, power, nets, cells, seed)| {
+            let device = FpgaDevice::zcu102_new(seed);
+            let mut used = std::collections::HashSet::new();
+            let mut design = Design::new(name);
+            design.set_power_watts(power);
+            let mut net_count = 0usize;
+            for (i, (net_name, activity, routed)) in nets.into_iter().enumerate() {
+                let route = if routed {
+                    let req =
+                        RouteRequest::new(TileCoord::new(4, 4 + 6 * i as u16), 1_500.0);
+                    device
+                        .route_with_target_delay_avoiding(&req, &used)
+                        .ok()
+                        .inspect(|r| used.extend(r.wire_ids()))
+                } else {
+                    None
+                };
+                design.add_net(net_name, activity, route);
+                net_count += 1;
+            }
+            for (cell_name, kind, loc) in cells {
+                let location = loc.map(|(c, r)| TileCoord::new(c % 90, r % 90));
+                let inputs = if net_count > 0 { vec![0] } else { vec![] };
+                let output = net_count.checked_sub(1);
+                design.add_cell(cell_name, kind, location, inputs, output);
+            }
+            design
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every design round-trips bit-exactly through its binary form.
+    #[test]
+    fn assemble_disassemble_is_identity(design in arbitrary_design()) {
+        let device = FpgaDevice::zcu102_new(0);
+        let bits = Bitstream::assemble(&design);
+        let back = bits
+            .disassemble(|id| device.wire_segment(id))
+            .expect("own output must parse");
+        prop_assert_eq!(back, design);
+    }
+
+    /// Any single-bit flip anywhere in the stream is detected.
+    #[test]
+    fn single_bit_flips_always_detected(
+        design in arbitrary_design(),
+        word_frac in 0.0f64..1.0,
+        bit in 0u8..32,
+    ) {
+        let device = FpgaDevice::zcu102_new(0);
+        let mut bits = Bitstream::assemble(&design);
+        let word = ((bits.len() - 1) as f64 * word_frac) as usize;
+        bits.flip_bit(word, bit);
+        prop_assert!(
+            bits.disassemble(|id| device.wire_segment(id)).is_err(),
+            "flip at word {word} bit {bit} went unnoticed"
+        );
+    }
+
+    /// Stream size scales with content, never explodes.
+    #[test]
+    fn stream_size_is_sane(design in arbitrary_design()) {
+        let bits = Bitstream::assemble(&design);
+        let per_net = 64usize; // generous upper bound in words
+        let upper = 64 + design.nets().len() * per_net + design.cells().len() * per_net;
+        prop_assert!(bits.len() <= upper, "{} words for {} nets", bits.len(), design.nets().len());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of fabric invariants.
+
+use std::collections::HashSet;
+
+use bti_physics::{DutyCycle, Hours};
+use fpga_fabric::{FpgaDevice, RouteRequest, TileCoord};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Serpentine routes are connected: each segment starts where the
+    /// previous one ended, and no wire is used twice.
+    #[test]
+    fn routes_are_connected_and_wire_disjoint(
+        start_col in 2u16..30,
+        start_row in 2u16..30,
+        target in 500.0f64..12_000.0,
+    ) {
+        let dev = FpgaDevice::zcu102_new(1);
+        let req = RouteRequest::new(TileCoord::new(start_col, start_row), target);
+        if let Ok(route) = dev.route_with_target_delay(&req) {
+            let mut pos = TileCoord::new(start_col, start_row);
+            let mut seen = HashSet::new();
+            for seg in route.segments() {
+                prop_assert_eq!(seg.from, pos, "segments must chain");
+                prop_assert!(seen.insert(seg.id), "wire reused");
+                pos = seg.to;
+            }
+            let err = (route.nominal_ps() - target).abs() / target;
+            prop_assert!(err <= 0.05, "delay error {err}");
+        }
+    }
+
+    /// Direct routes always land on the destination tile.
+    #[test]
+    fn direct_routes_terminate_at_destination(
+        a_col in 0u16..90, a_row in 0u16..90,
+        b_col in 0u16..90, b_row in 0u16..90,
+    ) {
+        let dev = FpgaDevice::zcu102_new(2);
+        let a = TileCoord::new(a_col, a_row);
+        let b = TileCoord::new(b_col, b_row);
+        let route = dev.route_between(a, b).expect("in-grid routes succeed");
+        if a == b {
+            prop_assert!(route.is_empty());
+        } else {
+            prop_assert_eq!(route.start(), Some(a));
+            prop_assert_eq!(route.end(), Some(b));
+        }
+    }
+
+    /// Route delay queries are monotone under stress: more conditioning
+    /// never shrinks the imprint magnitude for a statically held value.
+    #[test]
+    fn conditioning_monotone(hours in proptest::collection::vec(1.0f64..40.0, 1..6), bit in any::<bool>()) {
+        let mut dev = FpgaDevice::zcu102_new(3);
+        let route = dev
+            .route_with_target_delay(&RouteRequest::new(TileCoord::new(4, 4), 5_000.0))
+            .unwrap();
+        let duty = if bit { DutyCycle::ALWAYS_ONE } else { DutyCycle::ALWAYS_ZERO };
+        let mut last = 0.0;
+        for h in hours {
+            dev.condition_route(&route, duty, Hours::new(h));
+            let mag = dev.route_delta_ps(&route).abs();
+            prop_assert!(mag >= last - 1e-9, "imprint must grow: {mag} < {last}");
+            let delta = dev.route_delta_ps(&route);
+            prop_assert_eq!(delta > 0.0, bit);
+            last = mag;
+        }
+    }
+
+    /// Wire decode of an encoded route segment always round-trips.
+    #[test]
+    fn wire_segments_decode_consistently(target in 1_000.0f64..8_000.0) {
+        let dev = FpgaDevice::zcu102_new(4);
+        let route = dev
+            .route_with_target_delay(&RouteRequest::new(TileCoord::new(4, 4), target))
+            .unwrap();
+        for seg in route.segments() {
+            let decoded = dev.wire_segment(seg.id).expect("route wires exist");
+            prop_assert_eq!(&decoded, seg);
+        }
+    }
+
+    /// Delta is exactly zero on any unconditioned route, regardless of
+    /// silicon variation.
+    #[test]
+    fn fresh_routes_have_zero_delta(seed in 0u64..500, target in 1_000.0f64..10_000.0) {
+        let dev = FpgaDevice::zcu102_new(seed);
+        let route = dev
+            .route_with_target_delay(&RouteRequest::new(TileCoord::new(4, 4), target))
+            .unwrap();
+        prop_assert_eq!(dev.route_delta_ps(&route), 0.0);
+    }
+}

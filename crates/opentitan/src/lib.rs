@@ -1,0 +1,43 @@
+//! OpenTitan Earl Grey security-asset model.
+//!
+//! The paper grounds its threat models in the OpenTitan hardware root of
+//! trust: Section 5.3 and Table 1 study the route lengths of twenty
+//! security-critical assets (cryptographic keys, life-cycle state/tokens,
+//! and sensitive peripheral signals) in an Earl Grey implementation placed
+//! and routed for a Virtex UltraScale+.
+//!
+//! We have neither the OpenTitan netlist nor Vivado, so this crate rebuilds
+//! the asset population from the paper's own published order statistics:
+//! each asset's per-bit route lengths are drawn from a piecewise-linear
+//! inverse CDF through the published (min, 25 %, 50 %, 75 %, max)
+//! quantiles, stratified so the regenerated table reproduces the
+//! quantile columns exactly and the mean/SD columns approximately. The
+//! populations can also be *placed* onto a [`fpga_fabric::FpgaDevice`] to
+//! serve as realistic victims for the attack examples.
+//!
+//! # Example
+//!
+//! ```
+//! use opentitan::{earl_grey_assets, AssetClass};
+//!
+//! let assets = earl_grey_assets();
+//! assert_eq!(assets.len(), 20);
+//! let keys = assets.iter().filter(|a| a.class == AssetClass::CryptoKey).count();
+//! assert_eq!(keys, 11);
+//! // Route lengths of more than 1000 ps are common (the paper's point):
+//! let long = assets.iter().filter(|a| a.paper_stats.max_ps > 1000.0).count();
+//! assert!(long >= 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assets;
+mod distribution;
+mod placement;
+mod report;
+
+pub use assets::{earl_grey_assets, Asset, AssetClass, RouteLengthStats};
+pub use distribution::{PopulationStats, QuantileFit};
+pub use placement::{place_assets, PlacedAsset};
+pub use report::{render_table1, vulnerability_report, Table1Row, VulnerabilityEntry};

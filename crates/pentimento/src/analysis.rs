@@ -1,0 +1,259 @@
+//! Statistical analysis: kernel regression and least squares.
+//!
+//! The paper smooths every time series in Figures 6–8 with the kernel
+//! regression from Python's `statsmodels` ("continuous mode with a local
+//! linear estimator"). [`KernelRegression`] reimplements both the
+//! Nadaraya–Watson and the local-linear estimator with a Gaussian kernel;
+//! [`ols_slope`] provides the slope estimates the bit classifiers use.
+
+use serde::{Deserialize, Serialize};
+
+/// Which local estimator the kernel regression fits at each query point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelEstimator {
+    /// Locally constant (Nadaraya–Watson): a kernel-weighted mean.
+    LocallyConstant,
+    /// Locally linear: a kernel-weighted straight-line fit, evaluated at
+    /// the query point. Unbiased at the boundaries, which matters for the
+    /// first/last hours of the paper's plots.
+    LocallyLinear,
+}
+
+/// Gaussian-kernel regression over scattered `(x, y)` samples.
+///
+/// # Example
+///
+/// ```
+/// use pentimento::analysis::{KernelEstimator, KernelRegression};
+///
+/// let x: Vec<f64> = (0..100).map(f64::from).collect();
+/// let y: Vec<f64> = x.iter().map(|v| 0.1 * v + ((v * 17.0).sin())).collect();
+/// let kr = KernelRegression::fit(&x, &y, 5.0, KernelEstimator::LocallyLinear)?;
+/// // Smoothing recovers the trend within the noise amplitude.
+/// assert!((kr.predict(50.0) - 5.0).abs() < 1.0);
+/// # Ok::<(), pentimento::PentimentoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRegression {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    bandwidth: f64,
+    estimator: KernelEstimator,
+}
+
+impl KernelRegression {
+    /// Fits a regression with an explicit bandwidth (in x units).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PentimentoError::InvalidConfig`] when the inputs
+    /// are empty, mismatched, or the bandwidth is not positive.
+    pub fn fit(
+        x: &[f64],
+        y: &[f64],
+        bandwidth: f64,
+        estimator: KernelEstimator,
+    ) -> Result<Self, crate::PentimentoError> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(crate::PentimentoError::InvalidConfig(
+                "kernel regression needs equal-length, non-empty x and y".to_owned(),
+            ));
+        }
+        if bandwidth.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !bandwidth.is_finite() {
+            return Err(crate::PentimentoError::InvalidConfig(
+                "kernel bandwidth must be positive".to_owned(),
+            ));
+        }
+        Ok(Self {
+            x: x.to_vec(),
+            y: y.to_vec(),
+            bandwidth,
+            estimator,
+        })
+    }
+
+    /// Fits with Silverman's rule-of-thumb bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// As [`fit`](Self::fit).
+    pub fn fit_auto(
+        x: &[f64],
+        y: &[f64],
+        estimator: KernelEstimator,
+    ) -> Result<Self, crate::PentimentoError> {
+        let n = x.len().max(1) as f64;
+        let mean = x.iter().sum::<f64>() / n;
+        let sd = (x.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
+        let bw = (1.06 * sd * n.powf(-0.2)).max(1e-9);
+        Self::fit(x, y, bw, estimator)
+    }
+
+    /// The bandwidth in use.
+    #[must_use]
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Predicts the smoothed value at `x0`.
+    #[must_use]
+    pub fn predict(&self, x0: f64) -> f64 {
+        let mut s0 = 0.0; // Σ w
+        let mut s1 = 0.0; // Σ w·dx
+        let mut s2 = 0.0; // Σ w·dx²
+        let mut t0 = 0.0; // Σ w·y
+        let mut t1 = 0.0; // Σ w·dx·y
+        for (&xi, &yi) in self.x.iter().zip(&self.y) {
+            let u = (xi - x0) / self.bandwidth;
+            let w = (-0.5 * u * u).exp();
+            let dx = xi - x0;
+            s0 += w;
+            s1 += w * dx;
+            s2 += w * dx * dx;
+            t0 += w * yi;
+            t1 += w * dx * yi;
+        }
+        if s0 <= f64::MIN_POSITIVE {
+            return f64::NAN;
+        }
+        match self.estimator {
+            KernelEstimator::LocallyConstant => t0 / s0,
+            KernelEstimator::LocallyLinear => {
+                let det = s0 * s2 - s1 * s1;
+                if det.abs() < 1e-12 {
+                    t0 / s0
+                } else {
+                    // Intercept of the weighted linear fit at dx = 0.
+                    (s2 * t0 - s1 * t1) / det
+                }
+            }
+        }
+    }
+
+    /// Predicts the smoothed series at each of the original sample
+    /// positions.
+    #[must_use]
+    pub fn smooth(&self) -> Vec<f64> {
+        self.x.iter().map(|&x0| self.predict(x0)).collect()
+    }
+}
+
+/// Ordinary-least-squares slope of `y` against `x`, in y-units per x-unit.
+///
+/// Returns 0.0 for fewer than two points or degenerate x.
+#[must_use]
+pub fn ols_slope(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len().min(y.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = x[..n].iter().sum::<f64>() / nf;
+    let my = y[..n].iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        sxx += dx * dx;
+        sxy += dx * (y[i] - my);
+    }
+    if sxx <= 0.0 {
+        return 0.0;
+    }
+    sxy / sxx
+}
+
+/// Mean of a slice (0.0 when empty).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation of a slice (0.0 when fewer than two).
+#[must_use]
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ols_recovers_exact_lines() {
+        let x: Vec<f64> = (0..50).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 7.0).collect();
+        assert!((ols_slope(&x, &y) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ols_degenerate_inputs() {
+        assert_eq!(ols_slope(&[], &[]), 0.0);
+        assert_eq!(ols_slope(&[1.0], &[2.0]), 0.0);
+        assert_eq!(ols_slope(&[2.0, 2.0], &[1.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn nadaraya_watson_smooths_noise() {
+        let x: Vec<f64> = (0..200).map(f64::from).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if (v as u64).is_multiple_of(2) { 1.0 } else { -1.0 })
+            .collect();
+        let kr = KernelRegression::fit(&x, &y, 10.0, KernelEstimator::LocallyConstant).unwrap();
+        assert!(kr.predict(100.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn locally_linear_is_unbiased_at_boundaries() {
+        let x: Vec<f64> = (0..100).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        let nw = KernelRegression::fit(&x, &y, 10.0, KernelEstimator::LocallyConstant).unwrap();
+        let ll = KernelRegression::fit(&x, &y, 10.0, KernelEstimator::LocallyLinear).unwrap();
+        // NW flattens at the left boundary of a ramp; local-linear does not.
+        assert!((nw.predict(0.0) - 0.0).abs() > 1.0);
+        assert!((ll.predict(0.0) - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smooth_returns_one_value_per_sample() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [0.0, 1.0, 4.0];
+        let kr = KernelRegression::fit(&x, &y, 1.0, KernelEstimator::LocallyLinear).unwrap();
+        assert_eq!(kr.smooth().len(), 3);
+    }
+
+    #[test]
+    fn auto_bandwidth_is_positive() {
+        let x: Vec<f64> = (0..30).map(f64::from).collect();
+        let y = vec![1.0; 30];
+        let kr = KernelRegression::fit_auto(&x, &y, KernelEstimator::LocallyConstant).unwrap();
+        assert!(kr.bandwidth() > 0.0);
+        assert!((kr.predict(15.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(KernelRegression::fit(&[], &[], 1.0, KernelEstimator::LocallyConstant).is_err());
+        assert!(
+            KernelRegression::fit(&[1.0], &[1.0, 2.0], 1.0, KernelEstimator::LocallyConstant)
+                .is_err()
+        );
+        assert!(KernelRegression::fit(&[1.0], &[1.0], 0.0, KernelEstimator::LocallyConstant).is_err());
+    }
+
+    #[test]
+    fn mean_and_sd_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,213 @@
+//! Target and measure design builders (Section 5.1).
+
+use bti_physics::LogicLevel;
+use fpga_fabric::{CellKind, Design, NetActivity, TileCoord};
+
+use crate::Skeleton;
+
+/// Power drawn by the paper's target design: 3896 DSPs of "Arithmetic
+/// Heavy" pipelined fused multiply-adds, 63 W of the 85 W AWS budget.
+pub const ARITHMETIC_HEAVY_WATTS: f64 = 63.0;
+
+/// Power drawn by the attacker's conditioning design: just constant
+/// drivers, far cooler than the victim's workload.
+pub const CONDITION_WATTS: f64 = 12.0;
+
+/// Builds the **target design** (Figure 4): the skeleton's routes held at
+/// the given burn values, surrounded by Arithmetic Heavy filler that
+/// emulates real workloads and heats the die.
+///
+/// The center region (where the measure design will later place its carry
+/// chains) is left uninstantiated, as the paper requires.
+///
+/// # Panics
+///
+/// Panics if `values` is shorter than the skeleton.
+#[must_use]
+pub fn build_target_design(skeleton: &Skeleton, values: &[LogicLevel]) -> Design {
+    assert!(
+        values.len() >= skeleton.len(),
+        "need one burn value per route"
+    );
+    let mut design = Design::new("pentimento-target");
+    design.set_power_watts(ARITHMETIC_HEAVY_WATTS);
+    for (i, (entry, &value)) in skeleton.entries().iter().zip(values).enumerate() {
+        let net = design.add_net(
+            format!("burn[{i}]"),
+            NetActivity::Static(value),
+            Some(entry.route.clone()),
+        );
+        // The register sourcing the constant and the LUT sinking it.
+        let src = design.add_cell(
+            format!("burn_src[{i}]"),
+            CellKind::Register,
+            entry.route.start(),
+            vec![],
+            Some(net),
+        );
+        let _ = src;
+        design.add_cell(
+            format!("burn_sink[{i}]"),
+            CellKind::Lut,
+            entry.route.end(),
+            vec![net],
+            None,
+        );
+    }
+    // Arithmetic Heavy filler: a representative array of DSP MACs (the
+    // paper instantiates 3896; we add one cell per 32 to keep netlists
+    // small while recording the same structure).
+    for d in 0..(3896 / 32) {
+        let out = design.add_net(format!("mac_out[{d}]"), NetActivity::Dynamic, None);
+        design.add_cell(
+            format!("mac[{d}]"),
+            CellKind::DspMac,
+            Some(TileCoord::new(0, 0)),
+            vec![],
+            Some(out),
+        );
+    }
+    design
+}
+
+/// Builds the **measure design** (Figure 5): transition generators and
+/// capture registers around the same skeleton routes. Nets are dynamic
+/// (they carry measurement pulses), and the design draws little power.
+#[must_use]
+pub fn build_measure_design(skeleton: &Skeleton) -> Design {
+    let mut design = Design::new("pentimento-measure");
+    design.set_power_watts(8.0);
+    let clk = design.add_net("capture_clk", NetActivity::Dynamic, None);
+    design.add_cell("clockgen", CellKind::ClockGenerator, None, vec![], Some(clk));
+    for (i, entry) in skeleton.entries().iter().enumerate() {
+        let probe = design.add_net(
+            format!("probe[{i}]"),
+            NetActivity::Dynamic,
+            Some(entry.route.clone()),
+        );
+        design.add_cell(
+            format!("tg[{i}]"),
+            CellKind::TransitionGenerator,
+            entry.route.start(),
+            vec![clk],
+            Some(probe),
+        );
+        // The carry chain head; the chain itself is modeled by the tdc
+        // crate against the device's silicon.
+        let chain_out = design.add_net(format!("chain[{i}]"), NetActivity::Dynamic, None);
+        design.add_cell(
+            format!("carry[{i}]"),
+            CellKind::Carry8,
+            entry.route.end(),
+            vec![probe],
+            Some(chain_out),
+        );
+        design.add_cell(
+            format!("cap[{i}]"),
+            CellKind::Register,
+            entry.route.end(),
+            vec![chain_out, clk],
+            None,
+        );
+    }
+    design
+}
+
+/// Conditioning design for the Threat Model 2 attacker: holds every
+/// skeleton route at a constant level (the paper sets all routes to
+/// logical 0 to chase the fast burn-1 recovery).
+#[must_use]
+pub fn build_condition_design(skeleton: &Skeleton, level: LogicLevel) -> Design {
+    let mut design = Design::new("pentimento-condition");
+    design.set_power_watts(CONDITION_WATTS);
+    for (i, entry) in skeleton.entries().iter().enumerate() {
+        design.add_net(
+            format!("hold[{i}]"),
+            NetActivity::Static(level),
+            Some(entry.route.clone()),
+        );
+    }
+    design
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_fabric::{check_design, FpgaDevice};
+
+    fn skeleton() -> (FpgaDevice, Skeleton) {
+        let device = FpgaDevice::zcu102_new(31);
+        let skeleton = Skeleton::place(
+            &device,
+            &[crate::RouteGroupSpec {
+                target_ps: 2_000.0,
+                count: 4,
+            }],
+        )
+        .unwrap();
+        (device, skeleton)
+    }
+
+    #[test]
+    fn target_design_holds_burn_values() {
+        let (_, sk) = skeleton();
+        let values = vec![
+            LogicLevel::One,
+            LogicLevel::Zero,
+            LogicLevel::One,
+            LogicLevel::Zero,
+        ];
+        let design = build_target_design(&sk, &values);
+        assert_eq!(design.power_watts(), ARITHMETIC_HEAVY_WATTS);
+        let statics: Vec<LogicLevel> = design
+            .nets()
+            .iter()
+            .filter_map(|n| match n.activity {
+                NetActivity::Static(level) => Some(level),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(statics, values);
+    }
+
+    #[test]
+    fn all_three_designs_pass_cloud_drc() {
+        let (_, sk) = skeleton();
+        let values = vec![LogicLevel::One; 4];
+        for design in [
+            build_target_design(&sk, &values),
+            build_measure_design(&sk),
+            build_condition_design(&sk, LogicLevel::Zero),
+        ] {
+            assert!(
+                check_design(&design, 85.0).is_empty(),
+                "{} violated DRC",
+                design.name()
+            );
+        }
+    }
+
+    #[test]
+    fn target_and_measure_share_the_same_wires() {
+        let (_, sk) = skeleton();
+        let target = build_target_design(&sk, &[LogicLevel::One; 4]);
+        let measure = build_measure_design(&sk);
+        let t: std::collections::HashSet<_> = target.used_wires().collect();
+        let m: std::collections::HashSet<_> = measure.used_wires().collect();
+        assert_eq!(t, m, "the whole attack rests on this equality");
+    }
+
+    #[test]
+    fn designs_validate_for_loading() {
+        let (mut device, sk) = skeleton();
+        let design = build_target_design(&sk, &[LogicLevel::Zero; 4]);
+        device.load_design(design).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "one burn value per route")]
+    fn too_few_values_panics() {
+        let (_, sk) = skeleton();
+        let _ = build_target_design(&sk, &[LogicLevel::One]);
+    }
+}

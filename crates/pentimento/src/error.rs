@@ -1,0 +1,124 @@
+//! Error type for attack and experiment drivers.
+
+use std::error::Error;
+use std::fmt;
+
+use cloud::CloudError;
+use fpga_fabric::FabricError;
+use tdc::TdcError;
+
+/// Errors produced by experiment and attack drivers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PentimentoError {
+    /// A fabric-level failure (routing, loading).
+    Fabric(FabricError),
+    /// A sensor failure (placement, calibration).
+    Sensor(TdcError),
+    /// A cloud-platform failure (capacity, DRC, revoked sessions).
+    Cloud(CloudError),
+    /// An experiment configuration was invalid.
+    InvalidConfig(String),
+    /// The attack could not reacquire the victim device.
+    VictimDeviceLost,
+}
+
+impl fmt::Display for PentimentoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fabric(e) => write!(f, "fabric error: {e}"),
+            Self::Sensor(e) => write!(f, "sensor error: {e}"),
+            Self::Cloud(e) => write!(f, "cloud error: {e}"),
+            Self::InvalidConfig(msg) => write!(f, "invalid experiment configuration: {msg}"),
+            Self::VictimDeviceLost => {
+                f.write_str("could not reacquire the victim's relinquished device")
+            }
+        }
+    }
+}
+
+impl Error for PentimentoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Fabric(e) => Some(e),
+            Self::Sensor(e) => Some(e),
+            Self::Cloud(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<FabricError> for PentimentoError {
+    fn from(e: FabricError) -> Self {
+        Self::Fabric(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<TdcError> for PentimentoError {
+    fn from(e: TdcError) -> Self {
+        Self::Sensor(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<CloudError> for PentimentoError {
+    fn from(e: CloudError) -> Self {
+        Self::Cloud(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_with_sources() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<PentimentoError>();
+        let e = PentimentoError::Sensor(TdcError::NotCalibrated);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn every_variant_displays_meaningfully() {
+        let cases: Vec<(PentimentoError, &str)> = vec![
+            (
+                PentimentoError::Fabric(fpga_fabric::FabricError::WireOccupied(
+                    fpga_fabric::WireId(5),
+                )),
+                "fabric error",
+            ),
+            (
+                PentimentoError::Sensor(TdcError::NotCalibrated),
+                "sensor error",
+            ),
+            (
+                PentimentoError::Cloud(CloudError::CapacityExhausted),
+                "cloud error",
+            ),
+            (
+                PentimentoError::InvalidConfig("x".to_owned()),
+                "invalid experiment configuration",
+            ),
+            (PentimentoError::VictimDeviceLost, "relinquished device"),
+        ];
+        for (error, needle) in cases {
+            let msg = error.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+            assert!(!msg.is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_preserve_inner_errors() {
+        let e: PentimentoError = TdcError::NotCalibrated.into();
+        assert!(matches!(e, PentimentoError::Sensor(_)));
+        let e: PentimentoError = CloudError::CapacityExhausted.into();
+        assert!(matches!(e, PentimentoError::Cloud(_)));
+        let e: PentimentoError =
+            fpga_fabric::FabricError::UnknownWire(fpga_fabric::WireId(1)).into();
+        assert!(matches!(e, PentimentoError::Fabric(_)));
+    }
+}

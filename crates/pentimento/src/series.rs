@@ -1,0 +1,163 @@
+//! Per-route measurement time series.
+
+use bti_physics::LogicLevel;
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{ols_slope, KernelEstimator, KernelRegression};
+
+/// The Δps time series of one route under test — one point per
+/// measurement phase, centered at the first measurement exactly as the
+/// paper centers its plots at hour zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteSeries {
+    /// Index of the route within its experiment.
+    pub route_index: usize,
+    /// The route group's nominal length, in picoseconds.
+    pub target_ps: f64,
+    /// The ground-truth burn value conditioned into this route (the
+    /// attacker does *not* see this; classifiers work from the series).
+    pub burn_value: LogicLevel,
+    /// Measurement times, in hours.
+    pub hours: Vec<f64>,
+    /// Centered Δps values (first measurement subtracted).
+    pub delta_ps: Vec<f64>,
+}
+
+impl RouteSeries {
+    /// Builds a centered series from raw sensor readings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hours` and `raw_delta_ps` differ in length or are empty.
+    #[must_use]
+    pub fn from_raw(
+        route_index: usize,
+        target_ps: f64,
+        burn_value: LogicLevel,
+        hours: Vec<f64>,
+        raw_delta_ps: Vec<f64>,
+    ) -> Self {
+        assert_eq!(hours.len(), raw_delta_ps.len(), "series lengths differ");
+        assert!(!hours.is_empty(), "series must not be empty");
+        let origin = raw_delta_ps[0];
+        Self {
+            route_index,
+            target_ps,
+            burn_value,
+            hours,
+            delta_ps: raw_delta_ps.into_iter().map(|v| v - origin).collect(),
+        }
+    }
+
+    /// Number of measurement points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hours.len()
+    }
+
+    /// Whether the series has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hours.is_empty()
+    }
+
+    /// The final centered Δps reading.
+    #[must_use]
+    pub fn last_delta_ps(&self) -> f64 {
+        *self.delta_ps.last().expect("series is never empty")
+    }
+
+    /// OLS slope of the series, in picoseconds per hour.
+    #[must_use]
+    pub fn slope_ps_per_hour(&self) -> f64 {
+        ols_slope(&self.hours, &self.delta_ps)
+    }
+
+    /// The kernel-regression-smoothed series (the paper's plotting
+    /// transform), with the given bandwidth in hours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PentimentoError::InvalidConfig`] for a bad
+    /// bandwidth.
+    pub fn smoothed(&self, bandwidth_hours: f64) -> Result<Vec<f64>, crate::PentimentoError> {
+        let kr = KernelRegression::fit(
+            &self.hours,
+            &self.delta_ps,
+            bandwidth_hours,
+            KernelEstimator::LocallyLinear,
+        )?;
+        Ok(kr.smooth())
+    }
+
+    /// Restricts the series to measurements at or after `from_hour`,
+    /// re-centering on the first kept point (what the Threat Model 2
+    /// attacker sees: nothing before they get the board).
+    #[must_use]
+    pub fn window_from(&self, from_hour: f64) -> Self {
+        let keep: Vec<usize> = (0..self.len())
+            .filter(|&i| self.hours[i] >= from_hour)
+            .collect();
+        let hours: Vec<f64> = keep.iter().map(|&i| self.hours[i]).collect();
+        let raw: Vec<f64> = keep.iter().map(|&i| self.delta_ps[i]).collect();
+        Self::from_raw(self.route_index, self.target_ps, self.burn_value, hours, raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> RouteSeries {
+        RouteSeries::from_raw(
+            0,
+            1000.0,
+            LogicLevel::One,
+            (0..values.len()).map(|h| h as f64).collect(),
+            values.to_vec(),
+        )
+    }
+
+    #[test]
+    fn centering_subtracts_first_point() {
+        let s = series(&[5.0, 6.0, 7.0]);
+        assert_eq!(s.delta_ps, vec![0.0, 1.0, 2.0]);
+        assert_eq!(s.last_delta_ps(), 2.0);
+    }
+
+    #[test]
+    fn slope_matches_ols() {
+        let s = series(&[0.0, 2.0, 4.0, 6.0]);
+        assert!((s.slope_ps_per_hour() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_recenters() {
+        let s = RouteSeries::from_raw(
+            3,
+            2000.0,
+            LogicLevel::Zero,
+            vec![0.0, 100.0, 200.0, 201.0, 202.0],
+            vec![0.0, -5.0, -10.0, -9.5, -9.0],
+        );
+        let w = s.window_from(200.0);
+        assert_eq!(w.hours, vec![200.0, 201.0, 202.0]);
+        assert_eq!(w.delta_ps, vec![0.0, 0.5, 1.0]);
+        assert_eq!(w.route_index, 3);
+    }
+
+    #[test]
+    fn smoothing_preserves_length() {
+        let s = series(&[0.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
+        let sm = s.smoothed(2.0).unwrap();
+        assert_eq!(sm.len(), s.len());
+        // Smoothed mid-values sit near the oscillation mean.
+        assert!((sm[3] - 0.55).abs() < 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        let _ = RouteSeries::from_raw(0, 1.0, LogicLevel::One, vec![0.0], vec![0.0, 1.0]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Sensor arrays: the measure design's bank of TDCs, one per route.
+//!
+//! The paper's measure design (Figure 5) instantiates an array of TDCs —
+//! one per route under test — and drives them through identical
+//! calibration and measurement procedures. [`TdcArray`] packages that
+//! pattern: place against a set of routes, calibrate all, and read all
+//! (optionally averaging repeated measurements, since a measurement costs
+//! seconds while the condition phase costs an hour).
+
+use fpga_fabric::{FpgaDevice, Route};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Measurement, TdcConfig, TdcError, TdcSensor};
+
+/// A bank of TDC sensors sharing one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TdcArray {
+    sensors: Vec<TdcSensor>,
+}
+
+impl TdcArray {
+    /// Places one sensor per route.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first placement failure.
+    pub fn place<I>(device: &FpgaDevice, routes: I, config: TdcConfig) -> Result<Self, TdcError>
+    where
+        I: IntoIterator<Item = Route>,
+    {
+        let sensors = routes
+            .into_iter()
+            .map(|route| TdcSensor::place(device, route, config))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { sensors })
+    }
+
+    /// Number of sensors in the bank.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Whether the bank is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sensors.is_empty()
+    }
+
+    /// The individual sensors.
+    #[must_use]
+    pub fn sensors(&self) -> &[TdcSensor] {
+        &self.sensors
+    }
+
+    /// Calibration phase for the whole bank: finds each sensor's θ_init.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first calibration failure.
+    pub fn calibrate_all<R: Rng + ?Sized>(
+        &mut self,
+        device: &FpgaDevice,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, TdcError> {
+        self.sensors
+            .iter_mut()
+            .map(|s| s.calibrate(device, rng))
+            .collect()
+    }
+
+    /// Adopts per-sensor θ_init values calibrated elsewhere (a sibling
+    /// board of the same type — the Threat Model 2 bootstrap).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdcError::InvalidConfig`] when the count mismatches.
+    pub fn set_theta_inits(&mut self, thetas: &[f64]) -> Result<(), TdcError> {
+        if thetas.len() != self.sensors.len() {
+            return Err(TdcError::InvalidConfig(
+                "theta_init count must match sensor count",
+            ));
+        }
+        for (sensor, &theta) in self.sensors.iter_mut().zip(thetas) {
+            sensor.set_theta_init_ps(theta);
+        }
+        Ok(())
+    }
+
+    /// Measurement phase for the whole bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sensor failure (e.g. uncalibrated sensors).
+    pub fn measure_all<R: Rng + ?Sized>(
+        &self,
+        device: &FpgaDevice,
+        rng: &mut R,
+    ) -> Result<Vec<Measurement>, TdcError> {
+        self.sensors.iter().map(|s| s.measure(device, rng)).collect()
+    }
+
+    /// Measures every sensor `repeats` times and returns the mean Δps per
+    /// route — the averaging trick the attack drivers use to push the
+    /// noise floor below weak cloud imprints.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sensor failure; `repeats` of zero is rejected.
+    pub fn measure_deltas_averaged<R: Rng + ?Sized>(
+        &self,
+        device: &FpgaDevice,
+        repeats: usize,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, TdcError> {
+        if repeats == 0 {
+            return Err(TdcError::InvalidConfig("repeats must be at least 1"));
+        }
+        self.sensors
+            .iter()
+            .map(|sensor| {
+                let mut acc = 0.0;
+                for _ in 0..repeats {
+                    acc += sensor.measure(device, rng)?.delta_ps;
+                }
+                Ok(acc / repeats as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bti_physics::{DutyCycle, Hours};
+    use fpga_fabric::{RouteRequest, TileCoord};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn routes(device: &FpgaDevice, n: usize) -> Vec<Route> {
+        let mut used = HashSet::new();
+        (0..n)
+            .map(|i| {
+                let req = RouteRequest::new(TileCoord::new(4, 4 + 8 * i as u16), 5_000.0);
+                let r = device
+                    .route_with_target_delay_avoiding(&req, &used)
+                    .expect("routable");
+                used.extend(r.wire_ids());
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bank_calibrates_and_measures() {
+        let device = FpgaDevice::zcu102_new(81);
+        let mut array =
+            TdcArray::place(&device, routes(&device, 4), TdcConfig::lab()).expect("places");
+        assert_eq!(array.len(), 4);
+        let mut rng = StdRng::seed_from_u64(81);
+        let thetas = array.calibrate_all(&device, &mut rng).expect("calibrates");
+        assert_eq!(thetas.len(), 4);
+        let measurements = array.measure_all(&device, &mut rng).expect("measures");
+        for m in measurements {
+            assert!(m.delta_ps.abs() < 1.5);
+        }
+    }
+
+    #[test]
+    fn averaging_tightens_readings() {
+        let device = FpgaDevice::zcu102_new(82);
+        let mut array =
+            TdcArray::place(&device, routes(&device, 2), TdcConfig::cloud()).expect("places");
+        let mut rng = StdRng::seed_from_u64(82);
+        array.calibrate_all(&device, &mut rng).expect("calibrates");
+        let spread = |repeats: usize, rng: &mut StdRng| {
+            let reads: Vec<f64> = (0..20)
+                .map(|_| {
+                    array
+                        .measure_deltas_averaged(&device, repeats, rng)
+                        .expect("measures")[0]
+                })
+                .collect();
+            let mean = reads.iter().sum::<f64>() / reads.len() as f64;
+            (reads.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / reads.len() as f64).sqrt()
+        };
+        let single = spread(1, &mut rng);
+        let averaged = spread(8, &mut rng);
+        assert!(averaged < 0.6 * single, "{averaged} vs {single}");
+    }
+
+    #[test]
+    fn borrowed_thetas_transfer() {
+        let reference = FpgaDevice::zcu102_new(83);
+        let mut ref_array =
+            TdcArray::place(&reference, routes(&reference, 3), TdcConfig::lab()).expect("places");
+        let mut rng = StdRng::seed_from_u64(83);
+        let thetas = ref_array.calibrate_all(&reference, &mut rng).expect("calibrates");
+
+        let victim = FpgaDevice::zcu102_new(84);
+        let mut array =
+            TdcArray::place(&victim, routes(&victim, 3), TdcConfig::lab()).expect("places");
+        array.set_theta_inits(&thetas).expect("counts match");
+        assert!(array.set_theta_inits(&thetas[..2]).is_err());
+        // Readings may need retuning on a different die, but the bank must
+        // at least be measurable without a fresh calibration.
+        let result = array.measure_all(&victim, &mut rng);
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn bank_sees_burned_routes() {
+        let mut device = FpgaDevice::zcu102_new(85);
+        let rs = routes(&device, 2);
+        let mut array = TdcArray::place(&device, rs.clone(), TdcConfig::lab()).expect("places");
+        let mut rng = StdRng::seed_from_u64(85);
+        array.calibrate_all(&device, &mut rng).expect("calibrates");
+        device.condition_route(&rs[0], DutyCycle::ALWAYS_ONE, Hours::new(150.0));
+        device.condition_route(&rs[1], DutyCycle::ALWAYS_ZERO, Hours::new(150.0));
+        let deltas = array
+            .measure_deltas_averaged(&device, 4, &mut rng)
+            .expect("measures");
+        assert!(deltas[0] > 2.0, "burn-1 route: {}", deltas[0]);
+        assert!(deltas[1] < -2.0, "burn-0 route: {}", deltas[1]);
+    }
+
+    #[test]
+    fn empty_bank_is_fine() {
+        let device = FpgaDevice::zcu102_new(86);
+        let array = TdcArray::place(&device, Vec::new(), TdcConfig::lab()).expect("places");
+        assert!(array.is_empty());
+    }
+
+    #[test]
+    fn zero_repeats_rejected() {
+        let device = FpgaDevice::zcu102_new(87);
+        let array =
+            TdcArray::place(&device, routes(&device, 1), TdcConfig::lab()).expect("places");
+        let mut rng = StdRng::seed_from_u64(87);
+        assert!(array.measure_deltas_averaged(&device, 0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Captured carry-chain snapshots and their Hamming post-processing.
+
+use fpga_fabric::TransitionKind;
+use serde::{Deserialize, Serialize};
+
+/// One snapshot of the capture registers: the chain state at the moment
+/// the capture clock fired.
+///
+/// Post-processing follows the paper exactly: the *binary Hamming
+/// distance* of the word from all-zeros for rising transitions, and from
+/// all-ones for falling transitions, yields the propagation distance in
+/// carry bits (Figure 3's example produces the sequence 39, 22, 38, 22).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaptureWord {
+    kind: TransitionKind,
+    bits: Vec<bool>,
+}
+
+impl CaptureWord {
+    /// Wraps a captured register word.
+    #[must_use]
+    pub fn new(kind: TransitionKind, bits: Vec<bool>) -> Self {
+        Self { kind, bits }
+    }
+
+    /// The transition polarity this capture observed.
+    #[must_use]
+    pub fn kind(&self) -> TransitionKind {
+        self.kind
+    }
+
+    /// The raw register bits, chain entry first.
+    #[must_use]
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Chain length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the word is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The propagation distance in carry bits: Hamming distance from
+    /// all-zeros (rising) or all-ones (falling).
+    #[must_use]
+    pub fn propagation_distance(&self) -> usize {
+        match self.kind {
+            TransitionKind::Rising => self.bits.iter().filter(|&&b| b).count(),
+            TransitionKind::Falling => self.bits.iter().filter(|&&b| !b).count(),
+        }
+    }
+
+    /// Whether the edge overran the whole chain (distance == length) or
+    /// never entered it (distance == 0) — either way the sample carries no
+    /// timing information and θ must be retuned.
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        let d = self.propagation_distance();
+        d == 0 || d == self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_from_str(kind: TransitionKind, s: &str) -> CaptureWord {
+        CaptureWord::new(kind, s.chars().map(|c| c == '1').collect())
+    }
+
+    #[test]
+    fn rising_distance_counts_ones() {
+        let w = word_from_str(TransitionKind::Rising, "11110000");
+        assert_eq!(w.propagation_distance(), 4);
+    }
+
+    #[test]
+    fn falling_distance_counts_zeros() {
+        let w = word_from_str(TransitionKind::Falling, "00011111");
+        assert_eq!(w.propagation_distance(), 3);
+    }
+
+    #[test]
+    fn metastable_bubbles_still_count() {
+        // Figure 3: "some metastability between the two points" — a bubble
+        // near the front simply adds to the count like the paper's
+        // Hamming-distance definition does.
+        let w = word_from_str(TransitionKind::Rising, "11101000");
+        assert_eq!(w.propagation_distance(), 4);
+    }
+
+    #[test]
+    fn paper_figure3_hamming_sequence() {
+        // Reconstruct the four captures of Figure 3's example: rising to
+        // 39 and 38 bits, falling to 22 bits (twice), on a 64-bit chain.
+        let rising0 = CaptureWord::new(
+            TransitionKind::Rising,
+            (0..64).map(|i| i < 39).collect(),
+        );
+        let falling0 = CaptureWord::new(
+            TransitionKind::Falling,
+            (0..64).map(|i| i >= 22).collect(),
+        );
+        let rising1 = CaptureWord::new(
+            TransitionKind::Rising,
+            (0..64).map(|i| i < 38).collect(),
+        );
+        let falling1 = CaptureWord::new(
+            TransitionKind::Falling,
+            (0..64).map(|i| i >= 22).collect(),
+        );
+        let seq: Vec<usize> = [rising0, falling0, rising1, falling1]
+            .iter()
+            .map(CaptureWord::propagation_distance)
+            .collect();
+        assert_eq!(seq, vec![39, 22, 38, 22]);
+    }
+
+    #[test]
+    fn saturation_detection() {
+        assert!(word_from_str(TransitionKind::Rising, "0000").is_saturated());
+        assert!(word_from_str(TransitionKind::Rising, "1111").is_saturated());
+        assert!(!word_from_str(TransitionKind::Rising, "1100").is_saturated());
+        assert!(word_from_str(TransitionKind::Falling, "1111").is_saturated());
+    }
+}

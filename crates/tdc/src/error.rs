@@ -1,0 +1,69 @@
+//! Error type for the TDC sensor.
+
+use std::error::Error;
+use std::fmt;
+
+use fpga_fabric::FabricError;
+
+/// Errors produced while placing, calibrating, or reading a TDC sensor.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TdcError {
+    /// A configuration field was out of range.
+    InvalidConfig(&'static str),
+    /// The sensor could not be placed on the device.
+    Placement(FabricError),
+    /// The θ sweep never landed both transitions inside the carry chain.
+    CalibrationFailed {
+        /// Number of θ values tried.
+        attempts: usize,
+    },
+    /// A measurement was requested before calibration.
+    NotCalibrated,
+}
+
+impl fmt::Display for TdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig(msg) => write!(f, "invalid sensor configuration: {msg}"),
+            Self::Placement(e) => write!(f, "sensor placement failed: {e}"),
+            Self::CalibrationFailed { attempts } => {
+                write!(f, "calibration failed after {attempts} theta steps")
+            }
+            Self::NotCalibrated => f.write_str("sensor has no theta_init; calibrate first"),
+        }
+    }
+}
+
+impl Error for TdcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Placement(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<FabricError> for TdcError {
+    fn from(e: FabricError) -> Self {
+        Self::Placement(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<TdcError>();
+    }
+
+    #[test]
+    fn placement_error_has_source() {
+        let e = TdcError::Placement(FabricError::UnknownWire(fpga_fabric::WireId(3)));
+        assert!(e.source().is_some());
+    }
+}

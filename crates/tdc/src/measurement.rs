@@ -1,0 +1,210 @@
+//! Traces and measurement summaries.
+
+use fpga_fabric::{TransitionKind, CARRY_ELEMENT_PS};
+use serde::{Deserialize, Serialize};
+
+use crate::CaptureWord;
+
+/// One trace: a short burst of samples of both polarities at a single θ.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    theta_ps: f64,
+    rising: Vec<CaptureWord>,
+    falling: Vec<CaptureWord>,
+}
+
+impl Trace {
+    /// Builds a trace from captured words.
+    #[must_use]
+    pub fn new(theta_ps: f64, rising: Vec<CaptureWord>, falling: Vec<CaptureWord>) -> Self {
+        Self {
+            theta_ps,
+            rising,
+            falling,
+        }
+    }
+
+    /// The phase offset this trace was captured at.
+    #[must_use]
+    pub fn theta_ps(&self) -> f64 {
+        self.theta_ps
+    }
+
+    /// The captured words of one polarity.
+    #[must_use]
+    pub fn words(&self, kind: TransitionKind) -> &[CaptureWord] {
+        match kind {
+            TransitionKind::Rising => &self.rising,
+            TransitionKind::Falling => &self.falling,
+        }
+    }
+
+    /// Mean propagation distance (in carry bits) of one polarity across
+    /// the trace's samples.
+    #[must_use]
+    pub fn mean_distance(&self, kind: TransitionKind) -> f64 {
+        let words = self.words(kind);
+        if words.is_empty() {
+            return 0.0;
+        }
+        words
+            .iter()
+            .map(|w| w.propagation_distance() as f64)
+            .sum::<f64>()
+            / words.len() as f64
+    }
+
+    /// Whether either polarity saturated in a majority of samples —
+    /// meaning θ is mistuned and the trace is unusable.
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        TransitionKind::ALL.into_iter().any(|kind| {
+            let words = self.words(kind);
+            let saturated = words.iter().filter(|w| w.is_saturated()).count();
+            saturated * 2 > words.len()
+        })
+    }
+
+    /// This trace's Δps estimate: `(rising − falling distance) ×
+    /// 2.8 ps/bit`.
+    ///
+    /// A *larger* propagation distance means the edge arrived *earlier*
+    /// (shorter route delay), so fall−rise **delay** equals rise−fall
+    /// **distance** converted to time.
+    #[must_use]
+    pub fn delta_ps(&self) -> f64 {
+        (self.mean_distance(TransitionKind::Rising) - self.mean_distance(TransitionKind::Falling))
+            * CARRY_ELEMENT_PS
+    }
+}
+
+/// A full measurement: the aggregate of several traces captured while θ
+/// steps downward from `θ_init` (the paper averages ten).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// The θ of the first trace (the calibrated θ_init).
+    pub theta_init_ps: f64,
+    /// Mean rising-edge propagation distance across traces, in bits.
+    pub rise_distance_bits: f64,
+    /// Mean falling-edge propagation distance across traces, in bits.
+    pub fall_distance_bits: f64,
+    /// The paper's observable: falling minus rising route delay, in
+    /// picoseconds, averaged across traces.
+    pub delta_ps: f64,
+    /// Estimated absolute rising-edge route delay, in picoseconds.
+    pub rise_delay_ps: f64,
+    /// Estimated absolute falling-edge route delay, in picoseconds.
+    pub fall_delay_ps: f64,
+    /// Number of traces aggregated.
+    pub trace_count: usize,
+}
+
+impl Measurement {
+    /// Aggregates traces into a measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    #[must_use]
+    pub fn from_traces(traces: &[Trace]) -> Self {
+        assert!(!traces.is_empty(), "a measurement needs at least one trace");
+        let n = traces.len() as f64;
+        let rise_bits = traces
+            .iter()
+            .map(|t| t.mean_distance(TransitionKind::Rising))
+            .sum::<f64>()
+            / n;
+        let fall_bits = traces
+            .iter()
+            .map(|t| t.mean_distance(TransitionKind::Falling))
+            .sum::<f64>()
+            / n;
+        let delta = traces.iter().map(Trace::delta_ps).sum::<f64>() / n;
+        // Absolute delay estimate: route delay = θ − distance·2.8 ps.
+        let rise_delay = traces
+            .iter()
+            .map(|t| t.theta_ps() - t.mean_distance(TransitionKind::Rising) * CARRY_ELEMENT_PS)
+            .sum::<f64>()
+            / n;
+        let fall_delay = traces
+            .iter()
+            .map(|t| t.theta_ps() - t.mean_distance(TransitionKind::Falling) * CARRY_ELEMENT_PS)
+            .sum::<f64>()
+            / n;
+        Self {
+            theta_init_ps: traces[0].theta_ps(),
+            rise_distance_bits: rise_bits,
+            fall_distance_bits: fall_bits,
+            delta_ps: delta,
+            rise_delay_ps: rise_delay,
+            fall_delay_ps: fall_delay,
+            trace_count: traces.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn front_word(kind: TransitionKind, len: usize, front: usize) -> CaptureWord {
+        let bits = (0..len)
+            .map(|i| match kind {
+                TransitionKind::Rising => i < front,
+                TransitionKind::Falling => i >= front,
+            })
+            .collect();
+        CaptureWord::new(kind, bits)
+    }
+
+    fn trace(theta: f64, rise_front: usize, fall_front: usize) -> Trace {
+        Trace::new(
+            theta,
+            vec![front_word(TransitionKind::Rising, 64, rise_front); 4],
+            vec![front_word(TransitionKind::Falling, 64, fall_front); 4],
+        )
+    }
+
+    #[test]
+    fn delta_sign_convention() {
+        // Falling edge penetrated less far (22) than rising (39): the
+        // falling edge is slower, so Δps = fall − rise delay is positive.
+        let t = trace(500.0, 39, 22);
+        assert!(t.delta_ps() > 0.0);
+        assert!((t.delta_ps() - (39.0 - 22.0) * CARRY_ELEMENT_PS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measurement_aggregates_means() {
+        let traces = vec![trace(500.0, 40, 40), trace(497.2, 39, 39)];
+        let m = Measurement::from_traces(&traces);
+        assert!((m.rise_distance_bits - 39.5).abs() < 1e-9);
+        assert!((m.delta_ps).abs() < 1e-9);
+        assert_eq!(m.trace_count, 2);
+        assert_eq!(m.theta_init_ps, 500.0);
+    }
+
+    #[test]
+    fn absolute_delay_estimate() {
+        // θ = 500, distance 40 bits → delay ≈ 500 − 112 = 388 ps.
+        let m = Measurement::from_traces(&[trace(500.0, 40, 40)]);
+        assert!((m.rise_delay_ps - (500.0 - 40.0 * CARRY_ELEMENT_PS)).abs() < 1e-9);
+        assert!((m.rise_delay_ps - m.fall_delay_ps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_flag() {
+        let good = trace(500.0, 30, 30);
+        assert!(!good.is_saturated());
+        let bad = trace(500.0, 0, 30);
+        assert!(bad.is_saturated());
+        let overrun = trace(500.0, 64, 64);
+        assert!(overrun.is_saturated());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn empty_measurement_panics() {
+        let _ = Measurement::from_traces(&[]);
+    }
+}

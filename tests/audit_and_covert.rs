@@ -1,0 +1,118 @@
+//! Integration tests of the extension modules: design auditing (§8.1's
+//! verification-tool idea) and the deliberate BTI covert channel (§7),
+//! exercised across crates.
+
+use bti_physics::{Hours, LogicLevel};
+use fpga_fabric::{Design, FpgaDevice, NetActivity};
+use pentimento::audit::{audit_design, AuditScenario, Exposure};
+use pentimento::covert::{binary_entropy, transmit_and_receive, CovertChannelConfig};
+use pentimento::{MeasurementMode, RouteGroupSpec, Skeleton};
+
+#[test]
+fn audit_verdicts_predict_actual_recoverability() {
+    // The audit's EXPOSED/safe verdicts must agree with what an actual
+    // oracle-grade attack recovers after the predicted exposure.
+    let mut device = FpgaDevice::zcu102_new(201);
+    let skeleton = Skeleton::place(
+        &device,
+        &[
+            RouteGroupSpec {
+                target_ps: 10_000.0,
+                count: 2,
+            },
+            RouteGroupSpec {
+                target_ps: 90.0,
+                count: 2,
+            },
+        ],
+    )
+    .expect("fits");
+    let values = [
+        LogicLevel::One,
+        LogicLevel::Zero,
+        LogicLevel::One,
+        LogicLevel::Zero,
+    ];
+    let mut design = Design::new("mixed-exposure");
+    for (i, (entry, &v)) in skeleton.entries().iter().zip(&values).enumerate() {
+        design.add_net(format!("net[{i}]"), NetActivity::Static(v), Some(entry.route.clone()));
+    }
+    let scenario = AuditScenario::conservative();
+    let report = audit_design(&design, &[0, 1, 2, 3], scenario).expect("audits");
+
+    device.load_design(design).expect("loads");
+    device.run_for(Hours::new(scenario.exposure_hours));
+    device.wipe();
+
+    for audited in &report.nets {
+        let entry = &skeleton.entries()[audited.net_index];
+        let imprint = device.route_delta_ps(&entry.route).abs();
+        match audited.exposure {
+            Exposure::Exposed => assert!(
+                imprint >= scenario.sensing_floor_ps,
+                "{}: audit said EXPOSED but imprint is {imprint} ps",
+                audited.net_name
+            ),
+            Exposure::Safe => assert!(
+                imprint < scenario.sensing_floor_ps,
+                "{}: audit said safe but imprint is {imprint} ps",
+                audited.net_name
+            ),
+            Exposure::Marginal => {}
+        }
+        // The audit's predicted magnitude is close to the realized one.
+        assert!(
+            (audited.expected_imprint_ps - imprint).abs() < 0.35 * imprint.max(0.1),
+            "{}: predicted {} vs realized {imprint}",
+            audited.net_name,
+            audited.expected_imprint_ps
+        );
+    }
+}
+
+#[test]
+fn covert_channel_round_trips_a_realistic_message() {
+    // 16 bits through the sensor pipeline with a pool-idle gap.
+    let message: Vec<bool> = (0..16).map(|i| (i * 5 + 2) % 3 == 0).collect();
+    let mut device = FpgaDevice::zcu102_new(202);
+    let config = CovertChannelConfig {
+        mode: MeasurementMode::Tdc,
+        seed: 202,
+        ..CovertChannelConfig::default()
+    };
+    let outcome =
+        transmit_and_receive(&mut device, &message, 12.0, &config).expect("channel runs");
+    assert!(
+        outcome.bit_errors <= 2,
+        "TDC covert channel errors: {} of 16",
+        outcome.bit_errors
+    );
+    assert!(outcome.capacity_bits > 10.0);
+}
+
+#[test]
+fn covert_capacity_definition_is_consistent() {
+    // capacity = n(1 - H2(ber)) must match a hand computation.
+    let mut device = FpgaDevice::zcu102_new(203);
+    let message = vec![true; 8];
+    let outcome = transmit_and_receive(&mut device, &message, 0.0, &CovertChannelConfig::default())
+        .expect("runs");
+    let ber = outcome.bit_errors as f64 / 8.0;
+    let expected = 8.0 * (1.0 - binary_entropy(ber));
+    assert!((outcome.capacity_bits - expected).abs() < 1e-9);
+}
+
+#[test]
+fn audit_of_the_papers_target_design_flags_all_long_routes() {
+    let device = FpgaDevice::zcu102_new(204);
+    let skeleton = Skeleton::paper_standard(&device).expect("fits");
+    let values: Vec<LogicLevel> = (0..skeleton.len())
+        .map(|i| LogicLevel::from_bool(i % 2 == 0))
+        .collect();
+    let design = pentimento::build_target_design(&skeleton, &values);
+    let sensitive: Vec<usize> = (0..skeleton.len()).collect();
+    let report = audit_design(&design, &sensitive, AuditScenario::conservative()).expect("audits");
+    // All 64 routes are >= 1000 ps: every one must be flagged.
+    assert_eq!(report.exposed_count(), 64);
+    assert!((report.vulnerability() - 1.0).abs() < 1e-12);
+}

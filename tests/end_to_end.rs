@@ -1,0 +1,210 @@
+//! End-to-end integration tests spanning every crate in the workspace:
+//! the full victim → scrub → attacker pipelines of both threat models.
+
+use bti_physics::{Hours, LogicLevel};
+use cloud::{CloudError, Provider, ProviderConfig, TenantId};
+use fpga_fabric::{FpgaDevice, NetActivity};
+use pentimento::threat_model1::{self, ThreatModel1Config};
+use pentimento::threat_model2::{self, ThreatModel2Config};
+use pentimento::{
+    build_target_design, LabExperiment, LabExperimentConfig, MeasurementMode, RouteGroupSpec,
+    Skeleton,
+};
+
+fn tm1_config(mode: MeasurementMode) -> ThreatModel1Config {
+    ThreatModel1Config {
+        route_lengths_ps: vec![5_000.0, 10_000.0],
+        routes_per_length: 4,
+        burn_hours: 80,
+        measure_every: 5,
+        mode,
+        seed: 101,
+        measurement_repeats: 4,
+    }
+}
+
+fn tm2_config(mode: MeasurementMode) -> ThreatModel2Config {
+    ThreatModel2Config {
+        route_lengths_ps: vec![10_000.0],
+        routes_per_length: 8,
+        victim_hours: 150,
+        attack_hours: 25,
+        condition_level: LogicLevel::Zero,
+        mode,
+        seed: 102,
+        measurement_repeats: 4,
+        victim_hold_and_recover_hours: 0,
+    }
+}
+
+#[test]
+fn threat_model_1_full_pipeline_with_tdc() {
+    let mut provider = Provider::new(ProviderConfig::aws_f1_like(2, 11));
+    let outcome = threat_model1::run(&mut provider, &tm1_config(MeasurementMode::Tdc))
+        .expect("attack completes");
+    assert!(
+        outcome.metrics.accuracy >= 0.85,
+        "TDC-mode TM1 on long routes: accuracy {}",
+        outcome.metrics.accuracy
+    );
+}
+
+#[test]
+fn threat_model_2_full_pipeline_with_tdc() {
+    let mut provider = Provider::new(ProviderConfig::aws_f1_like(3, 12));
+    let outcome = threat_model2::run(&mut provider, &tm2_config(MeasurementMode::Tdc))
+        .expect("attack completes");
+    assert!(outcome.reacquired_victim_device);
+    assert!(
+        outcome.metrics.accuracy >= 0.75,
+        "TDC-mode TM2 on 10000 ps routes: accuracy {}",
+        outcome.metrics.accuracy
+    );
+}
+
+#[test]
+fn scrub_removes_digital_state_but_not_the_pentimento() {
+    let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, 13));
+    let victim = provider.rent(TenantId::new("victim")).expect("capacity");
+    let device_id = victim.device_id();
+    let skeleton = Skeleton::place(
+        provider.device(&victim).expect("session valid"),
+        &[RouteGroupSpec {
+            target_ps: 10_000.0,
+            count: 2,
+        }],
+    )
+    .expect("fits");
+    let values = vec![LogicLevel::One, LogicLevel::Zero];
+    provider
+        .load_design(&victim, build_target_design(&skeleton, &values))
+        .expect("DRC passes");
+    provider.advance_time(Hours::new(100.0));
+    provider.release(victim).expect("owned");
+
+    let device = provider.device_by_id(device_id).expect("device exists");
+    assert!(device.loaded_design().is_none(), "digital state scrubbed");
+    let deltas: Vec<f64> = skeleton.routes().map(|r| device.route_delta_ps(r)).collect();
+    assert!(deltas[0] > 0.3, "burn-1 imprint survives: {}", deltas[0]);
+    assert!(deltas[1] < -0.3, "burn-0 imprint survives: {}", deltas[1]);
+}
+
+#[test]
+fn lab_experiment_matches_paper_shape_in_oracle_mode() {
+    let config = LabExperimentConfig {
+        route_lengths_ps: vec![1_000.0, 10_000.0],
+        routes_per_length: 4,
+        burn_hours: 200,
+        recovery_hours: 60,
+        measure_every: 20,
+        mode: MeasurementMode::Oracle,
+        seed: 14,
+    };
+    let mut exp = LabExperiment::new(config).expect("valid");
+    let outcome = exp.run().expect("runs");
+    // Magnitude ratio between groups tracks the 10x length ratio.
+    let mag = |target: f64| {
+        let v: Vec<f64> = outcome
+            .series
+            .iter()
+            .filter(|s| s.target_ps == target)
+            .map(|s| {
+                let at200 = s
+                    .hours
+                    .iter()
+                    .position(|&h| h >= 200.0)
+                    .expect("burn end sampled");
+                s.delta_ps[at200].abs()
+            })
+            .collect();
+        pentimento::analysis::mean(&v)
+    };
+    let ratio = mag(10_000.0) / mag(1_000.0);
+    assert!(ratio > 7.0 && ratio < 13.0, "magnitude ratio {ratio}");
+}
+
+#[test]
+fn ring_oscillators_cannot_be_deployed_but_tdc_can() {
+    let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, 15));
+    let session = provider.rent(TenantId::new("attacker")).expect("capacity");
+    let device = provider.device(&session).expect("valid");
+    let route = device
+        .route_with_target_delay(&fpga_fabric::RouteRequest::new(
+            fpga_fabric::TileCoord::new(4, 4),
+            5_000.0,
+        ))
+        .expect("routable");
+    let ro = baselines::build_ro_design(&route);
+    assert!(matches!(
+        provider.load_design(&session, ro),
+        Err(CloudError::DesignRejected(_))
+    ));
+    let skeleton = Skeleton::place(
+        provider.device(&session).expect("valid"),
+        &[RouteGroupSpec {
+            target_ps: 5_000.0,
+            count: 2,
+        }],
+    )
+    .expect("fits");
+    provider
+        .load_design(&session, pentimento::build_measure_design(&skeleton))
+        .expect("the TDC design passes the same checks");
+}
+
+#[test]
+fn wrong_skeleton_recovers_nothing() {
+    let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, 16));
+    let mut config = tm1_config(MeasurementMode::Oracle);
+    config.routes_per_length = 8;
+    let outcome =
+        threat_model1::run_with_wrong_skeleton(&mut provider, &config).expect("runs");
+    assert!(outcome.metrics.accuracy < 0.8);
+}
+
+#[test]
+fn quarantined_fleets_resist_the_flash_attack_timeline() {
+    // A single-device region makes the quarantine visible: after the
+    // victim leaves, the only board in existence is being withheld.
+    let cfg = ProviderConfig::aws_f1_like(1, 17).with_quarantine(Hours::new(96.0));
+    let mut provider = Provider::new(cfg);
+    let victim = provider.rent(TenantId::new("victim")).expect("capacity");
+    provider.advance_time(Hours::new(10.0));
+    provider.release(victim).expect("owned");
+    // The attacker cannot touch the board while the imprint relaxes.
+    assert!(matches!(
+        provider.rent(TenantId::new("attacker")),
+        Err(CloudError::CapacityExhausted)
+    ));
+}
+
+#[test]
+fn idle_wires_relax_while_driven_wires_age() {
+    let mut device = FpgaDevice::zcu102_new(18);
+    let skeleton = Skeleton::place(
+        &device,
+        &[RouteGroupSpec {
+            target_ps: 5_000.0,
+            count: 2,
+        }],
+    )
+    .expect("fits");
+    // Burn both routes at 1, then keep only route 0 driven.
+    let both = build_target_design(&skeleton, &[LogicLevel::One, LogicLevel::One]);
+    device.load_design(both).expect("loads");
+    device.run_for(Hours::new(100.0));
+    device.unload_design();
+
+    let mut one_driven = fpga_fabric::Design::new("half");
+    one_driven.add_net(
+        "keep",
+        NetActivity::Static(LogicLevel::One),
+        Some(skeleton.entries()[0].route.clone()),
+    );
+    device.load_design(one_driven).expect("loads");
+    let before: Vec<f64> = skeleton.routes().map(|r| device.route_delta_ps(r)).collect();
+    device.run_for(Hours::new(100.0));
+    let after: Vec<f64> = skeleton.routes().map(|r| device.route_delta_ps(r)).collect();
+    assert!(after[0] > before[0], "driven wire keeps aging");
+    assert!(after[1] < before[1], "idle wire relaxes");
+}

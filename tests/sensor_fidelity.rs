@@ -1,0 +1,122 @@
+//! Integration tests of the sensing stack: TDC readings must track the
+//! device's true analog state across the full pipeline.
+
+use bti_physics::{DutyCycle, Hours};
+use fpga_fabric::{FpgaDevice, RouteRequest, TileCoord};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdc::{TdcConfig, TdcSensor};
+
+fn setup(target: f64, seed: u64) -> (FpgaDevice, TdcSensor, StdRng) {
+    let device = FpgaDevice::zcu102_new(seed);
+    let route = device
+        .route_with_target_delay(&RouteRequest::new(TileCoord::new(4, 4), target))
+        .expect("routable");
+    let sensor = TdcSensor::place(&device, route, TdcConfig::lab()).expect("placeable");
+    (device, sensor, StdRng::seed_from_u64(seed))
+}
+
+#[test]
+fn tdc_tracks_oracle_delta_through_burn_in() {
+    let (mut device, mut sensor, mut rng) = setup(10_000.0, 21);
+    sensor.calibrate(&device, &mut rng).expect("calibrates");
+    let route = sensor.route().clone();
+    let mut max_error = 0.0f64;
+    for _ in 0..8 {
+        device.condition_route(&route, DutyCycle::ALWAYS_ONE, Hours::new(25.0));
+        let truth = device.route_delta_ps(&route);
+        let reads: Vec<f64> = (0..4)
+            .map(|_| sensor.measure(&device, &mut rng).expect("measures").delta_ps)
+            .collect();
+        let mean = reads.iter().sum::<f64>() / reads.len() as f64;
+        max_error = max_error.max((mean - truth).abs());
+    }
+    assert!(
+        max_error < 1.0,
+        "TDC should track the analog truth within 1 ps (worst {max_error})"
+    );
+}
+
+#[test]
+fn tdc_gain_is_close_to_unity() {
+    // Compare sensed vs true delta at two very different imprint sizes:
+    // the sensor's ps-per-ps gain should be within ~10% of 1.
+    let (mut device, mut sensor, mut rng) = setup(10_000.0, 22);
+    sensor.calibrate(&device, &mut rng).expect("calibrates");
+    let route = sensor.route().clone();
+
+    device.condition_route(&route, DutyCycle::ALWAYS_ONE, Hours::new(10.0));
+    let small_truth = device.route_delta_ps(&route);
+    let small_read: f64 = (0..8)
+        .map(|_| sensor.measure(&device, &mut rng).expect("measures").delta_ps)
+        .sum::<f64>()
+        / 8.0;
+
+    device.condition_route(&route, DutyCycle::ALWAYS_ONE, Hours::new(190.0));
+    let big_truth = device.route_delta_ps(&route);
+    let big_read: f64 = (0..8)
+        .map(|_| sensor.measure(&device, &mut rng).expect("measures").delta_ps)
+        .sum::<f64>()
+        / 8.0;
+
+    let gain = (big_read - small_read) / (big_truth - small_truth);
+    assert!(gain > 0.85 && gain < 1.15, "gain {gain}");
+}
+
+#[test]
+fn calibration_transfers_across_sibling_devices() {
+    // Experiment 3's premise: theta_init measured on one board works on
+    // another of the same type (with retune as the safety net).
+    let (reference, mut ref_sensor, mut rng) = setup(5_000.0, 23);
+    let theta = ref_sensor.calibrate(&reference, &mut rng).expect("calibrates");
+
+    for seed in [301u64, 302, 303] {
+        let device = FpgaDevice::zcu102_new(seed);
+        let route = device
+            .route_with_target_delay(&RouteRequest::new(TileCoord::new(4, 4), 5_000.0))
+            .expect("routable");
+        let mut sensor = TdcSensor::place(&device, route, TdcConfig::lab()).expect("placeable");
+        sensor.set_theta_init_ps(theta);
+        let m = sensor
+            .measure_with_retune(&device, &mut rng)
+            .expect("borrowed theta works");
+        assert!(m.delta_ps.abs() < 1.5, "fresh device, Δps {}", m.delta_ps);
+    }
+}
+
+#[test]
+fn longer_chains_extend_the_capture_window() {
+    let device = FpgaDevice::zcu102_new(24);
+    let route = device
+        .route_with_target_delay(&RouteRequest::new(TileCoord::new(4, 4), 2_000.0))
+        .expect("routable");
+    let short = TdcSensor::place(&device, route.clone(), TdcConfig::lab()).expect("placeable");
+    let long_config = TdcConfig {
+        chain_length: 128,
+        ..TdcConfig::lab()
+    };
+    let long = TdcSensor::place(&device, route, long_config).expect("placeable");
+    assert!(long.chain().total_delay_ps() > 1.9 * short.chain().total_delay_ps());
+}
+
+#[test]
+fn cloud_noise_exceeds_lab_noise() {
+    let (device, mut lab_sensor, mut rng) = setup(5_000.0, 25);
+    lab_sensor.calibrate(&device, &mut rng).expect("calibrates");
+    let mut cloud_sensor =
+        TdcSensor::place(&device, lab_sensor.route().clone(), TdcConfig::cloud())
+            .expect("placeable");
+    cloud_sensor.calibrate(&device, &mut rng).expect("calibrates");
+    let spread = |sensor: &TdcSensor, rng: &mut StdRng| {
+        let reads: Vec<f64> = (0..30)
+            .map(|_| sensor.measure(&device, rng).expect("measures").delta_ps)
+            .collect();
+        pentimento::analysis::std_dev(&reads)
+    };
+    let lab_sd = spread(&lab_sensor, &mut rng);
+    let cloud_sd = spread(&cloud_sensor, &mut rng);
+    assert!(
+        cloud_sd > lab_sd,
+        "cloud measurements must be noisier: {cloud_sd} vs {lab_sd}"
+    );
+}
