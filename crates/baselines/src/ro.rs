@@ -89,7 +89,13 @@ pub fn build_ro_design(route: &Route) -> Design {
         Some(loop_net),
     );
     let count = design.add_net("count", NetActivity::Dynamic, None);
-    design.add_cell("counter_lut", CellKind::Lut, None, vec![loop_net], Some(count));
+    design.add_cell(
+        "counter_lut",
+        CellKind::Lut,
+        None,
+        vec![loop_net],
+        Some(count),
+    );
     design.add_cell("counter_reg", CellKind::Register, None, vec![count], None);
     design
 }

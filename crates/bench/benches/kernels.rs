@@ -53,7 +53,11 @@ fn bench_tdc_capture(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     sensor.calibrate(&device, &mut rng).expect("calibrates");
     c.bench_function("tdc_measure_10_traces", |b| {
-        b.iter(|| sensor.measure(black_box(&device), &mut rng).expect("measures"));
+        b.iter(|| {
+            sensor
+                .measure(black_box(&device), &mut rng)
+                .expect("measures")
+        });
     });
 }
 
@@ -74,8 +78,7 @@ fn bench_analysis(c: &mut Criterion) {
     let x: Vec<f64> = (0..400).map(f64::from).collect();
     let y: Vec<f64> = x.iter().map(|v| 0.05 * v + (v * 13.0).sin()).collect();
     c.bench_function("kernel_regression_smooth_400pts", |b| {
-        let kr =
-            KernelRegression::fit(&x, &y, 10.0, KernelEstimator::LocallyLinear).expect("fits");
+        let kr = KernelRegression::fit(&x, &y, 10.0, KernelEstimator::LocallyLinear).expect("fits");
         b.iter(|| black_box(&kr).smooth());
     });
 }

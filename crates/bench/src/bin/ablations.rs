@@ -59,7 +59,10 @@ fn main() {
             .max()
             .unwrap_or(0);
         let acc = best as f64 / n as f64;
-        println!("  condition to {level}: best slope-split accuracy {:.1}%", acc * 100.0);
+        println!(
+            "  condition to {level}: best slope-split accuracy {:.1}%",
+            acc * 100.0
+        );
         accuracies.push(acc);
     }
     report.check(
@@ -87,7 +90,12 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(32);
         sensor.calibrate(&device, &mut rng).expect("calibrates");
         let reads: Vec<f64> = (0..40)
-            .map(|_| sensor.measure(&device, &mut rng).expect("measures").delta_ps)
+            .map(|_| {
+                sensor
+                    .measure(&device, &mut rng)
+                    .expect("measures")
+                    .delta_ps
+            })
             .collect();
         let sd = pentimento::analysis::std_dev(&reads);
         println!("  {traces:>2} trace(s): Δps read noise sd = {sd:.3} ps");
@@ -158,8 +166,10 @@ fn main() {
     );
 
     // ----- Ablation 5: oven temperature (Section 8.2). --------------------
-    println!("
-Ablation 5: burn-in vs die temperature (200 h, new device, 10000 ps route)");
+    println!(
+        "
+Ablation 5: burn-in vs die temperature (200 h, new device, 10000 ps route)"
+    );
     let mut by_temp = Vec::new();
     for temp_c in [40.0, 60.0, 80.0] {
         let device = FpgaDevice::zcu102_new(35);
@@ -195,7 +205,9 @@ Ablation 5: burn-in vs die temperature (200 h, new device, 10000 ps route)");
     );
 
     // ----- Ablation 6: recovery classifier choice (TDC noise). ------------
-    println!("\nAblation 6: Threat Model 2 classifier under sensor noise (slope vs matched filter)");
+    println!(
+        "\nAblation 6: Threat Model 2 classifier under sensor noise (slope vs matched filter)"
+    );
     let mut provider = Provider::new(ProviderConfig::aws_f1_like(2, 36));
     let config = ThreatModel2Config {
         route_lengths_ps: vec![5_000.0, 10_000.0],
@@ -216,12 +228,24 @@ Ablation 5: burn-in vs die temperature (200 h, new device, 10000 ps route)");
     let burn_t = device
         .thermal()
         .die_temperature(pentimento::ARITHMETIC_HEAVY_WATTS);
-    let attack_t = device.thermal().die_temperature(pentimento::CONDITION_WATTS);
+    let attack_t = device
+        .thermal()
+        .die_temperature(pentimento::CONDITION_WATTS);
     let slope = pentimento::RecoverySlopeClassifier::calibrated(
-        device.bti_model(), 200.0, 25.0, burn_t, attack_t, device.wear_factor(),
+        device.bti_model(),
+        200.0,
+        25.0,
+        burn_t,
+        attack_t,
+        device.wear_factor(),
     );
     let matched = pentimento::MatchedFilterClassifier::calibrated(
-        device.bti_model(), 200.0, 25, burn_t, attack_t, device.wear_factor(),
+        device.bti_model(),
+        200.0,
+        25,
+        burn_t,
+        attack_t,
+        device.wear_factor(),
     );
     use pentimento::BitClassifier as _;
     let slope_acc = pentimento::accuracy(&slope.classify_all(&outcome.series), &truth);

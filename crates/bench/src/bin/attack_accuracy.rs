@@ -33,7 +33,10 @@ fn main() {
     let mut report = ShapeReport::new();
 
     println!("Threat Model 1 (drift classification, TDC, aged cloud device)");
-    println!("{:>10} | {:>9} {:>9} {:>9} {:>9} | {:>7}", "burn h", "1000", "2000", "5000", "10000", "overall");
+    println!(
+        "{:>10} | {:>9} {:>9} {:>9} {:>9} | {:>7}",
+        "burn h", "1000", "2000", "5000", "10000", "overall"
+    );
     let mut tm1_200h_overall = 0.0;
     for burn_hours in [50usize, 100, 200] {
         let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, 500 + burn_hours as u64));
@@ -64,7 +67,10 @@ fn main() {
     }
 
     println!("\nThreat Model 2 (recovery classification, TDC, aged cloud device)");
-    println!("{:>10} | {:>9} {:>9} {:>9} {:>9} | {:>7}", "burn h", "1000", "2000", "5000", "10000", "overall");
+    println!(
+        "{:>10} | {:>9} {:>9} {:>9} {:>9} | {:>7}",
+        "burn h", "1000", "2000", "5000", "10000", "overall"
+    );
     let mut tm2_200h_long = 0.0;
     for victim_hours in [100usize, 200] {
         let mut provider = Provider::new(ProviderConfig::aws_f1_like(2, 900 + victim_hours as u64));

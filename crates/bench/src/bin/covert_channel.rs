@@ -16,18 +16,17 @@ fn main() {
 
     // --- BTI channel capacity vs pool-idle gap. --------------------------
     println!("BTI covert channel: 8-bit message, 100 h transmit, 25 h receive (oracle)\n");
-    println!("{:>10} | {:>10} {:>14}", "gap h", "bit errors", "capacity bits");
+    println!(
+        "{:>10} | {:>10} {:>14}",
+        "gap h", "bit errors", "capacity bits"
+    );
     let mut csv = String::from("channel,gap_hours,bit_errors,capacity_bits\n");
     let mut capacity_at_24h = 0.0;
     for gap in [0.0, 24.0, 100.0, 300.0, 600.0] {
         let mut device = FpgaDevice::zcu102_new(404);
-        let outcome = transmit_and_receive(
-            &mut device,
-            &message,
-            gap,
-            &CovertChannelConfig::default(),
-        )
-        .expect("channel runs");
+        let outcome =
+            transmit_and_receive(&mut device, &message, gap, &CovertChannelConfig::default())
+                .expect("channel runs");
         println!(
             "{gap:>10.0} | {:>10} {:>14.2}",
             outcome.bit_errors, outcome.capacity_bits
@@ -59,7 +58,11 @@ fn main() {
         device.run_for(Hours::new(gap_minutes / 60.0));
         let reading = receiver.read(&device, &mut rng);
         let decoded = receiver.decode(reading, ambient, 5.0);
-        println!("{gap_minutes:>10.0} | {:>12.1} {:>10}", reading.value(), decoded);
+        println!(
+            "{gap_minutes:>10.0} | {:>12.1} {:>10}",
+            reading.value(),
+            decoded
+        );
         csv.push_str(&format!(
             "thermal,{:.3},{},{}\n",
             gap_minutes / 60.0,

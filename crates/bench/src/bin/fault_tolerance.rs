@@ -1,0 +1,328 @@
+//! Fault-tolerance sweep: bit-recovery accuracy vs hostile-cloud
+//! intensity, for both threat models, driven through the resilient
+//! [`Campaign`] runner.
+//!
+//! Three claims are checked:
+//!
+//! 1. **Benign equivalence** — a campaign with every fault rate at zero
+//!    recovers *exactly* the bits (and the byte-identical series) of the
+//!    plain threat-model drivers: the resilience machinery is free when
+//!    the weather is good.
+//! 2. **Graceful degradation** — as fault intensity rises, more faults
+//!    actually land and accuracy falls (or holds), rather than the
+//!    campaign crashing: every hostile run completes.
+//! 3. **Checkpoint/resume** — interrupting a campaign mid-flight (with a
+//!    preemption scheduled *after* the checkpoint) and resuming from the
+//!    snapshot reproduces the uninterrupted run's classified bits
+//!    bit-for-bit.
+//!
+//! Artifacts: `fault_tolerance.csv` and `fault_tolerance.json`.
+
+use bench::{exit_by, save_artifact, ShapeReport};
+use bti_physics::{Hours, LogicLevel};
+use cloud::{FaultKind, FaultPlan, Provider, ProviderConfig};
+use pentimento::threat_model1::{self, ThreatModel1Config};
+use pentimento::threat_model2::{self, ThreatModel2Config};
+use pentimento::{Campaign, CampaignConfig, CampaignOutcome, MeasurementMode, Mission};
+use tdc::SensorFaultPlan;
+
+const SWEEP_SEED: u64 = 41;
+const RATES: [f64; 3] = [0.0, 0.02, 0.08];
+
+fn tm1_config() -> ThreatModel1Config {
+    ThreatModel1Config {
+        route_lengths_ps: vec![5_000.0, 10_000.0],
+        routes_per_length: 4,
+        burn_hours: 40,
+        measure_every: 5,
+        mode: MeasurementMode::Tdc,
+        seed: SWEEP_SEED,
+        measurement_repeats: 2,
+    }
+}
+
+fn tm2_config() -> ThreatModel2Config {
+    ThreatModel2Config {
+        route_lengths_ps: vec![5_000.0, 10_000.0],
+        routes_per_length: 4,
+        victim_hours: 150,
+        attack_hours: 25,
+        condition_level: LogicLevel::Zero,
+        mode: MeasurementMode::Tdc,
+        seed: SWEEP_SEED,
+        measurement_repeats: 2,
+        victim_hold_and_recover_hours: 0,
+    }
+}
+
+fn provider() -> Provider {
+    Provider::new(ProviderConfig::aws_f1_like(2, SWEEP_SEED))
+}
+
+fn campaign_config(rate: f64) -> CampaignConfig {
+    let mut config = CampaignConfig::default();
+    if rate > 0.0 {
+        config.fault_plan = FaultPlan::hostile(SWEEP_SEED, rate);
+        config.sensor_faults = SensorFaultPlan::noisy(SWEEP_SEED, rate);
+    }
+    config
+}
+
+struct SweepRow {
+    tm: &'static str,
+    rate: f64,
+    outcome: CampaignOutcome,
+}
+
+impl SweepRow {
+    fn accuracy(&self) -> f64 {
+        self.outcome.metrics.accuracy
+    }
+
+    fn mean_confidence(&self) -> f64 {
+        let n = self.outcome.scored.len().max(1);
+        self.outcome
+            .scored
+            .iter()
+            .map(|c| c.confidence)
+            .sum::<f64>()
+            / n as f64
+    }
+
+    fn csv(&self) -> String {
+        let s = &self.outcome.stats;
+        format!(
+            "{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{}",
+            self.tm,
+            self.rate,
+            self.outcome.metrics.bits,
+            self.outcome.metrics.dprime,
+            self.accuracy(),
+            self.mean_confidence(),
+            s.abstained,
+            s.reacquisitions,
+            s.rent_retries,
+            s.scrub_reloads,
+            s.dropped_points,
+            s.degraded_points,
+            s.faults_injected,
+        )
+    }
+
+    fn json(&self) -> String {
+        let s = &self.outcome.stats;
+        format!(
+            concat!(
+                "{{\"tm\":\"{}\",\"rate\":{},\"bits\":{},\"dprime\":{:.3},",
+                "\"accuracy\":{:.4},\"mean_confidence\":{:.4},\"abstained\":{},",
+                "\"reacquisitions\":{},\"rent_retries\":{},\"scrub_reloads\":{},",
+                "\"dropped_points\":{},\"degraded_points\":{},\"faults_injected\":{}}}"
+            ),
+            self.tm,
+            self.rate,
+            self.outcome.metrics.bits,
+            self.outcome.metrics.dprime,
+            self.accuracy(),
+            self.mean_confidence(),
+            s.abstained,
+            s.reacquisitions,
+            s.rent_retries,
+            s.scrub_reloads,
+            s.dropped_points,
+            s.degraded_points,
+            s.faults_injected,
+        )
+    }
+}
+
+fn run_campaign(
+    mission: Mission,
+    rate: f64,
+) -> Result<CampaignOutcome, pentimento::PentimentoError> {
+    Campaign::new(provider(), mission, campaign_config(rate))?.run()
+}
+
+fn main() {
+    let mut report = ShapeReport::new();
+    let mut rows: Vec<SweepRow> = Vec::new();
+
+    // ----- Sweep both threat models over the fault-rate grid. -----------
+    println!("Fault-tolerance sweep: rates {RATES:?}, TM1 and TM2, TDC sensing");
+    for &rate in &RATES {
+        for (tm, mission) in [
+            ("tm1", Mission::ThreatModel1(tm1_config())),
+            ("tm2", Mission::ThreatModel2(tm2_config())),
+        ] {
+            match run_campaign(mission, rate) {
+                Ok(outcome) => {
+                    println!(
+                        "  {tm} rate {rate}: accuracy {:.3}, mean confidence {:.3}, \
+                         {} abstained, {} reacquisitions, {} faults injected",
+                        outcome.metrics.accuracy,
+                        {
+                            let n = outcome.scored.len().max(1);
+                            outcome.scored.iter().map(|c| c.confidence).sum::<f64>() / n as f64
+                        },
+                        outcome.stats.abstained,
+                        outcome.stats.reacquisitions,
+                        outcome.stats.faults_injected,
+                    );
+                    rows.push(SweepRow { tm, rate, outcome });
+                }
+                Err(e) => {
+                    report.check(
+                        format!("{tm} campaign completes at rate {rate}"),
+                        false,
+                        format!("failed: {e}"),
+                    );
+                }
+            }
+        }
+    }
+    report.check(
+        "every campaign in the sweep completed",
+        rows.len() == RATES.len() * 2,
+        format!("{} of {} completed", rows.len(), RATES.len() * 2),
+    );
+
+    // ----- Claim 1: benign equivalence with the plain drivers. ----------
+    let mut driver_provider = provider();
+    let tm1_driver = threat_model1::run(&mut driver_provider, &tm1_config()).expect("tm1 driver");
+    let mut driver_provider = provider();
+    let tm2_driver = threat_model2::run(&mut driver_provider, &tm2_config()).expect("tm2 driver");
+
+    let find = |tm: &str, rate: f64| rows.iter().find(|r| r.tm == tm && r.rate == rate);
+    if let Some(row) = find("tm1", 0.0) {
+        report.check(
+            "TM1 rate-0 campaign bits identical to the fault-free driver",
+            row.outcome.recovered == tm1_driver.recovered
+                && row.outcome.series == tm1_driver.series,
+            format!(
+                "campaign accuracy {:.4}, driver accuracy {:.4}",
+                row.accuracy(),
+                tm1_driver.metrics.accuracy
+            ),
+        );
+    }
+    if let Some(row) = find("tm2", 0.0) {
+        report.check(
+            "TM2 rate-0 campaign bits identical to the fault-free driver",
+            row.outcome.recovered == tm2_driver.recovered
+                && row.outcome.series == tm2_driver.series,
+            format!(
+                "campaign accuracy {:.4}, driver accuracy {:.4}",
+                row.accuracy(),
+                tm2_driver.metrics.accuracy
+            ),
+        );
+    }
+
+    // ----- Claim 2: graceful (monotonic-ish) degradation. ---------------
+    for tm in ["tm1", "tm2"] {
+        let acc: Vec<f64> = RATES
+            .iter()
+            .filter_map(|&r| find(tm, r).map(SweepRow::accuracy))
+            .collect();
+        let faults: Vec<usize> = RATES
+            .iter()
+            .filter_map(|&r| find(tm, r).map(|row| row.outcome.stats.faults_injected))
+            .collect();
+        if acc.len() == RATES.len() {
+            // One-bit slack: tiny configs quantize accuracy in 1/8 steps.
+            let slack = 1.0 / f64::from(u32::try_from(rows[0].outcome.truth.len()).unwrap_or(8));
+            report.check(
+                format!("{tm} accuracy degrades monotonically (±1 bit) with fault rate"),
+                acc.windows(2).all(|w| w[1] <= w[0] + slack),
+                format!("accuracy by rate: {acc:?}"),
+            );
+            report.check(
+                format!("{tm} fault injections strictly increase with the configured rate"),
+                faults.windows(2).all(|w| w[1] > w[0]),
+                format!("faults injected by rate: {faults:?}"),
+            );
+        }
+    }
+
+    // ----- Claim 3: checkpoint/resume is bit-identical. -----------------
+    // A preemption is scheduled after the checkpoint hour, so the resumed
+    // campaign must also replay the fault and its recovery.
+    let interrupted_config = || {
+        let mut config = campaign_config(0.02);
+        config.fault_plan = config
+            .fault_plan
+            .clone()
+            .with_scheduled(Hours::new(30.0), FaultKind::Preemption);
+        config
+    };
+    let reference = Campaign::new(
+        provider(),
+        Mission::ThreatModel1(tm1_config()),
+        interrupted_config(),
+    )
+    .and_then(|mut c| c.run());
+    let resumed = Campaign::new(
+        provider(),
+        Mission::ThreatModel1(tm1_config()),
+        interrupted_config(),
+    )
+    .and_then(|mut campaign| {
+        for _ in 0..20 {
+            campaign.step()?;
+        }
+        let checkpoint = campaign.checkpoint();
+        drop(campaign); // the original process "dies" here
+        Campaign::resume(checkpoint)
+    })
+    .and_then(|mut c| c.run());
+    match (reference, resumed) {
+        (Ok(reference), Ok(resumed)) => {
+            report.check(
+                "mid-campaign checkpoint + resume reproduces the uninterrupted bits",
+                resumed.recovered == reference.recovered && resumed.series == reference.series,
+                format!(
+                    "resumed accuracy {:.4} vs uninterrupted {:.4}, \
+                     {} reacquisition(s) replayed",
+                    resumed.metrics.accuracy,
+                    reference.metrics.accuracy,
+                    resumed.stats.reacquisitions
+                ),
+            );
+        }
+        (r, s) => {
+            report.check(
+                "checkpoint/resume scenario completes",
+                false,
+                format!(
+                    "uninterrupted: {}, resumed: {}",
+                    r.map(|_| "ok".to_owned()).unwrap_or_else(|e| e.to_string()),
+                    s.map(|_| "ok".to_owned()).unwrap_or_else(|e| e.to_string()),
+                ),
+            );
+        }
+    }
+
+    // ----- Artifacts. ---------------------------------------------------
+    let mut csv = String::from(
+        "tm,rate,bits,dprime,accuracy,mean_confidence,abstained,reacquisitions,\
+         rent_retries,scrub_reloads,dropped_points,degraded_points,faults_injected\n",
+    );
+    for row in &rows {
+        csv.push_str(&row.csv());
+        csv.push('\n');
+    }
+    let json = format!(
+        "{{\"seed\":{SWEEP_SEED},\"rates\":{RATES:?},\"rows\":[{}]}}",
+        rows.iter()
+            .map(SweepRow::json)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    if let Ok(path) = save_artifact("fault_tolerance.csv", &csv) {
+        println!("wrote {}", path.display());
+    }
+    if let Ok(path) = save_artifact("fault_tolerance.json", &json) {
+        println!("wrote {}", path.display());
+    }
+
+    exit_by(report.finish());
+}

@@ -13,8 +13,14 @@ fn main() {
     let mut held_one = Inverter::new(&model, 25.0);
 
     println!("Figure 2: BTI on a single inverter (25 ps stage, 60C)");
-    println!("{:>6} | {:>22} | {:>22}", "hours", "held-0 input (NBTI)", "held-1 input (PBTI)");
-    println!("{:>6} | {:>10} {:>11} | {:>10} {:>11}", "", "rise ps", "Δps", "fall ps", "Δps");
+    println!(
+        "{:>6} | {:>22} | {:>22}",
+        "hours", "held-0 input (NBTI)", "held-1 input (PBTI)"
+    );
+    println!(
+        "{:>6} | {:>10} {:>11} | {:>10} {:>11}",
+        "", "rise ps", "Δps", "fall ps", "Δps"
+    );
     let mut last = (0.0, 0.0);
     for step in 0..=8 {
         if step > 0 {

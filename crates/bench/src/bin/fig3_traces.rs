@@ -18,8 +18,7 @@ fn main() {
     let route = device
         .route_with_target_delay(&RouteRequest::new(TileCoord::new(4, 4), 2_000.0))
         .expect("routable");
-    let mut sensor =
-        TdcSensor::place(&device, route, TdcConfig::lab()).expect("sensor placement");
+    let mut sensor = TdcSensor::place(&device, route, TdcConfig::lab()).expect("sensor placement");
     let mut rng = StdRng::seed_from_u64(42);
     let theta = sensor.calibrate(&device, &mut rng).expect("calibrates");
 
@@ -37,7 +36,10 @@ fn main() {
         }
     }
 
-    println!("\nHamming sequence: {:?}", distances.iter().map(|(_, d)| *d).collect::<Vec<_>>());
+    println!(
+        "\nHamming sequence: {:?}",
+        distances.iter().map(|(_, d)| *d).collect::<Vec<_>>()
+    );
 
     let mut report = ShapeReport::new();
     report.check(

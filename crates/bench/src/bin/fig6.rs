@@ -33,7 +33,13 @@ fn main() {
         println!("--- Figure 6{panel}: {target} ps routes ---");
         println!(
             "{}",
-            ascii_chart(&group, &AsciiChartConfig { width: 78, height: 16 })
+            ascii_chart(
+                &group,
+                &AsciiChartConfig {
+                    width: 78,
+                    height: 16
+                }
+            )
         );
         let up = class_mean_at_hour(&group, target, LogicLevel::One, 200.0);
         let down = class_mean_at_hour(&group, target, LogicLevel::Zero, 200.0);
@@ -72,10 +78,7 @@ fn main() {
         use pentimento::BitClassifier as _;
         pentimento::DriftSlopeClassifier::new().classify_all(&burn_only)
     };
-    let split_ok = recovered
-        .iter()
-        .zip(&outcome.values)
-        .all(|(a, b)| a == b);
+    let split_ok = recovered.iter().zip(&outcome.values).all(|(a, b)| a == b);
     report.check(
         "burn-1 routes drift up and burn-0 routes drift down (all 64, via drift slope)",
         split_ok,
@@ -106,7 +109,10 @@ fn main() {
     report.check(
         "burn-1 routes return to baseline 30-50 h into recovery",
         !crossings.is_empty() && (25.0..=55.0).contains(&mean_crossing),
-        format!("mean crossing {mean_crossing:.0} h ({} routes)", crossings.len()),
+        format!(
+            "mean crossing {mean_crossing:.0} h ({} routes)",
+            crossings.len()
+        ),
     );
     // Burn-0 recovery is far slower: 100 h into the complement the 10000 ps
     // routes are still several ps below baseline (they only approach zero

@@ -32,7 +32,13 @@ fn main() {
         println!("--- Figure 7{panel}: {target} ps routes ---");
         println!(
             "{}",
-            ascii_chart(&group, &AsciiChartConfig { width: 78, height: 12 })
+            ascii_chart(
+                &group,
+                &AsciiChartConfig {
+                    width: 78,
+                    height: 12
+                }
+            )
         );
         let up = class_mean_at_hour(&group, target, LogicLevel::One, 200.0);
         let down = class_mean_at_hour(&group, target, LogicLevel::Zero, 200.0);

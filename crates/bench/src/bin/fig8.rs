@@ -23,7 +23,12 @@ fn main() {
         String::new(),
     );
 
-    for (panel, target) in [('a', 1_000.0), ('b', 2_000.0), ('c', 5_000.0), ('d', 10_000.0)] {
+    for (panel, target) in [
+        ('a', 1_000.0),
+        ('b', 2_000.0),
+        ('c', 5_000.0),
+        ('d', 10_000.0),
+    ] {
         let group: Vec<_> = outcome
             .series
             .iter()
@@ -33,7 +38,13 @@ fn main() {
         println!("--- Figure 8{panel}: {target} ps routes, hours 200-225 ---");
         println!(
             "{}",
-            ascii_chart(&group, &AsciiChartConfig { width: 78, height: 12 })
+            ascii_chart(
+                &group,
+                &AsciiChartConfig {
+                    width: 78,
+                    height: 12
+                }
+            )
         );
         let slope = |level: LogicLevel| {
             let v: Vec<f64> = group
@@ -71,10 +82,7 @@ fn main() {
                 .zip(&outcome.recovered)
                 .filter(|(s, _)| s.target_ps >= 5_000.0)
                 .collect();
-            let correct = long
-                .iter()
-                .filter(|(s, r)| s.burn_value == **r)
-                .count();
+            let correct = long.iter().filter(|(s, r)| s.burn_value == **r).count();
             correct as f64 / long.len() as f64 >= 0.85
         },
         format!("overall accuracy {:.1}%", outcome.metrics.accuracy * 100.0),

@@ -32,8 +32,16 @@ fn main() {
         let lab = PrecisionInstrument::zick_lab();
         println!(
             "{hours:>8.0} | {lut_imprint:>16.5} {route_imprint:>16.3} | {:>12} {:>12}",
-            if cloud.can_detect(lut_imprint) { "yes" } else { "NO" },
-            if lab.can_detect(lut_imprint) { "yes" } else { "NO" },
+            if cloud.can_detect(lut_imprint) {
+                "yes"
+            } else {
+                "NO"
+            },
+            if lab.can_detect(lut_imprint) {
+                "yes"
+            } else {
+                "NO"
+            },
         );
         last_ratio = route_imprint / lut_imprint;
         if (hours - 922.0).abs() < 1.0 {

@@ -14,8 +14,12 @@ fn main() {
         Mitigation::HoldAndRecover { hours: 100 },
         Mitigation::ProviderQuarantine { hours: 500 },
         Mitigation::KeyRotation { period_hours: 10 },
-        Mitigation::MaskedShares { rotation_period_hours: None },
-        Mitigation::MaskedShares { rotation_period_hours: Some(10) },
+        Mitigation::MaskedShares {
+            rotation_period_hours: None,
+        },
+        Mitigation::MaskedShares {
+            rotation_period_hours: Some(10),
+        },
     ];
 
     println!("Section 8 mitigations vs the Threat Model 2 recovery attack");
@@ -106,8 +110,9 @@ fn main() {
     );
 
     let csv = {
-        let mut out =
-            String::from("mitigation,accuracy,dprime,norm_gap_ps_per_hour_per_ps,abs_gap_ps_per_hour\n");
+        let mut out = String::from(
+            "mitigation,accuracy,dprime,norm_gap_ps_per_hour_per_ps,abs_gap_ps_per_hour\n",
+        );
         for r in &reports {
             out.push_str(&format!(
                 "\"{}\",{:.4},{:.4},{:.6e},{:.6}\n",

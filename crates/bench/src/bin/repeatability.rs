@@ -49,7 +49,10 @@ fn tm2_long_route_accuracy(seed: u64) -> f64 {
 }
 
 fn main() {
-    println!("Repeatability: both threat models across {} seeds (TDC pipeline)\n", SEEDS.len());
+    println!(
+        "Repeatability: both threat models across {} seeds (TDC pipeline)\n",
+        SEEDS.len()
+    );
 
     // Seeds are independent: fan the runs out across threads.
     let (tm1, tm2): (Vec<f64>, Vec<f64>) = thread::scope(|scope| {
@@ -62,8 +65,14 @@ fn main() {
             .map(|&seed| scope.spawn(move |_| tm2_long_route_accuracy(seed)))
             .collect();
         (
-            tm1_handles.into_iter().map(|h| h.join().expect("no panics")).collect(),
-            tm2_handles.into_iter().map(|h| h.join().expect("no panics")).collect(),
+            tm1_handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect(),
+            tm2_handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect(),
         )
     })
     .expect("threads join");
@@ -71,7 +80,11 @@ fn main() {
     let mut csv = String::from("model,seed,accuracy\n");
     println!("{:>8} | {:>10} {:>10}", "seed", "TM1", "TM2 (long)");
     for (i, &seed) in SEEDS.iter().enumerate() {
-        println!("{seed:>8} | {:>9.1}% {:>9.1}%", tm1[i] * 100.0, tm2[i] * 100.0);
+        println!(
+            "{seed:>8} | {:>9.1}% {:>9.1}%",
+            tm1[i] * 100.0,
+            tm2[i] * 100.0
+        );
         csv.push_str(&format!("tm1,{seed},{:.4}\n", tm1[i]));
         csv.push_str(&format!("tm2,{seed},{:.4}\n", tm2[i]));
     }
@@ -87,17 +100,27 @@ fn main() {
     report.check(
         "Threat Model 1 succeeds at every seed (accuracy >= 90%)",
         tm1.iter().all(|&a| a >= 0.9),
-        format!("min {:.1}%", tm1.iter().cloned().fold(1.0f64, f64::min) * 100.0),
+        format!(
+            "min {:.1}%",
+            tm1.iter().cloned().fold(1.0f64, f64::min) * 100.0
+        ),
     );
     report.check(
         "Threat Model 2 beats chance decisively at every seed (>= 75% on long routes)",
         tm2.iter().all(|&a| a >= 0.75),
-        format!("min {:.1}%", tm2.iter().cloned().fold(1.0f64, f64::min) * 100.0),
+        format!(
+            "min {:.1}%",
+            tm2.iter().cloned().fold(1.0f64, f64::min) * 100.0
+        ),
     );
     report.check(
         "seed-to-seed spread is modest (sd <= 10pp for both models)",
         std_dev(&tm1) <= 0.10 && std_dev(&tm2) <= 0.10,
-        format!("{:.1}pp / {:.1}pp", std_dev(&tm1) * 100.0, std_dev(&tm2) * 100.0),
+        format!(
+            "{:.1}pp / {:.1}pp",
+            std_dev(&tm1) * 100.0,
+            std_dev(&tm2) * 100.0
+        ),
     );
     if let Ok(path) = save_artifact("repeatability.csv", &csv) {
         println!("wrote {}", path.display());

@@ -13,7 +13,9 @@ fn main() {
     let mut report = ShapeReport::new();
 
     // --- Part 1: polarity blindness. ------------------------------------
-    println!("RO vs dual-polarity TDC observable after 200 h of burn-in (new device, 10000 ps route)\n");
+    println!(
+        "RO vs dual-polarity TDC observable after 200 h of burn-in (new device, 10000 ps route)\n"
+    );
     println!(
         "{:<10} {:>18} {:>18} {:>14}",
         "burn bit", "RO period shift", "RO freq shift", "TDC Δps"
@@ -70,7 +72,10 @@ fn main() {
         .route_with_target_delay(&RouteRequest::new(TileCoord::new(4, 4), 5_000.0))
         .expect("routable");
     let ro_verdict = provider.load_design(&session, build_ro_design(&cloud_route));
-    println!("  RO sensor design:  {:?}", ro_verdict.as_ref().err().map(|e| e.to_string()));
+    println!(
+        "  RO sensor design:  {:?}",
+        ro_verdict.as_ref().err().map(|e| e.to_string())
+    );
     report.check(
         "RO sensor design is rejected by the cloud DRC",
         matches!(ro_verdict, Err(cloud::CloudError::DesignRejected(_))),
@@ -87,7 +92,10 @@ fn main() {
     )
     .expect("skeleton fits");
     let tdc_verdict = provider.load_design(&session, build_measure_design(&skeleton));
-    println!("  TDC sensor design: {:?}", tdc_verdict.as_ref().map(|()| "accepted"));
+    println!(
+        "  TDC sensor design: {:?}",
+        tdc_verdict.as_ref().map(|()| "accepted")
+    );
     report.check(
         "TDC measure design passes the cloud DRC",
         tdc_verdict.is_ok(),

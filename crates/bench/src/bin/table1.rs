@@ -49,10 +49,7 @@ fn main() {
         worst < 0.03,
         format!("worst error {:.2}% of span", worst * 100.0),
     );
-    let long_assets = rows
-        .iter()
-        .filter(|r| r.computed.max > 1000.0)
-        .count();
+    let long_assets = rows.iter().filter(|r| r.computed.max > 1000.0).count();
     report.check(
         "route lengths above 1000 ps are common (paper: 8+ assets)",
         long_assets >= 8,

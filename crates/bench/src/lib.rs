@@ -93,7 +93,10 @@ pub fn class_mean_at_hour(
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    (*a - hour).abs().partial_cmp(&(*b - hour).abs()).expect("no NaN")
+                    (*a - hour)
+                        .abs()
+                        .partial_cmp(&(*b - hour).abs())
+                        .expect("no NaN")
                 })
                 .map(|(i, _)| i)
                 .expect("series non-empty");
@@ -138,7 +141,10 @@ mod tests {
         ];
         assert_eq!(class_mean_final(&all, 1000.0, LogicLevel::One), 3.0);
         assert_eq!(class_mean_final(&all, 2000.0, LogicLevel::One), 8.0);
-        assert_eq!(class_mean_at_hour(&all, 1000.0, LogicLevel::Zero, 1.0), -2.0);
+        assert_eq!(
+            class_mean_at_hour(&all, 1000.0, LogicLevel::Zero, 1.0),
+            -2.0
+        );
     }
 
     #[test]

@@ -102,7 +102,11 @@ impl TrapBank {
         let recoverable_weight = (1.0 - permanent_fraction) / n as f64;
         let mut bins = Vec::with_capacity(n + 1);
         for i in 0..n {
-            let frac = if n == 1 { 0.5 } else { i as f64 / (n - 1) as f64 };
+            let frac = if n == 1 {
+                0.5
+            } else {
+                i as f64 / (n - 1) as f64
+            };
             let tau_c = log_interp(tau_c_range.0, tau_c_range.1, frac);
             let tau_e = log_interp(tau_e_range.0, tau_e_range.1, frac);
             bins.push(TrapBin::new(
@@ -258,7 +262,13 @@ mod tests {
     fn inverted_range_rejected() {
         let err =
             TrapBank::log_spaced(Polarity::Nbti, 4, (100.0, 1.0), (1.0, 2.0), 0.0).unwrap_err();
-        assert!(matches!(err, BtiError::InvalidParameter { name: "tau_range", .. }));
+        assert!(matches!(
+            err,
+            BtiError::InvalidParameter {
+                name: "tau_range",
+                ..
+            }
+        ));
     }
 
     #[test]

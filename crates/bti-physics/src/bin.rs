@@ -39,9 +39,18 @@ impl TrapBin {
     /// non-positive, or `weight` is negative or non-finite.
     #[must_use]
     pub fn new(tau_capture: Hours, tau_emission: Hours, weight: f64) -> Self {
-        assert!(tau_capture.value() > 0.0, "capture time constant must be positive");
-        assert!(tau_emission.value() > 0.0, "emission time constant must be positive");
-        assert!(weight.is_finite() && weight >= 0.0, "weight must be finite and non-negative");
+        assert!(
+            tau_capture.value() > 0.0,
+            "capture time constant must be positive"
+        );
+        assert!(
+            tau_emission.value() > 0.0,
+            "emission time constant must be positive"
+        );
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be finite and non-negative"
+        );
         Self {
             tau_capture,
             tau_emission,
@@ -66,7 +75,13 @@ impl TrapBin {
     /// `r_e = (1−s)·A_e/τ_e`, which integrates to an exponential approach
     /// toward the equilibrium `r_c / (r_c + r_e)`. Static stress
     /// (`s = 1`) and pure recovery (`s = 0`) are the exact special cases.
-    pub fn advance(&mut self, dt: Hours, stress_share: f64, capture_accel: f64, emission_accel: f64) {
+    pub fn advance(
+        &mut self,
+        dt: Hours,
+        stress_share: f64,
+        capture_accel: f64,
+        emission_accel: f64,
+    ) {
         debug_assert!((0.0..=1.0).contains(&stress_share));
         debug_assert!(dt.value() >= 0.0);
         if dt.value() == 0.0 {
@@ -99,7 +114,12 @@ impl TrapBin {
         capture_accel: f64,
         emission_accel: f64,
     ) {
-        self.advance(dt, duty.stress_share(polarity), capture_accel, emission_accel);
+        self.advance(
+            dt,
+            duty.stress_share(polarity),
+            capture_accel,
+            emission_accel,
+        );
     }
 }
 
@@ -143,7 +163,11 @@ mod tests {
     fn duty_half_reaches_intermediate_equilibrium() {
         let mut b = bin(10.0, 10.0);
         b.advance(Hours::new(10_000.0), 0.5, 1.0, 1.0);
-        assert!((b.occupancy - 0.5).abs() < 1e-6, "occupancy = {}", b.occupancy);
+        assert!(
+            (b.occupancy - 0.5).abs() < 1e-6,
+            "occupancy = {}",
+            b.occupancy
+        );
     }
 
     #[test]
@@ -169,8 +193,20 @@ mod tests {
         let mut pbti = bin(10.0, 10.0);
         let mut nbti = bin(10.0, 10.0);
         nbti.occupancy = 0.9;
-        pbti.advance_with_duty(Hours::new(10.0), DutyCycle::ALWAYS_ONE, Polarity::Pbti, 1.0, 1.0);
-        nbti.advance_with_duty(Hours::new(10.0), DutyCycle::ALWAYS_ONE, Polarity::Nbti, 1.0, 1.0);
+        pbti.advance_with_duty(
+            Hours::new(10.0),
+            DutyCycle::ALWAYS_ONE,
+            Polarity::Pbti,
+            1.0,
+            1.0,
+        );
+        nbti.advance_with_duty(
+            Hours::new(10.0),
+            DutyCycle::ALWAYS_ONE,
+            Polarity::Nbti,
+            1.0,
+            1.0,
+        );
         assert!(pbti.occupancy > 0.5);
         assert!(nbti.occupancy < 0.9);
     }

@@ -34,7 +34,10 @@ impl fmt::Display for BtiError {
                 name,
                 value,
                 constraint,
-            } => write!(f, "parameter {name} = {value} violates constraint: {constraint}"),
+            } => write!(
+                f,
+                "parameter {name} = {value} violates constraint: {constraint}"
+            ),
             Self::EmptyTrapBank => f.write_str("trap bank must contain at least one bin"),
             Self::NegativeDuration(v) => {
                 write!(f, "aging duration must be non-negative, got {v} hours")

@@ -2,9 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    arrhenius_acceleration, BtiError, Celsius, Polarity, TrapBank,
-};
+use crate::{arrhenius_acceleration, BtiError, Celsius, Polarity, TrapBank};
 
 /// Kinetic and sensitivity parameters for one BTI polarity.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -316,7 +314,13 @@ mod tests {
         let mut p = *BtiModel::ultrascale_plus().nbti();
         p.sensitivity = -1.0;
         let err = b.nbti(p).build().unwrap_err();
-        assert!(matches!(err, BtiError::InvalidParameter { name: "sensitivity", .. }));
+        assert!(matches!(
+            err,
+            BtiError::InvalidParameter {
+                name: "sensitivity",
+                ..
+            }
+        ));
     }
 
     #[test]

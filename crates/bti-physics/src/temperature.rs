@@ -36,7 +36,10 @@ pub const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
 /// ```
 #[must_use]
 pub fn arrhenius_acceleration(t: Celsius, t_ref: Celsius, activation_ev: f64) -> f64 {
-    assert!(activation_ev >= 0.0, "activation energy must be non-negative");
+    assert!(
+        activation_ev >= 0.0,
+        "activation energy must be non-negative"
+    );
     let t = t.to_kelvin();
     let t_ref = t_ref.to_kelvin();
     assert!(

@@ -54,7 +54,9 @@ pub fn fingerprint_device(device: &FpgaDevice) -> Fingerprint {
 fn probe_segment(device: &FpgaDevice, at: TileCoord) -> Option<fpga_fabric::WireSegment> {
     // Probe wire ids are derived the same way the router derives them, so
     // any tenant can reconstruct the same probe set.
-    let route = device.route_between(at, TileCoord::new(at.col + 1, at.row)).ok()?;
+    let route = device
+        .route_between(at, TileCoord::new(at.col + 1, at.row))
+        .ok()?;
     let id: WireId = route.wire_ids().next()?;
     device.wire_segment(id)
 }

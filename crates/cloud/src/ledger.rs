@@ -10,7 +10,7 @@
 use bti_physics::Hours;
 use serde::{Deserialize, Serialize};
 
-use crate::{DeviceId, TenantId};
+use crate::{DeviceId, FaultKind, TenantId};
 
 /// One allocation event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,10 +35,31 @@ impl RentalRecord {
     }
 }
 
+/// One injected fault, as witnessed by the provider.
+///
+/// Hostile-cloud experiments need an auditable trail of exactly what
+/// adversity a campaign survived; the provider records every injected
+/// fault here alongside the rental history it perturbed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Provider time at which the fault took effect.
+    pub at: Hours,
+    /// What kind of fault fired.
+    pub kind: FaultKind,
+    /// The device concerned, when the fault targets one.
+    pub device: Option<DeviceId>,
+    /// The session concerned, when the fault hit a live lease.
+    pub session_id: Option<u64>,
+    /// `true` for an explicitly scheduled fault, `false` for a
+    /// probabilistic draw.
+    pub scheduled: bool,
+}
+
 /// Append-only allocation history.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RentalLedger {
     records: Vec<RentalRecord>,
+    faults: Vec<FaultRecord>,
 }
 
 impl RentalLedger {
@@ -49,13 +70,7 @@ impl RentalLedger {
     }
 
     /// Records a new lease.
-    pub fn record_rent(
-        &mut self,
-        device: DeviceId,
-        session_id: u64,
-        tenant: TenantId,
-        now: Hours,
-    ) {
+    pub fn record_rent(&mut self, device: DeviceId, session_id: u64, tenant: TenantId, now: Hours) {
         self.records.push(RentalRecord {
             device,
             session_id,
@@ -75,6 +90,23 @@ impl RentalLedger {
         {
             r.released_at = Some(now);
         }
+    }
+
+    /// Records an injected fault.
+    pub fn record_fault(&mut self, record: FaultRecord) {
+        self.faults.push(record);
+    }
+
+    /// All injected faults, oldest first.
+    #[must_use]
+    pub fn faults(&self) -> &[FaultRecord] {
+        &self.faults
+    }
+
+    /// Number of injected faults of one kind.
+    #[must_use]
+    pub fn fault_count(&self, kind: FaultKind) -> usize {
+        self.faults.iter().filter(|f| f.kind == kind).count()
     }
 
     /// All records, oldest first.
@@ -104,9 +136,11 @@ impl RentalLedger {
                     && r.released_at.is_some_and(|end| end <= mine.rented_at)
             })
             .max_by(|a, b| {
-                a.released_at
-                    .partial_cmp(&b.released_at)
-                    .expect("released times are finite")
+                // Both are Some by the filter above; compare totally so a
+                // NaN timestamp can never panic an attack harness.
+                let a = a.released_at.map_or(f64::NEG_INFINITY, |t| t.value());
+                let b = b.released_at.map_or(f64::NEG_INFINITY, |t| t.value());
+                a.total_cmp(&b)
             })
     }
 
@@ -152,6 +186,29 @@ mod tests {
         let l = ledger();
         assert_eq!(l.device_utilization(DeviceId(0)), Hours::new(200.0));
         assert_eq!(l.device_utilization(DeviceId(1)), Hours::ZERO);
+    }
+
+    #[test]
+    fn fault_records_accumulate_and_filter() {
+        let mut l = ledger();
+        l.record_fault(FaultRecord {
+            at: Hours::new(50.0),
+            kind: FaultKind::Preemption,
+            device: Some(DeviceId(0)),
+            session_id: Some(1),
+            scheduled: false,
+        });
+        l.record_fault(FaultRecord {
+            at: Hours::new(60.0),
+            kind: FaultKind::RentFailure,
+            device: None,
+            session_id: None,
+            scheduled: true,
+        });
+        assert_eq!(l.faults().len(), 2);
+        assert_eq!(l.fault_count(FaultKind::Preemption), 1);
+        assert_eq!(l.fault_count(FaultKind::SpuriousScrub), 0);
+        assert!(l.faults()[1].scheduled);
     }
 
     #[test]

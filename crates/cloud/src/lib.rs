@@ -22,6 +22,11 @@
 //! * **Launch-rate control** — the Section 8.2 provider mitigation:
 //!   quarantining returned devices for hours before re-renting them, so
 //!   imprints relax away.
+//! * **Hostile-cloud mode** — a seeded, deterministic [`FaultPlan`]
+//!   injecting the operational adversity of real multi-week campaigns:
+//!   transient rent failures, session preemption, device swaps on
+//!   reacquisition, spurious scrubs, and thermal transients; every
+//!   injected fault lands in the [`RentalLedger`].
 //!
 //! # Example
 //!
@@ -45,16 +50,18 @@
 
 mod afi;
 mod error;
-mod ledger;
+mod faults;
 mod fingerprint;
+mod ledger;
 mod provider;
 mod session;
 mod tenant;
 
 pub use afi::{Afi, AfiId, Marketplace};
 pub use error::CloudError;
+pub use faults::{FaultKind, FaultPlan, FaultState, ScheduledFault};
 pub use fingerprint::{fingerprint_device, Fingerprint};
-pub use ledger::{RentalLedger, RentalRecord};
+pub use ledger::{FaultRecord, RentalLedger, RentalRecord};
 pub use provider::{DeviceId, Provider, ProviderConfig};
 pub use session::Session;
 pub use tenant::TenantId;

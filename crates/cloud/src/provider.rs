@@ -3,13 +3,17 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use bti_physics::Hours;
-use fpga_fabric::{check_design, Design, FpgaDevice};
+use bti_physics::{Celsius, Hours};
+use fpga_fabric::{check_design, Design, FpgaDevice, ThermalModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::{AfiId, CloudError, Marketplace, RentalLedger, Session, TenantId};
+use crate::ledger::FaultRecord;
+use crate::{
+    AfiId, CloudError, FaultKind, FaultPlan, FaultState, Marketplace, RentalLedger, Session,
+    TenantId,
+};
 
 /// Identifier of a physical device in the provider's fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -88,6 +92,11 @@ pub struct Provider {
     ledger: RentalLedger,
     now: Hours,
     next_session: u64,
+    fault_plan: FaultPlan,
+    fault_state: FaultState,
+    /// Scheduled rent-time faults that came due while time advanced and
+    /// are waiting for the next `rent` call to consume them.
+    pending_rent_faults: Vec<FaultKind>,
 }
 
 impl Provider {
@@ -111,7 +120,10 @@ impl Provider {
                 } else {
                     config.min_device_age_hours
                 };
-                let seed = config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(u64::from(i));
+                let seed = config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(u64::from(i));
                 (
                     DeviceId(i),
                     Slot {
@@ -128,7 +140,30 @@ impl Provider {
             ledger: RentalLedger::new(),
             now: Hours::ZERO,
             next_session: 0,
+            fault_plan: FaultPlan::none(),
+            fault_state: FaultState::new(),
+            pending_rent_faults: Vec::new(),
         }
+    }
+
+    /// Installs a hostile-cloud [`FaultPlan`], resetting any draw counters
+    /// from a previous plan. The default plan injects nothing.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+        self.fault_state = FaultState::new();
+        self.pending_rent_faults.clear();
+    }
+
+    /// The active fault plan.
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// The fault draw counters (for introspection and tests).
+    #[must_use]
+    pub fn fault_state(&self) -> &FaultState {
+        &self.fault_state
     }
 
     /// The fleet configuration.
@@ -175,11 +210,32 @@ impl Provider {
 
     /// Leases one device.
     ///
+    /// Under a hostile [`FaultPlan`] this call may fail transiently
+    /// ([`CloudError::TransientCapacity`]) or hand back a *different* free
+    /// device than the deterministic lowest-id choice (a device swap) —
+    /// both recorded in the ledger.
+    ///
     /// # Errors
     ///
     /// Returns [`CloudError::CapacityExhausted`] if nothing is rentable
-    /// (either everything is leased or returned boards are quarantined).
+    /// (either everything is leased or returned boards are quarantined),
+    /// or [`CloudError::TransientCapacity`] for an injected rent failure.
     pub fn rent(&mut self, tenant: TenantId) -> Result<Session, CloudError> {
+        let forced_fail = self.take_pending(FaultKind::RentFailure);
+        if forced_fail
+            || self
+                .fault_state
+                .draw(&self.fault_plan, FaultKind::RentFailure, 1.0)
+        {
+            self.ledger.record_fault(FaultRecord {
+                at: self.now,
+                kind: FaultKind::RentFailure,
+                device: None,
+                session_id: None,
+                scheduled: forced_fail,
+            });
+            return Err(CloudError::TransientCapacity);
+        }
         let mut ids: Vec<DeviceId> = self
             .slots
             .iter()
@@ -187,14 +243,50 @@ impl Provider {
             .map(|(&id, _)| id)
             .collect();
         ids.sort_unstable();
-        let id = *ids.first().ok_or(CloudError::CapacityExhausted)?;
+        if ids.is_empty() {
+            return Err(CloudError::CapacityExhausted);
+        }
+        // A device swap needs somewhere to swap to; with one free device
+        // the allocator has no choice and the fault cannot fire.
+        let mut pick = 0;
+        if ids.len() > 1 {
+            let forced_swap = self.take_pending(FaultKind::DeviceSwap);
+            if forced_swap
+                || self
+                    .fault_state
+                    .draw(&self.fault_plan, FaultKind::DeviceSwap, 1.0)
+            {
+                pick = 1;
+                self.ledger.record_fault(FaultRecord {
+                    at: self.now,
+                    kind: FaultKind::DeviceSwap,
+                    device: Some(ids[1]),
+                    session_id: None,
+                    scheduled: forced_swap,
+                });
+            }
+        }
+        let id = ids[pick];
         let session = Session::new(self.next_session, tenant.clone(), id);
         self.next_session += 1;
-        self.slots.get_mut(&id).expect("id from map").state = SlotState::Rented {
-            session_id: session.id(),
-        };
+        if let Some(slot) = self.slots.get_mut(&id) {
+            slot.state = SlotState::Rented {
+                session_id: session.id(),
+            };
+        }
         self.ledger.record_rent(id, session.id(), tenant, self.now);
         Ok(session)
+    }
+
+    /// Consumes one pending scheduled rent-time fault of `kind`, if any.
+    fn take_pending(&mut self, kind: FaultKind) -> bool {
+        match self.pending_rent_faults.iter().position(|&k| k == kind) {
+            Some(i) => {
+                self.pending_rent_faults.remove(i);
+                true
+            }
+            None => false,
+        }
     }
 
     /// The flash attack: leases *every* rentable device at once, so a
@@ -203,14 +295,22 @@ impl Provider {
     ///
     /// # Errors
     ///
-    /// Returns [`CloudError::CapacityExhausted`] if nothing is rentable.
+    /// Returns [`CloudError::CapacityExhausted`] if nothing is rentable,
+    /// or [`CloudError::TransientCapacity`] if an injected rent failure
+    /// stopped the flood before it captured anything (retry in that case;
+    /// a partial flood is returned as a success).
     pub fn rent_all(&mut self, tenant: TenantId) -> Result<Vec<Session>, CloudError> {
         let mut sessions = Vec::new();
-        while let Ok(s) = self.rent(tenant.clone()) {
-            sessions.push(s);
-        }
-        if sessions.is_empty() {
-            return Err(CloudError::CapacityExhausted);
+        loop {
+            match self.rent(tenant.clone()) {
+                Ok(s) => sessions.push(s),
+                Err(e) => {
+                    if sessions.is_empty() {
+                        return Err(e);
+                    }
+                    break;
+                }
+            }
         }
         Ok(sessions)
     }
@@ -303,11 +403,128 @@ impl Provider {
 
     /// Advances global time: every rented device runs its loaded design;
     /// every idle device relaxes.
+    ///
+    /// Under a hostile [`FaultPlan`] this is also where per-device-hour
+    /// faults fire. Devices are visited in id order so the fault stream is
+    /// independent of hash-map iteration. Thermal transients perturb a
+    /// device's ambient *during* the step; preemptions and spurious scrubs
+    /// are decided *after* the step's physics, so a tenant who recovers
+    /// before the next step loses no conditioning time — the property the
+    /// resilience proptests pin down.
     pub fn advance_time(&mut self, dt: Hours) {
-        for slot in self.slots.values_mut() {
-            slot.device.run_for(dt);
+        if self.fault_plan.is_benign() {
+            for slot in self.slots.values_mut() {
+                slot.device.run_for(dt);
+            }
+            self.now += dt;
+            return;
         }
-        self.now += dt;
+        let end = self.now + dt;
+        // Scheduled faults due within this step: session-level kinds are
+        // applied to the lowest-id rented devices below; rent-time kinds
+        // arm a pending fault the next `rent` call consumes.
+        let mut forced = [0usize; 3]; // preemption, scrub, thermal
+        for fault in self.fault_state.due_scheduled(&self.fault_plan, end) {
+            match fault.kind {
+                FaultKind::Preemption => forced[0] += 1,
+                FaultKind::SpuriousScrub => forced[1] += 1,
+                FaultKind::ThermalTransient => forced[2] += 1,
+                FaultKind::RentFailure | FaultKind::DeviceSwap => {
+                    self.pending_rent_faults.push(fault.kind);
+                }
+            }
+        }
+        let mut ids: Vec<DeviceId> = self.slots.keys().copied().collect();
+        ids.sort_unstable();
+        let scale = dt.value();
+        for id in ids {
+            let Some(slot) = self.slots.get_mut(&id) else {
+                continue;
+            };
+            let rented_session = match slot.state {
+                SlotState::Rented { session_id } => Some(session_id),
+                SlotState::Free { .. } => None,
+            };
+            // Thermal transient: this step runs with a hotter ambient.
+            let mut thermal_scheduled = false;
+            let thermal = rented_session.is_some() && {
+                if forced[2] > 0 {
+                    forced[2] -= 1;
+                    thermal_scheduled = true;
+                    true
+                } else {
+                    self.fault_state
+                        .draw(&self.fault_plan, FaultKind::ThermalTransient, scale)
+                }
+            };
+            if thermal {
+                let original = *slot.device.thermal();
+                let hot = ThermalModel::new(
+                    Celsius::new(original.ambient().value() + self.fault_plan.thermal_amplitude_c),
+                    original.theta_ja(),
+                )
+                .with_time_constant_hours(original.time_constant_hours());
+                slot.device.set_thermal(hot);
+                slot.device.run_for(dt);
+                slot.device.set_thermal(original);
+                self.ledger.record_fault(FaultRecord {
+                    at: end,
+                    kind: FaultKind::ThermalTransient,
+                    device: Some(id),
+                    session_id: rented_session,
+                    scheduled: thermal_scheduled,
+                });
+            } else {
+                slot.device.run_for(dt);
+            }
+            // End-of-step session faults: the step's conditioning already
+            // happened, so these are trajectory-preserving when repaired.
+            let Some(session_id) = rented_session else {
+                continue;
+            };
+            let preempt_scheduled = forced[0] > 0;
+            if preempt_scheduled
+                || self
+                    .fault_state
+                    .draw(&self.fault_plan, FaultKind::Preemption, scale)
+            {
+                if preempt_scheduled {
+                    forced[0] -= 1;
+                }
+                slot.device.wipe();
+                slot.state = SlotState::Free {
+                    released_at: Some(end),
+                };
+                self.ledger.record_release(session_id, end);
+                self.ledger.record_fault(FaultRecord {
+                    at: end,
+                    kind: FaultKind::Preemption,
+                    device: Some(id),
+                    session_id: Some(session_id),
+                    scheduled: preempt_scheduled,
+                });
+                continue;
+            }
+            let scrub_scheduled = forced[1] > 0;
+            if scrub_scheduled
+                || self
+                    .fault_state
+                    .draw(&self.fault_plan, FaultKind::SpuriousScrub, scale)
+            {
+                if scrub_scheduled {
+                    forced[1] -= 1;
+                }
+                slot.device.wipe();
+                self.ledger.record_fault(FaultRecord {
+                    at: end,
+                    kind: FaultKind::SpuriousScrub,
+                    device: Some(id),
+                    session_id: Some(session_id),
+                    scheduled: scrub_scheduled,
+                });
+            }
+        }
+        self.now = end;
     }
 
     /// Read access to the physical device behind a session.
@@ -459,9 +676,7 @@ mod tests {
     fn marketplace_afi_loads_without_exposing_design() {
         let mut p = provider(1);
         let vendor = TenantId::new("vendor");
-        let afi = p
-            .marketplace_mut()
-            .publish(vendor, Design::new("ip"), true);
+        let afi = p.marketplace_mut().publish(vendor, Design::new("ip"), true);
         let s = p.rent(TenantId::new("renter")).unwrap();
         p.load_afi(&s, afi).unwrap();
         assert!(p.device(&s).unwrap().loaded_design().is_some());
@@ -479,8 +694,14 @@ mod tests {
         let mut p = provider(2);
         p.advance_time(Hours::new(5.0));
         assert_eq!(p.now(), Hours::new(5.0));
-        assert_eq!(p.device_by_id(DeviceId(0)).unwrap().clock(), Hours::new(5.0));
-        assert_eq!(p.device_by_id(DeviceId(1)).unwrap().clock(), Hours::new(5.0));
+        assert_eq!(
+            p.device_by_id(DeviceId(0)).unwrap().clock(),
+            Hours::new(5.0)
+        );
+        assert_eq!(
+            p.device_by_id(DeviceId(1)).unwrap().clock(),
+            Hours::new(5.0)
+        );
     }
 
     #[test]
@@ -500,6 +721,183 @@ mod tests {
         assert_eq!(prev.tenant.as_str(), "victim");
         assert_eq!(prev.duration(), Some(Hours::new(150.0)));
         assert_eq!(p.ledger().device_utilization(device), Hours::new(150.0));
+    }
+
+    #[test]
+    fn benign_fault_plan_changes_nothing() {
+        let mut faulty = provider(3);
+        faulty.set_fault_plan(FaultPlan::none());
+        let mut plain = provider(3);
+        let s1 = faulty.rent(TenantId::new("t")).unwrap();
+        let s2 = plain.rent(TenantId::new("t")).unwrap();
+        assert_eq!(s1.device_id(), s2.device_id());
+        faulty.advance_time(Hours::new(10.0));
+        plain.advance_time(Hours::new(10.0));
+        assert_eq!(
+            faulty.device_by_id(DeviceId(0)).unwrap().die_temperature(),
+            plain.device_by_id(DeviceId(0)).unwrap().die_temperature()
+        );
+        assert!(faulty.ledger().faults().is_empty());
+    }
+
+    #[test]
+    fn injected_rent_failures_are_transient_and_recorded() {
+        let mut p = provider(2);
+        let mut plan = FaultPlan::none();
+        plan.seed = 9;
+        plan.rent_failure_rate = 1.0;
+        p.set_fault_plan(plan);
+        let err = p.rent(TenantId::new("t")).unwrap_err();
+        assert_eq!(err, CloudError::TransientCapacity);
+        assert!(err.is_transient());
+        assert_eq!(p.ledger().fault_count(FaultKind::RentFailure), 1);
+    }
+
+    #[test]
+    fn device_swap_hands_back_second_choice() {
+        let mut p = provider(3);
+        let mut plan = FaultPlan::none();
+        plan.seed = 4;
+        plan.device_swap_rate = 1.0;
+        p.set_fault_plan(plan);
+        let s = p.rent(TenantId::new("t")).unwrap();
+        assert_eq!(s.device_id(), DeviceId(1), "lowest id skipped");
+        assert_eq!(p.ledger().fault_count(FaultKind::DeviceSwap), 1);
+    }
+
+    #[test]
+    fn swap_cannot_fire_with_one_free_device() {
+        let mut p = provider(1);
+        let mut plan = FaultPlan::none();
+        plan.seed = 4;
+        plan.device_swap_rate = 1.0;
+        p.set_fault_plan(plan);
+        let s = p.rent(TenantId::new("t")).unwrap();
+        assert_eq!(s.device_id(), DeviceId(0));
+        assert!(p.ledger().faults().is_empty());
+    }
+
+    #[test]
+    fn scheduled_preemption_revokes_the_session_after_the_step() {
+        let mut p = provider(2);
+        p.set_fault_plan(FaultPlan::none().with_scheduled(Hours::new(5.0), FaultKind::Preemption));
+        let s = p.rent(TenantId::new("victim")).unwrap();
+        p.advance_time(Hours::new(4.0));
+        assert!(p.device(&s).is_ok(), "not due yet");
+        p.advance_time(Hours::new(2.0));
+        assert!(matches!(p.device(&s), Err(CloudError::SessionRevoked)));
+        let faults = p.ledger().faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::Preemption);
+        assert!(faults[0].scheduled);
+        assert_eq!(faults[0].session_id, Some(s.id()));
+        // The lease shows as released in the rental history too.
+        assert_eq!(p.ledger().records()[0].released_at, Some(Hours::new(6.0)));
+    }
+
+    #[test]
+    fn preemption_preserves_the_steps_conditioning() {
+        // A preempted step still ages the design's wires for the full dt:
+        // the fault is decided after the physics.
+        let mut hostile = provider(1);
+        hostile.set_fault_plan(
+            FaultPlan::none().with_scheduled(Hours::new(0.5), FaultKind::Preemption),
+        );
+        let mut benign = provider(1);
+        for p in [&mut hostile, &mut benign] {
+            let s = p.rent(TenantId::new("t")).unwrap();
+            p.load_design(&s, Design::new("d")).unwrap();
+            p.advance_time(Hours::new(10.0));
+        }
+        let a = hostile.device_by_id(DeviceId(0)).unwrap();
+        let b = benign.device_by_id(DeviceId(0)).unwrap();
+        assert_eq!(a.clock(), b.clock());
+        assert_eq!(a.aged_wire_count(), b.aged_wire_count());
+    }
+
+    #[test]
+    fn spurious_scrub_wipes_but_keeps_the_lease() {
+        let mut p = provider(1);
+        p.set_fault_plan(
+            FaultPlan::none().with_scheduled(Hours::new(1.0), FaultKind::SpuriousScrub),
+        );
+        let s = p.rent(TenantId::new("t")).unwrap();
+        p.load_design(&s, Design::new("d")).unwrap();
+        p.advance_time(Hours::new(2.0));
+        assert!(p.device(&s).is_ok(), "lease survives");
+        assert!(
+            p.device(&s).unwrap().loaded_design().is_none(),
+            "design gone"
+        );
+        assert_eq!(p.ledger().fault_count(FaultKind::SpuriousScrub), 1);
+    }
+
+    #[test]
+    fn scheduled_rent_failure_arms_on_advance_and_fires_on_rent() {
+        let mut p = provider(2);
+        p.set_fault_plan(FaultPlan::none().with_scheduled(Hours::new(1.0), FaultKind::RentFailure));
+        p.advance_time(Hours::new(2.0));
+        assert_eq!(
+            p.rent(TenantId::new("t")).unwrap_err(),
+            CloudError::TransientCapacity
+        );
+        // One-shot: the retry succeeds.
+        assert!(p.rent(TenantId::new("t")).is_ok());
+    }
+
+    #[test]
+    fn thermal_transient_heats_exactly_one_step() {
+        let mut p = provider(1);
+        let mut plan =
+            FaultPlan::none().with_scheduled(Hours::new(1.5), FaultKind::ThermalTransient);
+        plan.thermal_amplitude_c = 10.0;
+        p.set_fault_plan(plan);
+        let s = p.rent(TenantId::new("t")).unwrap();
+        p.load_design(&s, Design::new("idle")).unwrap();
+        // Settle to the design's own steady state before the fault fires.
+        p.advance_time(Hours::new(1.0));
+        let baseline = p.device(&s).unwrap().die_temperature();
+        p.advance_time(Hours::new(1.0));
+        let hot = p.device(&s).unwrap().die_temperature();
+        assert!(hot.value() > baseline.value() + 8.0, "{baseline} -> {hot}");
+        // The thermal model itself was restored: the next step cools back.
+        p.advance_time(Hours::new(1.0));
+        let cooled = p.device(&s).unwrap().die_temperature();
+        assert!(cooled.value() < baseline.value() + 1.0, "{cooled}");
+        assert_eq!(p.ledger().fault_count(FaultKind::ThermalTransient), 1);
+    }
+
+    #[test]
+    fn probabilistic_faults_replay_identically() {
+        let run = || {
+            let mut p = provider(4);
+            p.set_fault_plan(FaultPlan::hostile(77, 0.2));
+            let mut events = Vec::new();
+            let mut session = None;
+            for _ in 0..30 {
+                if session.is_none() {
+                    match p.rent(TenantId::new("t")) {
+                        Ok(s) => session = Some(s),
+                        Err(e) => events.push(format!("rent-err:{e}")),
+                    }
+                }
+                p.advance_time(Hours::new(1.0));
+                if let Some(s) = &session {
+                    if p.device(s).is_err() {
+                        events.push(format!("lost@{}", p.now().value()));
+                        session = None;
+                    }
+                }
+            }
+            let faults: Vec<String> = p
+                .ledger()
+                .faults()
+                .iter()
+                .map(|f| format!("{}@{}", f.kind, f.at.value()))
+                .collect();
+            (events, faults)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl Session {
 
 impl fmt::Display for Session {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "session#{} ({} on {})", self.id, self.tenant, self.device_id)
+        write!(
+            f,
+            "session#{} ({} on {})",
+            self.id, self.tenant, self.device_id
+        )
     }
 }
 

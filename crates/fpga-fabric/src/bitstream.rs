@@ -153,13 +153,16 @@ impl Bitstream {
         let cell_count = r.word()? as usize;
         for _ in 0..cell_count {
             let cell_name = r.string()?;
-            let kind = cell_kind_from_code(r.word()?)
-                .ok_or_else(|| malformed("unknown cell kind"))?;
+            let kind =
+                cell_kind_from_code(r.word()?).ok_or_else(|| malformed("unknown cell kind"))?;
             let location = match r.word()? {
                 0 => None,
                 1 => {
                     let packed = r.word()?;
-                    Some(TileCoord::new((packed >> 16) as u16, (packed & 0xFFFF) as u16))
+                    Some(TileCoord::new(
+                        (packed >> 16) as u16,
+                        (packed & 0xFFFF) as u16,
+                    ))
                 }
                 _ => return Err(malformed("bad location tag")),
             };
@@ -321,7 +324,13 @@ mod tests {
         let n0 = d.add_net("secret", NetActivity::Static(LogicLevel::One), Some(route));
         let n1 = d.add_net("balanced", NetActivity::Duty(DutyCycle::BALANCED), None);
         let n2 = d.add_net("bus", NetActivity::Dynamic, None);
-        d.add_cell("src", CellKind::Register, Some(TileCoord::new(4, 4)), vec![], Some(n0));
+        d.add_cell(
+            "src",
+            CellKind::Register,
+            Some(TileCoord::new(4, 4)),
+            vec![],
+            Some(n0),
+        );
         d.add_cell("lut", CellKind::Lut, None, vec![n0, n1], Some(n2));
         d
     }

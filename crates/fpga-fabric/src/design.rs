@@ -148,7 +148,10 @@ impl Design {
     ///
     /// Panics if `watts` is negative or not finite.
     pub fn set_power_watts(&mut self, watts: f64) {
-        assert!(watts >= 0.0 && watts.is_finite(), "power must be finite and non-negative");
+        assert!(
+            watts >= 0.0 && watts.is_finite(),
+            "power must be finite and non-negative"
+        );
         self.power_watts = watts;
     }
 
@@ -272,10 +275,7 @@ mod tests {
     fn dangling_net_reference_is_rejected() {
         let mut d = Design::new("bad");
         d.add_cell("lut0", CellKind::Lut, None, vec![3], None);
-        assert!(matches!(
-            d.validate(),
-            Err(FabricError::MalformedDesign(_))
-        ));
+        assert!(matches!(d.validate(), Err(FabricError::MalformedDesign(_))));
     }
 
     #[test]

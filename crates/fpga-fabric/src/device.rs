@@ -439,7 +439,11 @@ mod tests {
         let mut dev = FpgaDevice::zcu102_new(2);
         let route = dev.route_with_target_delay(&request(5_000.0)).unwrap();
         let mut design = Design::new("victim");
-        design.add_net("secret", NetActivity::Static(LogicLevel::One), Some(route.clone()));
+        design.add_net(
+            "secret",
+            NetActivity::Static(LogicLevel::One),
+            Some(route.clone()),
+        );
         dev.load_design(design).unwrap();
         dev.run_for(Hours::new(200.0));
         dev.wipe();
@@ -455,8 +459,18 @@ mod tests {
         // Same skeleton request works on both (old grid is larger).
         let r_new = new_dev.route_with_target_delay(&request(10_000.0)).unwrap();
         let r_old = old_dev.route_with_target_delay(&request(10_000.0)).unwrap();
-        new_dev.condition_route_at(&r_new, DutyCycle::ALWAYS_ONE, Hours::new(200.0), Celsius::new(60.0));
-        old_dev.condition_route_at(&r_old, DutyCycle::ALWAYS_ONE, Hours::new(200.0), Celsius::new(60.0));
+        new_dev.condition_route_at(
+            &r_new,
+            DutyCycle::ALWAYS_ONE,
+            Hours::new(200.0),
+            Celsius::new(60.0),
+        );
+        old_dev.condition_route_at(
+            &r_old,
+            DutyCycle::ALWAYS_ONE,
+            Hours::new(200.0),
+            Celsius::new(60.0),
+        );
         let ratio = old_dev.route_delta_ps(&r_old) / new_dev.route_delta_ps(&r_new);
         assert!(ratio > 0.05 && ratio < 0.2, "wear ratio = {ratio}");
     }
@@ -465,14 +479,27 @@ mod tests {
     fn run_for_uses_design_activity() {
         let mut dev = FpgaDevice::zcu102_new(4);
         let mut used = HashSet::new();
-        let r1 = dev.route_with_target_delay_avoiding(&request(2_000.0), &used).unwrap();
+        let r1 = dev
+            .route_with_target_delay_avoiding(&request(2_000.0), &used)
+            .unwrap();
         used.extend(r1.wire_ids());
         let r0 = dev
-            .route_with_target_delay_avoiding(&RouteRequest::new(TileCoord::new(4, 40), 2_000.0), &used)
+            .route_with_target_delay_avoiding(
+                &RouteRequest::new(TileCoord::new(4, 40), 2_000.0),
+                &used,
+            )
             .unwrap();
         let mut design = Design::new("two-bits");
-        design.add_net("bit1", NetActivity::Static(LogicLevel::One), Some(r1.clone()));
-        design.add_net("bit0", NetActivity::Static(LogicLevel::Zero), Some(r0.clone()));
+        design.add_net(
+            "bit1",
+            NetActivity::Static(LogicLevel::One),
+            Some(r1.clone()),
+        );
+        design.add_net(
+            "bit0",
+            NetActivity::Static(LogicLevel::Zero),
+            Some(r0.clone()),
+        );
         dev.load_design(design).unwrap();
         dev.run_for(Hours::new(100.0));
         assert!(dev.route_delta_ps(&r1) > 0.5);

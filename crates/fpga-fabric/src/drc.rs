@@ -10,9 +10,9 @@
 
 use std::fmt;
 
-use crate::Design;
 #[cfg(test)]
 use crate::CellKind;
+use crate::Design;
 
 /// A rule violation found in a design.
 #[derive(Debug, Clone, PartialEq)]
@@ -159,7 +159,13 @@ mod tests {
         let launch = d.add_net("launch", NetActivity::Dynamic, None);
         let c0 = d.add_net("c0", NetActivity::Dynamic, None);
         let c1 = d.add_net("c1", NetActivity::Dynamic, None);
-        d.add_cell("tg", CellKind::TransitionGenerator, None, vec![], Some(launch));
+        d.add_cell(
+            "tg",
+            CellKind::TransitionGenerator,
+            None,
+            vec![],
+            Some(launch),
+        );
         d.add_cell("carry0", CellKind::Carry8, None, vec![launch], Some(c0));
         d.add_cell("carry1", CellKind::Carry8, None, vec![c0], Some(c1));
         d.add_cell("cap0", CellKind::Register, None, vec![c0], None);

@@ -132,8 +132,14 @@ mod tests {
         let t = TileCoord::new(0, 0);
         assert_eq!(t.step(Direction::West, 1, 10, 10), None);
         assert_eq!(t.step(Direction::South, 1, 10, 10), None);
-        assert_eq!(t.step(Direction::East, 2, 10, 10), Some(TileCoord::new(2, 0)));
-        assert_eq!(t.step(Direction::North, 9, 10, 10), Some(TileCoord::new(0, 9)));
+        assert_eq!(
+            t.step(Direction::East, 2, 10, 10),
+            Some(TileCoord::new(2, 0))
+        );
+        assert_eq!(
+            t.step(Direction::North, 9, 10, 10),
+            Some(TileCoord::new(0, 9))
+        );
         assert_eq!(t.step(Direction::North, 10, 10, 10), None);
     }
 

@@ -62,7 +62,9 @@ pub use device::{DeviceProfile, FpgaDevice};
 pub use drc::{check_design, DrcViolation};
 pub use error::FabricError;
 pub use geometry::{Direction, TileCoord};
-pub use lut::{LutConfigCell, PrecisionInstrument, LUT_BUFFER_DELAY_PS, LUT_BUFFER_SENSITIVITY_SCALE};
+pub use lut::{
+    LutConfigCell, PrecisionInstrument, LUT_BUFFER_DELAY_PS, LUT_BUFFER_SENSITIVITY_SCALE,
+};
 pub use packer::RoutePacker;
 pub use router::{Route, RouteRequest};
 pub use thermal::ThermalModel;

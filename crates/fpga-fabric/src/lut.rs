@@ -69,8 +69,11 @@ impl LutConfigCell {
     /// a device wear factor — *tens of femtoseconds* after a full burn-in.
     #[must_use]
     pub fn imprint_ps(&self, model: &BtiModel, wear: f64) -> f64 {
-        self.state
-            .delta_ps_scaled(model, LUT_BUFFER_DELAY_PS, wear * LUT_BUFFER_SENSITIVITY_SCALE)
+        self.state.delta_ps_scaled(
+            model,
+            LUT_BUFFER_DELAY_PS,
+            wear * LUT_BUFFER_SENSITIVITY_SCALE,
+        )
     }
 
     /// Access to the raw aging state (for lab-grade analysis).

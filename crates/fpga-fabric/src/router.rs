@@ -58,10 +58,16 @@ impl Topology {
 
     /// Encodes a wire leaving `from` in `direction`. The caller must have
     /// verified that the wire's far end stays on the grid.
-    pub fn encode(&self, from: TileCoord, direction: Direction, kind: WireKind, track: u8) -> WireId {
+    pub fn encode(
+        &self,
+        from: TileCoord,
+        direction: Direction,
+        kind: WireKind,
+        track: u8,
+    ) -> WireId {
         let tile = u32::from(from.row) * u32::from(self.cols) + u32::from(from.col);
-        let id = (tile * 4 + direction.index() as u32) * SLOTS_PER_DIRECTION
-            + Self::slot(kind, track);
+        let id =
+            (tile * 4 + direction.index() as u32) * SLOTS_PER_DIRECTION + Self::slot(kind, track);
         WireId(id)
     }
 
@@ -93,7 +99,6 @@ impl Topology {
             track,
         })
     }
-
 }
 
 /// A request for a route of a specific nominal delay.
@@ -272,7 +277,14 @@ pub(crate) fn route_serpentine(
         }
 
         // Blocked in the current heading: climb one row and reverse.
-        let turn = claim(pos, Direction::North, WireKind::Single, &taken, min_col, max_col);
+        let turn = claim(
+            pos,
+            Direction::North,
+            WireKind::Single,
+            &taken,
+            min_col,
+            max_col,
+        );
         match turn {
             Some(seg) => {
                 achieved += seg.nominal_delay_ps();
@@ -322,10 +334,10 @@ pub(crate) fn route_direct(
     let mut pos = from;
 
     let advance_axis = |pos: &mut TileCoord,
-                            segments: &mut Vec<WireSegment>,
-                            taken: &mut HashSet<WireId>,
-                            target: u16,
-                            horizontal: bool|
+                        segments: &mut Vec<WireSegment>,
+                        taken: &mut HashSet<WireId>,
+                        target: u16,
+                        horizontal: bool|
      -> Result<(), FabricError> {
         loop {
             let (cur, dir_pos, dir_neg) = if horizontal {
@@ -409,7 +421,11 @@ mod tests {
             let req = RouteRequest::new(TileCoord::new(4, 4), target);
             let route = route_serpentine(t, &req, &used).expect("routable");
             let err = (route.nominal_ps() - target).abs() / target;
-            assert!(err <= 0.05, "target {target}: got {} ps", route.nominal_ps());
+            assert!(
+                err <= 0.05,
+                "target {target}: got {} ps",
+                route.nominal_ps()
+            );
             assert_eq!(route.start(), Some(TileCoord::new(4, 4)));
         }
     }

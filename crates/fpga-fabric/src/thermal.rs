@@ -32,7 +32,10 @@ impl ThermalModel {
     /// Panics if `theta_ja` is negative or not finite.
     #[must_use]
     pub fn new(ambient: Celsius, theta_ja: f64) -> Self {
-        assert!(theta_ja >= 0.0 && theta_ja.is_finite(), "theta_ja must be finite and non-negative");
+        assert!(
+            theta_ja >= 0.0 && theta_ja.is_finite(),
+            "theta_ja must be finite and non-negative"
+        );
         Self {
             ambient,
             theta_ja,
@@ -47,7 +50,10 @@ impl ThermalModel {
     /// Panics if `tau_hours` is not positive.
     #[must_use]
     pub fn with_time_constant_hours(mut self, tau_hours: f64) -> Self {
-        assert!(tau_hours > 0.0 && tau_hours.is_finite(), "tau must be positive");
+        assert!(
+            tau_hours > 0.0 && tau_hours.is_finite(),
+            "tau must be positive"
+        );
         self.tau_hours = tau_hours;
         self
     }

@@ -30,7 +30,10 @@ impl VariationModel {
     /// Panics if `sigma` is negative or not finite.
     #[must_use]
     pub fn new(device_seed: u64, sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be finite and non-negative");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be finite and non-negative"
+        );
         Self { device_seed, sigma }
     }
 
@@ -38,7 +41,8 @@ impl VariationModel {
     /// positive, with mean ≈ 1 and relative spread `sigma`.
     #[must_use]
     pub fn factor(&self, index: u64) -> f64 {
-        let mut rng = StdRng::seed_from_u64(self.device_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.device_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         // Sum of uniforms approximates a Gaussian (Irwin–Hall, n = 12).
         let gaussian: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
         (1.0 + self.sigma * gaussian).max(0.5)

@@ -17,9 +17,7 @@ use crate::{Direction, TileCoord};
 ///
 /// Wire ids are dense indices into the device's wire table; they are the
 /// key under which analog aging state persists across designs and wipes.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct WireId(pub u32);
 
 impl WireId {
@@ -132,7 +130,13 @@ impl fmt::Display for WireSegment {
         write!(
             f,
             "{} {} {}{}#{} {}→{}",
-            self.id, self.kind, self.direction, self.kind.reach(), self.track, self.from, self.to
+            self.id,
+            self.kind,
+            self.direction,
+            self.kind.reach(),
+            self.track,
+            self.from,
+            self.to
         )
     }
 }

@@ -1,9 +1,7 @@
 //! Property-based tests of the bitstream codec.
 
 use bti_physics::{DutyCycle, LogicLevel};
-use fpga_fabric::{
-    Bitstream, CellKind, Design, FpgaDevice, NetActivity, RouteRequest, TileCoord,
-};
+use fpga_fabric::{Bitstream, CellKind, Design, FpgaDevice, NetActivity, RouteRequest, TileCoord};
 use proptest::prelude::*;
 
 fn activity_strategy() -> impl Strategy<Value = NetActivity> {
@@ -34,8 +32,18 @@ fn arbitrary_design() -> impl Strategy<Value = Design> {
     (
         "[a-z][a-z0-9_-]{0,24}",
         0.0f64..100.0,
-        proptest::collection::vec(("[a-z0-9_\\[\\]]{1,16}", activity_strategy(), any::<bool>()), 0..8),
-        proptest::collection::vec(("[a-z0-9_]{1,12}", kind_strategy(), any::<Option<(u16, u16)>>()), 0..6),
+        proptest::collection::vec(
+            ("[a-z0-9_\\[\\]]{1,16}", activity_strategy(), any::<bool>()),
+            0..8,
+        ),
+        proptest::collection::vec(
+            (
+                "[a-z0-9_]{1,12}",
+                kind_strategy(),
+                any::<Option<(u16, u16)>>(),
+            ),
+            0..6,
+        ),
         0u64..1000,
     )
         .prop_map(|(name, power, nets, cells, seed)| {
@@ -46,8 +54,7 @@ fn arbitrary_design() -> impl Strategy<Value = Design> {
             let mut net_count = 0usize;
             for (i, (net_name, activity, routed)) in nets.into_iter().enumerate() {
                 let route = if routed {
-                    let req =
-                        RouteRequest::new(TileCoord::new(4, 4 + 6 * i as u16), 1_500.0);
+                    let req = RouteRequest::new(TileCoord::new(4, 4 + 6 * i as u16), 1_500.0);
                     device
                         .route_with_target_delay_avoiding(&req, &used)
                         .ok()

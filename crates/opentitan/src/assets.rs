@@ -89,46 +89,266 @@ macro_rules! asset {
 #[must_use]
 pub fn earl_grey_assets() -> Vec<Asset> {
     vec![
-        asset!(1, "/otp_ctrl_otp_lc_data[state]", StateValueToken, 320,
-               169.5, 98.1, 39.0, 95.5, 157.5, 228.0, 509.0),
-        asset!(2, "/u_otp_ctrl/otp_ctrl_otp_lc_data[test_exit_token]", StateValueToken, 128,
-               197.5, 115.4, 37.0, 114.0, 170.0, 242.2, 534.0),
-        asset!(3, "/otp_ctrl_otp_lc_data[rma_token]", StateValueToken, 101,
-               239.8, 122.8, 38.0, 148.0, 222.0, 325.0, 583.0),
-        asset!(4, "/otp_ctrl_otp_lc_data[test_unlock_token]", StateValueToken, 128,
-               207.9, 120.1, 38.0, 130.5, 178.5, 247.2, 609.0),
-        asset!(5, "/keymgr_aes_key[key][1]_282", CryptoKey, 32,
-               538.3, 106.4, 380.0, 433.5, 551.0, 614.0, 738.0),
-        asset!(6, "/keymgr_otbn_key[key][0]_285", CryptoKey, 384,
-               219.8, 150.9, 41.0, 99.0, 167.0, 327.2, 919.0),
-        asset!(7, "/keymgr_kmac_key[key][0]_28", CryptoKey, 256,
-               317.6, 141.7, 49.0, 213.8, 291.0, 408.0, 1050.0),
-        asset!(8, "/otp_ctrl_otp_keymgr_key[key_share0]", CryptoKey, 256,
-               187.3, 200.8, 37.0, 54.0, 109.0, 217.0, 1064.0),
-        asset!(9, "/u_otp_ctrl/part_scrmbl_rsp_data", CryptoKey, 64,
-               353.4, 146.1, 116.0, 267.2, 348.5, 411.2, 1075.0),
-        asset!(10, "/keymgr_aes_key[key][0]_283", CryptoKey, 256,
-               360.3, 154.2, 86.0, 270.0, 333.0, 412.2, 1311.0),
-        asset!(11, "/u_otp_ctrl/u_otp_ctrl_scrmbl/gen_anchor_keys", CryptoKey, 135,
-               220.1, 358.7, 0.0, 57.0, 94.0, 162.5, 1333.0),
-        asset!(12, "/otp_ctrl_otp_keymgr_key[key_share1]", CryptoKey, 256,
-               262.5, 273.4, 37.0, 51.0, 158.0, 335.5, 1381.0),
-        asset!(13, "/csrng_tl_rsp[d_data]", Signal, 32,
-               1291.8, 105.7, 1031.0, 1244.8, 1323.0, 1359.8, 1432.0),
-        asset!(14, "/aes_tl_rsp[d_data]", Signal, 32,
-               1105.3, 411.4, 276.0, 1135.8, 1279.0, 1369.5, 1631.0),
-        asset!(15, "/keymgr_otbn_key[key][1]_284", CryptoKey, 32,
-               1062.7, 281.2, 480.0, 854.0, 1074.5, 1270.0, 1670.0),
-        asset!(16, "/u_otp_ctrl/part_otp_rdata", Signal, 64,
-               1298.9, 213.0, 933.0, 1118.5, 1311.5, 1447.2, 1784.0),
-        asset!(17, "/flash_ctrl_otp_rsp[key]", CryptoKey, 128,
-               1816.6, 404.6, 1215.0, 1503.0, 1717.5, 2010.2, 3245.0),
-        asset!(18, "/kmac_app_rsp", Signal, 777,
-               94.2, 179.7, 15.0, 40.0, 58.0, 97.0, 3398.0),
-        asset!(19, "/flash_ctrl_otp_rsp[rand_key]", CryptoKey, 128,
-               1908.1, 670.7, 553.0, 1337.0, 1882.0, 2308.8, 3706.0),
-        asset!(20, "/aes_tl_req[a_data]", Signal, 32,
-               2114.8, 471.8, 1455.0, 1805.0, 2079.5, 2337.2, 3946.0),
+        asset!(
+            1,
+            "/otp_ctrl_otp_lc_data[state]",
+            StateValueToken,
+            320,
+            169.5,
+            98.1,
+            39.0,
+            95.5,
+            157.5,
+            228.0,
+            509.0
+        ),
+        asset!(
+            2,
+            "/u_otp_ctrl/otp_ctrl_otp_lc_data[test_exit_token]",
+            StateValueToken,
+            128,
+            197.5,
+            115.4,
+            37.0,
+            114.0,
+            170.0,
+            242.2,
+            534.0
+        ),
+        asset!(
+            3,
+            "/otp_ctrl_otp_lc_data[rma_token]",
+            StateValueToken,
+            101,
+            239.8,
+            122.8,
+            38.0,
+            148.0,
+            222.0,
+            325.0,
+            583.0
+        ),
+        asset!(
+            4,
+            "/otp_ctrl_otp_lc_data[test_unlock_token]",
+            StateValueToken,
+            128,
+            207.9,
+            120.1,
+            38.0,
+            130.5,
+            178.5,
+            247.2,
+            609.0
+        ),
+        asset!(
+            5,
+            "/keymgr_aes_key[key][1]_282",
+            CryptoKey,
+            32,
+            538.3,
+            106.4,
+            380.0,
+            433.5,
+            551.0,
+            614.0,
+            738.0
+        ),
+        asset!(
+            6,
+            "/keymgr_otbn_key[key][0]_285",
+            CryptoKey,
+            384,
+            219.8,
+            150.9,
+            41.0,
+            99.0,
+            167.0,
+            327.2,
+            919.0
+        ),
+        asset!(
+            7,
+            "/keymgr_kmac_key[key][0]_28",
+            CryptoKey,
+            256,
+            317.6,
+            141.7,
+            49.0,
+            213.8,
+            291.0,
+            408.0,
+            1050.0
+        ),
+        asset!(
+            8,
+            "/otp_ctrl_otp_keymgr_key[key_share0]",
+            CryptoKey,
+            256,
+            187.3,
+            200.8,
+            37.0,
+            54.0,
+            109.0,
+            217.0,
+            1064.0
+        ),
+        asset!(
+            9,
+            "/u_otp_ctrl/part_scrmbl_rsp_data",
+            CryptoKey,
+            64,
+            353.4,
+            146.1,
+            116.0,
+            267.2,
+            348.5,
+            411.2,
+            1075.0
+        ),
+        asset!(
+            10,
+            "/keymgr_aes_key[key][0]_283",
+            CryptoKey,
+            256,
+            360.3,
+            154.2,
+            86.0,
+            270.0,
+            333.0,
+            412.2,
+            1311.0
+        ),
+        asset!(
+            11,
+            "/u_otp_ctrl/u_otp_ctrl_scrmbl/gen_anchor_keys",
+            CryptoKey,
+            135,
+            220.1,
+            358.7,
+            0.0,
+            57.0,
+            94.0,
+            162.5,
+            1333.0
+        ),
+        asset!(
+            12,
+            "/otp_ctrl_otp_keymgr_key[key_share1]",
+            CryptoKey,
+            256,
+            262.5,
+            273.4,
+            37.0,
+            51.0,
+            158.0,
+            335.5,
+            1381.0
+        ),
+        asset!(
+            13,
+            "/csrng_tl_rsp[d_data]",
+            Signal,
+            32,
+            1291.8,
+            105.7,
+            1031.0,
+            1244.8,
+            1323.0,
+            1359.8,
+            1432.0
+        ),
+        asset!(
+            14,
+            "/aes_tl_rsp[d_data]",
+            Signal,
+            32,
+            1105.3,
+            411.4,
+            276.0,
+            1135.8,
+            1279.0,
+            1369.5,
+            1631.0
+        ),
+        asset!(
+            15,
+            "/keymgr_otbn_key[key][1]_284",
+            CryptoKey,
+            32,
+            1062.7,
+            281.2,
+            480.0,
+            854.0,
+            1074.5,
+            1270.0,
+            1670.0
+        ),
+        asset!(
+            16,
+            "/u_otp_ctrl/part_otp_rdata",
+            Signal,
+            64,
+            1298.9,
+            213.0,
+            933.0,
+            1118.5,
+            1311.5,
+            1447.2,
+            1784.0
+        ),
+        asset!(
+            17,
+            "/flash_ctrl_otp_rsp[key]",
+            CryptoKey,
+            128,
+            1816.6,
+            404.6,
+            1215.0,
+            1503.0,
+            1717.5,
+            2010.2,
+            3245.0
+        ),
+        asset!(
+            18,
+            "/kmac_app_rsp",
+            Signal,
+            777,
+            94.2,
+            179.7,
+            15.0,
+            40.0,
+            58.0,
+            97.0,
+            3398.0
+        ),
+        asset!(
+            19,
+            "/flash_ctrl_otp_rsp[rand_key]",
+            CryptoKey,
+            128,
+            1908.1,
+            670.7,
+            553.0,
+            1337.0,
+            1882.0,
+            2308.8,
+            3706.0
+        ),
+        asset!(
+            20,
+            "/aes_tl_req[a_data]",
+            Signal,
+            32,
+            2114.8,
+            471.8,
+            1455.0,
+            1805.0,
+            2079.5,
+            2337.2,
+            3946.0
+        ),
     ]
 }
 

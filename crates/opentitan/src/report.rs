@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn regenerated_table_has_twenty_rows() {
-        let rows: Vec<Table1Row> = earl_grey_assets().iter().map(Table1Row::regenerate).collect();
+        let rows: Vec<Table1Row> = earl_grey_assets()
+            .iter()
+            .map(Table1Row::regenerate)
+            .collect();
         assert_eq!(rows.len(), 20);
         let rendered = render_table1(&rows);
         assert!(rendered.contains("/kmac_app_rsp"));
@@ -119,7 +122,10 @@ mod tests {
         }
         // The long TL-UL buses are heavily exposed; the short lc state
         // words barely at all.
-        let aes_req = report.iter().find(|e| e.asset.path == "/aes_tl_req[a_data]").unwrap();
+        let aes_req = report
+            .iter()
+            .find(|e| e.asset.path == "/aes_tl_req[a_data]")
+            .unwrap();
         let lc_state = report
             .iter()
             .find(|e| e.asset.path == "/otp_ctrl_otp_lc_data[state]")

@@ -59,7 +59,9 @@ impl KernelRegression {
                 "kernel regression needs equal-length, non-empty x and y".to_owned(),
             ));
         }
-        if bandwidth.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !bandwidth.is_finite() {
+        if bandwidth.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || !bandwidth.is_finite()
+        {
             return Err(crate::PentimentoError::InvalidConfig(
                 "kernel bandwidth must be positive".to_owned(),
             ));
@@ -205,7 +207,13 @@ mod tests {
         let x: Vec<f64> = (0..200).map(f64::from).collect();
         let y: Vec<f64> = x
             .iter()
-            .map(|&v| if (v as u64).is_multiple_of(2) { 1.0 } else { -1.0 })
+            .map(|&v| {
+                if (v as u64).is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
             .collect();
         let kr = KernelRegression::fit(&x, &y, 10.0, KernelEstimator::LocallyConstant).unwrap();
         assert!(kr.predict(100.0).abs() < 0.05);
@@ -246,7 +254,9 @@ mod tests {
             KernelRegression::fit(&[1.0], &[1.0, 2.0], 1.0, KernelEstimator::LocallyConstant)
                 .is_err()
         );
-        assert!(KernelRegression::fit(&[1.0], &[1.0], 0.0, KernelEstimator::LocallyConstant).is_err());
+        assert!(
+            KernelRegression::fit(&[1.0], &[1.0], 0.0, KernelEstimator::LocallyConstant).is_err()
+        );
     }
 
     #[test]

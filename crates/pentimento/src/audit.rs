@@ -190,9 +190,14 @@ pub fn audit_design(
             level,
             scenario.temperature,
         );
-        state.delta_ps_scaled(&model, 1.0, scenario.wear_factor).abs()
+        state
+            .delta_ps_scaled(&model, 1.0, scenario.wear_factor)
+            .abs()
     };
-    let per_ps = [imprint_per_ps(LogicLevel::Zero), imprint_per_ps(LogicLevel::One)];
+    let per_ps = [
+        imprint_per_ps(LogicLevel::Zero),
+        imprint_per_ps(LogicLevel::One),
+    ];
 
     let mut nets = Vec::with_capacity(sensitive_nets.len());
     for &index in sensitive_nets {
@@ -201,10 +206,7 @@ pub fn audit_design(
         })?;
         let route_ps = net.route.as_ref().map_or(0.0, |r| r.nominal_ps());
         let (imprintable, expected_imprint_ps) = match net.activity {
-            NetActivity::Static(level) => (
-                true,
-                per_ps[usize::from(level.as_bool())] * route_ps,
-            ),
+            NetActivity::Static(level) => (true, per_ps[usize::from(level.as_bool())] * route_ps),
             // Balanced or dynamic nets leave (almost) no differential
             // imprint; audit them as the worst case of their residual.
             NetActivity::Duty(d) => {

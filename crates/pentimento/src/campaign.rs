@@ -1,0 +1,1285 @@
+//! Resilient, resumable attack campaigns against a hostile cloud.
+//!
+//! The threat-model drivers ([`crate::threat_model1`],
+//! [`crate::threat_model2`]) assume a well-behaved provider: every `rent`
+//! succeeds, leases last forever, and every measurement aggregates. A
+//! real multi-hundred-hour campaign meets preempted sessions, capacity
+//! blips, spurious scrubs, and sensor dropouts. This module wraps the
+//! same attacks in a [`Campaign`] runner that:
+//!
+//! * classifies every failure as **transient or fatal**
+//!   ([`PentimentoError::is_transient`]) and retries transients under an
+//!   exponential-backoff [`RetryPolicy`] with deterministic jitter;
+//! * survives **preemption** by re-renting until a physical
+//!   [`DeviceFingerprint`] (per-route silicon delays, process variation)
+//!   confirms the same board came back, squatting on impostors so the
+//!   allocator cannot hand them out again;
+//! * reloads the attack design after **spurious scrubs** — the analog
+//!   imprint under attack survives a scrub by construction;
+//! * records per-route samples **gap-tolerantly** (a measurement whose
+//!   retry budget runs dry drops one sample, not the campaign);
+//! * supports **checkpoint/resume** ([`Campaign::checkpoint`],
+//!   [`Campaign::resume`]) that continues bit-identically: the RNG
+//!   stream, provider state, and fault-draw counters all travel with the
+//!   checkpoint.
+//!
+//! Faults are armed only once the attack window opens (the victim's burn
+//! epoch and the attacker's calibration stay deterministic), so accuracy
+//! degradation in a sweep isolates attack-phase resilience. Backoff time
+//! is *wall-clock only*: waiting out a capacity blip never advances
+//! simulated hours, so a recovered campaign conditions the same
+//! device-hours as an unluckier one.
+
+use bti_physics::{Hours, LogicLevel};
+use cloud::{CloudError, DeviceId, FaultPlan, Provider, Session, TenantId};
+use fpga_fabric::FpgaDevice;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tdc::{SensorFaultPlan, TdcConfig, TdcSensor};
+
+use crate::classify::{
+    BitClassifier, Classification, DriftSlopeClassifier, RecoverySlopeClassifier,
+};
+use crate::designs::{build_condition_design, build_target_design};
+use crate::metrics::RecoveryMetrics;
+use crate::threat_model1::ThreatModel1Config;
+use crate::threat_model2::ThreatModel2Config;
+use crate::{MeasurementMode, PentimentoError, RouteGroupSpec, RouteSeries, Skeleton};
+
+/// Retry budget and backoff shape for transient failures.
+///
+/// Backoff is exponential with multiplicative jitter drawn
+/// deterministically from `jitter_seed` and a per-campaign draw counter,
+/// so replaying a campaign replays its waits. The accumulated wait is
+/// *simulated wall-clock* bookkeeping ([`CampaignStats::backoff_seconds`])
+/// — it never advances provider hours.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempts per operation before the error escalates to
+    /// [`PentimentoError::RetriesExhausted`].
+    pub max_attempts: u32,
+    /// First-retry wait, in seconds.
+    pub base_backoff_s: f64,
+    /// Ceiling on any single wait, in seconds.
+    pub max_backoff_s: f64,
+    /// Seed of the jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 6,
+            base_backoff_s: 0.5,
+            max_backoff_s: 64.0,
+            jitter_seed: 0x00C0_FFEE,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry number `attempt` (1-based), for the
+    /// campaign's `draw`-th backoff overall: exponential growth, capped,
+    /// with jitter in `[0.5, 1.5)` of the nominal value.
+    #[must_use]
+    pub fn backoff_s(&self, attempt: u32, draw: u64) -> f64 {
+        let exponent = attempt.saturating_sub(1).min(32);
+        let nominal = self.base_backoff_s * f64::from(1u32 << exponent.min(20));
+        let jitter = 0.5 + uniform01(self.jitter_seed, draw);
+        (nominal * jitter).min(self.max_backoff_s)
+    }
+}
+
+/// SplitMix64-derived uniform draw in `[0, 1)` — deterministic jitter.
+fn uniform01(seed: u64, counter: u64) -> f64 {
+    let mut z = seed ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Which attack the campaign drives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Mission {
+    /// Threat Model 1: drift extraction from a rented sealed AFI.
+    ThreatModel1(ThreatModel1Config),
+    /// Threat Model 2: recovery-slope extraction after the victim left.
+    ThreatModel2(ThreatModel2Config),
+}
+
+impl Mission {
+    fn tag(&self) -> &'static str {
+        match self {
+            Self::ThreatModel1(_) => "tm1",
+            Self::ThreatModel2(_) => "tm2",
+        }
+    }
+
+    fn seed(&self) -> u64 {
+        // The same derivations the plain drivers use, so a benign campaign
+        // replays their RNG streams exactly.
+        match self {
+            Self::ThreatModel1(c) => c.seed ^ 0x7EA5_E77E,
+            Self::ThreatModel2(c) => c.seed ^ 0x0DD_B175,
+        }
+    }
+
+    fn specs(&self) -> Vec<RouteGroupSpec> {
+        let (lengths, count) = match self {
+            Self::ThreatModel1(c) => (&c.route_lengths_ps, c.routes_per_length),
+            Self::ThreatModel2(c) => (&c.route_lengths_ps, c.routes_per_length),
+        };
+        lengths
+            .iter()
+            .map(|&target_ps| RouteGroupSpec { target_ps, count })
+            .collect()
+    }
+
+    fn mode(&self) -> MeasurementMode {
+        match self {
+            Self::ThreatModel1(c) => c.mode,
+            Self::ThreatModel2(c) => c.mode,
+        }
+    }
+
+    fn measurement_repeats(&self) -> usize {
+        match self {
+            Self::ThreatModel1(c) => c.measurement_repeats.max(1),
+            Self::ThreatModel2(c) => c.measurement_repeats.max(1),
+        }
+    }
+
+    fn attack_hours(&self) -> usize {
+        match self {
+            Self::ThreatModel1(c) => c.burn_hours,
+            Self::ThreatModel2(c) => c.attack_hours,
+        }
+    }
+
+    fn measure_every(&self) -> usize {
+        match self {
+            Self::ThreatModel1(c) => c.measure_every.max(1),
+            Self::ThreatModel2(_) => 1,
+        }
+    }
+}
+
+/// Hostile-environment knobs and recovery tuning for one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Retry budget and backoff shape.
+    pub retry: RetryPolicy,
+    /// Cloud-level fault plan, armed when the attack window opens.
+    /// Scheduled fault times are interpreted as **hours into the attack
+    /// window** and rebased onto provider time at arming.
+    pub fault_plan: FaultPlan,
+    /// Sensor-level fault plan, installed on every placed sensor when the
+    /// attack window opens (calibration stays clean).
+    pub sensor_faults: SensorFaultPlan,
+    /// Per-route delay slack for fingerprint matching, in ps. Aging moves
+    /// a route by well under a picosecond over a campaign; distinct
+    /// silicon differs by tens to hundreds.
+    pub fingerprint_tolerance_ps: f64,
+    /// Minimum fraction of usable samples per trace for the robust
+    /// aggregation path (engaged only under hostile sensor faults).
+    pub robust_min_quorum: f64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            retry: RetryPolicy::default(),
+            fault_plan: FaultPlan::none(),
+            sensor_faults: SensorFaultPlan::none(),
+            fingerprint_tolerance_ps: 10.0,
+            robust_min_quorum: 0.5,
+        }
+    }
+}
+
+/// What the resilience machinery did during a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Transient `rent` failures retried.
+    pub rent_retries: u32,
+    /// Transient measurement failures retried.
+    pub measurement_retries: u32,
+    /// Preemptions survived by reacquiring the fingerprinted board.
+    pub reacquisitions: u32,
+    /// Wrong boards rented, squatted, and returned during reacquisition.
+    pub impostors_rejected: u32,
+    /// Attack-design reloads after spurious scrubs.
+    pub scrub_reloads: u32,
+    /// Route-hours recorded from a partial set of repeats.
+    pub degraded_points: usize,
+    /// Route-hours abandoned after the retry budget ran dry.
+    pub dropped_points: usize,
+    /// Total simulated wall-clock backoff, in seconds (never advances
+    /// provider hours).
+    pub backoff_seconds: f64,
+    /// Routes the scored classifier abstained on.
+    pub abstained: usize,
+    /// Faults of any kind the provider's ledger recorded.
+    pub faults_injected: usize,
+}
+
+/// Everything a finished campaign produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// Per-route measurement series (gap-tolerant: dropped samples are
+    /// simply absent).
+    pub series: Vec<RouteSeries>,
+    /// Hard-decision recovered bits (same rule as the plain drivers).
+    pub recovered: Vec<LogicLevel>,
+    /// Scored verdicts with confidence, including abstentions.
+    pub scored: Vec<Classification>,
+    /// Ground-truth secret.
+    pub truth: Vec<LogicLevel>,
+    /// Attack quality of the hard decisions.
+    pub metrics: RecoveryMetrics,
+    /// What the resilience machinery did.
+    pub stats: CampaignStats,
+}
+
+/// A physical device fingerprint: the per-route silicon delays of the
+/// skeleton, which process variation makes unique per die and aging moves
+/// by well under a picosecond over a campaign.
+///
+/// Device *identifiers* are a simulation artifact a real cloud does not
+/// expose across leases; matching delays against a tolerance is what an
+/// actual attacker can do (the paper's device-fingerprinting observation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceFingerprint {
+    route_rise_ps: Vec<f64>,
+}
+
+impl DeviceFingerprint {
+    /// Reads the fingerprint of `device` over the skeleton's routes.
+    #[must_use]
+    pub fn capture(device: &FpgaDevice, skeleton: &Skeleton) -> Self {
+        Self {
+            route_rise_ps: skeleton
+                .routes()
+                .map(|r| device.route_delay(r).rise_ps)
+                .collect(),
+        }
+    }
+
+    /// Whether `device` carries this fingerprint, to within
+    /// `tolerance_ps` on every route.
+    #[must_use]
+    pub fn matches(&self, device: &FpgaDevice, skeleton: &Skeleton, tolerance_ps: f64) -> bool {
+        let observed = Self::capture(device, skeleton);
+        observed.route_rise_ps.len() == self.route_rise_ps.len()
+            && observed
+                .route_rise_ps
+                .iter()
+                .zip(&self.route_rise_ps)
+                .all(|(a, b)| (a - b).abs() <= tolerance_ps)
+    }
+
+    /// A compact digest (FNV-1a over 25 ps-quantized delays) for
+    /// manifests and logs. Coarse quantization makes the digest stable
+    /// under campaign-scale aging; verification always uses
+    /// [`matches`](Self::matches), never digest equality.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for &ps in &self.route_rise_ps {
+            let bucket = (ps / 25.0).round() as i64;
+            for byte in bucket.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        hash
+    }
+}
+
+/// What to reload onto the device after a scrub or reacquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum AttackDesign {
+    /// Threat Model 1 conditions via the sealed marketplace AFI.
+    Afi(cloud::AfiId),
+    /// Threat Model 2 conditions every route to a level.
+    Condition(LogicLevel),
+}
+
+/// The mutable mid-campaign state a checkpoint must carry.
+#[derive(Debug, Clone)]
+struct RunState {
+    session: Option<Session>,
+    skeleton: Skeleton,
+    truth: Vec<LogicLevel>,
+    sensors: Vec<TdcSensor>,
+    hours_log: Vec<f64>,
+    readings: Vec<Vec<Option<f64>>>,
+    /// Completed attack-window hours.
+    hour: usize,
+    attack_design: AttackDesign,
+    victim_device: DeviceId,
+    fingerprint: DeviceFingerprint,
+}
+
+/// A resilient, resumable attack campaign. Owns the provider so that a
+/// checkpoint captures the *entire* world — fleet aging, ledger, fault
+/// counters — and resume replays bit-identically.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    provider: Provider,
+    mission: Mission,
+    config: CampaignConfig,
+    rng: StdRng,
+    run: RunState,
+    stats: CampaignStats,
+    backoff_draws: u64,
+    armed: bool,
+}
+
+/// A point-in-time snapshot of a campaign plus an integrity manifest.
+///
+/// The snapshot is clone-based (the simulation lives in memory); the
+/// manifest is the hand-rolled JSON summary [`Campaign::manifest_json`]
+/// produces, and [`Campaign::resume`] rejects a checkpoint whose manifest
+/// no longer describes its state with
+/// [`PentimentoError::CheckpointCorrupt`].
+#[derive(Debug, Clone)]
+pub struct CampaignCheckpoint {
+    campaign: Campaign,
+    manifest: String,
+}
+
+impl CampaignCheckpoint {
+    /// The integrity manifest this checkpoint was sealed with.
+    #[must_use]
+    pub fn manifest(&self) -> &str {
+        &self.manifest
+    }
+}
+
+impl Campaign {
+    /// Sets up a campaign: runs the mission's deterministic prologue
+    /// (vendor/victim epoch, skeleton, calibration, baseline measurement)
+    /// on a *clean* provider, then arms the hostile fault plans for the
+    /// attack window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup failures; transient rent failures are retried
+    /// under the policy and escalate to
+    /// [`PentimentoError::RetriesExhausted`].
+    pub fn new(
+        provider: Provider,
+        mission: Mission,
+        config: CampaignConfig,
+    ) -> Result<Self, PentimentoError> {
+        let rng = StdRng::seed_from_u64(mission.seed());
+        let mut campaign = Self {
+            provider,
+            mission,
+            config,
+            rng,
+            run: RunState {
+                session: None,
+                skeleton: Skeleton::empty(),
+                truth: Vec::new(),
+                sensors: Vec::new(),
+                hours_log: Vec::new(),
+                readings: Vec::new(),
+                hour: 0,
+                attack_design: AttackDesign::Condition(LogicLevel::Zero),
+                victim_device: DeviceId(0),
+                fingerprint: DeviceFingerprint {
+                    route_rise_ps: Vec::new(),
+                },
+            },
+            stats: CampaignStats::default(),
+            backoff_draws: 0,
+            armed: false,
+        };
+        campaign.setup()?;
+        campaign.arm();
+        Ok(campaign)
+    }
+
+    /// The mission-specific deterministic prologue. Mirrors the plain
+    /// drivers' operation and RNG order exactly, so a benign campaign is
+    /// bit-identical to them.
+    fn setup(&mut self) -> Result<(), PentimentoError> {
+        match self.mission.clone() {
+            Mission::ThreatModel1(cfg) => self.setup_tm1(&cfg),
+            Mission::ThreatModel2(cfg) => self.setup_tm2(&cfg),
+        }
+    }
+
+    fn setup_tm1(&mut self, cfg: &ThreatModel1Config) -> Result<(), PentimentoError> {
+        let attacker = TenantId::new("attacker");
+        let session = self.rent_with_retries(&attacker)?;
+
+        let specs = self.mission.specs();
+        let skeleton = Skeleton::place(self.provider.device(&session)?, &specs)?;
+        let truth: Vec<LogicLevel> = (0..skeleton.len())
+            .map(|_| LogicLevel::from_bool(self.rng.gen()))
+            .collect();
+        let vendor = TenantId::new("vendor");
+        let afi = self.provider.marketplace_mut().publish(
+            vendor,
+            build_target_design(&skeleton, &truth),
+            true,
+        );
+        if self
+            .provider
+            .marketplace()
+            .get(afi)?
+            .inspect(&attacker)
+            .is_ok()
+        {
+            return Err(PentimentoError::InvalidConfig(
+                "marketplace seal broken: the attack must not read the AFI".to_owned(),
+            ));
+        }
+
+        let mut sensors = Vec::new();
+        if cfg.mode == MeasurementMode::Tdc {
+            let device = self.provider.device(&session)?;
+            for entry in skeleton.entries() {
+                let mut sensor = TdcSensor::place(device, entry.route.clone(), TdcConfig::cloud())?;
+                sensor.calibrate(device, &mut self.rng)?;
+                sensors.push(sensor);
+            }
+        }
+
+        let fingerprint = DeviceFingerprint::capture(self.provider.device(&session)?, &skeleton);
+        self.run = RunState {
+            victim_device: session.device_id(),
+            session: Some(session),
+            readings: vec![Vec::new(); skeleton.len()],
+            skeleton,
+            truth,
+            sensors,
+            hours_log: Vec::new(),
+            hour: 0,
+            attack_design: AttackDesign::Afi(afi),
+            fingerprint,
+        };
+
+        // Pre-burn baseline (clean epoch), then load the sealed AFI.
+        self.record(0.0)?;
+        let session = self.current_session()?;
+        self.provider.load_afi(&session, afi)?;
+        Ok(())
+    }
+
+    fn setup_tm2(&mut self, cfg: &ThreatModel2Config) -> Result<(), PentimentoError> {
+        let specs = self.mission.specs();
+
+        // --- Victim epoch (unobserved; always fault-free). --------------
+        let victim = TenantId::new("victim");
+        let victim_session = self.rent_with_retries(&victim)?;
+        let victim_device = victim_session.device_id();
+        let skeleton = Skeleton::place(self.provider.device(&victim_session)?, &specs)?;
+        let truth: Vec<LogicLevel> = (0..skeleton.len())
+            .map(|_| LogicLevel::from_bool(self.rng.gen()))
+            .collect();
+        self.provider
+            .load_design(&victim_session, build_target_design(&skeleton, &truth))?;
+
+        let attacker = TenantId::new("attacker");
+        let squatted = self.provider.rent_all(attacker.clone()).unwrap_or_default();
+
+        self.provider
+            .advance_time(Hours::new(cfg.victim_hours as f64));
+
+        if cfg.victim_hold_and_recover_hours > 0 {
+            self.provider.unload(&victim_session)?;
+            let mut scrubber = fpga_fabric::Design::new("victim-scrubber");
+            scrubber.set_power_watts(crate::designs::CONDITION_WATTS);
+            for (i, entry) in skeleton.entries().iter().enumerate() {
+                scrubber.add_net(
+                    format!("toggle[{i}]"),
+                    fpga_fabric::NetActivity::Duty(bti_physics::DutyCycle::BALANCED),
+                    Some(entry.route.clone()),
+                );
+            }
+            self.provider.load_design(&victim_session, scrubber)?;
+            self.provider
+                .advance_time(Hours::new(cfg.victim_hold_and_recover_hours as f64));
+        }
+
+        self.provider.unload(&victim_session)?;
+        self.provider.release(victim_session)?; // scrub happens here
+
+        // --- Flash attack: reacquire the victim's exact board. -----------
+        // The attacker has no pre-victim fingerprint, so this first
+        // reacquisition leans on the squat (every other board is held);
+        // the fingerprint captured here guards all later reacquisitions.
+        let mut impostors: Vec<Session> = Vec::new();
+        let mut reacquired = None;
+        for _ in 0..self.config.retry.max_attempts {
+            let session = self.rent_with_retries(&attacker)?;
+            if session.device_id() == victim_device {
+                reacquired = Some(session);
+                break;
+            }
+            self.stats.impostors_rejected += 1;
+            impostors.push(session);
+        }
+        for s in impostors {
+            release_best_effort(&mut self.provider, s);
+        }
+        for s in squatted {
+            release_best_effort(&mut self.provider, s);
+        }
+        let session = reacquired.ok_or(PentimentoError::VictimDeviceLost)?;
+
+        let mut sensors = Vec::new();
+        if cfg.mode == MeasurementMode::Tdc {
+            let device = self.provider.device(&session)?;
+            for entry in skeleton.entries() {
+                let mut sensor = TdcSensor::place(device, entry.route.clone(), TdcConfig::cloud())?;
+                sensor.calibrate(device, &mut self.rng)?;
+                sensors.push(sensor);
+            }
+        }
+
+        let fingerprint = DeviceFingerprint::capture(self.provider.device(&session)?, &skeleton);
+        self.run = RunState {
+            victim_device,
+            session: Some(session),
+            readings: vec![Vec::new(); skeleton.len()],
+            skeleton,
+            truth,
+            sensors,
+            hours_log: Vec::new(),
+            hour: 0,
+            attack_design: AttackDesign::Condition(cfg.condition_level),
+            fingerprint,
+        };
+
+        self.record(0.0)?;
+        let session = self.current_session()?;
+        self.load_attack_design(&session)?;
+        Ok(())
+    }
+
+    /// Arms the hostile fault plans for the attack window. Scheduled
+    /// fault times rebase from "hours into the attack" onto provider
+    /// time.
+    fn arm(&mut self) {
+        let mut plan = self.config.fault_plan.clone();
+        let epoch = self.provider.now();
+        for fault in &mut plan.schedule {
+            fault.at = Hours::new(fault.at.value() + epoch.value());
+        }
+        self.provider.set_fault_plan(plan);
+        for sensor in &mut self.run.sensors {
+            sensor.set_fault_plan(self.config.sensor_faults.clone());
+        }
+        self.armed = true;
+    }
+
+    /// Completed attack-window hours so far.
+    #[must_use]
+    pub fn hour(&self) -> usize {
+        self.run.hour
+    }
+
+    /// Whether every attack-window hour has elapsed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.run.hour >= self.mission.attack_hours()
+    }
+
+    /// Resilience counters so far.
+    #[must_use]
+    pub fn stats(&self) -> &CampaignStats {
+        &self.stats
+    }
+
+    /// The provider (ledger and fleet introspection).
+    #[must_use]
+    pub fn provider(&self) -> &Provider {
+        &self.provider
+    }
+
+    /// Advances one attack-window hour: step the world, repair whatever
+    /// the hostile cloud broke, and take the hour's measurements.
+    ///
+    /// Returns `Ok(true)` while more hours remain.
+    ///
+    /// # Errors
+    ///
+    /// Fatal (non-transient) failures and exhausted retry budgets.
+    pub fn step(&mut self) -> Result<bool, PentimentoError> {
+        let total = self.mission.attack_hours();
+        if self.run.hour >= total {
+            return Ok(false);
+        }
+        self.provider.advance_time(Hours::new(1.0));
+        self.run.hour += 1;
+        // Faults fire at the end of `advance_time`; repairing before any
+        // further time passes means a survived fault costs zero
+        // conditioning hours (the transparency the proptests pin down).
+        self.ensure_session()?;
+        if self.run.hour.is_multiple_of(self.mission.measure_every()) {
+            self.record(self.run.hour as f64)?;
+        }
+        Ok(self.run.hour < total)
+    }
+
+    /// Runs every remaining hour, then classifies.
+    ///
+    /// # Errors
+    ///
+    /// Fatal failures from stepping or series construction.
+    pub fn run(&mut self) -> Result<CampaignOutcome, PentimentoError> {
+        while self.step()? {}
+        self.finalize()
+    }
+
+    /// Releases the lease and turns the recorded series into verdicts.
+    fn finalize(&mut self) -> Result<CampaignOutcome, PentimentoError> {
+        if let Some(session) = self.run.session.take() {
+            // A preemption on the very last step may have revoked the
+            // lease already; that is not a campaign failure.
+            match self.provider.unload(&session) {
+                Ok(_) | Err(CloudError::SessionRevoked) => {}
+                Err(e) => return Err(e.into()),
+            }
+            match self.provider.release(session) {
+                Ok(()) | Err(CloudError::SessionRevoked) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        let mut series = Vec::with_capacity(self.run.skeleton.len());
+        for (i, entry) in self.run.skeleton.entries().iter().enumerate() {
+            let observations: Vec<(f64, Option<f64>)> = self
+                .run
+                .hours_log
+                .iter()
+                .copied()
+                .zip(self.run.readings[i].iter().copied())
+                .collect();
+            series.push(RouteSeries::from_observations(
+                i,
+                entry.target_ps,
+                self.run.truth[i],
+                &observations,
+            )?);
+        }
+
+        let (recovered, scored) = match &self.mission {
+            Mission::ThreatModel1(_) => {
+                let classifier = DriftSlopeClassifier::new();
+                (
+                    classifier.classify_all(&series),
+                    classifier.classify_all_scored(&series),
+                )
+            }
+            Mission::ThreatModel2(cfg) => {
+                let reference = self.provider.device_by_id(self.run.victim_device)?;
+                let burn_temp = reference
+                    .thermal()
+                    .die_temperature(crate::designs::ARITHMETIC_HEAVY_WATTS);
+                let attack_temp = reference
+                    .thermal()
+                    .die_temperature(crate::designs::CONDITION_WATTS);
+                let classifier = RecoverySlopeClassifier::calibrated(
+                    reference.bti_model(),
+                    cfg.victim_hours as f64,
+                    cfg.attack_hours as f64,
+                    burn_temp,
+                    attack_temp,
+                    reference.wear_factor(),
+                );
+                (
+                    classifier.classify_all(&series),
+                    classifier.classify_all_scored(&series),
+                )
+            }
+        };
+        self.stats.abstained = scored.iter().filter(|c| c.verdict.is_abstain()).count();
+        self.stats.faults_injected = self.provider.ledger().faults().len();
+        let metrics = RecoveryMetrics::score(&series, &recovered);
+        Ok(CampaignOutcome {
+            series,
+            recovered,
+            scored,
+            truth: self.run.truth.clone(),
+            metrics,
+            stats: self.stats,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / resume
+    // ------------------------------------------------------------------
+
+    /// The hand-rolled JSON manifest describing this campaign's position:
+    /// the integrity seal a checkpoint carries.
+    #[must_use]
+    pub fn manifest_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"version\":1,\"mission\":\"{}\",\"hour\":{},",
+                "\"measurements\":{},\"routes\":{},\"fingerprint\":\"{:#018x}\"}}"
+            ),
+            self.mission.tag(),
+            self.run.hour,
+            self.run.hours_log.len(),
+            self.run.skeleton.len(),
+            self.run.fingerprint.digest(),
+        )
+    }
+
+    /// Snapshots the whole campaign — provider, RNG stream, fault
+    /// counters, readings — sealed with [`manifest_json`](Self::manifest_json).
+    #[must_use]
+    pub fn checkpoint(&self) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            campaign: self.clone(),
+            manifest: self.manifest_json(),
+        }
+    }
+
+    /// Rebuilds a campaign from a checkpoint, validating the manifest
+    /// against the snapshotted state first.
+    ///
+    /// A resumed campaign continues **bit-identically**: stepping it
+    /// produces the same fault stream, the same measurements, and the
+    /// same classified bits as the campaign it was taken from.
+    ///
+    /// # Errors
+    ///
+    /// [`PentimentoError::CheckpointCorrupt`] when the manifest no longer
+    /// matches the state (tampering, truncation, version skew).
+    pub fn resume(checkpoint: CampaignCheckpoint) -> Result<Self, PentimentoError> {
+        let expected = checkpoint.campaign.manifest_json();
+        if checkpoint.manifest != expected {
+            return Err(PentimentoError::CheckpointCorrupt(format!(
+                "manifest mismatch: sealed {} but state describes {expected}",
+                checkpoint.manifest
+            )));
+        }
+        Ok(checkpoint.campaign)
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery machinery
+    // ------------------------------------------------------------------
+
+    fn current_session(&self) -> Result<Session, PentimentoError> {
+        self.run
+            .session
+            .clone()
+            .ok_or(PentimentoError::VictimDeviceLost)
+    }
+
+    /// Verifies the lease still stands and the attack design is still
+    /// loaded, repairing both if the hostile cloud intervened.
+    fn ensure_session(&mut self) -> Result<(), PentimentoError> {
+        let session = match &self.run.session {
+            Some(s) => s.clone(),
+            None => return self.reacquire(),
+        };
+        match self.provider.device(&session) {
+            Ok(device) => {
+                if device.loaded_design().is_none() {
+                    // Spurious scrub: the lease survived, the design did
+                    // not. The analog imprint is untouched — reload.
+                    self.stats.scrub_reloads += 1;
+                    self.load_attack_design(&session)?;
+                }
+                Ok(())
+            }
+            Err(CloudError::SessionRevoked) => {
+                self.run.session = None;
+                self.reacquire()
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Wins the device back after a preemption: rent, fingerprint, and
+    /// squat on impostors until the right silicon comes home.
+    fn reacquire(&mut self) -> Result<(), PentimentoError> {
+        let tenant = TenantId::new("attacker");
+        let mut impostors: Vec<Session> = Vec::new();
+        let mut outcome: Result<Session, PentimentoError> = Err(PentimentoError::VictimDeviceLost);
+        for attempt in 1..=self.config.retry.max_attempts {
+            match self.provider.rent(tenant.clone()) {
+                Ok(session) => {
+                    let device = self.provider.device(&session)?;
+                    if self.run.fingerprint.matches(
+                        device,
+                        &self.run.skeleton,
+                        self.config.fingerprint_tolerance_ps,
+                    ) {
+                        outcome = Ok(session);
+                        break;
+                    }
+                    self.stats.impostors_rejected += 1;
+                    impostors.push(session);
+                    self.note_backoff(attempt);
+                }
+                Err(e) if e.is_transient() => {
+                    self.stats.rent_retries += 1;
+                    self.note_backoff(attempt);
+                }
+                Err(e) => {
+                    outcome = Err(e.into());
+                    break;
+                }
+            }
+        }
+        for s in impostors {
+            release_best_effort(&mut self.provider, s);
+        }
+        match outcome {
+            Ok(session) => {
+                self.stats.reacquisitions += 1;
+                self.load_attack_design(&session)?;
+                self.run.session = Some(session);
+                Ok(())
+            }
+            Err(e) if e.is_transient() => Err(PentimentoError::RetriesExhausted {
+                operation: "reacquire device",
+                attempts: self.config.retry.max_attempts,
+                last: Box::new(e),
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn load_attack_design(&mut self, session: &Session) -> Result<(), PentimentoError> {
+        match self.run.attack_design {
+            AttackDesign::Afi(afi) => self.provider.load_afi(session, afi)?,
+            AttackDesign::Condition(level) => {
+                let design = build_condition_design(&self.run.skeleton, level);
+                self.provider.load_design(session, design)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn rent_with_retries(&mut self, tenant: &TenantId) -> Result<Session, PentimentoError> {
+        let mut last = PentimentoError::Cloud(CloudError::CapacityExhausted);
+        for attempt in 1..=self.config.retry.max_attempts {
+            match self.provider.rent(tenant.clone()) {
+                Ok(session) => return Ok(session),
+                Err(e) if e.is_transient() => {
+                    self.stats.rent_retries += 1;
+                    last = e.into();
+                    self.note_backoff(attempt);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(PentimentoError::RetriesExhausted {
+            operation: "rent",
+            attempts: self.config.retry.max_attempts,
+            last: Box::new(last),
+        })
+    }
+
+    fn note_backoff(&mut self, attempt: u32) {
+        let wait = self.config.retry.backoff_s(attempt, self.backoff_draws);
+        self.backoff_draws += 1;
+        self.stats.backoff_seconds += wait;
+    }
+
+    // ------------------------------------------------------------------
+    // Measurement
+    // ------------------------------------------------------------------
+
+    /// Takes one measurement phase: every route, `measurement_repeats`
+    /// sensor reads each, gap-tolerantly.
+    fn record(&mut self, hour: f64) -> Result<(), PentimentoError> {
+        let session = self.current_session()?;
+        self.run.hours_log.push(hour);
+        match self.mission.mode() {
+            MeasurementMode::Oracle => {
+                let device = self.provider.device(&session)?;
+                let values: Vec<f64> = self
+                    .run
+                    .skeleton
+                    .routes()
+                    .map(|route| device.route_delta_ps(route))
+                    .collect();
+                for (per_route, value) in self.run.readings.iter_mut().zip(values) {
+                    per_route.push(Some(value));
+                }
+            }
+            MeasurementMode::Tdc => {
+                let repeats = self.mission.measurement_repeats();
+                for i in 0..self.run.sensors.len() {
+                    let mut acc = 0.0;
+                    let mut got = 0usize;
+                    for _ in 0..repeats {
+                        if let Some(delta) = self.measure_with_retries(&session, i)? {
+                            acc += delta;
+                            got += 1;
+                        }
+                    }
+                    let value = if got > 0 {
+                        Some(acc / got as f64)
+                    } else {
+                        None
+                    };
+                    if got == 0 {
+                        self.stats.dropped_points += 1;
+                    } else if got < repeats {
+                        self.stats.degraded_points += 1;
+                    }
+                    self.run.readings[i].push(value);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One sensor read with the retry budget. `Ok(None)` means the budget
+    /// ran dry on transient errors: the sample is dropped, the campaign
+    /// continues (the gap-tolerant series absorbs it).
+    fn measure_with_retries(
+        &mut self,
+        session: &Session,
+        route: usize,
+    ) -> Result<Option<f64>, PentimentoError> {
+        // The robust (quorum + MAD) aggregation path is engaged exactly
+        // when the sensor fault model is: on clean traces the plain
+        // estimator is the attacker's optimum, and keeping it there makes
+        // a benign campaign byte-identical to the plain drivers.
+        let robust = self.armed && !self.config.sensor_faults.is_benign();
+        for attempt in 1..=self.config.retry.max_attempts {
+            let device = self.provider.device(session)?;
+            let sensor = &self.run.sensors[route];
+            let result = if robust {
+                sensor.measure_robust(device, self.config.robust_min_quorum, &mut self.rng)
+            } else {
+                sensor.measure(device, &mut self.rng)
+            };
+            match result {
+                Ok(measurement) => return Ok(Some(measurement.delta_ps)),
+                Err(e) if e.is_transient() => {
+                    self.stats.measurement_retries += 1;
+                    self.note_backoff(attempt);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(None)
+    }
+}
+
+fn release_best_effort(provider: &mut Provider, session: Session) {
+    // A session the hostile cloud already revoked has nothing to release.
+    match provider.release(session) {
+        Ok(()) | Err(CloudError::SessionRevoked) => {}
+        Err(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{threat_model1, threat_model2};
+    use cloud::{FaultKind, ProviderConfig};
+
+    fn tm1_config() -> ThreatModel1Config {
+        ThreatModel1Config {
+            route_lengths_ps: vec![5_000.0, 10_000.0],
+            routes_per_length: 4,
+            burn_hours: 60,
+            measure_every: 10,
+            mode: MeasurementMode::Oracle,
+            seed: 11,
+            measurement_repeats: 1,
+        }
+    }
+
+    fn tm2_config() -> ThreatModel2Config {
+        ThreatModel2Config {
+            route_lengths_ps: vec![5_000.0, 10_000.0],
+            routes_per_length: 4,
+            victim_hours: 100,
+            attack_hours: 25,
+            condition_level: LogicLevel::Zero,
+            mode: MeasurementMode::Oracle,
+            seed: 13,
+            measurement_repeats: 1,
+            victim_hold_and_recover_hours: 0,
+        }
+    }
+
+    #[test]
+    fn benign_tm1_campaign_matches_the_plain_driver() {
+        let mut plain = Provider::new(ProviderConfig::aws_f1_like(2, 1));
+        let driver = threat_model1::run(&mut plain, &tm1_config()).unwrap();
+
+        let provider = Provider::new(ProviderConfig::aws_f1_like(2, 1));
+        let mut campaign = Campaign::new(
+            provider,
+            Mission::ThreatModel1(tm1_config()),
+            CampaignConfig::default(),
+        )
+        .unwrap();
+        let outcome = campaign.run().unwrap();
+
+        assert_eq!(outcome.series, driver.series);
+        assert_eq!(outcome.recovered, driver.recovered);
+        assert_eq!(outcome.truth, driver.truth);
+        assert_eq!(outcome.stats.faults_injected, 0);
+    }
+
+    #[test]
+    fn benign_tm1_campaign_matches_the_driver_through_the_sensor() {
+        let mut config = tm1_config();
+        config.mode = MeasurementMode::Tdc;
+        config.route_lengths_ps = vec![5_000.0];
+        config.routes_per_length = 2;
+        config.burn_hours = 30;
+
+        let mut plain = Provider::new(ProviderConfig::aws_f1_like(1, 2));
+        let driver = threat_model1::run(&mut plain, &config).unwrap();
+
+        let provider = Provider::new(ProviderConfig::aws_f1_like(1, 2));
+        let mut campaign = Campaign::new(
+            provider,
+            Mission::ThreatModel1(config),
+            CampaignConfig::default(),
+        )
+        .unwrap();
+        let outcome = campaign.run().unwrap();
+        assert_eq!(
+            outcome.series, driver.series,
+            "TDC path must be byte-identical"
+        );
+        assert_eq!(outcome.recovered, driver.recovered);
+    }
+
+    #[test]
+    fn benign_tm2_campaign_matches_the_plain_driver() {
+        let mut plain = Provider::new(ProviderConfig::aws_f1_like(3, 5));
+        let driver = threat_model2::run(&mut plain, &tm2_config()).unwrap();
+
+        let provider = Provider::new(ProviderConfig::aws_f1_like(3, 5));
+        let mut campaign = Campaign::new(
+            provider,
+            Mission::ThreatModel2(tm2_config()),
+            CampaignConfig::default(),
+        )
+        .unwrap();
+        let outcome = campaign.run().unwrap();
+        assert_eq!(outcome.series, driver.series);
+        assert_eq!(outcome.recovered, driver.recovered);
+        assert_eq!(outcome.truth, driver.truth);
+    }
+
+    #[test]
+    fn tm1_campaign_survives_a_scheduled_preemption_transparently() {
+        let benign = {
+            let provider = Provider::new(ProviderConfig::aws_f1_like(2, 1));
+            Campaign::new(
+                provider,
+                Mission::ThreatModel1(tm1_config()),
+                CampaignConfig::default(),
+            )
+            .unwrap()
+            .run()
+            .unwrap()
+        };
+
+        let provider = Provider::new(ProviderConfig::aws_f1_like(2, 1));
+        let mut config = CampaignConfig::default();
+        config.fault_plan =
+            FaultPlan::none().with_scheduled(Hours::new(25.0), FaultKind::Preemption);
+        let mut campaign =
+            Campaign::new(provider, Mission::ThreatModel1(tm1_config()), config).unwrap();
+        let outcome = campaign.run().unwrap();
+
+        assert_eq!(outcome.stats.reacquisitions, 1);
+        assert_eq!(outcome.stats.faults_injected, 1);
+        assert_eq!(
+            outcome.series, benign.series,
+            "a repaired preemption must cost zero conditioning"
+        );
+        assert_eq!(outcome.recovered, benign.recovered);
+    }
+
+    #[test]
+    fn tm1_campaign_reloads_after_a_spurious_scrub() {
+        let benign = {
+            let provider = Provider::new(ProviderConfig::aws_f1_like(2, 1));
+            Campaign::new(
+                provider,
+                Mission::ThreatModel1(tm1_config()),
+                CampaignConfig::default(),
+            )
+            .unwrap()
+            .run()
+            .unwrap()
+        };
+
+        let provider = Provider::new(ProviderConfig::aws_f1_like(2, 1));
+        let mut config = CampaignConfig::default();
+        config.fault_plan =
+            FaultPlan::none().with_scheduled(Hours::new(7.0), FaultKind::SpuriousScrub);
+        let mut campaign =
+            Campaign::new(provider, Mission::ThreatModel1(tm1_config()), config).unwrap();
+        let outcome = campaign.run().unwrap();
+
+        assert_eq!(outcome.stats.scrub_reloads, 1);
+        assert_eq!(outcome.series, benign.series);
+    }
+
+    #[test]
+    fn tm2_campaign_reacquires_the_victim_board_by_fingerprint() {
+        let benign = {
+            let provider = Provider::new(ProviderConfig::aws_f1_like(3, 5));
+            Campaign::new(
+                provider,
+                Mission::ThreatModel2(tm2_config()),
+                CampaignConfig::default(),
+            )
+            .unwrap()
+            .run()
+            .unwrap()
+        };
+
+        let provider = Provider::new(ProviderConfig::aws_f1_like(3, 5));
+        let mut config = CampaignConfig::default();
+        config.fault_plan =
+            FaultPlan::none().with_scheduled(Hours::new(10.0), FaultKind::Preemption);
+        let mut campaign =
+            Campaign::new(provider, Mission::ThreatModel2(tm2_config()), config).unwrap();
+        let outcome = campaign.run().unwrap();
+
+        assert_eq!(outcome.stats.reacquisitions, 1);
+        assert_eq!(outcome.series, benign.series);
+        assert_eq!(outcome.recovered, benign.recovered);
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_bit_identically() {
+        let build = || {
+            let provider = Provider::new(ProviderConfig::aws_f1_like(2, 1));
+            let mut config = CampaignConfig::default();
+            // A preemption *after* the checkpoint proves the fault stream
+            // replays across resume.
+            config.fault_plan =
+                FaultPlan::none().with_scheduled(Hours::new(40.0), FaultKind::Preemption);
+            Campaign::new(provider, Mission::ThreatModel1(tm1_config()), config).unwrap()
+        };
+
+        let mut uninterrupted = build();
+        let reference = uninterrupted.run().unwrap();
+
+        let mut interrupted = build();
+        for _ in 0..20 {
+            interrupted.step().unwrap();
+        }
+        let checkpoint = interrupted.checkpoint();
+        drop(interrupted); // the original "process" dies here
+
+        let mut resumed = Campaign::resume(checkpoint).unwrap();
+        let outcome = resumed.run().unwrap();
+
+        assert_eq!(outcome.series, reference.series);
+        assert_eq!(outcome.recovered, reference.recovered);
+        assert_eq!(outcome.stats.reacquisitions, reference.stats.reacquisitions);
+    }
+
+    #[test]
+    fn tampered_checkpoint_is_rejected() {
+        let provider = Provider::new(ProviderConfig::aws_f1_like(2, 1));
+        let campaign = Campaign::new(
+            provider,
+            Mission::ThreatModel1(tm1_config()),
+            CampaignConfig::default(),
+        )
+        .unwrap();
+        let mut checkpoint = campaign.checkpoint();
+        checkpoint.manifest = checkpoint.manifest.replace("\"hour\":0", "\"hour\":5");
+        let err = Campaign::resume(checkpoint).unwrap_err();
+        assert!(
+            matches!(err, PentimentoError::CheckpointCorrupt(_)),
+            "{err}"
+        );
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn exhausted_reacquisition_budget_is_a_typed_fatal_error() {
+        let provider = Provider::new(ProviderConfig::aws_f1_like(1, 1));
+        let mut config = CampaignConfig::default();
+        config.retry.max_attempts = 3;
+        // Preempt early, then make every rent fail: recovery cannot win.
+        config.fault_plan =
+            FaultPlan::none().with_scheduled(Hours::new(2.0), FaultKind::Preemption);
+        config.fault_plan.seed = 5;
+        config.fault_plan.rent_failure_rate = 1.0;
+        let mut campaign =
+            Campaign::new(provider, Mission::ThreatModel1(tm1_config()), config).unwrap();
+        let err = campaign.run().unwrap_err();
+        match err {
+            PentimentoError::RetriesExhausted {
+                operation,
+                attempts,
+                ref last,
+            } => {
+                assert_eq!(operation, "reacquire device");
+                assert_eq!(attempts, 3);
+                assert!(last.is_transient());
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+        assert!(
+            !err.is_transient(),
+            "an exhausted budget must not be retried"
+        );
+        assert!(campaign.stats().rent_retries >= 2);
+        assert!(campaign.stats().backoff_seconds > 0.0);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_fleet_devices() {
+        let provider = Provider::new(ProviderConfig::aws_f1_like(2, 9));
+        let specs = [RouteGroupSpec {
+            target_ps: 5_000.0,
+            count: 4,
+        }];
+        let a = provider.device_by_id(DeviceId(0)).unwrap();
+        let b = provider.device_by_id(DeviceId(1)).unwrap();
+        let skeleton = Skeleton::place(a, &specs).unwrap();
+        let fp = DeviceFingerprint::capture(a, &skeleton);
+        assert!(fp.matches(a, &skeleton, 10.0));
+        assert!(
+            !fp.matches(b, &skeleton, 10.0),
+            "distinct silicon must differ"
+        );
+        assert_ne!(
+            fp.digest(),
+            DeviceFingerprint::capture(b, &skeleton).digest()
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_growing() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff_s(1, 0), policy.backoff_s(1, 0));
+        // Jitter keeps every wait within [0.5, 1.5) of nominal.
+        for attempt in 1..=6 {
+            let wait = policy.backoff_s(attempt, u64::from(attempt));
+            let nominal = policy.base_backoff_s * f64::from(1u32 << (attempt - 1));
+            assert!(wait >= 0.5 * nominal.min(policy.max_backoff_s));
+            assert!(wait <= policy.max_backoff_s);
+        }
+        // Deep attempts saturate at the cap instead of overflowing.
+        assert_eq!(policy.backoff_s(40, 1), policy.max_backoff_s);
+    }
+}

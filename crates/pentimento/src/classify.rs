@@ -5,6 +5,65 @@ use serde::{Deserialize, Serialize};
 
 use crate::RouteSeries;
 
+/// The outcome of a scored classification: a bit, or a refusal to guess.
+///
+/// Under fault injection a series can be too short, too noisy, or too
+/// gap-ridden to carry a signal; a classifier that must answer anyway
+/// turns silent data corruption into silent key corruption. `Abstain`
+/// makes "I can't tell" an explicit, countable outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The route previously held logical 0.
+    Zero,
+    /// The route previously held logical 1.
+    One,
+    /// The evidence does not support either call.
+    Abstain,
+}
+
+impl Verdict {
+    /// Wraps a hard decision.
+    #[must_use]
+    pub fn from_level(level: LogicLevel) -> Self {
+        match level {
+            LogicLevel::Zero => Self::Zero,
+            LogicLevel::One => Self::One,
+        }
+    }
+
+    /// The decided level, if the classifier did not abstain.
+    #[must_use]
+    pub fn level(self) -> Option<LogicLevel> {
+        match self {
+            Self::Zero => Some(LogicLevel::Zero),
+            Self::One => Some(LogicLevel::One),
+            Self::Abstain => None,
+        }
+    }
+
+    /// Whether the classifier refused to guess.
+    #[must_use]
+    pub fn is_abstain(self) -> bool {
+        matches!(self, Self::Abstain)
+    }
+
+    /// Whether this verdict names `truth` (an abstention never does).
+    #[must_use]
+    pub fn agrees_with(self, truth: LogicLevel) -> bool {
+        self.level() == Some(truth)
+    }
+}
+
+/// A scored classification: the verdict plus the strength of the
+/// evidence behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Classification {
+    /// The decision (possibly an abstention).
+    pub verdict: Verdict,
+    /// Evidence strength in `[0, 1]`: 0 = coin flip, 1 = unambiguous.
+    pub confidence: f64,
+}
+
 /// A rule that recovers the burn value of one route from its measured
 /// series.
 pub trait BitClassifier {
@@ -15,7 +74,78 @@ pub trait BitClassifier {
     fn classify_all(&self, series: &[RouteSeries]) -> Vec<LogicLevel> {
         series.iter().map(|s| self.classify(s)).collect()
     }
+
+    /// Scored classification: the verdict plus a confidence in `[0, 1]`,
+    /// abstaining when the evidence is statistically indistinguishable
+    /// from noise.
+    ///
+    /// The default implementation never abstains and reports full
+    /// confidence — classifiers with a real evidence measure override it.
+    fn classify_scored(&self, series: &RouteSeries) -> Classification {
+        Classification {
+            verdict: Verdict::from_level(self.classify(series)),
+            confidence: 1.0,
+        }
+    }
+
+    /// Scored classification of a batch.
+    fn classify_all_scored(&self, series: &[RouteSeries]) -> Vec<Classification> {
+        series.iter().map(|s| self.classify_scored(s)).collect()
+    }
 }
+
+/// Slope, its standard error, and the derived confidence machinery shared
+/// by the slope-based classifiers: the t-statistic of the slope against a
+/// threshold, squashed into `[0, 1)`.
+///
+/// With fewer than three points (no residual degrees of freedom) or a
+/// degenerate time axis the evidence is undefined and `None` is returned
+/// — callers abstain.
+fn slope_t_statistic(series: &RouteSeries, threshold: f64) -> Option<f64> {
+    let n = series.len();
+    if n < 3 {
+        return None;
+    }
+    let xs = &series.hours;
+    let ys = &series.delta_ps;
+    let nf = n as f64;
+    let x_mean = xs.iter().sum::<f64>() / nf;
+    let y_mean = ys.iter().sum::<f64>() / nf;
+    let sxx: f64 = xs.iter().map(|x| (x - x_mean).powi(2)).sum();
+    if sxx <= f64::EPSILON {
+        return None;
+    }
+    let slope = series.slope_ps_per_hour();
+    let intercept = y_mean - slope * x_mean;
+    let sse: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| (y - intercept - slope * x).powi(2))
+        .sum();
+    let se = (sse / (nf - 2.0) / sxx).sqrt();
+    if se <= f64::EPSILON {
+        // A perfectly straight line: infinitely strong evidence unless it
+        // sits exactly on the threshold.
+        return Some(if (slope - threshold).abs() <= f64::EPSILON {
+            0.0
+        } else {
+            f64::INFINITY
+        });
+    }
+    Some((slope - threshold).abs() / se)
+}
+
+/// Maps a t-statistic to a confidence in `[0, 1)`; abstain below
+/// `ABSTAIN_T`.
+fn confidence_from_t(t: f64) -> f64 {
+    if t.is_infinite() {
+        return 1.0;
+    }
+    t / (t + 2.0)
+}
+
+/// Slope t-statistics below this mean the sign of the slope is noise.
+const ABSTAIN_T: f64 = 0.5;
 
 /// Threat Model 1 classifier: the sign of the Δps drift during burn-in.
 ///
@@ -39,6 +169,23 @@ impl DriftSlopeClassifier {
 impl BitClassifier for DriftSlopeClassifier {
     fn classify(&self, series: &RouteSeries) -> LogicLevel {
         LogicLevel::from_bool(series.slope_ps_per_hour() > self.bias_ps_per_hour)
+    }
+
+    fn classify_scored(&self, series: &RouteSeries) -> Classification {
+        match slope_t_statistic(series, self.bias_ps_per_hour) {
+            Some(t) if t >= ABSTAIN_T => Classification {
+                verdict: Verdict::from_level(self.classify(series)),
+                confidence: confidence_from_t(t),
+            },
+            Some(t) => Classification {
+                verdict: Verdict::Abstain,
+                confidence: confidence_from_t(t),
+            },
+            None => Classification {
+                verdict: Verdict::Abstain,
+                confidence: 0.0,
+            },
+        }
     }
 }
 
@@ -104,6 +251,24 @@ impl BitClassifier for RecoverySlopeClassifier {
     fn classify(&self, series: &RouteSeries) -> LogicLevel {
         let threshold = self.threshold_per_ps * series.target_ps;
         LogicLevel::from_bool(series.slope_ps_per_hour() < threshold)
+    }
+
+    fn classify_scored(&self, series: &RouteSeries) -> Classification {
+        let threshold = self.threshold_per_ps * series.target_ps;
+        match slope_t_statistic(series, threshold) {
+            Some(t) if t >= ABSTAIN_T => Classification {
+                verdict: Verdict::from_level(self.classify(series)),
+                confidence: confidence_from_t(t),
+            },
+            Some(t) => Classification {
+                verdict: Verdict::Abstain,
+                confidence: confidence_from_t(t),
+            },
+            None => Classification {
+                verdict: Verdict::Abstain,
+                confidence: 0.0,
+            },
+        }
     }
 }
 
@@ -203,6 +368,31 @@ impl BitClassifier for MatchedFilterClassifier {
         let d0 = Self::distance(series, &self.template_zero_per_ps);
         LogicLevel::from_bool(d1 < d0)
     }
+
+    fn classify_scored(&self, series: &RouteSeries) -> Classification {
+        let d1 = Self::distance(series, &self.template_one_per_ps);
+        let d0 = Self::distance(series, &self.template_zero_per_ps);
+        let total = d0 + d1;
+        if series.is_empty() || !total.is_finite() || total <= f64::EPSILON {
+            return Classification {
+                verdict: Verdict::Abstain,
+                confidence: 0.0,
+            };
+        }
+        // Relative residual-energy margin: 0 when the templates explain
+        // the series equally badly, →1 when one fits far better.
+        let margin = (d0 - d1).abs() / total;
+        if margin < 0.02 {
+            return Classification {
+                verdict: Verdict::Abstain,
+                confidence: margin,
+            };
+        }
+        Classification {
+            verdict: Verdict::from_level(LogicLevel::from_bool(d1 < d0)),
+            confidence: margin,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -234,14 +424,28 @@ mod tests {
         // the midpoint threshold must be negative and closer to 0 than the
         // full burn-1 recovery slope.
         let model = BtiModel::ultrascale_plus();
-        let c = RecoverySlopeClassifier::calibrated(&model, 200.0, 25.0, Celsius::new(60.0), Celsius::new(60.0), 1.0);
+        let c = RecoverySlopeClassifier::calibrated(
+            &model,
+            200.0,
+            25.0,
+            Celsius::new(60.0),
+            Celsius::new(60.0),
+            1.0,
+        );
         assert!(c.threshold_per_ps < 0.0, "threshold {}", c.threshold_per_ps);
     }
 
     #[test]
     fn recovery_classifier_separates_synthetic_slopes() {
         let model = BtiModel::ultrascale_plus();
-        let c = RecoverySlopeClassifier::calibrated(&model, 200.0, 25.0, Celsius::new(60.0), Celsius::new(60.0), 1.0);
+        let c = RecoverySlopeClassifier::calibrated(
+            &model,
+            200.0,
+            25.0,
+            Celsius::new(60.0),
+            Celsius::new(60.0),
+            1.0,
+        );
         // Burn-1 route: fast drop (≈ full recovery of ~10 ps over 25 h on
         // 10000 ps route); burn-0 route: nearly flat.
         let was_one = series(
@@ -312,6 +516,102 @@ mod tests {
             .collect();
         let series = RouteSeries::from_raw(0, 10_000.0, LogicLevel::One, hours, deltas);
         assert_eq!(mf.classify(&series), LogicLevel::One);
+    }
+
+    #[test]
+    fn scored_drift_classifier_is_confident_on_clean_trends() {
+        let c = DriftSlopeClassifier::new();
+        let clean = series(1000.0, LogicLevel::One, &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let scored = c.classify_scored(&clean);
+        assert_eq!(scored.verdict, Verdict::One);
+        assert!(scored.confidence > 0.9, "confidence {}", scored.confidence);
+        assert!(scored.verdict.agrees_with(LogicLevel::One));
+    }
+
+    #[test]
+    fn scored_drift_classifier_abstains_on_noise() {
+        let c = DriftSlopeClassifier::new();
+        // Pure oscillation: slope indistinguishable from zero.
+        let noise = series(
+            1000.0,
+            LogicLevel::One,
+            &[0.0, 2.0, -2.0, 2.0, -2.0, 2.0, -2.0, 2.0],
+        );
+        let scored = c.classify_scored(&noise);
+        assert!(scored.verdict.is_abstain());
+        assert!(scored.confidence < 0.3, "confidence {}", scored.confidence);
+        assert!(!scored.verdict.agrees_with(LogicLevel::One));
+        assert_eq!(scored.verdict.level(), None);
+    }
+
+    #[test]
+    fn scored_classifier_abstains_on_degenerate_series() {
+        let c = DriftSlopeClassifier::new();
+        let two_points = series(1000.0, LogicLevel::One, &[0.0, 1.0]);
+        let scored = c.classify_scored(&two_points);
+        assert!(scored.verdict.is_abstain());
+        assert_eq!(scored.confidence, 0.0);
+    }
+
+    #[test]
+    fn scored_recovery_classifier_separates_and_scores() {
+        let model = BtiModel::ultrascale_plus();
+        let c = RecoverySlopeClassifier::calibrated(
+            &model,
+            200.0,
+            25.0,
+            Celsius::new(60.0),
+            Celsius::new(60.0),
+            1.0,
+        );
+        let was_one = series(
+            10_000.0,
+            LogicLevel::One,
+            &(0..25).map(|h| -0.35 * h as f64).collect::<Vec<_>>(),
+        );
+        let scored = c.classify_scored(&was_one);
+        assert_eq!(scored.verdict, Verdict::One);
+        assert!(scored.confidence > 0.9);
+    }
+
+    #[test]
+    fn scored_matched_filter_reports_margin() {
+        let mf = matched_filter();
+        let make = |template: &[f64]| {
+            RouteSeries::from_raw(
+                0,
+                10_000.0,
+                LogicLevel::One,
+                (0..26).map(f64::from).collect(),
+                template.iter().map(|v| v * 10_000.0).collect(),
+            )
+        };
+        let scored = mf.classify_scored(&make(mf.template_one()));
+        assert_eq!(scored.verdict, Verdict::One);
+        assert!(scored.confidence > 0.5, "margin {}", scored.confidence);
+        // The midpoint of the two templates is equidistant from both:
+        // the filter must abstain rather than flip a coin.
+        let midpoint: Vec<f64> = mf
+            .template_one()
+            .iter()
+            .zip(mf.template_zero())
+            .map(|(a, b)| (a + b) / 2.0)
+            .collect();
+        let ambiguous = mf.classify_scored(&make(&midpoint));
+        assert!(ambiguous.verdict.is_abstain(), "{ambiguous:?}");
+        assert!(ambiguous.confidence < 0.02, "{ambiguous:?}");
+    }
+
+    #[test]
+    fn classify_all_scored_maps_batches() {
+        let c = DriftSlopeClassifier::new();
+        let batch = vec![
+            series(1000.0, LogicLevel::One, &[0.0, 1.0, 2.0, 3.0]),
+            series(1000.0, LogicLevel::Zero, &[0.0, -1.0, -2.0, -3.0]),
+        ];
+        let scored = c.classify_all_scored(&batch);
+        assert_eq!(scored[0].verdict, Verdict::One);
+        assert_eq!(scored[1].verdict, Verdict::Zero);
     }
 
     #[test]

@@ -112,11 +112,8 @@ pub fn transmit_and_receive(
     let mut sensors = Vec::new();
     if config.mode == MeasurementMode::Tdc {
         for entry in skeleton.entries() {
-            let mut sensor = tdc::TdcSensor::place(
-                device,
-                entry.route.clone(),
-                tdc::TdcConfig::cloud(),
-            )?;
+            let mut sensor =
+                tdc::TdcSensor::place(device, entry.route.clone(), tdc::TdcConfig::cloud())?;
             sensor.calibrate(device, &mut rng)?;
             sensors.push(sensor);
         }
@@ -124,9 +121,9 @@ pub fn transmit_and_receive(
     let mut hours_log = Vec::new();
     let mut readings: Vec<Vec<f64>> = vec![Vec::new(); skeleton.len()];
     let record = |hour: f64,
-                      device: &FpgaDevice,
-                      rng: &mut StdRng,
-                      readings: &mut Vec<Vec<f64>>|
+                  device: &FpgaDevice,
+                  rng: &mut StdRng,
+                  readings: &mut Vec<Vec<f64>>|
      -> Result<(), PentimentoError> {
         for (i, entry) in skeleton.entries().iter().enumerate() {
             let value = match config.mode {
@@ -186,11 +183,7 @@ pub fn transmit_and_receive(
         .into_iter()
         .map(LogicLevel::as_bool)
         .collect();
-    let bit_errors = decoded
-        .iter()
-        .zip(message)
-        .filter(|(a, b)| a != b)
-        .count();
+    let bit_errors = decoded.iter().zip(message).filter(|(a, b)| a != b).count();
     let ber = bit_errors as f64 / message.len() as f64;
     Ok(CovertOutcome {
         decoded,
@@ -257,13 +250,9 @@ mod tests {
     #[test]
     fn empty_message_rejected() {
         let mut device = FpgaDevice::zcu102_new(73);
-        assert!(transmit_and_receive(
-            &mut device,
-            &[],
-            0.0,
-            &CovertChannelConfig::default()
-        )
-        .is_err());
+        assert!(
+            transmit_and_receive(&mut device, &[], 0.0, &CovertChannelConfig::default()).is_err()
+        );
     }
 
     #[test]
@@ -274,8 +263,7 @@ mod tests {
             seed: 74,
             ..CovertChannelConfig::default()
         };
-        let outcome =
-            transmit_and_receive(&mut device, &message(), 5.0, &config).expect("runs");
+        let outcome = transmit_and_receive(&mut device, &message(), 5.0, &config).expect("runs");
         assert!(
             outcome.bit_errors <= 1,
             "TDC decode errors: {} of 8",

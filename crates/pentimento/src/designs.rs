@@ -78,7 +78,13 @@ pub fn build_measure_design(skeleton: &Skeleton) -> Design {
     let mut design = Design::new("pentimento-measure");
     design.set_power_watts(8.0);
     let clk = design.add_net("capture_clk", NetActivity::Dynamic, None);
-    design.add_cell("clockgen", CellKind::ClockGenerator, None, vec![], Some(clk));
+    design.add_cell(
+        "clockgen",
+        CellKind::ClockGenerator,
+        None,
+        vec![],
+        Some(clk),
+    );
     for (i, entry) in skeleton.entries().iter().enumerate() {
         let probe = design.add_net(
             format!("probe[{i}]"),

@@ -21,6 +21,36 @@ pub enum PentimentoError {
     InvalidConfig(String),
     /// The attack could not reacquire the victim device.
     VictimDeviceLost,
+    /// A retried operation kept failing until its retry budget ran out.
+    RetriesExhausted {
+        /// What the campaign was trying to do (e.g. `"rent"`, `"measure"`).
+        operation: &'static str,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<PentimentoError>,
+    },
+    /// A campaign checkpoint failed validation on resume.
+    CheckpointCorrupt(String),
+}
+
+impl PentimentoError {
+    /// Whether a resilient campaign should treat this error as retryable.
+    ///
+    /// Transient errors come from the hostile environment (revoked
+    /// sessions, capacity blips, measurement dropouts) and usually clear
+    /// on retry. Everything else — bad configuration, impossible
+    /// placements, exhausted budgets, corrupt checkpoints — is
+    /// deterministic, and retrying only wastes budget.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Self::Cloud(e) => e.is_transient(),
+            Self::Sensor(e) => e.is_transient(),
+            Self::VictimDeviceLost => true,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for PentimentoError {
@@ -33,6 +63,15 @@ impl fmt::Display for PentimentoError {
             Self::VictimDeviceLost => {
                 f.write_str("could not reacquire the victim's relinquished device")
             }
+            Self::RetriesExhausted {
+                operation,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "{operation} still failing after {attempts} attempts; last error: {last}"
+            ),
+            Self::CheckpointCorrupt(msg) => write!(f, "campaign checkpoint corrupt: {msg}"),
         }
     }
 }
@@ -103,12 +142,45 @@ mod tests {
                 "invalid experiment configuration",
             ),
             (PentimentoError::VictimDeviceLost, "relinquished device"),
+            (
+                PentimentoError::RetriesExhausted {
+                    operation: "measure",
+                    attempts: 5,
+                    last: Box::new(PentimentoError::Cloud(CloudError::CapacityExhausted)),
+                },
+                "after 5 attempts",
+            ),
+            (
+                PentimentoError::CheckpointCorrupt("bad fingerprint".to_owned()),
+                "checkpoint corrupt",
+            ),
         ];
         for (error, needle) in cases {
             let msg = error.to_string();
             assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
             assert!(!msg.is_empty());
         }
+    }
+
+    #[test]
+    fn transience_follows_the_inner_error() {
+        assert!(PentimentoError::Cloud(CloudError::SessionRevoked).is_transient());
+        assert!(PentimentoError::Cloud(CloudError::CapacityExhausted).is_transient());
+        assert!(PentimentoError::Sensor(TdcError::Dropout {
+            usable_traces: 1,
+            required_traces: 4,
+        })
+        .is_transient());
+        assert!(PentimentoError::VictimDeviceLost.is_transient());
+        assert!(!PentimentoError::Sensor(TdcError::NotCalibrated).is_transient());
+        assert!(!PentimentoError::InvalidConfig("x".into()).is_transient());
+        assert!(!PentimentoError::RetriesExhausted {
+            operation: "rent",
+            attempts: 3,
+            last: Box::new(PentimentoError::Cloud(CloudError::SessionRevoked)),
+        }
+        .is_transient());
+        assert!(!PentimentoError::CheckpointCorrupt("x".into()).is_transient());
     }
 
     #[test]

@@ -339,11 +339,7 @@ mod tests {
             .iter()
             .filter(|s| s.burn_value == LogicLevel::One)
         {
-            let peak = s
-                .delta_ps
-                .iter()
-                .cloned()
-                .fold(f64::NEG_INFINITY, f64::max);
+            let peak = s.delta_ps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             assert!(
                 s.last_delta_ps() < 0.4 * peak,
                 "burn-1 route should have recovered most of its peak"

@@ -57,6 +57,7 @@
 
 pub mod analysis;
 pub mod audit;
+pub mod campaign;
 mod classify;
 pub mod covert;
 mod designs;
@@ -70,13 +71,25 @@ mod skeleton;
 pub mod threat_model1;
 pub mod threat_model2;
 
-pub use classify::{BitClassifier, DriftSlopeClassifier, MatchedFilterClassifier, RecoverySlopeClassifier};
-pub use designs::{build_condition_design, build_measure_design, build_target_design, ARITHMETIC_HEAVY_WATTS, CONDITION_WATTS};
+pub use campaign::{
+    Campaign, CampaignCheckpoint, CampaignConfig, CampaignOutcome, CampaignStats,
+    DeviceFingerprint, Mission, RetryPolicy,
+};
+pub use classify::{
+    BitClassifier, Classification, DriftSlopeClassifier, MatchedFilterClassifier,
+    RecoverySlopeClassifier, Verdict,
+};
+pub use designs::{
+    build_condition_design, build_measure_design, build_target_design, ARITHMETIC_HEAVY_WATTS,
+    CONDITION_WATTS,
+};
 pub use error::PentimentoError;
 pub use experiment::{
     ExperimentOutcome, LabExperiment, LabExperimentConfig, MeasurementMode, Phase,
 };
-pub use metrics::{accuracy, bit_error_rate, roc_auc, roc_curve, separation_dprime, RecoveryMetrics, RocPoint};
+pub use metrics::{
+    accuracy, bit_error_rate, roc_auc, roc_curve, separation_dprime, RecoveryMetrics, RocPoint,
+};
 pub use mitigations::{evaluate_mitigation, Mitigation, MitigationReport};
 pub use report::{ascii_chart, series_to_csv, AsciiChartConfig};
 pub use series::RouteSeries;

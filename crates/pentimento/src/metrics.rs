@@ -15,11 +15,7 @@ use crate::RouteSeries;
 pub fn accuracy(recovered: &[LogicLevel], truth: &[LogicLevel]) -> f64 {
     assert_eq!(recovered.len(), truth.len(), "bit vectors differ in length");
     assert!(!truth.is_empty(), "cannot score zero bits");
-    let correct = recovered
-        .iter()
-        .zip(truth)
-        .filter(|(a, b)| a == b)
-        .count();
+    let correct = recovered.iter().zip(truth).filter(|(a, b)| a == b).count();
     correct as f64 / truth.len() as f64
 }
 

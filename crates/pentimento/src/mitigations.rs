@@ -92,7 +92,9 @@ impl fmt::Display for Mitigation {
             Self::ShortRoutes { scale } => write!(f, "route shortening (x{scale})"),
             Self::HoldAndRecover { hours } => write!(f, "hold-and-recover ({hours} h)"),
             Self::ProviderQuarantine { hours } => write!(f, "provider quarantine ({hours} h)"),
-            Self::KeyRotation { period_hours } => write!(f, "key rotation (every {period_hours} h)"),
+            Self::KeyRotation { period_hours } => {
+                write!(f, "key rotation (every {period_hours} h)")
+            }
             Self::MaskedShares {
                 rotation_period_hours: None,
             } => f.write_str("masking (fixed mask)"),
@@ -151,7 +153,9 @@ impl Harness {
     }
 
     fn random_bits(&mut self, n: usize) -> Vec<LogicLevel> {
-        (0..n).map(|_| LogicLevel::from_bool(self.rng.gen())).collect()
+        (0..n)
+            .map(|_| LogicLevel::from_bool(self.rng.gen()))
+            .collect()
     }
 
     /// Runs one victim epoch with explicit per-route activities.
@@ -456,8 +460,7 @@ mod tests {
     #[test]
     fn rotation_weakens_but_does_not_stop_the_last_key() {
         let baseline = evaluate_mitigation(Mitigation::None, 7).unwrap();
-        let rotated =
-            evaluate_mitigation(Mitigation::KeyRotation { period_hours: 10 }, 7).unwrap();
+        let rotated = evaluate_mitigation(Mitigation::KeyRotation { period_hours: 10 }, 7).unwrap();
         // The final key only burned ~10 h, so its imprint is much weaker...
         assert!(
             rotated.slope_gap_ps_per_hour < 0.6 * baseline.slope_gap_ps_per_hour,

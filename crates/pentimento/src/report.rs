@@ -88,7 +88,10 @@ pub fn ascii_chart(series: &[RouteSeries], config: &AsciiChartConfig) -> String 
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "Δps [{min_y:+.2} .. {max_y:+.2}] ps  (+ = burn 1, o = burn 0)");
+    let _ = writeln!(
+        out,
+        "Δps [{min_y:+.2} .. {max_y:+.2}] ps  (+ = burn 1, o = burn 0)"
+    );
     for row in grid {
         out.push('|');
         out.extend(row);
@@ -138,7 +141,13 @@ mod tests {
     #[test]
     fn chart_handles_flat_series() {
         let s = vec![series(LogicLevel::Zero, &[0.0, 0.0])];
-        let chart = ascii_chart(&s, &AsciiChartConfig { width: 20, height: 8 });
+        let chart = ascii_chart(
+            &s,
+            &AsciiChartConfig {
+                width: 20,
+                height: 8,
+            },
+        );
         assert!(!chart.is_empty());
     }
 

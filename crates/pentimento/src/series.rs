@@ -29,6 +29,8 @@ impl RouteSeries {
     /// # Panics
     ///
     /// Panics if `hours` and `raw_delta_ps` differ in length or are empty.
+    /// Fallible callers (campaign runners fed by faulty sensors) should
+    /// use [`try_from_raw`](Self::try_from_raw) instead.
     #[must_use]
     pub fn from_raw(
         route_index: usize,
@@ -39,14 +41,75 @@ impl RouteSeries {
     ) -> Self {
         assert_eq!(hours.len(), raw_delta_ps.len(), "series lengths differ");
         assert!(!hours.is_empty(), "series must not be empty");
-        let origin = raw_delta_ps[0];
-        Self {
+        match Self::try_from_raw(route_index, target_ps, burn_value, hours, raw_delta_ps) {
+            Ok(series) => series,
+            // Unreachable: the asserts above are the only failure modes.
+            Err(e) => panic!("series construction failed: {e}"),
+        }
+    }
+
+    /// Non-panicking [`from_raw`](Self::from_raw).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PentimentoError::InvalidConfig`] for mismatched
+    /// lengths or an empty series.
+    pub fn try_from_raw(
+        route_index: usize,
+        target_ps: f64,
+        burn_value: LogicLevel,
+        hours: Vec<f64>,
+        raw_delta_ps: Vec<f64>,
+    ) -> Result<Self, crate::PentimentoError> {
+        if hours.len() != raw_delta_ps.len() {
+            return Err(crate::PentimentoError::InvalidConfig(format!(
+                "series lengths differ: {} hours vs {} readings",
+                hours.len(),
+                raw_delta_ps.len()
+            )));
+        }
+        let origin = *raw_delta_ps.first().ok_or_else(|| {
+            crate::PentimentoError::InvalidConfig("series must not be empty".to_owned())
+        })?;
+        Ok(Self {
             route_index,
             target_ps,
             burn_value,
             hours,
             delta_ps: raw_delta_ps.into_iter().map(|v| v - origin).collect(),
+        })
+    }
+
+    /// Gap-tolerant constructor for campaigns under measurement faults:
+    /// readings of `None` (a dropped measurement phase) are skipped, and
+    /// the series centers on the first reading that actually exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PentimentoError::InvalidConfig`] when fewer than
+    /// two readings survive — a slope needs two points.
+    pub fn from_observations(
+        route_index: usize,
+        target_ps: f64,
+        burn_value: LogicLevel,
+        observations: &[(f64, Option<f64>)],
+    ) -> Result<Self, crate::PentimentoError> {
+        let mut hours = Vec::new();
+        let mut raw = Vec::new();
+        for &(h, reading) in observations {
+            if let Some(v) = reading {
+                hours.push(h);
+                raw.push(v);
+            }
         }
+        if hours.len() < 2 {
+            return Err(crate::PentimentoError::InvalidConfig(format!(
+                "only {} of {} measurement phases produced a reading; a series needs two",
+                hours.len(),
+                observations.len()
+            )));
+        }
+        Self::try_from_raw(route_index, target_ps, burn_value, hours, raw)
     }
 
     /// Number of measurement points.
@@ -90,6 +153,51 @@ impl RouteSeries {
         Ok(kr.smooth())
     }
 
+    /// Robust copy of the series with gross outliers rejected: points
+    /// whose residual from the OLS trend line sits more than `k` MADs
+    /// from the median residual are dropped (a metastability burst or a
+    /// thermal transient produces exactly such isolated spikes).
+    ///
+    /// Series with fewer than four points, or whose residual MAD
+    /// degenerates to zero, are returned unchanged; the result always
+    /// keeps at least half the points, falling back to the original when
+    /// rejection would be that aggressive.
+    #[must_use]
+    pub fn mad_filtered(&self, k: f64) -> Self {
+        if self.len() < 4 {
+            return self.clone();
+        }
+        let slope = self.slope_ps_per_hour();
+        let t0 = self.hours[0];
+        let residuals: Vec<f64> = self
+            .hours
+            .iter()
+            .zip(&self.delta_ps)
+            .map(|(&h, &d)| d - slope * (h - t0))
+            .collect();
+        let offsets: Vec<f64> = {
+            let med = median(&residuals);
+            residuals.iter().map(|r| (r - med).abs()).collect()
+        };
+        let mad = median(&offsets);
+        if mad <= f64::EPSILON {
+            return self.clone();
+        }
+        let keep: Vec<usize> = (0..self.len()).filter(|&i| offsets[i] <= k * mad).collect();
+        if keep.len() * 2 < self.len() || keep.is_empty() {
+            return self.clone();
+        }
+        Self {
+            route_index: self.route_index,
+            target_ps: self.target_ps,
+            burn_value: self.burn_value,
+            hours: keep.iter().map(|&i| self.hours[i]).collect(),
+            // Already centered: copy the kept values as-is rather than
+            // re-centering on a possibly-outlying new first point.
+            delta_ps: keep.iter().map(|&i| self.delta_ps[i]).collect(),
+        }
+    }
+
     /// Restricts the series to measurements at or after `from_hour`,
     /// re-centering on the first kept point (what the Threat Model 2
     /// attacker sees: nothing before they get the board).
@@ -100,7 +208,28 @@ impl RouteSeries {
             .collect();
         let hours: Vec<f64> = keep.iter().map(|&i| self.hours[i]).collect();
         let raw: Vec<f64> = keep.iter().map(|&i| self.delta_ps[i]).collect();
-        Self::from_raw(self.route_index, self.target_ps, self.burn_value, hours, raw)
+        Self::from_raw(
+            self.route_index,
+            self.target_ps,
+            self.burn_value,
+            hours,
+            raw,
+        )
+    }
+}
+
+/// Median of a non-empty slice (0.0 for an empty one).
+fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
     }
 }
 
@@ -159,5 +288,54 @@ mod tests {
     #[should_panic(expected = "lengths differ")]
     fn mismatched_lengths_panic() {
         let _ = RouteSeries::from_raw(0, 1.0, LogicLevel::One, vec![0.0], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn try_from_raw_reports_bad_inputs_instead_of_panicking() {
+        assert!(
+            RouteSeries::try_from_raw(0, 1.0, LogicLevel::One, vec![0.0], vec![0.0, 1.0]).is_err()
+        );
+        assert!(RouteSeries::try_from_raw(0, 1.0, LogicLevel::One, vec![], vec![]).is_err());
+        let ok = RouteSeries::try_from_raw(0, 1.0, LogicLevel::One, vec![0.0, 1.0], vec![2.0, 3.0])
+            .unwrap();
+        assert_eq!(ok.delta_ps, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn observations_skip_gaps_and_center_on_first_present() {
+        let obs = [
+            (0.0, None), // dropped phase
+            (1.0, Some(5.0)),
+            (2.0, None),
+            (3.0, Some(7.0)),
+            (4.0, Some(8.0)),
+        ];
+        let s = RouteSeries::from_observations(0, 1000.0, LogicLevel::One, &obs).unwrap();
+        assert_eq!(s.hours, vec![1.0, 3.0, 4.0]);
+        assert_eq!(s.delta_ps, vec![0.0, 2.0, 3.0]);
+        // Too many gaps: error, not a bogus single-point series.
+        let sparse = [(0.0, Some(1.0)), (1.0, None), (2.0, None)];
+        assert!(RouteSeries::from_observations(0, 1000.0, LogicLevel::One, &sparse).is_err());
+    }
+
+    #[test]
+    fn mad_filter_drops_an_isolated_spike() {
+        let mut values: Vec<f64> = (0..12).map(|h| 0.5 * h as f64).collect();
+        values[8] += 40.0; // burst artifact
+        let noisy = series(&values);
+        // The spike wrecks the plain slope estimate...
+        assert!((noisy.slope_ps_per_hour() - 0.5).abs() > 0.2);
+        let cleaned = noisy.mad_filtered(5.0);
+        assert_eq!(cleaned.len(), 11, "exactly the spike removed");
+        assert!((cleaned.slope_ps_per_hour() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn mad_filter_keeps_clean_series_intact() {
+        let s = series(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.mad_filtered(5.0), s);
+        // Too short to filter: returned unchanged.
+        let short = series(&[0.0, 9.0, 1.0]);
+        assert_eq!(short.mad_filtered(5.0), short);
     }
 }

@@ -86,6 +86,15 @@ impl Skeleton {
         Ok(Self { entries })
     }
 
+    /// A skeleton with no routes: the neutral value campaign state
+    /// machines start from before placement runs.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
     /// The paper's standard layout: sixteen routes each of 1000, 2000,
     /// 5000 and 10000 ps (Sections 6.1–6.3).
     ///

@@ -8,7 +8,7 @@
 //! classify every bit from the drift direction of `Δps`.
 
 use bti_physics::{Hours, LogicLevel};
-use cloud::{Provider, Session, TenantId};
+use cloud::{Provider, TenantId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -113,15 +113,11 @@ pub fn run(
         true,
     );
     // The seal holds: the attacker cannot read the design.
-    assert!(
-        provider
-            .marketplace()
-            .get(afi)
-            .expect("just published")
-            .inspect(&attacker)
-            .is_err(),
-        "the attack must not rely on reading the AFI"
-    );
+    if provider.marketplace().get(afi)?.inspect(&attacker).is_ok() {
+        return Err(PentimentoError::InvalidConfig(
+            "marketplace seal broken: the attack must not read the AFI".to_owned(),
+        ));
+    }
 
     // --- Attacker side: sense the analog imprint instead. --------------
     let mut sensors: Vec<TdcSensor> = Vec::new();
@@ -137,10 +133,10 @@ pub fn run(
     let mut hours_log = Vec::new();
     let mut readings: Vec<Vec<f64>> = vec![Vec::new(); skeleton.len()];
     let record = |hour: f64,
-                      provider: &Provider,
-                      rng: &mut StdRng,
-                      readings: &mut Vec<Vec<f64>>,
-                      hours_log: &mut Vec<f64>|
+                  provider: &Provider,
+                  rng: &mut StdRng,
+                  readings: &mut Vec<Vec<f64>>,
+                  hours_log: &mut Vec<f64>|
      -> Result<(), PentimentoError> {
         let device = provider.device(&session)?;
         hours_log.push(hour);
@@ -181,7 +177,7 @@ pub fn run(
         }
     }
     provider.unload(&session)?;
-    release_quietly(provider, session);
+    provider.release(session)?;
 
     let series: Vec<RouteSeries> = skeleton
         .entries()
@@ -206,13 +202,6 @@ pub fn run(
         truth,
         metrics,
     })
-}
-
-fn release_quietly(provider: &mut Provider, session: Session) {
-    // Releasing a session we provably own cannot fail.
-    provider
-        .release(session)
-        .expect("session owned for the whole run");
 }
 
 /// A Threat Model 1 run against a design whose skeleton the attacker got
@@ -281,7 +270,7 @@ pub fn run_with_wrong_skeleton(
         })
         .collect();
     provider.unload(&session)?;
-    release_quietly(provider, session);
+    provider.release(session)?;
 
     let recovered = DriftSlopeClassifier::new().classify_all(&series);
     let metrics = RecoveryMetrics::score(&series, &recovered);

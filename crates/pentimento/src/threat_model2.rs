@@ -8,7 +8,7 @@
 //! collapse quickly (fast PBTI emission), routes that held 0 stay flat.
 
 use bti_physics::{Hours, LogicLevel};
-use cloud::{Provider, Session, TenantId};
+use cloud::{Provider, TenantId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -159,14 +159,14 @@ pub fn run(
     let reacquired = session.device_id() == victim_device;
     if !reacquired {
         // Release everything and admit defeat.
-        release_quietly(provider, session);
+        provider.release(session)?;
         for s in squatted {
-            release_quietly(provider, s);
+            provider.release(s)?;
         }
         return Err(PentimentoError::VictimDeviceLost);
     }
     for s in squatted {
-        release_quietly(provider, s);
+        provider.release(s)?;
     }
 
     // Attacker sensors: θ_init comes from offline calibration on a sibling
@@ -186,10 +186,10 @@ pub fn run(
     let mut hours_log = Vec::new();
     let mut readings: Vec<Vec<f64>> = vec![Vec::new(); skeleton.len()];
     let record = |hour: f64,
-                      provider: &Provider,
-                      rng: &mut StdRng,
-                      readings: &mut Vec<Vec<f64>>,
-                      hours_log: &mut Vec<f64>|
+                  provider: &Provider,
+                  rng: &mut StdRng,
+                  readings: &mut Vec<Vec<f64>>,
+                  hours_log: &mut Vec<f64>|
      -> Result<(), PentimentoError> {
         let device = provider.device(&session)?;
         hours_log.push(hour);
@@ -226,7 +226,7 @@ pub fn run(
         record(hour, provider, &mut rng, &mut readings, &mut hours_log)?;
     }
     provider.unload(&session)?;
-    release_quietly(provider, session);
+    provider.release(session)?;
 
     let series: Vec<RouteSeries> = skeleton
         .entries()
@@ -269,12 +269,6 @@ pub fn run(
         metrics,
         reacquired_victim_device: reacquired,
     })
-}
-
-fn release_quietly(provider: &mut Provider, session: Session) {
-    provider
-        .release(session)
-        .expect("session owned for the whole run");
 }
 
 #[cfg(test)]

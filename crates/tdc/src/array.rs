@@ -98,7 +98,10 @@ impl TdcArray {
         device: &FpgaDevice,
         rng: &mut R,
     ) -> Result<Vec<Measurement>, TdcError> {
-        self.sensors.iter().map(|s| s.measure(device, rng)).collect()
+        self.sensors
+            .iter()
+            .map(|s| s.measure(device, rng))
+            .collect()
     }
 
     /// Measures every sensor `repeats` times and returns the mean Δps per
@@ -197,7 +200,9 @@ mod tests {
         let mut ref_array =
             TdcArray::place(&reference, routes(&reference, 3), TdcConfig::lab()).expect("places");
         let mut rng = StdRng::seed_from_u64(83);
-        let thetas = ref_array.calibrate_all(&reference, &mut rng).expect("calibrates");
+        let thetas = ref_array
+            .calibrate_all(&reference, &mut rng)
+            .expect("calibrates");
 
         let victim = FpgaDevice::zcu102_new(84);
         let mut array =
@@ -236,8 +241,7 @@ mod tests {
     #[test]
     fn zero_repeats_rejected() {
         let device = FpgaDevice::zcu102_new(87);
-        let array =
-            TdcArray::place(&device, routes(&device, 1), TdcConfig::lab()).expect("places");
+        let array = TdcArray::place(&device, routes(&device, 1), TdcConfig::lab()).expect("places");
         let mut rng = StdRng::seed_from_u64(87);
         assert!(array.measure_deltas_averaged(&device, 0, &mut rng).is_err());
     }

@@ -100,22 +100,12 @@ mod tests {
     fn paper_figure3_hamming_sequence() {
         // Reconstruct the four captures of Figure 3's example: rising to
         // 39 and 38 bits, falling to 22 bits (twice), on a 64-bit chain.
-        let rising0 = CaptureWord::new(
-            TransitionKind::Rising,
-            (0..64).map(|i| i < 39).collect(),
-        );
-        let falling0 = CaptureWord::new(
-            TransitionKind::Falling,
-            (0..64).map(|i| i >= 22).collect(),
-        );
-        let rising1 = CaptureWord::new(
-            TransitionKind::Rising,
-            (0..64).map(|i| i < 38).collect(),
-        );
-        let falling1 = CaptureWord::new(
-            TransitionKind::Falling,
-            (0..64).map(|i| i >= 22).collect(),
-        );
+        let rising0 = CaptureWord::new(TransitionKind::Rising, (0..64).map(|i| i < 39).collect());
+        let falling0 =
+            CaptureWord::new(TransitionKind::Falling, (0..64).map(|i| i >= 22).collect());
+        let rising1 = CaptureWord::new(TransitionKind::Rising, (0..64).map(|i| i < 38).collect());
+        let falling1 =
+            CaptureWord::new(TransitionKind::Falling, (0..64).map(|i| i >= 22).collect());
         let seq: Vec<usize> = [rising0, falling0, rising1, falling1]
             .iter()
             .map(CaptureWord::propagation_distance)

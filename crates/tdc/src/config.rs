@@ -64,7 +64,9 @@ impl TdcConfig {
             return Err(TdcError::InvalidConfig("chain_length must be positive"));
         }
         if self.samples_per_trace == 0 {
-            return Err(TdcError::InvalidConfig("samples_per_trace must be positive"));
+            return Err(TdcError::InvalidConfig(
+                "samples_per_trace must be positive",
+            ));
         }
         if self.traces_per_measurement == 0 {
             return Err(TdcError::InvalidConfig(
@@ -77,7 +79,9 @@ impl TdcConfig {
             return Err(TdcError::InvalidConfig("theta_step_ps must be positive"));
         }
         if self.jitter_sigma_ps < 0.0 || !self.jitter_sigma_ps.is_finite() {
-            return Err(TdcError::InvalidConfig("jitter_sigma_ps must be non-negative"));
+            return Err(TdcError::InvalidConfig(
+                "jitter_sigma_ps must be non-negative",
+            ));
         }
         if self.metastable_window_ps < 0.0 || !self.metastable_window_ps.is_finite() {
             return Err(TdcError::InvalidConfig(
@@ -125,12 +129,30 @@ mod tests {
     #[test]
     fn bad_configs_rejected() {
         for bad in [
-            TdcConfig { chain_length: 0, ..TdcConfig::lab() },
-            TdcConfig { samples_per_trace: 0, ..TdcConfig::lab() },
-            TdcConfig { traces_per_measurement: 0, ..TdcConfig::lab() },
-            TdcConfig { theta_step_ps: 0.0, ..TdcConfig::lab() },
-            TdcConfig { jitter_sigma_ps: -1.0, ..TdcConfig::lab() },
-            TdcConfig { metastable_window_ps: f64::NAN, ..TdcConfig::lab() },
+            TdcConfig {
+                chain_length: 0,
+                ..TdcConfig::lab()
+            },
+            TdcConfig {
+                samples_per_trace: 0,
+                ..TdcConfig::lab()
+            },
+            TdcConfig {
+                traces_per_measurement: 0,
+                ..TdcConfig::lab()
+            },
+            TdcConfig {
+                theta_step_ps: 0.0,
+                ..TdcConfig::lab()
+            },
+            TdcConfig {
+                jitter_sigma_ps: -1.0,
+                ..TdcConfig::lab()
+            },
+            TdcConfig {
+                metastable_window_ps: f64::NAN,
+                ..TdcConfig::lab()
+            },
         ] {
             assert!(bad.validate().is_err());
         }

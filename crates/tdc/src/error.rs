@@ -20,6 +20,28 @@ pub enum TdcError {
     },
     /// A measurement was requested before calibration.
     NotCalibrated,
+    /// Too few traces survived quorum filtering and outlier rejection to
+    /// aggregate a trustworthy measurement (dropouts, bursts, or a
+    /// mistuned θ). Transient: remeasuring usually succeeds.
+    Dropout {
+        /// Traces that survived filtering.
+        usable_traces: usize,
+        /// Minimum traces the aggregation demands.
+        required_traces: usize,
+    },
+}
+
+impl TdcError {
+    /// Whether a resilient campaign should treat this error as retryable.
+    ///
+    /// Dropouts and calibration misses are measurement-time bad luck —
+    /// capture again (possibly after a retune) and the data is usually
+    /// fine. Configuration and placement errors are deterministic and
+    /// retrying cannot fix them.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::Dropout { .. } | Self::CalibrationFailed { .. })
+    }
 }
 
 impl fmt::Display for TdcError {
@@ -31,6 +53,13 @@ impl fmt::Display for TdcError {
                 write!(f, "calibration failed after {attempts} theta steps")
             }
             Self::NotCalibrated => f.write_str("sensor has no theta_init; calibrate first"),
+            Self::Dropout {
+                usable_traces,
+                required_traces,
+            } => write!(
+                f,
+                "measurement dropout: only {usable_traces} of the required {required_traces} traces were usable"
+            ),
         }
     }
 }

@@ -53,6 +53,7 @@ mod capture;
 mod clock;
 mod config;
 mod error;
+mod faults;
 mod measurement;
 mod sensor;
 
@@ -61,6 +62,7 @@ pub use capture::CaptureWord;
 pub use clock::ClockGenerator;
 pub use config::TdcConfig;
 pub use error::TdcError;
+pub use faults::SensorFaultPlan;
 pub use measurement::{Measurement, Trace};
 pub use sensor::TdcSensor;
 

@@ -3,7 +3,7 @@
 use fpga_fabric::{TransitionKind, CARRY_ELEMENT_PS};
 use serde::{Deserialize, Serialize};
 
-use crate::CaptureWord;
+use crate::{CaptureWord, TdcError};
 
 /// One trace: a short burst of samples of both polarities at a single θ.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,6 +63,38 @@ impl Trace {
             let saturated = words.iter().filter(|w| w.is_saturated()).count();
             saturated * 2 > words.len()
         })
+    }
+
+    /// Quorum distance: the mean propagation distance of one polarity
+    /// over the trace's **non-saturated** samples only, together with the
+    /// fraction of samples that were usable.
+    ///
+    /// Returns `None` when every sample of the polarity saturated (a
+    /// full-trace dropout) — the caller must treat the trace as missing
+    /// rather than silently reading a distance of zero.
+    #[must_use]
+    pub fn quorum_distance(&self, kind: TransitionKind) -> Option<(f64, f64)> {
+        let words = self.words(kind);
+        let valid: Vec<f64> = words
+            .iter()
+            .filter(|w| !w.is_saturated())
+            .map(|w| w.propagation_distance() as f64)
+            .collect();
+        if valid.is_empty() {
+            return None;
+        }
+        let mean = valid.iter().sum::<f64>() / valid.len() as f64;
+        Some((mean, valid.len() as f64 / words.len().max(1) as f64))
+    }
+
+    /// The fraction of this trace's samples (worst polarity) that carried
+    /// timing information.
+    #[must_use]
+    pub fn valid_fraction(&self) -> f64 {
+        TransitionKind::ALL
+            .into_iter()
+            .map(|kind| self.quorum_distance(kind).map_or(0.0, |(_, frac)| frac))
+            .fold(1.0, f64::min)
     }
 
     /// This trace's Δps estimate: `(rising − falling distance) ×
@@ -141,6 +173,114 @@ impl Measurement {
             trace_count: traces.len(),
         }
     }
+
+    /// Robust aggregation for hostile capture paths: per-sample quorum
+    /// filtering inside each trace, then MAD outlier rejection across the
+    /// surviving traces' Δps estimates.
+    ///
+    /// A trace survives stage one only if, for both polarities, at least
+    /// `min_quorum` of its samples carried timing information (dropouts
+    /// and saturated words are excluded from the mean rather than pulling
+    /// it toward zero). Stage two drops traces whose Δps estimate sits
+    /// more than 5 MADs from the median — a metastability burst wrecks a
+    /// whole trace, and one wrecked trace must not shift the measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdcError::Dropout`] when fewer than half the input
+    /// traces (and at least one) survive both stages.
+    pub fn try_from_traces(traces: &[Trace], min_quorum: f64) -> Result<Self, TdcError> {
+        let required = (traces.len() / 2).max(1);
+        struct Usable<'a> {
+            trace: &'a Trace,
+            rise: f64,
+            fall: f64,
+        }
+        let usable: Vec<Usable<'_>> = traces
+            .iter()
+            .filter_map(|t| {
+                let (rise, rise_frac) = t.quorum_distance(TransitionKind::Rising)?;
+                let (fall, fall_frac) = t.quorum_distance(TransitionKind::Falling)?;
+                (rise_frac.min(fall_frac) >= min_quorum).then_some(Usable {
+                    trace: t,
+                    rise,
+                    fall,
+                })
+            })
+            .collect();
+        let deltas: Vec<f64> = usable
+            .iter()
+            .map(|u| (u.rise - u.fall) * CARRY_ELEMENT_PS)
+            .collect();
+        let keep = mad_inlier_mask(&deltas, 5.0);
+        let kept: Vec<&Usable<'_>> = usable
+            .iter()
+            .zip(&keep)
+            .filter_map(|(u, &k)| k.then_some(u))
+            .collect();
+        if kept.len() < required {
+            return Err(TdcError::Dropout {
+                usable_traces: kept.len(),
+                required_traces: required,
+            });
+        }
+        let n = kept.len() as f64;
+        let rise_bits = kept.iter().map(|u| u.rise).sum::<f64>() / n;
+        let fall_bits = kept.iter().map(|u| u.fall).sum::<f64>() / n;
+        let delta = kept
+            .iter()
+            .map(|u| (u.rise - u.fall) * CARRY_ELEMENT_PS)
+            .sum::<f64>()
+            / n;
+        let rise_delay = kept
+            .iter()
+            .map(|u| u.trace.theta_ps() - u.rise * CARRY_ELEMENT_PS)
+            .sum::<f64>()
+            / n;
+        let fall_delay = kept
+            .iter()
+            .map(|u| u.trace.theta_ps() - u.fall * CARRY_ELEMENT_PS)
+            .sum::<f64>()
+            / n;
+        Ok(Self {
+            theta_init_ps: kept[0].trace.theta_ps(),
+            rise_distance_bits: rise_bits,
+            fall_distance_bits: fall_bits,
+            delta_ps: delta,
+            rise_delay_ps: rise_delay,
+            fall_delay_ps: fall_delay,
+            trace_count: kept.len(),
+        })
+    }
+}
+
+/// Marks which values sit within `k` MADs of the median (all of them when
+/// the MAD degenerates to zero).
+fn mad_inlier_mask(values: &[f64], k: f64) -> Vec<bool> {
+    let med = match median(values) {
+        Some(m) => m,
+        None => return Vec::new(),
+    };
+    let spreads: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+    let mad = median(&spreads).unwrap_or(0.0);
+    if mad <= f64::EPSILON {
+        return vec![true; values.len()];
+    }
+    values.iter().map(|v| (v - med).abs() <= k * mad).collect()
+}
+
+fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    Some(if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    })
 }
 
 #[cfg(test)]
@@ -206,5 +346,68 @@ mod tests {
     #[should_panic(expected = "at least one trace")]
     fn empty_measurement_panics() {
         let _ = Measurement::from_traces(&[]);
+    }
+
+    #[test]
+    fn quorum_distance_ignores_dropped_samples() {
+        // 4 good samples at front 30 plus 2 dropouts (front 0).
+        let mut rising = vec![front_word(TransitionKind::Rising, 64, 30); 4];
+        rising.extend(vec![front_word(TransitionKind::Rising, 64, 0); 2]);
+        let t = Trace::new(
+            500.0,
+            rising,
+            vec![front_word(TransitionKind::Falling, 64, 30); 6],
+        );
+        // The plain mean is dragged toward zero by the dropouts...
+        assert!(t.mean_distance(TransitionKind::Rising) < 21.0);
+        // ...the quorum mean is not.
+        let (dist, frac) = t.quorum_distance(TransitionKind::Rising).unwrap();
+        assert!((dist - 30.0).abs() < 1e-9);
+        assert!((frac - 4.0 / 6.0).abs() < 1e-9);
+        assert!((t.valid_fraction() - 4.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_from_traces_rejects_burst_outlier() {
+        // Four agreeing traces and one wrecked by a burst (Δ far off).
+        let traces = vec![
+            trace(500.0, 40, 30),
+            trace(497.2, 39, 30),
+            trace(494.4, 41, 30),
+            trace(491.6, 40, 30),
+            trace(488.8, 60, 10),
+        ];
+        let m = Measurement::try_from_traces(&traces, 0.5).unwrap();
+        assert_eq!(m.trace_count, 4, "outlier dropped");
+        assert!((m.delta_ps - 10.0 * CARRY_ELEMENT_PS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_from_traces_errors_when_quorum_collapses() {
+        // Every trace fully saturated: nothing usable.
+        let dead = Trace::new(
+            500.0,
+            vec![front_word(TransitionKind::Rising, 64, 0); 4],
+            vec![front_word(TransitionKind::Falling, 64, 0); 4],
+        );
+        let err = Measurement::try_from_traces(&[dead.clone(), dead], 0.5).unwrap_err();
+        assert!(matches!(
+            err,
+            TdcError::Dropout {
+                usable_traces: 0,
+                required_traces: 1
+            }
+        ));
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn try_from_traces_matches_plain_aggregation_when_clean() {
+        let traces = vec![trace(500.0, 40, 30), trace(497.2, 39, 29)];
+        let robust = Measurement::try_from_traces(&traces, 0.5).unwrap();
+        let plain = Measurement::from_traces(&traces);
+        assert!((robust.delta_ps - plain.delta_ps).abs() < 1e-9);
+        assert!((robust.rise_delay_ps - plain.rise_delay_ps).abs() < 1e-9);
+        assert_eq!(robust.trace_count, plain.trace_count);
     }
 }

@@ -5,7 +5,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::util::gaussian;
-use crate::{CaptureWord, ClockGenerator, Measurement, TdcConfig, TdcError, Trace};
+use crate::{
+    CaptureWord, ClockGenerator, Measurement, SensorFaultPlan, TdcConfig, TdcError, Trace,
+};
 
 /// A placed TDC sensor: one route under test feeding one carry chain.
 ///
@@ -22,6 +24,8 @@ pub struct TdcSensor {
     config: TdcConfig,
     clock: ClockGenerator,
     theta_init_ps: Option<f64>,
+    #[serde(default)]
+    faults: SensorFaultPlan,
 }
 
 impl TdcSensor {
@@ -52,7 +56,21 @@ impl TdcSensor {
             config,
             clock,
             theta_init_ps: None,
+            faults: SensorFaultPlan::none(),
         })
+    }
+
+    /// Installs a measurement-fault plan (see [`SensorFaultPlan`]). The
+    /// default plan corrupts nothing; a benign plan leaves every capture
+    /// byte-identical to a sensor with no plan at all.
+    pub fn set_fault_plan(&mut self, plan: SensorFaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The active measurement-fault plan.
+    #[must_use]
+    pub fn fault_plan(&self) -> &SensorFaultPlan {
+        &self.faults
     }
 
     /// The route under test.
@@ -151,7 +169,8 @@ impl TdcSensor {
         };
         let rising = sample(TransitionKind::Rising, rng);
         let falling = sample(TransitionKind::Falling, rng);
-        Trace::new(theta_ps, rising, falling)
+        self.faults
+            .corrupt_trace(Trace::new(theta_ps, rising, falling))
     }
 
     /// Calibration phase: sweeps θ downward until both transition fronts
@@ -235,6 +254,35 @@ impl TdcSensor {
             })
             .collect();
         Ok(Measurement::from_traces(&traces))
+    }
+
+    /// Robust measurement for hostile capture paths: like
+    /// [`measure`](Self::measure) but aggregated with per-sample quorum
+    /// filtering and MAD outlier rejection
+    /// ([`Measurement::try_from_traces`]), so dropouts and metastability
+    /// bursts degrade the estimate gracefully instead of biasing it.
+    ///
+    /// `min_quorum` is the fraction of samples a trace must keep to
+    /// count; 0.5 is a sensible default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdcError::NotCalibrated`] without a θ_init, or
+    /// [`TdcError::Dropout`] when too few traces survive filtering.
+    pub fn measure_robust<R: Rng + ?Sized>(
+        &self,
+        device: &FpgaDevice,
+        min_quorum: f64,
+        rng: &mut R,
+    ) -> Result<Measurement, TdcError> {
+        let theta_init = self.theta_init_ps.ok_or(TdcError::NotCalibrated)?;
+        let traces: Vec<Trace> = (0..self.config.traces_per_measurement)
+            .map(|i| {
+                let theta = theta_init - i as f64 * self.config.theta_step_ps;
+                self.capture_trace(device, theta, rng)
+            })
+            .collect();
+        Measurement::try_from_traces(&traces, min_quorum)
     }
 
     /// Measures, retuning θ first if the stored θ_init saturates (the
@@ -367,6 +415,52 @@ mod tests {
             mean_after - mean_before > 0.5,
             "before {mean_before}, after {mean_after}"
         );
+    }
+
+    #[test]
+    fn benign_fault_plan_is_byte_identical() {
+        let (device, mut a, mut rng_a) = setup(5_000.0, 20);
+        let (_, mut b, mut rng_b) = setup(5_000.0, 20);
+        b.set_fault_plan(SensorFaultPlan::none());
+        a.calibrate(&device, &mut rng_a).unwrap();
+        b.calibrate(&device, &mut rng_b).unwrap();
+        let ma = a.measure(&device, &mut rng_a).unwrap();
+        let mb = b.measure(&device, &mut rng_b).unwrap();
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn robust_measurement_survives_moderate_faults() {
+        let (mut device, mut sensor, mut rng) = setup(10_000.0, 21);
+        sensor.calibrate(&device, &mut rng).unwrap();
+        let route = sensor.route().clone();
+        device.condition_route(&route, DutyCycle::ALWAYS_ONE, Hours::new(200.0));
+        let clean = sensor.measure(&device, &mut rng).unwrap().delta_ps;
+        sensor.set_fault_plan(SensorFaultPlan::noisy(5, 0.15));
+        let faulty = sensor.measure_robust(&device, 0.3, &mut rng).unwrap();
+        assert!(
+            (faulty.delta_ps - clean).abs() < 2.5,
+            "clean {clean}, robust-under-faults {}",
+            faulty.delta_ps
+        );
+        assert!(
+            faulty.trace_count >= 5,
+            "kept {} traces",
+            faulty.trace_count
+        );
+    }
+
+    #[test]
+    fn total_dropout_is_a_transient_error() {
+        let (device, mut sensor, mut rng) = setup(5_000.0, 22);
+        sensor.calibrate(&device, &mut rng).unwrap();
+        let mut plan = SensorFaultPlan::none();
+        plan.seed = 6;
+        plan.dropout_rate = 1.0;
+        sensor.set_fault_plan(plan);
+        let err = sensor.measure_robust(&device, 0.5, &mut rng).unwrap_err();
+        assert!(matches!(err, TdcError::Dropout { .. }));
+        assert!(err.is_transient());
     }
 
     #[test]

@@ -57,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|i| LogicLevel::from_bool((i * 7 + 3) % 5 < 2))
         .collect();
     for (i, (route, &bit)) in placed.routes.iter().zip(&key_bits).enumerate() {
-        design.add_net(format!("key[{i}]"), NetActivity::Static(bit), Some(route.clone()));
+        design.add_net(
+            format!("key[{i}]"),
+            NetActivity::Static(bit),
+            Some(route.clone()),
+        );
     }
     device.load_design(design)?;
     device.run_for(Hours::new(200.0));

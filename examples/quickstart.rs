@@ -6,8 +6,7 @@
 use bti_physics::{Hours, LogicLevel};
 use fpga_fabric::FpgaDevice;
 use pentimento::{
-    build_target_design, BitClassifier, DriftSlopeClassifier, RouteGroupSpec, RouteSeries,
-    Skeleton,
+    build_target_design, BitClassifier, DriftSlopeClassifier, RouteGroupSpec, RouteSeries, Skeleton,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The provider wipes every bit of digital state...
     device.wipe();
-    println!("device wiped: loaded design = {:?}", device.loaded_design().map(|d| d.name()));
+    println!(
+        "device wiped: loaded design = {:?}",
+        device.loaded_design().map(|d| d.name())
+    );
 
     // ...but the pentimento survives. Classify each bit from the drift.
     let mut recovered: u8 = 0;

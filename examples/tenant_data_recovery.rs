@@ -46,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(outcome.reacquired_victim_device);
 
     let as_bits = |v: &[LogicLevel]| -> String {
-        v.iter().map(|b| if b.as_bool() { '1' } else { '0' }).collect()
+        v.iter()
+            .map(|b| if b.as_bool() { '1' } else { '0' })
+            .collect()
     };
     println!("\nvictim secret: {}", as_bits(&outcome.truth));
     println!("recovered:     {}", as_bits(&outcome.recovered));

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# The full local CI gate. Offline-friendly: every dependency is vendored
+# in-tree (see vendor/), so no network or registry access is needed.
+#
+# Usage: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo "== cargo clippy --workspace -- -D warnings =="
+if command -v cargo-clippy >/dev/null 2>&1; then
+    cargo clippy --workspace -- -D warnings
+else
+    echo "clippy not installed; skipping (install with: rustup component add clippy)"
+fi
+
+echo "== cargo fmt --check =="
+if command -v cargo-fmt >/dev/null 2>&1; then
+    cargo fmt --check
+else
+    echo "rustfmt not installed; skipping (install with: rustup component add rustfmt)"
+fi
+
+echo "CI gate passed."

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-1aa08c110983b69c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-1aa08c110983b69c: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

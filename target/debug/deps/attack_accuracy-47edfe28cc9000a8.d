@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_accuracy-47edfe28cc9000a8.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/debug/deps/attack_accuracy-47edfe28cc9000a8: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack_accuracy-6e2f254ee8e899f7.d: crates/bench/src/bin/attack_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack_accuracy-6e2f254ee8e899f7.rmeta: crates/bench/src/bin/attack_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/attack_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_and_covert-6567525bb35ba80d.d: tests/audit_and_covert.rs
+
+/root/repo/target/debug/deps/audit_and_covert-6567525bb35ba80d: tests/audit_and_covert.rs
+
+tests/audit_and_covert.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-5a141b6666f435ed.d: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+/root/repo/target/debug/deps/libbaselines-5a141b6666f435ed.rlib: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+/root/repo/target/debug/deps/libbaselines-5a141b6666f435ed.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ro.rs:
+crates/baselines/src/thermal_channel.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/baselines-720338da64e7e899.d: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+/root/repo/target/debug/deps/baselines-720338da64e7e899: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ro.rs:
+crates/baselines/src/thermal_channel.rs:

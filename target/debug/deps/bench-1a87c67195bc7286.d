@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-1a87c67195bc7286.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-1a87c67195bc7286: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

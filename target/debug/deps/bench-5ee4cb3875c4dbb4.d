@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-5ee4cb3875c4dbb4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-5ee4cb3875c4dbb4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-5ee4cb3875c4dbb4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bitstream_properties-378b8e9b7f2c8f14.d: crates/fpga-fabric/tests/bitstream_properties.rs
+
+/root/repo/target/debug/deps/bitstream_properties-378b8e9b7f2c8f14: crates/fpga-fabric/tests/bitstream_properties.rs
+
+crates/fpga-fabric/tests/bitstream_properties.rs:

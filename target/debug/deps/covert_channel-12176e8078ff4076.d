@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/covert_channel-12176e8078ff4076.d: crates/bench/src/bin/covert_channel.rs
+
+/root/repo/target/debug/deps/covert_channel-12176e8078ff4076: crates/bench/src/bin/covert_channel.rs
+
+crates/bench/src/bin/covert_channel.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-513ed8c2826444a5.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-513ed8c2826444a5.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-513ed8c2826444a5.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

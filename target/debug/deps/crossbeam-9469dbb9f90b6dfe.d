@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-9469dbb9f90b6dfe.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-9469dbb9f90b6dfe: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

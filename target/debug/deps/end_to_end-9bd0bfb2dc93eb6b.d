@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9bd0bfb2dc93eb6b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9bd0bfb2dc93eb6b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-ffd64d2fc4de0810.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-ffd64d2fc4de0810: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_inverter-798f1e6e5e72ac3a.d: crates/bench/src/bin/fig2_inverter.rs
+
+/root/repo/target/debug/deps/fig2_inverter-798f1e6e5e72ac3a: crates/bench/src/bin/fig2_inverter.rs
+
+crates/bench/src/bin/fig2_inverter.rs:

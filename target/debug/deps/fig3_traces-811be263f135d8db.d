@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_traces-811be263f135d8db.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/debug/deps/fig3_traces-811be263f135d8db: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-8c119082240d7f95.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-8c119082240d7f95: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

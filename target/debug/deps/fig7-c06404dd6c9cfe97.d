@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-c06404dd6c9cfe97.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-c06404dd6c9cfe97: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-a4f3b87fd4daf428.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-a4f3b87fd4daf428: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/fpga_fabric-4e57ad17408b0714.d: crates/fpga-fabric/src/lib.rs crates/fpga-fabric/src/bitstream.rs crates/fpga-fabric/src/carry.rs crates/fpga-fabric/src/delay.rs crates/fpga-fabric/src/design.rs crates/fpga-fabric/src/device.rs crates/fpga-fabric/src/drc.rs crates/fpga-fabric/src/error.rs crates/fpga-fabric/src/geometry.rs crates/fpga-fabric/src/lut.rs crates/fpga-fabric/src/packer.rs crates/fpga-fabric/src/router.rs crates/fpga-fabric/src/thermal.rs crates/fpga-fabric/src/variation.rs crates/fpga-fabric/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpga_fabric-4e57ad17408b0714.rmeta: crates/fpga-fabric/src/lib.rs crates/fpga-fabric/src/bitstream.rs crates/fpga-fabric/src/carry.rs crates/fpga-fabric/src/delay.rs crates/fpga-fabric/src/design.rs crates/fpga-fabric/src/device.rs crates/fpga-fabric/src/drc.rs crates/fpga-fabric/src/error.rs crates/fpga-fabric/src/geometry.rs crates/fpga-fabric/src/lut.rs crates/fpga-fabric/src/packer.rs crates/fpga-fabric/src/router.rs crates/fpga-fabric/src/thermal.rs crates/fpga-fabric/src/variation.rs crates/fpga-fabric/src/wire.rs Cargo.toml
+
+crates/fpga-fabric/src/lib.rs:
+crates/fpga-fabric/src/bitstream.rs:
+crates/fpga-fabric/src/carry.rs:
+crates/fpga-fabric/src/delay.rs:
+crates/fpga-fabric/src/design.rs:
+crates/fpga-fabric/src/device.rs:
+crates/fpga-fabric/src/drc.rs:
+crates/fpga-fabric/src/error.rs:
+crates/fpga-fabric/src/geometry.rs:
+crates/fpga-fabric/src/lut.rs:
+crates/fpga-fabric/src/packer.rs:
+crates/fpga-fabric/src/router.rs:
+crates/fpga-fabric/src/thermal.rs:
+crates/fpga-fabric/src/variation.rs:
+crates/fpga-fabric/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

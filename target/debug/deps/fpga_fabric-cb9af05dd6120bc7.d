@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fpga_fabric-cb9af05dd6120bc7.d: crates/fpga-fabric/src/lib.rs crates/fpga-fabric/src/bitstream.rs crates/fpga-fabric/src/carry.rs crates/fpga-fabric/src/delay.rs crates/fpga-fabric/src/design.rs crates/fpga-fabric/src/device.rs crates/fpga-fabric/src/drc.rs crates/fpga-fabric/src/error.rs crates/fpga-fabric/src/geometry.rs crates/fpga-fabric/src/lut.rs crates/fpga-fabric/src/packer.rs crates/fpga-fabric/src/router.rs crates/fpga-fabric/src/thermal.rs crates/fpga-fabric/src/variation.rs crates/fpga-fabric/src/wire.rs
+
+/root/repo/target/debug/deps/fpga_fabric-cb9af05dd6120bc7: crates/fpga-fabric/src/lib.rs crates/fpga-fabric/src/bitstream.rs crates/fpga-fabric/src/carry.rs crates/fpga-fabric/src/delay.rs crates/fpga-fabric/src/design.rs crates/fpga-fabric/src/device.rs crates/fpga-fabric/src/drc.rs crates/fpga-fabric/src/error.rs crates/fpga-fabric/src/geometry.rs crates/fpga-fabric/src/lut.rs crates/fpga-fabric/src/packer.rs crates/fpga-fabric/src/router.rs crates/fpga-fabric/src/thermal.rs crates/fpga-fabric/src/variation.rs crates/fpga-fabric/src/wire.rs
+
+crates/fpga-fabric/src/lib.rs:
+crates/fpga-fabric/src/bitstream.rs:
+crates/fpga-fabric/src/carry.rs:
+crates/fpga-fabric/src/delay.rs:
+crates/fpga-fabric/src/design.rs:
+crates/fpga-fabric/src/device.rs:
+crates/fpga-fabric/src/drc.rs:
+crates/fpga-fabric/src/error.rs:
+crates/fpga-fabric/src/geometry.rs:
+crates/fpga-fabric/src/lut.rs:
+crates/fpga-fabric/src/packer.rs:
+crates/fpga-fabric/src/router.rs:
+crates/fpga-fabric/src/thermal.rs:
+crates/fpga-fabric/src/variation.rs:
+crates/fpga-fabric/src/wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lut_comparison-560c3ce5615d21ee.d: crates/bench/src/bin/lut_comparison.rs
+
+/root/repo/target/debug/deps/lut_comparison-560c3ce5615d21ee: crates/bench/src/bin/lut_comparison.rs
+
+crates/bench/src/bin/lut_comparison.rs:

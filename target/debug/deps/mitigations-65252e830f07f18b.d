@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mitigations-65252e830f07f18b.d: crates/bench/src/bin/mitigations.rs
+
+/root/repo/target/debug/deps/mitigations-65252e830f07f18b: crates/bench/src/bin/mitigations.rs
+
+crates/bench/src/bin/mitigations.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/opentitan-6cc74e40ade19a1f.d: crates/opentitan/src/lib.rs crates/opentitan/src/assets.rs crates/opentitan/src/distribution.rs crates/opentitan/src/placement.rs crates/opentitan/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopentitan-6cc74e40ade19a1f.rmeta: crates/opentitan/src/lib.rs crates/opentitan/src/assets.rs crates/opentitan/src/distribution.rs crates/opentitan/src/placement.rs crates/opentitan/src/report.rs Cargo.toml
+
+crates/opentitan/src/lib.rs:
+crates/opentitan/src/assets.rs:
+crates/opentitan/src/distribution.rs:
+crates/opentitan/src/placement.rs:
+crates/opentitan/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

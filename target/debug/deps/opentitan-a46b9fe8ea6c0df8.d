@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/opentitan-a46b9fe8ea6c0df8.d: crates/opentitan/src/lib.rs crates/opentitan/src/assets.rs crates/opentitan/src/distribution.rs crates/opentitan/src/placement.rs crates/opentitan/src/report.rs
+
+/root/repo/target/debug/deps/libopentitan-a46b9fe8ea6c0df8.rlib: crates/opentitan/src/lib.rs crates/opentitan/src/assets.rs crates/opentitan/src/distribution.rs crates/opentitan/src/placement.rs crates/opentitan/src/report.rs
+
+/root/repo/target/debug/deps/libopentitan-a46b9fe8ea6c0df8.rmeta: crates/opentitan/src/lib.rs crates/opentitan/src/assets.rs crates/opentitan/src/distribution.rs crates/opentitan/src/placement.rs crates/opentitan/src/report.rs
+
+crates/opentitan/src/lib.rs:
+crates/opentitan/src/assets.rs:
+crates/opentitan/src/distribution.rs:
+crates/opentitan/src/placement.rs:
+crates/opentitan/src/report.rs:

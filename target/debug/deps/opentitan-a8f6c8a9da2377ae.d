@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/opentitan-a8f6c8a9da2377ae.d: crates/opentitan/src/lib.rs crates/opentitan/src/assets.rs crates/opentitan/src/distribution.rs crates/opentitan/src/placement.rs crates/opentitan/src/report.rs
+
+/root/repo/target/debug/deps/opentitan-a8f6c8a9da2377ae: crates/opentitan/src/lib.rs crates/opentitan/src/assets.rs crates/opentitan/src/distribution.rs crates/opentitan/src/placement.rs crates/opentitan/src/report.rs
+
+crates/opentitan/src/lib.rs:
+crates/opentitan/src/assets.rs:
+crates/opentitan/src/distribution.rs:
+crates/opentitan/src/placement.rs:
+crates/opentitan/src/report.rs:

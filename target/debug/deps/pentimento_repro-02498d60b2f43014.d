@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pentimento_repro-02498d60b2f43014.d: src/lib.rs
+
+/root/repo/target/debug/deps/pentimento_repro-02498d60b2f43014: src/lib.rs
+
+src/lib.rs:

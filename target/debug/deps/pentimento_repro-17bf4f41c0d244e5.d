@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pentimento_repro-17bf4f41c0d244e5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpentimento_repro-17bf4f41c0d244e5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpentimento_repro-17bf4f41c0d244e5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pentimento_repro-d48b40dabe4a39ed.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpentimento_repro-d48b40dabe4a39ed.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

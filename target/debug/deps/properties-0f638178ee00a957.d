@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0f638178ee00a957.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0f638178ee00a957: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3920488030f9d4b8.d: crates/fpga-fabric/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3920488030f9d4b8: crates/fpga-fabric/tests/properties.rs
+
+crates/fpga-fabric/tests/properties.rs:

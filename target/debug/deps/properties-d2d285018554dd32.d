@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d2d285018554dd32.d: crates/bti-physics/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d2d285018554dd32: crates/bti-physics/tests/properties.rs
+
+crates/bti-physics/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-44b2e1069150475a.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-44b2e1069150475a: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-5aa62a59956820fe.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5aa62a59956820fe.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5aa62a59956820fe.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

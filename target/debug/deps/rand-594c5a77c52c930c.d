@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-594c5a77c52c930c.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-594c5a77c52c930c: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-5e74c141b9325ec1.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5e74c141b9325ec1.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5e74c141b9325ec1.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repeatability-c32c2ba28cd545a6.d: crates/bench/src/bin/repeatability.rs
+
+/root/repo/target/debug/deps/repeatability-c32c2ba28cd545a6: crates/bench/src/bin/repeatability.rs
+
+crates/bench/src/bin/repeatability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repeatability-d22355ed8bf7d69e.d: crates/bench/src/bin/repeatability.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepeatability-d22355ed8bf7d69e.rmeta: crates/bench/src/bin/repeatability.rs Cargo.toml
+
+crates/bench/src/bin/repeatability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience_properties-666a68d5dafaafda.d: tests/resilience_properties.rs
+
+/root/repo/target/debug/deps/resilience_properties-666a68d5dafaafda: tests/resilience_properties.rs
+
+tests/resilience_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ro_baseline-cde009c1f73973cb.d: crates/bench/src/bin/ro_baseline.rs
+
+/root/repo/target/debug/deps/ro_baseline-cde009c1f73973cb: crates/bench/src/bin/ro_baseline.rs
+
+crates/bench/src/bin/ro_baseline.rs:

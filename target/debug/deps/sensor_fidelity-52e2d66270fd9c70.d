@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensor_fidelity-52e2d66270fd9c70.d: tests/sensor_fidelity.rs
+
+/root/repo/target/debug/deps/sensor_fidelity-52e2d66270fd9c70: tests/sensor_fidelity.rs
+
+tests/sensor_fidelity.rs:

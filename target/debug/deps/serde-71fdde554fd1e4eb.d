@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-71fdde554fd1e4eb.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-71fdde554fd1e4eb: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

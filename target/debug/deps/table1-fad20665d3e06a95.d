@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-fad20665d3e06a95.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-fad20665d3e06a95: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tdc-50133b9c18f4097c.d: crates/tdc/src/lib.rs crates/tdc/src/array.rs crates/tdc/src/capture.rs crates/tdc/src/clock.rs crates/tdc/src/config.rs crates/tdc/src/error.rs crates/tdc/src/faults.rs crates/tdc/src/measurement.rs crates/tdc/src/sensor.rs
+
+/root/repo/target/debug/deps/tdc-50133b9c18f4097c: crates/tdc/src/lib.rs crates/tdc/src/array.rs crates/tdc/src/capture.rs crates/tdc/src/clock.rs crates/tdc/src/config.rs crates/tdc/src/error.rs crates/tdc/src/faults.rs crates/tdc/src/measurement.rs crates/tdc/src/sensor.rs
+
+crates/tdc/src/lib.rs:
+crates/tdc/src/array.rs:
+crates/tdc/src/capture.rs:
+crates/tdc/src/clock.rs:
+crates/tdc/src/config.rs:
+crates/tdc/src/error.rs:
+crates/tdc/src/faults.rs:
+crates/tdc/src/measurement.rs:
+crates/tdc/src/sensor.rs:

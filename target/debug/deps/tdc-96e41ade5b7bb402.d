@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tdc-96e41ade5b7bb402.d: crates/tdc/src/lib.rs crates/tdc/src/array.rs crates/tdc/src/capture.rs crates/tdc/src/clock.rs crates/tdc/src/config.rs crates/tdc/src/error.rs crates/tdc/src/faults.rs crates/tdc/src/measurement.rs crates/tdc/src/sensor.rs
+
+/root/repo/target/debug/deps/libtdc-96e41ade5b7bb402.rlib: crates/tdc/src/lib.rs crates/tdc/src/array.rs crates/tdc/src/capture.rs crates/tdc/src/clock.rs crates/tdc/src/config.rs crates/tdc/src/error.rs crates/tdc/src/faults.rs crates/tdc/src/measurement.rs crates/tdc/src/sensor.rs
+
+/root/repo/target/debug/deps/libtdc-96e41ade5b7bb402.rmeta: crates/tdc/src/lib.rs crates/tdc/src/array.rs crates/tdc/src/capture.rs crates/tdc/src/clock.rs crates/tdc/src/config.rs crates/tdc/src/error.rs crates/tdc/src/faults.rs crates/tdc/src/measurement.rs crates/tdc/src/sensor.rs
+
+crates/tdc/src/lib.rs:
+crates/tdc/src/array.rs:
+crates/tdc/src/capture.rs:
+crates/tdc/src/clock.rs:
+crates/tdc/src/config.rs:
+crates/tdc/src/error.rs:
+crates/tdc/src/faults.rs:
+crates/tdc/src/measurement.rs:
+crates/tdc/src/sensor.rs:

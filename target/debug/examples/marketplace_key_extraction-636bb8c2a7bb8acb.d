@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/marketplace_key_extraction-636bb8c2a7bb8acb.d: examples/marketplace_key_extraction.rs
+
+/root/repo/target/debug/examples/marketplace_key_extraction-636bb8c2a7bb8acb: examples/marketplace_key_extraction.rs
+
+examples/marketplace_key_extraction.rs:

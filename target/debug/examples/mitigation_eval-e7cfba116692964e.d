@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mitigation_eval-e7cfba116692964e.d: examples/mitigation_eval.rs
+
+/root/repo/target/debug/examples/mitigation_eval-e7cfba116692964e: examples/mitigation_eval.rs
+
+examples/mitigation_eval.rs:

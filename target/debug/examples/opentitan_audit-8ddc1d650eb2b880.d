@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/opentitan_audit-8ddc1d650eb2b880.d: examples/opentitan_audit.rs
+
+/root/repo/target/debug/examples/opentitan_audit-8ddc1d650eb2b880: examples/opentitan_audit.rs
+
+examples/opentitan_audit.rs:

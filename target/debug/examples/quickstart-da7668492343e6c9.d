@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-da7668492343e6c9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-da7668492343e6c9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilient_campaign-23174404daa9bf36.d: examples/resilient_campaign.rs
+
+/root/repo/target/debug/examples/resilient_campaign-23174404daa9bf36: examples/resilient_campaign.rs
+
+examples/resilient_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tenant_data_recovery-c6edd07e950a1e37.d: examples/tenant_data_recovery.rs
+
+/root/repo/target/debug/examples/tenant_data_recovery-c6edd07e950a1e37: examples/tenant_data_recovery.rs
+
+examples/tenant_data_recovery.rs:

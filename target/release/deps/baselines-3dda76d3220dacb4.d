@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/baselines-3dda76d3220dacb4.d: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+/root/repo/target/release/deps/libbaselines-3dda76d3220dacb4.rlib: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+/root/repo/target/release/deps/libbaselines-3dda76d3220dacb4.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ro.rs:
+crates/baselines/src/thermal_channel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-c9eec7545952fd3c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-c9eec7545952fd3c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-c9eec7545952fd3c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cloud-f87c68b43209e329.d: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
+
+/root/repo/target/release/deps/libcloud-f87c68b43209e329.rlib: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
+
+/root/repo/target/release/deps/libcloud-f87c68b43209e329.rmeta: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/afi.rs:
+crates/cloud/src/error.rs:
+crates/cloud/src/faults.rs:
+crates/cloud/src/fingerprint.rs:
+crates/cloud/src/ledger.rs:
+crates/cloud/src/provider.rs:
+crates/cloud/src/session.rs:
+crates/cloud/src/tenant.rs:

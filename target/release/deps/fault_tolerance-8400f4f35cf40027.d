@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-8400f4f35cf40027.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-8400f4f35cf40027: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-5db285d3c6915009.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-5db285d3c6915009: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

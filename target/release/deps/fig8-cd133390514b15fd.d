@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-cd133390514b15fd.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-cd133390514b15fd: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/opentitan-e359836a6c447c76.d: crates/opentitan/src/lib.rs crates/opentitan/src/assets.rs crates/opentitan/src/distribution.rs crates/opentitan/src/placement.rs crates/opentitan/src/report.rs
+
+/root/repo/target/release/deps/libopentitan-e359836a6c447c76.rlib: crates/opentitan/src/lib.rs crates/opentitan/src/assets.rs crates/opentitan/src/distribution.rs crates/opentitan/src/placement.rs crates/opentitan/src/report.rs
+
+/root/repo/target/release/deps/libopentitan-e359836a6c447c76.rmeta: crates/opentitan/src/lib.rs crates/opentitan/src/assets.rs crates/opentitan/src/distribution.rs crates/opentitan/src/placement.rs crates/opentitan/src/report.rs
+
+crates/opentitan/src/lib.rs:
+crates/opentitan/src/assets.rs:
+crates/opentitan/src/distribution.rs:
+crates/opentitan/src/placement.rs:
+crates/opentitan/src/report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pentimento_repro-a35354bfbe02e269.d: src/lib.rs
+
+/root/repo/target/release/deps/libpentimento_repro-a35354bfbe02e269.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpentimento_repro-a35354bfbe02e269.rmeta: src/lib.rs
+
+src/lib.rs:

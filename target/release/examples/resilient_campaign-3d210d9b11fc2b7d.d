@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resilient_campaign-3d210d9b11fc2b7d.d: examples/resilient_campaign.rs
+
+/root/repo/target/release/examples/resilient_campaign-3d210d9b11fc2b7d: examples/resilient_campaign.rs
+
+examples/resilient_campaign.rs:

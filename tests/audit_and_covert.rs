@@ -35,7 +35,11 @@ fn audit_verdicts_predict_actual_recoverability() {
     ];
     let mut design = Design::new("mixed-exposure");
     for (i, (entry, &v)) in skeleton.entries().iter().zip(&values).enumerate() {
-        design.add_net(format!("net[{i}]"), NetActivity::Static(v), Some(entry.route.clone()));
+        design.add_net(
+            format!("net[{i}]"),
+            NetActivity::Static(v),
+            Some(entry.route.clone()),
+        );
     }
     let scenario = AuditScenario::conservative();
     let report = audit_design(&design, &[0, 1, 2, 3], scenario).expect("audits");
@@ -80,8 +84,7 @@ fn covert_channel_round_trips_a_realistic_message() {
         seed: 202,
         ..CovertChannelConfig::default()
     };
-    let outcome =
-        transmit_and_receive(&mut device, &message, 12.0, &config).expect("channel runs");
+    let outcome = transmit_and_receive(&mut device, &message, 12.0, &config).expect("channel runs");
     assert!(
         outcome.bit_errors <= 2,
         "TDC covert channel errors: {} of 16",

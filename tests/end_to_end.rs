@@ -84,7 +84,10 @@ fn scrub_removes_digital_state_but_not_the_pentimento() {
 
     let device = provider.device_by_id(device_id).expect("device exists");
     assert!(device.loaded_design().is_none(), "digital state scrubbed");
-    let deltas: Vec<f64> = skeleton.routes().map(|r| device.route_delta_ps(r)).collect();
+    let deltas: Vec<f64> = skeleton
+        .routes()
+        .map(|r| device.route_delta_ps(r))
+        .collect();
     assert!(deltas[0] > 0.3, "burn-1 imprint survives: {}", deltas[0]);
     assert!(deltas[1] < -0.3, "burn-0 imprint survives: {}", deltas[1]);
 }
@@ -157,8 +160,7 @@ fn wrong_skeleton_recovers_nothing() {
     let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, 16));
     let mut config = tm1_config(MeasurementMode::Oracle);
     config.routes_per_length = 8;
-    let outcome =
-        threat_model1::run_with_wrong_skeleton(&mut provider, &config).expect("runs");
+    let outcome = threat_model1::run_with_wrong_skeleton(&mut provider, &config).expect("runs");
     assert!(outcome.metrics.accuracy < 0.8);
 }
 
@@ -202,9 +204,15 @@ fn idle_wires_relax_while_driven_wires_age() {
         Some(skeleton.entries()[0].route.clone()),
     );
     device.load_design(one_driven).expect("loads");
-    let before: Vec<f64> = skeleton.routes().map(|r| device.route_delta_ps(r)).collect();
+    let before: Vec<f64> = skeleton
+        .routes()
+        .map(|r| device.route_delta_ps(r))
+        .collect();
     device.run_for(Hours::new(100.0));
-    let after: Vec<f64> = skeleton.routes().map(|r| device.route_delta_ps(r)).collect();
+    let after: Vec<f64> = skeleton
+        .routes()
+        .map(|r| device.route_delta_ps(r))
+        .collect();
     assert!(after[0] > before[0], "driven wire keeps aging");
     assert!(after[1] < before[1], "idle wire relaxes");
 }

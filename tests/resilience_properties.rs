@@ -1,0 +1,151 @@
+//! Resilience invariants of the hostile-cloud campaign runner, checked
+//! over randomized fault plans (ISSUE 1, satellite: proptest coverage).
+//!
+//! Two properties:
+//!
+//! 1. **Transient transparency** — any all-transient [`FaultPlan`]
+//!    (preemptions, spurious scrubs, rent failures, device swaps; no
+//!    thermal transients) plus a sufficient retry budget yields exactly
+//!    the classified bits — and the byte-identical series — of the
+//!    fault-free plain driver with the same seed. Repairs cost the
+//!    attacker wall-clock only, never simulated conditioning time.
+//! 2. **Resumability** — checkpointing a campaign at an arbitrary hour
+//!    and resuming the snapshot reproduces the uninterrupted run
+//!    bit-for-bit, even with probabilistic faults and sensor glitches
+//!    still scheduled ahead of the checkpoint.
+
+use cloud::{FaultPlan, Provider, ProviderConfig};
+use pentimento::threat_model1::{self, ThreatModel1Config};
+use pentimento::threat_model2::{self, ThreatModel2Config};
+use pentimento::{Campaign, CampaignConfig, Mission};
+use proptest::prelude::*;
+use tdc::SensorFaultPlan;
+
+fn tm1_config(seed: u64) -> ThreatModel1Config {
+    ThreatModel1Config {
+        route_lengths_ps: vec![5_000.0, 10_000.0],
+        routes_per_length: 4,
+        burn_hours: 40,
+        measure_every: 5,
+        mode: pentimento::MeasurementMode::Oracle,
+        seed,
+        measurement_repeats: 1,
+    }
+}
+
+fn tm2_config(seed: u64) -> ThreatModel2Config {
+    ThreatModel2Config {
+        route_lengths_ps: vec![5_000.0, 10_000.0],
+        routes_per_length: 4,
+        victim_hours: 100,
+        attack_hours: 25,
+        condition_level: bti_physics::LogicLevel::Zero,
+        mode: pentimento::MeasurementMode::Oracle,
+        seed,
+        measurement_repeats: 1,
+        victim_hold_and_recover_hours: 0,
+    }
+}
+
+/// A retry budget comfortably above what the bounded fault intensities
+/// below can consume ("sufficient" in the property statement).
+fn generous_config(fault_plan: FaultPlan) -> CampaignConfig {
+    let mut config = CampaignConfig::default();
+    config.retry.max_attempts = 12;
+    config.fault_plan = fault_plan;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Property (1) for Threat Model 1: transient cloud faults with
+    /// retries are invisible in the recovered bits.
+    #[test]
+    fn transient_faults_are_bit_transparent_tm1(
+        seed in 0u64..40,
+        intensity in 0.0f64..0.05,
+    ) {
+        let mut driver_provider = Provider::new(ProviderConfig::aws_f1_like(3, seed));
+        let fault_free = threat_model1::run(&mut driver_provider, &tm1_config(seed))
+            .expect("fault-free driver");
+
+        let provider = Provider::new(ProviderConfig::aws_f1_like(3, seed));
+        let config = generous_config(FaultPlan::transient_only(seed ^ 0xFA11, intensity));
+        let outcome = Campaign::new(provider, Mission::ThreatModel1(tm1_config(seed)), config)
+            .and_then(|mut c| c.run())
+            .expect("transient faults must be survivable with budget to spare");
+
+        prop_assert_eq!(&outcome.recovered, &fault_free.recovered);
+        prop_assert_eq!(&outcome.series, &fault_free.series);
+    }
+
+    /// Property (1) for Threat Model 2: the flash-attack campaign also
+    /// recovers the fault-free bits under transient weather.
+    #[test]
+    fn transient_faults_are_bit_transparent_tm2(
+        seed in 0u64..40,
+        intensity in 0.0f64..0.05,
+    ) {
+        let mut driver_provider = Provider::new(ProviderConfig::aws_f1_like(2, seed));
+        let fault_free = threat_model2::run(&mut driver_provider, &tm2_config(seed))
+            .expect("fault-free driver");
+
+        let provider = Provider::new(ProviderConfig::aws_f1_like(2, seed));
+        let config = generous_config(FaultPlan::transient_only(seed ^ 0xFA11, intensity));
+        let outcome = Campaign::new(provider, Mission::ThreatModel2(tm2_config(seed)), config)
+            .and_then(|mut c| c.run())
+            .expect("transient faults must be survivable with budget to spare");
+
+        prop_assert_eq!(&outcome.recovered, &fault_free.recovered);
+        prop_assert_eq!(&outcome.series, &fault_free.series);
+    }
+
+    /// Property (2): checkpoint → resume at any hour equals the
+    /// uninterrupted run, bit-for-bit, under a fully hostile plan
+    /// (thermal transients and sensor glitches included).
+    #[test]
+    fn checkpoint_resume_is_bit_identical(
+        seed in 0u64..40,
+        intensity in 0.0f64..0.04,
+        checkpoint_after in 1usize..35,
+    ) {
+        let build = || {
+            let provider = Provider::new(ProviderConfig::aws_f1_like(3, seed));
+            let mut config = generous_config(FaultPlan::hostile(seed ^ 0xC0DE, intensity));
+            config.sensor_faults = SensorFaultPlan::noisy(seed ^ 0xC0DE, intensity);
+            Campaign::new(provider, Mission::ThreatModel1(tm1_config(seed)), config)
+        };
+
+        let reference = build().and_then(|mut c| c.run());
+        let resumed = build().and_then(|mut campaign| {
+            for _ in 0..checkpoint_after {
+                campaign.step()?;
+            }
+            let checkpoint = campaign.checkpoint();
+            drop(campaign); // the original "process" dies here
+            Campaign::resume(checkpoint)
+        })
+        .and_then(|mut c| c.run());
+
+        // Hostile plans may legitimately exhaust a budget; determinism
+        // then demands the *same* failure, not just any failure.
+        match (reference, resumed) {
+            (Ok(reference), Ok(resumed)) => {
+                prop_assert_eq!(&resumed.recovered, &reference.recovered);
+                prop_assert_eq!(&resumed.series, &reference.series);
+                prop_assert_eq!(resumed.stats.faults_injected, reference.stats.faults_injected);
+            }
+            (Err(reference), Err(resumed)) => {
+                prop_assert_eq!(resumed.to_string(), reference.to_string());
+            }
+            (reference, resumed) => {
+                prop_assert!(
+                    false,
+                    "one run failed, the other did not: uninterrupted {reference:?}, \
+                     resumed {resumed:?}"
+                );
+            }
+        }
+    }
+}

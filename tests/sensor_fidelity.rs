@@ -26,7 +26,12 @@ fn tdc_tracks_oracle_delta_through_burn_in() {
         device.condition_route(&route, DutyCycle::ALWAYS_ONE, Hours::new(25.0));
         let truth = device.route_delta_ps(&route);
         let reads: Vec<f64> = (0..4)
-            .map(|_| sensor.measure(&device, &mut rng).expect("measures").delta_ps)
+            .map(|_| {
+                sensor
+                    .measure(&device, &mut rng)
+                    .expect("measures")
+                    .delta_ps
+            })
             .collect();
         let mean = reads.iter().sum::<f64>() / reads.len() as f64;
         max_error = max_error.max((mean - truth).abs());
@@ -48,14 +53,24 @@ fn tdc_gain_is_close_to_unity() {
     device.condition_route(&route, DutyCycle::ALWAYS_ONE, Hours::new(10.0));
     let small_truth = device.route_delta_ps(&route);
     let small_read: f64 = (0..8)
-        .map(|_| sensor.measure(&device, &mut rng).expect("measures").delta_ps)
+        .map(|_| {
+            sensor
+                .measure(&device, &mut rng)
+                .expect("measures")
+                .delta_ps
+        })
         .sum::<f64>()
         / 8.0;
 
     device.condition_route(&route, DutyCycle::ALWAYS_ONE, Hours::new(190.0));
     let big_truth = device.route_delta_ps(&route);
     let big_read: f64 = (0..8)
-        .map(|_| sensor.measure(&device, &mut rng).expect("measures").delta_ps)
+        .map(|_| {
+            sensor
+                .measure(&device, &mut rng)
+                .expect("measures")
+                .delta_ps
+        })
         .sum::<f64>()
         / 8.0;
 
@@ -68,7 +83,9 @@ fn calibration_transfers_across_sibling_devices() {
     // Experiment 3's premise: theta_init measured on one board works on
     // another of the same type (with retune as the safety net).
     let (reference, mut ref_sensor, mut rng) = setup(5_000.0, 23);
-    let theta = ref_sensor.calibrate(&reference, &mut rng).expect("calibrates");
+    let theta = ref_sensor
+        .calibrate(&reference, &mut rng)
+        .expect("calibrates");
 
     for seed in [301u64, 302, 303] {
         let device = FpgaDevice::zcu102_new(seed);
@@ -106,7 +123,9 @@ fn cloud_noise_exceeds_lab_noise() {
     let mut cloud_sensor =
         TdcSensor::place(&device, lab_sensor.route().clone(), TdcConfig::cloud())
             .expect("placeable");
-    cloud_sensor.calibrate(&device, &mut rng).expect("calibrates");
+    cloud_sensor
+        .calibrate(&device, &mut rng)
+        .expect("calibrates");
     let spread = |sensor: &TdcSensor, rng: &mut StdRng| {
         let reads: Vec<f64> = (0..30)
             .map(|_| sensor.measure(&device, rng).expect("measures").delta_ps)

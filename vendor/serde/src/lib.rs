@@ -1,0 +1,25 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, and the workspace only
+//! uses serde for `#[derive(Serialize, Deserialize)]` annotations (actual
+//! persistence goes through the hand-rolled writers in `pentimento::report`
+//! and `pentimento::campaign`). This stub keeps those annotations
+//! compiling: the traits are markers with blanket implementations, and the
+//! derives expand to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker for serializable types. Blanket-implemented for everything.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for everything.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker for owned-deserializable types.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

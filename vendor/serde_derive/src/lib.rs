@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde stub.
+//!
+//! The real traits are blanket-implemented markers, so the derives have
+//! nothing to generate — they exist only so `#[derive(Serialize,
+//! Deserialize)]` annotations across the workspace keep compiling.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
