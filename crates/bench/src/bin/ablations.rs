@@ -6,7 +6,7 @@
 //! 3. Assumption 1: attacking with the wrong skeleton;
 //! 4. device age: how quickly pentimenti fade as fleets get older.
 
-use bench::{exit_by, ShapeReport};
+use bench::{exit_by, run_with_thread_arg, ShapeReport};
 use bti_physics::{DutyCycle, Hours, LogicLevel};
 use cloud::{Provider, ProviderConfig};
 use fpga_fabric::FpgaDevice;
@@ -15,55 +15,63 @@ use pentimento::threat_model2::{self, ThreatModel2Config};
 use pentimento::{MeasurementMode, RouteGroupSpec, Skeleton};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use tdc::{TdcConfig, TdcSensor};
 
 fn main() {
+    run_with_thread_arg(run);
+}
+
+fn run() {
     let mut report = ShapeReport::new();
 
     // ----- Ablation 1: recovery conditioning value. ---------------------
     println!("Ablation 1: Threat Model 2 conditioning value (Section 6.3 argues for logical 0)");
-    let mut accuracies = Vec::new();
-    for level in [LogicLevel::Zero, LogicLevel::One] {
-        let mut provider = Provider::new(ProviderConfig::aws_f1_like(2, 31));
-        let config = ThreatModel2Config {
-            route_lengths_ps: vec![5_000.0, 10_000.0],
-            routes_per_length: 8,
-            victim_hours: 200,
-            attack_hours: 25,
-            condition_level: level,
-            mode: MeasurementMode::Oracle,
-            seed: 31,
-            measurement_repeats: 1,
-            victim_hold_and_recover_hours: 0,
-        };
-        let outcome = threat_model2::run(&mut provider, &config).expect("runs");
-        // Score by the best achievable split of slopes (threshold-free),
-        // since the calibrated threshold assumes condition-0.
-        let mut slopes: Vec<(f64, LogicLevel)> = outcome
-            .series
-            .iter()
-            .map(|s| (s.slope_ps_per_hour() / s.target_ps, s.burn_value))
-            .collect();
-        slopes.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
-        let n = slopes.len();
-        let best = (0..=n)
-            .map(|cut| {
-                // below cut -> One (condition 0 recovers 1s) or the inverse
-                let a: usize = slopes
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, (_, t))| (*i < cut) == (*t == LogicLevel::One))
-                    .count();
-                a.max(n - a)
-            })
-            .max()
-            .unwrap_or(0);
-        let acc = best as f64 / n as f64;
+    let accuracies: Vec<f64> = vec![LogicLevel::Zero, LogicLevel::One]
+        .into_par_iter()
+        .map(|level| {
+            let mut provider = Provider::new(ProviderConfig::aws_f1_like(2, 31));
+            let config = ThreatModel2Config {
+                route_lengths_ps: vec![5_000.0, 10_000.0],
+                routes_per_length: 8,
+                victim_hours: 200,
+                attack_hours: 25,
+                condition_level: level,
+                mode: MeasurementMode::Oracle,
+                seed: 31,
+                measurement_repeats: 1,
+                victim_hold_and_recover_hours: 0,
+            };
+            let outcome = threat_model2::run(&mut provider, &config).expect("runs");
+            // Score by the best achievable split of slopes (threshold-free),
+            // since the calibrated threshold assumes condition-0.
+            let mut slopes: Vec<(f64, LogicLevel)> = outcome
+                .series
+                .iter()
+                .map(|s| (s.slope_ps_per_hour() / s.target_ps, s.burn_value))
+                .collect();
+            slopes.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let n = slopes.len();
+            let best = (0..=n)
+                .map(|cut| {
+                    // below cut -> One (condition 0 recovers 1s) or the inverse
+                    let a: usize = slopes
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, (_, t))| (*i < cut) == (*t == LogicLevel::One))
+                        .count();
+                    a.max(n - a)
+                })
+                .max()
+                .unwrap_or(0);
+            best as f64 / n as f64
+        })
+        .collect();
+    for (level, acc) in [LogicLevel::Zero, LogicLevel::One].iter().zip(&accuracies) {
         println!(
             "  condition to {level}: best slope-split accuracy {:.1}%",
             acc * 100.0
         );
-        accuracies.push(acc);
     }
     report.check(
         "conditioning to 0 (chasing fast burn-1 recovery) is at least as good as conditioning to 1",
@@ -132,27 +140,32 @@ fn main() {
 
     // ----- Ablation 4: device age. ---------------------------------------
     println!("\nAblation 4: imprint magnitude vs device age (wear)");
-    let mut magnitudes = Vec::new();
-    for years in [0.0, 1.0, 2.0, 4.0, 8.0] {
-        let mut device = FpgaDevice::aws_f1(34, Hours::new(years * 365.0 * 24.0));
-        let skeleton = Skeleton::place(
-            &device,
-            &[RouteGroupSpec {
-                target_ps: 10_000.0,
-                count: 1,
-            }],
-        )
-        .expect("fits");
-        let route = skeleton.entries()[0].route.clone();
-        device.condition_route_at(
-            &route,
-            DutyCycle::ALWAYS_ONE,
-            Hours::new(200.0),
-            bti_physics::Celsius::new(60.0),
-        );
-        let delta = device.route_delta_ps(&route);
+    let years_grid = [0.0, 1.0, 2.0, 4.0, 8.0];
+    let magnitudes: Vec<f64> = years_grid
+        .to_vec()
+        .into_par_iter()
+        .map(|years| {
+            let mut device = FpgaDevice::aws_f1(34, Hours::new(years * 365.0 * 24.0));
+            let skeleton = Skeleton::place(
+                &device,
+                &[RouteGroupSpec {
+                    target_ps: 10_000.0,
+                    count: 1,
+                }],
+            )
+            .expect("fits");
+            let route = skeleton.entries()[0].route.clone();
+            device.condition_route_at(
+                &route,
+                DutyCycle::ALWAYS_ONE,
+                Hours::new(200.0),
+                bti_physics::Celsius::new(60.0),
+            );
+            device.route_delta_ps(&route)
+        })
+        .collect();
+    for (years, delta) in years_grid.iter().zip(&magnitudes) {
         println!("  {years:>4.0} years of service: Δps = {delta:+.2} ps");
-        magnitudes.push(delta);
     }
     report.check(
         "imprints shrink monotonically with device age",
@@ -170,28 +183,32 @@ fn main() {
         "
 Ablation 5: burn-in vs die temperature (200 h, new device, 10000 ps route)"
     );
-    let mut by_temp = Vec::new();
-    for temp_c in [40.0, 60.0, 80.0] {
-        let device = FpgaDevice::zcu102_new(35);
-        let skeleton = Skeleton::place(
-            &device,
-            &[RouteGroupSpec {
-                target_ps: 10_000.0,
-                count: 1,
-            }],
-        )
-        .expect("fits");
-        let route = skeleton.entries()[0].route.clone();
-        let mut device = device;
-        device.condition_route_at(
-            &route,
-            DutyCycle::ALWAYS_ONE,
-            Hours::new(200.0),
-            bti_physics::Celsius::new(temp_c),
-        );
-        let delta = device.route_delta_ps(&route);
+    let temps_grid = [40.0, 60.0, 80.0];
+    let by_temp: Vec<f64> = temps_grid
+        .to_vec()
+        .into_par_iter()
+        .map(|temp_c| {
+            let mut device = FpgaDevice::zcu102_new(35);
+            let skeleton = Skeleton::place(
+                &device,
+                &[RouteGroupSpec {
+                    target_ps: 10_000.0,
+                    count: 1,
+                }],
+            )
+            .expect("fits");
+            let route = skeleton.entries()[0].route.clone();
+            device.condition_route_at(
+                &route,
+                DutyCycle::ALWAYS_ONE,
+                Hours::new(200.0),
+                bti_physics::Celsius::new(temp_c),
+            );
+            device.route_delta_ps(&route)
+        })
+        .collect();
+    for (temp_c, delta) in temps_grid.iter().zip(&by_temp) {
         println!("  {temp_c:>4.0} C: Δps = {delta:+.2} ps");
-        by_temp.push(delta);
     }
     report.check(
         "higher temperatures exacerbate burn-in (Section 8.2)",

@@ -2,12 +2,13 @@
 //! bit-recovery accuracy per route length and burn duration for both
 //! threat models, through the full TDC pipeline on aged cloud devices.
 
-use bench::{exit_by, save_artifact, ShapeReport};
+use bench::{exit_by, run_with_thread_arg, save_artifact, ShapeReport};
 use bti_physics::LogicLevel;
 use cloud::{Provider, ProviderConfig};
 use pentimento::threat_model1::{self, ThreatModel1Config};
 use pentimento::threat_model2::{self, ThreatModel2Config};
 use pentimento::{MeasurementMode, RouteSeries};
+use rayon::prelude::*;
 
 fn per_length_accuracy(
     series: &[RouteSeries],
@@ -28,6 +29,10 @@ fn per_length_accuracy(
 }
 
 fn main() {
+    run_with_thread_arg(run);
+}
+
+fn run() {
     let lengths = [1_000.0, 2_000.0, 5_000.0, 10_000.0];
     let mut csv = String::from("model,burn_hours,target_ps,correct,total,accuracy\n");
     let mut report = ShapeReport::new();
@@ -37,19 +42,28 @@ fn main() {
         "{:>10} | {:>9} {:>9} {:>9} {:>9} | {:>7}",
         "burn h", "1000", "2000", "5000", "10000", "overall"
     );
+    // Each sweep point owns its provider and seed; fan them out and merge
+    // the rows back in sweep order.
+    let tm1_outcomes: Vec<_> = vec![50usize, 100, 200]
+        .into_par_iter()
+        .map(|burn_hours| {
+            let mut provider =
+                Provider::new(ProviderConfig::aws_f1_like(1, 500 + burn_hours as u64));
+            let config = ThreatModel1Config {
+                route_lengths_ps: lengths.to_vec(),
+                routes_per_length: 8,
+                burn_hours,
+                measure_every: 1,
+                mode: MeasurementMode::Tdc,
+                seed: 500 + burn_hours as u64,
+                measurement_repeats: 4,
+            };
+            let outcome = threat_model1::run(&mut provider, &config).expect("attack completes");
+            (burn_hours, outcome)
+        })
+        .collect();
     let mut tm1_200h_overall = 0.0;
-    for burn_hours in [50usize, 100, 200] {
-        let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, 500 + burn_hours as u64));
-        let config = ThreatModel1Config {
-            route_lengths_ps: lengths.to_vec(),
-            routes_per_length: 8,
-            burn_hours,
-            measure_every: 1,
-            mode: MeasurementMode::Tdc,
-            seed: 500 + burn_hours as u64,
-            measurement_repeats: 4,
-        };
-        let outcome = threat_model1::run(&mut provider, &config).expect("attack completes");
+    for (burn_hours, outcome) in tm1_outcomes {
         let mut row = format!("{burn_hours:>10} |");
         for target in lengths {
             let (c, t) = per_length_accuracy(&outcome.series, &outcome.recovered, target);
@@ -71,21 +85,28 @@ fn main() {
         "{:>10} | {:>9} {:>9} {:>9} {:>9} | {:>7}",
         "burn h", "1000", "2000", "5000", "10000", "overall"
     );
+    let tm2_outcomes: Vec<_> = vec![100usize, 200]
+        .into_par_iter()
+        .map(|victim_hours| {
+            let mut provider =
+                Provider::new(ProviderConfig::aws_f1_like(2, 900 + victim_hours as u64));
+            let config = ThreatModel2Config {
+                route_lengths_ps: lengths.to_vec(),
+                routes_per_length: 8,
+                victim_hours,
+                attack_hours: 25,
+                condition_level: LogicLevel::Zero,
+                mode: MeasurementMode::Tdc,
+                seed: 900 + victim_hours as u64,
+                measurement_repeats: 8,
+                victim_hold_and_recover_hours: 0,
+            };
+            let outcome = threat_model2::run(&mut provider, &config).expect("attack completes");
+            (victim_hours, outcome)
+        })
+        .collect();
     let mut tm2_200h_long = 0.0;
-    for victim_hours in [100usize, 200] {
-        let mut provider = Provider::new(ProviderConfig::aws_f1_like(2, 900 + victim_hours as u64));
-        let config = ThreatModel2Config {
-            route_lengths_ps: lengths.to_vec(),
-            routes_per_length: 8,
-            victim_hours,
-            attack_hours: 25,
-            condition_level: LogicLevel::Zero,
-            mode: MeasurementMode::Tdc,
-            seed: 900 + victim_hours as u64,
-            measurement_repeats: 8,
-            victim_hold_and_recover_hours: 0,
-        };
-        let outcome = threat_model2::run(&mut provider, &config).expect("attack completes");
+    for (victim_hours, outcome) in tm2_outcomes {
         let mut row = format!("{victim_hours:>10} |");
         let mut long_correct = 0;
         let mut long_total = 0;

@@ -18,12 +18,13 @@
 //!
 //! Artifacts: `fault_tolerance.csv` and `fault_tolerance.json`.
 
-use bench::{exit_by, save_artifact, ShapeReport};
+use bench::{exit_by, run_with_thread_arg, save_artifact, ShapeReport};
 use bti_physics::{Hours, LogicLevel};
 use cloud::{FaultKind, FaultPlan, Provider, ProviderConfig};
 use pentimento::threat_model1::{self, ThreatModel1Config};
 use pentimento::threat_model2::{self, ThreatModel2Config};
 use pentimento::{Campaign, CampaignConfig, CampaignOutcome, MeasurementMode, Mission};
+use rayon::prelude::*;
 use tdc::SensorFaultPlan;
 
 const SWEEP_SEED: u64 = 41;
@@ -143,39 +144,53 @@ fn run_campaign(
 }
 
 fn main() {
+    run_with_thread_arg(run);
+}
+
+fn run() {
     let mut report = ShapeReport::new();
     let mut rows: Vec<SweepRow> = Vec::new();
 
     // ----- Sweep both threat models over the fault-rate grid. -----------
+    // The six (rate, model) campaigns are independent simulations; fan
+    // them out and merge the results back in grid order.
     println!("Fault-tolerance sweep: rates {RATES:?}, TM1 and TM2, TDC sensing");
-    for &rate in &RATES {
-        for (tm, mission) in [
-            ("tm1", Mission::ThreatModel1(tm1_config())),
-            ("tm2", Mission::ThreatModel2(tm2_config())),
-        ] {
-            match run_campaign(mission, rate) {
-                Ok(outcome) => {
-                    println!(
-                        "  {tm} rate {rate}: accuracy {:.3}, mean confidence {:.3}, \
-                         {} abstained, {} reacquisitions, {} faults injected",
-                        outcome.metrics.accuracy,
-                        {
-                            let n = outcome.scored.len().max(1);
-                            outcome.scored.iter().map(|c| c.confidence).sum::<f64>() / n as f64
-                        },
-                        outcome.stats.abstained,
-                        outcome.stats.reacquisitions,
-                        outcome.stats.faults_injected,
-                    );
-                    rows.push(SweepRow { tm, rate, outcome });
-                }
-                Err(e) => {
-                    report.check(
-                        format!("{tm} campaign completes at rate {rate}"),
-                        false,
-                        format!("failed: {e}"),
-                    );
-                }
+    let grid: Vec<(f64, &'static str, Mission)> = RATES
+        .iter()
+        .flat_map(|&rate| {
+            [
+                (rate, "tm1", Mission::ThreatModel1(tm1_config())),
+                (rate, "tm2", Mission::ThreatModel2(tm2_config())),
+            ]
+        })
+        .collect();
+    let sweep: Vec<_> = grid
+        .into_par_iter()
+        .map(|(rate, tm, mission)| (rate, tm, run_campaign(mission, rate)))
+        .collect();
+    for (rate, tm, result) in sweep {
+        match result {
+            Ok(outcome) => {
+                println!(
+                    "  {tm} rate {rate}: accuracy {:.3}, mean confidence {:.3}, \
+                     {} abstained, {} reacquisitions, {} faults injected",
+                    outcome.metrics.accuracy,
+                    {
+                        let n = outcome.scored.len().max(1);
+                        outcome.scored.iter().map(|c| c.confidence).sum::<f64>() / n as f64
+                    },
+                    outcome.stats.abstained,
+                    outcome.stats.reacquisitions,
+                    outcome.stats.faults_injected,
+                );
+                rows.push(SweepRow { tm, rate, outcome });
+            }
+            Err(e) => {
+                report.check(
+                    format!("{tm} campaign completes at rate {rate}"),
+                    false,
+                    format!("failed: {e}"),
+                );
             }
         }
     }

@@ -50,11 +50,22 @@ fn main() {
             up.abs() <= 2.0 * paper_hi && down.abs() <= 2.0 * paper_hi,
             format!("burn-1 {up:+.2}, burn-0 {down:+.2} ps"),
         );
-        report.check(
-            format!("{target} ps classes split by sign at 200 h"),
-            up > 0.0 && down < 0.0,
-            format!("burn-1 {up:+.2}, burn-0 {down:+.2} ps"),
-        );
+        if target >= 2_000.0 {
+            report.check(
+                format!("{target} ps classes split by sign at 200 h"),
+                up > 0.0 && down < 0.0,
+                format!("burn-1 {up:+.2}, burn-0 {down:+.2} ps"),
+            );
+        } else {
+            // The paper's shortest group sits inside the sensor's 2.8 ps/bit
+            // quantization on the aged cloud device and "does not separate
+            // cleanly"; require only the class ordering, not a sign split.
+            report.check(
+                format!("{target} ps classes stay ordered at 200 h (paper: shortest group does not separate cleanly)"),
+                up > down,
+                format!("burn-1 {up:+.2}, burn-0 {down:+.2} ps"),
+            );
+        }
     }
 
     // Cloud magnitudes are roughly an order of magnitude below the lab's.

@@ -73,19 +73,25 @@ fn main() {
         outcome.metrics.accuracy * 100.0,
         outcome.metrics.dprime,
     );
+    let long: Vec<_> = outcome
+        .series
+        .iter()
+        .zip(&outcome.recovered)
+        .filter(|(s, _)| s.target_ps >= 5_000.0)
+        .collect();
+    let correct = long.iter().filter(|(s, r)| s.burn_value == **r).count();
+    let long_acc = correct as f64 / long.len() as f64;
+    // A single seed yields a 32-bit sample (binomial sd ~6 pp), so this
+    // gate only asserts "well above chance"; the tighter >= 85% long-route
+    // bars run over many seeds in attack_accuracy and repeatability.
     report.check(
         "Threat Model 2 recovers previous-user data well above chance on long routes",
-        {
-            let long: Vec<_> = outcome
-                .series
-                .iter()
-                .zip(&outcome.recovered)
-                .filter(|(s, _)| s.target_ps >= 5_000.0)
-                .collect();
-            let correct = long.iter().filter(|(s, r)| s.burn_value == **r).count();
-            correct as f64 / long.len() as f64 >= 0.85
-        },
-        format!("overall accuracy {:.1}%", outcome.metrics.accuracy * 100.0),
+        long_acc >= 0.80,
+        format!(
+            "long-route accuracy {:.1}% (overall {:.1}%)",
+            long_acc * 100.0,
+            outcome.metrics.accuracy * 100.0
+        ),
     );
 
     if let Ok(path) = save_artifact("fig8.csv", &series_to_csv(&outcome.series)) {

@@ -3,14 +3,14 @@
 //! threat models at several seeds in parallel and reports the accuracy
 //! spread; single-seed flukes would show up here as high variance.
 
-use bench::{exit_by, save_artifact, ShapeReport};
+use bench::{exit_by, run_with_thread_arg, save_artifact, ShapeReport};
 use bti_physics::LogicLevel;
 use cloud::{Provider, ProviderConfig};
-use crossbeam::thread;
 use pentimento::analysis::{mean, std_dev};
 use pentimento::threat_model1::{self, ThreatModel1Config};
 use pentimento::threat_model2::{self, ThreatModel2Config};
 use pentimento::MeasurementMode;
+use rayon::prelude::*;
 
 const SEEDS: [u64; 6] = [11, 23, 47, 101, 499, 997];
 
@@ -49,33 +49,32 @@ fn tm2_long_route_accuracy(seed: u64) -> f64 {
 }
 
 fn main() {
+    run_with_thread_arg(run);
+}
+
+fn run() {
     println!(
         "Repeatability: both threat models across {} seeds (TDC pipeline)\n",
         SEEDS.len()
     );
 
-    // Seeds are independent: fan the runs out across threads.
-    let (tm1, tm2): (Vec<f64>, Vec<f64>) = thread::scope(|scope| {
-        let tm1_handles: Vec<_> = SEEDS
-            .iter()
-            .map(|&seed| scope.spawn(move |_| tm1_accuracy(seed)))
-            .collect();
-        let tm2_handles: Vec<_> = SEEDS
-            .iter()
-            .map(|&seed| scope.spawn(move |_| tm2_long_route_accuracy(seed)))
-            .collect();
-        (
-            tm1_handles
-                .into_iter()
-                .map(|h| h.join().expect("no panics"))
-                .collect(),
-            tm2_handles
-                .into_iter()
-                .map(|h| h.join().expect("no panics"))
-                .collect(),
-        )
-    })
-    .expect("threads join");
+    // Seeds are independent: fan both models' runs out as one batch of
+    // 12 jobs, then split the ordered results back apart.
+    let jobs: Vec<(usize, u64)> = (0..2)
+        .flat_map(|model| SEEDS.iter().map(move |&seed| (model, seed)))
+        .collect();
+    let accuracies: Vec<f64> = jobs
+        .into_par_iter()
+        .map(|(model, seed)| {
+            if model == 0 {
+                tm1_accuracy(seed)
+            } else {
+                tm2_long_route_accuracy(seed)
+            }
+        })
+        .collect();
+    let (tm1, tm2) = accuracies.split_at(SEEDS.len());
+    let (tm1, tm2) = (tm1.to_vec(), tm2.to_vec());
 
     let mut csv = String::from("model,seed,accuracy\n");
     println!("{:>8} | {:>10} {:>10}", "seed", "TM1", "TM2 (long)");

@@ -92,12 +92,7 @@ pub fn class_mean_at_hour(
                 .hours
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    (*a - hour)
-                        .abs()
-                        .partial_cmp(&(*b - hour).abs())
-                        .expect("no NaN")
-                })
+                .min_by(|(_, a), (_, b)| (*a - hour).abs().total_cmp(&(*b - hour).abs()))
                 .map(|(i, _)| i)
                 .expect("series non-empty");
             s.delta_ps[idx]
@@ -123,6 +118,43 @@ pub fn exit_by(ok: bool) -> ! {
     std::process::exit(i32::from(!ok))
 }
 
+/// Parses a `--threads N` (or `--threads=N`) worker-count override from
+/// `args`. Returns `None` when absent or malformed.
+#[must_use]
+pub fn threads_from<I: IntoIterator<Item = String>>(args: I) -> Option<usize> {
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+/// Parses `--threads` from the process command line.
+#[must_use]
+pub fn threads_from_args() -> Option<usize> {
+    threads_from(std::env::args().skip(1))
+}
+
+/// Runs `f` inside a worker pool sized by the command line's `--threads`
+/// flag, or on the default pool when the flag is absent. The sweep
+/// engine's per-route RNG streams make the result bit-identical either
+/// way — the flag only changes wall-clock.
+pub fn run_with_thread_arg<R>(f: impl FnOnce() -> R) -> R {
+    match threads_from_args() {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n.max(1))
+            .build()
+            .expect("thread pool")
+            .install(f),
+        None => f(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +177,24 @@ mod tests {
             class_mean_at_hour(&all, 1000.0, LogicLevel::Zero, 1.0),
             -2.0
         );
+    }
+
+    #[test]
+    fn class_mean_at_hour_survives_nan_hours() {
+        let mut s = series(1000.0, LogicLevel::One, 2.0);
+        s.hours[0] = f64::NAN;
+        // total_cmp sorts the NaN distance last instead of panicking.
+        assert_eq!(class_mean_at_hour(&[s], 1000.0, LogicLevel::One, 1.0), 2.0);
+    }
+
+    #[test]
+    fn threads_flag_parses_both_spellings() {
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert_eq!(threads_from(args(&["--threads", "4"])), Some(4));
+        assert_eq!(threads_from(args(&["--smoke", "--threads=2"])), Some(2));
+        assert_eq!(threads_from(args(&["--threads"])), None);
+        assert_eq!(threads_from(args(&["--threads", "zero"])), None);
+        assert_eq!(threads_from(args(&[])), None);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! every lease and release so experiments can reason about those
 //! timelines, and so the quarantine mitigation has an auditable trail.
 
+use std::sync::Mutex;
+
 use bti_physics::Hours;
 use serde::{Deserialize, Serialize};
 
@@ -153,6 +155,86 @@ impl RentalLedger {
     }
 }
 
+/// A thread-safe funnel for fault records produced on worker threads.
+///
+/// [`RentalLedger`] is plain serializable state with `&mut` recording —
+/// the right shape for checkpoints, the wrong one for a parallel sweep.
+/// Workers `record` into a funnel through `&self`; the owner then
+/// [`drain_into`](Self::drain_into) the ledger at a serial point, where
+/// the records are sorted deterministically (by time, device, session,
+/// kind) so the ledger's contents never depend on scheduling order.
+#[derive(Debug, Default)]
+pub struct FaultFunnel {
+    records: Mutex<Vec<FaultRecord>>,
+}
+
+impl FaultFunnel {
+    /// Creates an empty funnel.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a fault from any thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the internal lock panicked.
+    pub fn record(&self, record: FaultRecord) {
+        self.records
+            .lock()
+            .expect("fault funnel poisoned")
+            .push(record);
+    }
+
+    /// Number of records waiting to be drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the internal lock panicked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("fault funnel poisoned").len()
+    }
+
+    /// Whether the funnel holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Moves every buffered record into `ledger`, in a deterministic
+    /// order independent of which thread recorded first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the internal lock panicked.
+    pub fn drain_into(&self, ledger: &mut RentalLedger) {
+        let mut pending = std::mem::take(&mut *self.records.lock().expect("fault funnel poisoned"));
+        pending.sort_by(|a, b| {
+            a.at.value()
+                .total_cmp(&b.at.value())
+                .then_with(|| a.device.map(|d| d.0).cmp(&b.device.map(|d| d.0)))
+                .then_with(|| a.session_id.cmp(&b.session_id))
+                .then_with(|| fault_rank(a.kind).cmp(&fault_rank(b.kind)))
+        });
+        for record in pending {
+            ledger.record_fault(record);
+        }
+    }
+}
+
+/// A total order over fault kinds for deterministic tie-breaking.
+fn fault_rank(kind: FaultKind) -> u8 {
+    match kind {
+        FaultKind::RentFailure => 0,
+        FaultKind::Preemption => 1,
+        FaultKind::DeviceSwap => 2,
+        FaultKind::SpuriousScrub => 3,
+        FaultKind::ThermalTransient => 4,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +291,67 @@ mod tests {
         assert_eq!(l.fault_count(FaultKind::Preemption), 1);
         assert_eq!(l.fault_count(FaultKind::SpuriousScrub), 0);
         assert!(l.faults()[1].scheduled);
+    }
+
+    fn fault_at(at: f64, kind: FaultKind, device: u32) -> FaultRecord {
+        FaultRecord {
+            at: Hours::new(at),
+            kind,
+            device: Some(DeviceId(device)),
+            session_id: Some(u64::from(device)),
+            scheduled: false,
+        }
+    }
+
+    #[test]
+    fn funnel_drains_in_deterministic_order_regardless_of_arrival() {
+        // Two arrival orders for the same set of records...
+        let forward = FaultFunnel::new();
+        let backward = FaultFunnel::new();
+        let records = [
+            fault_at(3.0, FaultKind::Preemption, 0),
+            fault_at(1.0, FaultKind::SpuriousScrub, 2),
+            fault_at(1.0, FaultKind::RentFailure, 1),
+            fault_at(1.0, FaultKind::RentFailure, 0),
+        ];
+        for r in &records {
+            forward.record(r.clone());
+        }
+        for r in records.iter().rev() {
+            backward.record(r.clone());
+        }
+        assert_eq!(forward.len(), 4);
+        assert!(!forward.is_empty());
+
+        // ...drain into byte-identical ledgers.
+        let mut a = RentalLedger::new();
+        let mut b = RentalLedger::new();
+        forward.drain_into(&mut a);
+        backward.drain_into(&mut b);
+        assert_eq!(a, b);
+        assert!(forward.is_empty(), "drain must empty the funnel");
+
+        let hours: Vec<f64> = a.faults().iter().map(|f| f.at.value()).collect();
+        assert_eq!(hours, vec![1.0, 1.0, 1.0, 3.0]);
+        assert_eq!(a.faults()[0].device, Some(DeviceId(0)));
+        assert_eq!(a.faults()[1].device, Some(DeviceId(1)));
+    }
+
+    #[test]
+    fn funnel_accepts_records_from_worker_threads() {
+        let funnel = FaultFunnel::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let funnel = &funnel;
+                scope.spawn(move || {
+                    funnel.record(fault_at(t as f64, FaultKind::Preemption, t));
+                });
+            }
+        });
+        let mut ledger = RentalLedger::new();
+        funnel.drain_into(&mut ledger);
+        let hours: Vec<f64> = ledger.faults().iter().map(|f| f.at.value()).collect();
+        assert_eq!(hours, vec![0.0, 1.0, 2.0, 3.0]);
     }
 
     #[test]

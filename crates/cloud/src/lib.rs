@@ -61,7 +61,7 @@ pub use afi::{Afi, AfiId, Marketplace};
 pub use error::CloudError;
 pub use faults::{FaultKind, FaultPlan, FaultState, ScheduledFault};
 pub use fingerprint::{fingerprint_device, Fingerprint};
-pub use ledger::{FaultRecord, RentalLedger, RentalRecord};
+pub use ledger::{FaultFunnel, FaultRecord, RentalLedger, RentalRecord};
 pub use provider::{DeviceId, Provider, ProviderConfig};
 pub use session::Session;
 pub use tenant::TenantId;

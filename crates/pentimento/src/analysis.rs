@@ -145,13 +145,26 @@ impl KernelRegression {
 /// Returns 0.0 for fewer than two points or degenerate x.
 #[must_use]
 pub fn ols_slope(x: &[f64], y: &[f64]) -> f64 {
+    ols_fit(x, y).0
+}
+
+/// Ordinary-least-squares line fit: returns `(slope, intercept)` of the
+/// best-fit line `y ≈ intercept + slope · x`.
+///
+/// Degenerate inputs (no points, a single point, or zero x-variance) get
+/// a zero slope and the mean of `y` as intercept — the best constant fit.
+#[must_use]
+pub fn ols_fit(x: &[f64], y: &[f64]) -> (f64, f64) {
     let n = x.len().min(y.len());
-    if n < 2 {
-        return 0.0;
+    if n == 0 {
+        return (0.0, 0.0);
     }
     let nf = n as f64;
     let mx = x[..n].iter().sum::<f64>() / nf;
     let my = y[..n].iter().sum::<f64>() / nf;
+    if n < 2 {
+        return (0.0, my);
+    }
     let mut sxx = 0.0;
     let mut sxy = 0.0;
     for i in 0..n {
@@ -160,9 +173,10 @@ pub fn ols_slope(x: &[f64], y: &[f64]) -> f64 {
         sxy += dx * (y[i] - my);
     }
     if sxx <= 0.0 {
-        return 0.0;
+        return (0.0, my);
     }
-    sxy / sxx
+    let slope = sxy / sxx;
+    (slope, my - slope * mx)
 }
 
 /// Mean of a slice (0.0 when empty).
@@ -200,6 +214,22 @@ mod tests {
         assert_eq!(ols_slope(&[], &[]), 0.0);
         assert_eq!(ols_slope(&[1.0], &[2.0]), 0.0);
         assert_eq!(ols_slope(&[2.0, 2.0], &[1.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn ols_fit_recovers_slope_and_intercept() {
+        let x: Vec<f64> = (0..50).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 7.0).collect();
+        let (slope, intercept) = ols_fit(&x, &y);
+        assert!((slope - 3.0).abs() < 1e-12);
+        assert!((intercept + 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ols_fit_degenerates_to_the_best_constant() {
+        assert_eq!(ols_fit(&[], &[]), (0.0, 0.0));
+        assert_eq!(ols_fit(&[1.0], &[2.0]), (0.0, 2.0));
+        assert_eq!(ols_fit(&[2.0, 2.0], &[1.0, 5.0]), (0.0, 3.0));
     }
 
     #[test]

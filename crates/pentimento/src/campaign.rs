@@ -23,6 +23,17 @@
 //!   stream, provider state, and fault-draw counters all travel with the
 //!   checkpoint.
 //!
+//! Measurement and calibration randomness comes from **counter-based
+//! per-route streams** ([`tdc::stream_seed`]) rather than one sequential
+//! generator, so the per-phase fan-out over routes is bit-identical at
+//! every thread count and independent of scheduling order. The phase
+//! index is derived from the number of recorded measurements, so resumed
+//! campaigns replay the same streams with no extra checkpoint state.
+//! (Switching to derived streams was a one-time, documented golden-value
+//! change: absolute readings differ from the pre-stream implementation,
+//! but every driver-equality, fault-transparency, and resume-identity
+//! invariant is unchanged.)
+//!
 //! Faults are armed only once the attack window opens (the victim's burn
 //! epoch and the attacker's calibration stay deterministic), so accuracy
 //! degradation in a sweep isolates attack-phase resilience. Backoff time
@@ -35,8 +46,9 @@ use cloud::{CloudError, DeviceId, FaultPlan, Provider, Session, TenantId};
 use fpga_fabric::FpgaDevice;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use tdc::{SensorFaultPlan, TdcConfig, TdcSensor};
+use tdc::{stream_seed, SensorFaultPlan, TdcConfig, TdcSensor, STREAM_CALIBRATE, STREAM_MEASURE};
 
 use crate::classify::{
     BitClassifier, Classification, DriftSlopeClassifier, RecoverySlopeClassifier,
@@ -222,6 +234,10 @@ pub struct CampaignStats {
     pub backoff_seconds: f64,
     /// Routes the scored classifier abstained on.
     pub abstained: usize,
+    /// Scored verdicts whose confidence statistic came back non-finite
+    /// (degenerate series); they are kept as abstain-grade evidence but
+    /// counted here so a sweep can see the drop.
+    pub non_finite_statistics: usize,
     /// Faults of any kind the provider's ledger recorded.
     pub faults_injected: usize,
 }
@@ -442,15 +458,11 @@ impl Campaign {
             ));
         }
 
-        let mut sensors = Vec::new();
-        if cfg.mode == MeasurementMode::Tdc {
-            let device = self.provider.device(&session)?;
-            for entry in skeleton.entries() {
-                let mut sensor = TdcSensor::place(device, entry.route.clone(), TdcConfig::cloud())?;
-                sensor.calibrate(device, &mut self.rng)?;
-                sensors.push(sensor);
-            }
-        }
+        let sensors = if cfg.mode == MeasurementMode::Tdc {
+            self.place_and_calibrate(&session, &skeleton)?
+        } else {
+            Vec::new()
+        };
 
         let fingerprint = DeviceFingerprint::capture(self.provider.device(&session)?, &skeleton);
         self.run = RunState {
@@ -535,15 +547,11 @@ impl Campaign {
         }
         let session = reacquired.ok_or(PentimentoError::VictimDeviceLost)?;
 
-        let mut sensors = Vec::new();
-        if cfg.mode == MeasurementMode::Tdc {
-            let device = self.provider.device(&session)?;
-            for entry in skeleton.entries() {
-                let mut sensor = TdcSensor::place(device, entry.route.clone(), TdcConfig::cloud())?;
-                sensor.calibrate(device, &mut self.rng)?;
-                sensors.push(sensor);
-            }
-        }
+        let sensors = if cfg.mode == MeasurementMode::Tdc {
+            self.place_and_calibrate(&session, &skeleton)?
+        } else {
+            Vec::new()
+        };
 
         let fingerprint = DeviceFingerprint::capture(self.provider.device(&session)?, &skeleton);
         self.run = RunState {
@@ -579,6 +587,38 @@ impl Campaign {
             sensor.set_fault_plan(self.config.sensor_faults.clone());
         }
         self.armed = true;
+    }
+
+    /// Places one sensor per skeleton route, then calibrates them in
+    /// parallel from per-sensor derived streams
+    /// (`stream_seed(mission_seed, i, STREAM_CALIBRATE)`) — bit-identical
+    /// to the plain drivers' [`tdc::TdcArray::calibrate_all_streamed`] at
+    /// every thread count.
+    fn place_and_calibrate(
+        &self,
+        session: &Session,
+        skeleton: &Skeleton,
+    ) -> Result<Vec<TdcSensor>, PentimentoError> {
+        let device = self.provider.device(session)?;
+        let mut sensors = Vec::with_capacity(skeleton.len());
+        for entry in skeleton.entries() {
+            sensors.push(TdcSensor::place(
+                device,
+                entry.route.clone(),
+                TdcConfig::cloud(),
+            )?);
+        }
+        let master = self.mission.seed();
+        sensors
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, sensor)| {
+                let mut rng =
+                    StdRng::seed_from_u64(stream_seed(master, i as u64, STREAM_CALIBRATE));
+                sensor.calibrate(device, &mut rng)
+            })
+            .collect::<Result<Vec<f64>, tdc::TdcError>>()?;
+        Ok(sensors)
     }
 
     /// Completed attack-window hours so far.
@@ -703,6 +743,8 @@ impl Campaign {
             }
         };
         self.stats.abstained = scored.iter().filter(|c| c.verdict.is_abstain()).count();
+        self.stats.non_finite_statistics =
+            scored.iter().filter(|c| !c.confidence.is_finite()).count();
         self.stats.faults_injected = self.provider.ledger().faults().len();
         let metrics = RecoveryMetrics::score(&series, &recovered);
         Ok(CampaignOutcome {
@@ -897,83 +939,145 @@ impl Campaign {
     // ------------------------------------------------------------------
 
     /// Takes one measurement phase: every route, `measurement_repeats`
-    /// sensor reads each, gap-tolerantly.
+    /// sensor reads each, gap-tolerantly, fanned across worker threads.
+    ///
+    /// Each route draws from its own
+    /// `stream_seed(mission_seed, route, STREAM_MEASURE + phase)` stream
+    /// (the phase index is the count of measurements already recorded),
+    /// which makes the benign path bit-identical to the plain drivers'
+    /// [`tdc::TdcArray::measure_deltas_streamed`] and the hostile path
+    /// independent of scheduling order. Results merge serially in route
+    /// order, so stats accumulate and the first fatal error on the
+    /// lowest-indexed route wins deterministically.
     fn record(&mut self, hour: f64) -> Result<(), PentimentoError> {
         let session = self.current_session()?;
+        let phase = self.run.hours_log.len() as u64;
         self.run.hours_log.push(hour);
         match self.mission.mode() {
             MeasurementMode::Oracle => {
                 let device = self.provider.device(&session)?;
-                let values: Vec<f64> = self
-                    .run
-                    .skeleton
-                    .routes()
-                    .map(|route| device.route_delta_ps(route))
-                    .collect();
+                let values = crate::experiment::oracle_deltas(device, &self.run.skeleton);
                 for (per_route, value) in self.run.readings.iter_mut().zip(values) {
                     per_route.push(Some(value));
                 }
             }
             MeasurementMode::Tdc => {
                 let repeats = self.mission.measurement_repeats();
-                for i in 0..self.run.sensors.len() {
-                    let mut acc = 0.0;
-                    let mut got = 0usize;
-                    for _ in 0..repeats {
-                        if let Some(delta) = self.measure_with_retries(&session, i)? {
-                            acc += delta;
-                            got += 1;
-                        }
-                    }
-                    let value = if got > 0 {
-                        Some(acc / got as f64)
-                    } else {
-                        None
-                    };
-                    if got == 0 {
+                // The robust (quorum + MAD) aggregation path is engaged
+                // exactly when the sensor fault model is: on clean traces
+                // the plain estimator is the attacker's optimum, and
+                // keeping it there makes a benign campaign byte-identical
+                // to the plain drivers.
+                let robust = self.armed && !self.config.sensor_faults.is_benign();
+                let master = self.mission.seed();
+                let quorum = self.config.robust_min_quorum;
+                let retry = self.config.retry;
+                let device = self.provider.device(&session)?;
+                let points: Vec<Result<RoutePoint, PentimentoError>> = self
+                    .run
+                    .sensors
+                    .par_iter()
+                    .enumerate()
+                    .map(|(i, sensor)| {
+                        measure_route(
+                            device, sensor, i, phase, master, repeats, robust, quorum, &retry,
+                        )
+                    })
+                    .collect();
+                for (i, point) in points.into_iter().enumerate() {
+                    let point = point?;
+                    self.stats.measurement_retries += point.retries;
+                    self.stats.backoff_seconds += point.backoff_s;
+                    if point.got == 0 {
                         self.stats.dropped_points += 1;
-                    } else if got < repeats {
+                    } else if point.got < repeats {
                         self.stats.degraded_points += 1;
                     }
-                    self.run.readings[i].push(value);
+                    self.run.readings[i].push(point.value);
                 }
             }
         }
         Ok(())
     }
+}
 
-    /// One sensor read with the retry budget. `Ok(None)` means the budget
-    /// ran dry on transient errors: the sample is dropped, the campaign
-    /// continues (the gap-tolerant series absorbs it).
-    fn measure_with_retries(
-        &mut self,
-        session: &Session,
-        route: usize,
-    ) -> Result<Option<f64>, PentimentoError> {
-        // The robust (quorum + MAD) aggregation path is engaged exactly
-        // when the sensor fault model is: on clean traces the plain
-        // estimator is the attacker's optimum, and keeping it there makes
-        // a benign campaign byte-identical to the plain drivers.
-        let robust = self.armed && !self.config.sensor_faults.is_benign();
-        for attempt in 1..=self.config.retry.max_attempts {
-            let device = self.provider.device(session)?;
-            let sensor = &self.run.sensors[route];
+/// One route's measurement for one phase, plus the retry bookkeeping the
+/// serial merge folds into [`CampaignStats`].
+struct RoutePoint {
+    /// Mean of the usable repeats, or `None` when every repeat dropped.
+    value: Option<f64>,
+    /// Usable repeats out of `measurement_repeats`.
+    got: usize,
+    /// Transient measurement failures retried on this route.
+    retries: u32,
+    /// Simulated backoff this route's retries accrued, in seconds.
+    backoff_s: f64,
+}
+
+/// Measures one route for one phase under the retry budget. A repeat
+/// whose budget runs dry on transient errors is dropped (the gap-tolerant
+/// series absorbs it); fatal errors propagate.
+///
+/// All randomness — sensor reads *and* backoff jitter — comes from
+/// per-(route, phase) derived streams, so the result is a pure function
+/// of its arguments and identical no matter which worker thread runs it.
+#[allow(clippy::too_many_arguments)]
+fn measure_route(
+    device: &FpgaDevice,
+    sensor: &TdcSensor,
+    route: usize,
+    phase: u64,
+    master_seed: u64,
+    repeats: usize,
+    robust: bool,
+    quorum: f64,
+    retry: &RetryPolicy,
+) -> Result<RoutePoint, PentimentoError> {
+    let mut rng = StdRng::seed_from_u64(stream_seed(
+        master_seed,
+        route as u64,
+        STREAM_MEASURE + phase,
+    ));
+    let mut point = RoutePoint {
+        value: None,
+        got: 0,
+        retries: 0,
+        backoff_s: 0.0,
+    };
+    let mut acc = 0.0;
+    for _ in 0..repeats {
+        let mut sample = None;
+        for attempt in 1..=retry.max_attempts {
             let result = if robust {
-                sensor.measure_robust(device, self.config.robust_min_quorum, &mut self.rng)
+                sensor.measure_robust(device, quorum, &mut rng)
             } else {
-                sensor.measure(device, &mut self.rng)
+                sensor.measure(device, &mut rng)
             };
             match result {
-                Ok(measurement) => return Ok(Some(measurement.delta_ps)),
+                Ok(measurement) => {
+                    sample = Some(measurement.delta_ps);
+                    break;
+                }
                 Err(e) if e.is_transient() => {
-                    self.stats.measurement_retries += 1;
-                    self.note_backoff(attempt);
+                    // Jitter draws index a per-(route, phase, retry)
+                    // stream instead of a shared campaign counter, so
+                    // the wait bookkeeping cannot depend on scheduling.
+                    let draw = stream_seed(route as u64, phase, u64::from(point.retries));
+                    point.retries += 1;
+                    point.backoff_s += retry.backoff_s(attempt, draw);
                 }
                 Err(e) => return Err(e.into()),
             }
         }
-        Ok(None)
+        if let Some(delta) = sample {
+            acc += delta;
+            point.got += 1;
+        }
     }
+    if point.got > 0 {
+        point.value = Some(acc / point.got as f64);
+    }
+    Ok(point)
 }
 
 fn release_best_effort(provider: &mut Provider, session: Session) {

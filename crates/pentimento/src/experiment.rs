@@ -5,11 +5,24 @@ use bti_physics::LogicLevel;
 use fpga_fabric::FpgaDevice;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use tdc::{TdcConfig, TdcSensor};
+use tdc::{TdcArray, TdcConfig};
 
 use crate::designs::build_target_design;
 use crate::{PentimentoError, RouteGroupSpec, RouteSeries, Skeleton};
+
+/// Reads every skeleton route's analog Δps directly (the oracle mode),
+/// fanned across worker threads. Pure reads of shared state: the result
+/// is identical at every thread count.
+pub(crate) fn oracle_deltas(device: &FpgaDevice, skeleton: &Skeleton) -> Vec<f64> {
+    skeleton
+        .routes()
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|route| device.route_delta_ps(route))
+        .collect()
+}
 
 /// The three experimental phases of Section 5.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -119,8 +132,11 @@ pub struct LabExperiment {
     device: FpgaDevice,
     skeleton: Skeleton,
     values: Vec<LogicLevel>,
-    sensors: Vec<TdcSensor>,
-    rng: StdRng,
+    sensors: TdcArray,
+    /// Master seed for the per-(route, phase) derived RNG streams; see
+    /// [`tdc::stream_seed`]. Burn values are drawn serially from a
+    /// generator seeded with this value.
+    master_seed: u64,
 }
 
 impl LabExperiment {
@@ -134,17 +150,18 @@ impl LabExperiment {
         config.validate()?;
         let device = FpgaDevice::zcu102_new(config.seed);
         let skeleton = Skeleton::place(&device, &config.specs())?;
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_F00D);
+        let master_seed = config.seed ^ 0x5EED_F00D;
+        let mut rng = StdRng::seed_from_u64(master_seed);
         let values: Vec<LogicLevel> = (0..skeleton.len())
             .map(|_| LogicLevel::from_bool(rng.gen()))
             .collect();
         let sensors = match config.mode {
-            MeasurementMode::Tdc => skeleton
-                .entries()
-                .iter()
-                .map(|e| TdcSensor::place(&device, e.route.clone(), TdcConfig::lab()))
-                .collect::<Result<Vec<_>, _>>()?,
-            MeasurementMode::Oracle => Vec::new(),
+            MeasurementMode::Tdc => TdcArray::place(
+                &device,
+                skeleton.entries().iter().map(|e| e.route.clone()),
+                TdcConfig::lab(),
+            )?,
+            MeasurementMode::Oracle => TdcArray::place(&device, Vec::new(), TdcConfig::lab())?,
         };
         Ok(Self {
             config,
@@ -152,7 +169,7 @@ impl LabExperiment {
             skeleton,
             values,
             sensors,
-            rng,
+            master_seed,
         })
     }
 
@@ -174,18 +191,19 @@ impl LabExperiment {
         &self.values
     }
 
-    fn measure_all(&mut self) -> Result<Vec<f64>, PentimentoError> {
+    /// One measurement phase: reads every route in parallel. `phase` is
+    /// the number of previously recorded phases (0 for the hour-zero
+    /// baseline); it selects the per-route RNG streams, so readings do
+    /// not depend on thread count or on what was measured before.
+    fn measure_all(&self, phase: u64) -> Result<Vec<f64>, PentimentoError> {
         match self.config.mode {
-            MeasurementMode::Oracle => Ok(self
-                .skeleton
-                .routes()
-                .map(|r| self.device.route_delta_ps(r))
-                .collect()),
-            MeasurementMode::Tdc => self
-                .sensors
-                .iter()
-                .map(|s| Ok(s.measure(&self.device, &mut self.rng)?.delta_ps))
-                .collect(),
+            MeasurementMode::Oracle => Ok(oracle_deltas(&self.device, &self.skeleton)),
+            MeasurementMode::Tdc => Ok(self.sensors.measure_deltas_streamed(
+                &self.device,
+                1,
+                self.master_seed,
+                phase,
+            )?),
         }
     }
 
@@ -197,18 +215,18 @@ impl LabExperiment {
     ///
     /// Propagates sensor and fabric failures.
     pub fn run(&mut self) -> Result<ExperimentOutcome, PentimentoError> {
-        // Phase: Calibration (hour 0).
+        // Phase: Calibration (hour 0), fanned across worker threads with
+        // one derived RNG stream per sensor.
         if self.config.mode == MeasurementMode::Tdc {
-            for sensor in &mut self.sensors {
-                sensor.calibrate(&self.device, &mut self.rng)?;
-            }
+            self.sensors
+                .calibrate_all_streamed(&self.device, self.master_seed)?;
         }
 
         let mut hours_log: Vec<f64> = Vec::new();
         let mut readings: Vec<Vec<f64>> = vec![Vec::new(); self.skeleton.len()];
         let record =
             |hour: f64, this: &mut Self, readings: &mut Vec<Vec<f64>>, log: &mut Vec<f64>| {
-                let measured = this.measure_all()?;
+                let measured = this.measure_all(log.len() as u64)?;
                 log.push(hour);
                 for (per_route, value) in readings.iter_mut().zip(measured) {
                     per_route.push(value);

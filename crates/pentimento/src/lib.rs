@@ -88,7 +88,8 @@ pub use experiment::{
     ExperimentOutcome, LabExperiment, LabExperimentConfig, MeasurementMode, Phase,
 };
 pub use metrics::{
-    accuracy, bit_error_rate, roc_auc, roc_curve, separation_dprime, RecoveryMetrics, RocPoint,
+    accuracy, bit_error_rate, roc_auc, roc_curve, roc_curve_counted, separation_dprime,
+    RecoveryMetrics, RocPoint,
 };
 pub use mitigations::{evaluate_mitigation, Mitigation, MitigationReport};
 pub use report::{ascii_chart, series_to_csv, AsciiChartConfig};

@@ -85,22 +85,42 @@ pub struct RocPoint {
 ///
 /// Points come back sorted by false-positive rate, starting at `(0, 0)`
 /// and ending at `(1, 1)`; feed them to [`roc_auc`].
+///
+/// Series whose statistic is non-finite (a NaN slope from a zero-variance
+/// or all-gap degenerate series) are silently dropped; use
+/// [`roc_curve_counted`] to observe how many.
 #[must_use]
 pub fn roc_curve(
     series: &[RouteSeries],
     statistic: impl Fn(&RouteSeries) -> f64,
     positive_below: bool,
 ) -> Vec<RocPoint> {
-    let labeled: Vec<(f64, bool)> = series
+    roc_curve_counted(series, statistic, positive_below).0
+}
+
+/// [`roc_curve`] plus the number of series dropped for a non-finite
+/// statistic. A NaN statistic used to panic threshold sorting mid-campaign
+/// (`partial_cmp(..).expect(..)`); it is now a counted drop that campaign
+/// runners surface in their stats, and all sorting is total
+/// ([`f64::total_cmp`]), so no input can panic this path.
+#[must_use]
+pub fn roc_curve_counted(
+    series: &[RouteSeries],
+    statistic: impl Fn(&RouteSeries) -> f64,
+    positive_below: bool,
+) -> (Vec<RocPoint>, usize) {
+    let all: Vec<(f64, bool)> = series
         .iter()
         .map(|s| (statistic(s), s.burn_value == LogicLevel::One))
         .collect();
+    let labeled: Vec<(f64, bool)> = all.iter().filter(|(v, _)| v.is_finite()).copied().collect();
+    let dropped = all.len() - labeled.len();
     let positives = labeled.iter().filter(|(_, p)| *p).count().max(1) as f64;
     let negatives = labeled.iter().filter(|(_, p)| !*p).count().max(1) as f64;
     let mut thresholds: Vec<f64> = labeled.iter().map(|(v, _)| *v).collect();
     thresholds.push(f64::NEG_INFINITY);
     thresholds.push(f64::INFINITY);
-    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("statistics are not NaN"));
+    thresholds.sort_by(f64::total_cmp);
     thresholds.dedup();
     let mut points: Vec<RocPoint> = thresholds
         .into_iter()
@@ -122,11 +142,11 @@ pub fn roc_curve(
         })
         .collect();
     points.sort_by(|a, b| {
-        (a.false_positive_rate, a.true_positive_rate)
-            .partial_cmp(&(b.false_positive_rate, b.true_positive_rate))
-            .expect("rates are finite")
+        a.false_positive_rate
+            .total_cmp(&b.false_positive_rate)
+            .then(a.true_positive_rate.total_cmp(&b.true_positive_rate))
     });
-    points
+    (points, dropped)
 }
 
 /// Area under an ROC curve (trapezoidal): 0.5 = chance, 1.0 = perfect.
@@ -262,6 +282,35 @@ mod tests {
         let above = roc_auc(&roc_curve(&all, RouteSeries::slope_ps_per_hour, false));
         assert!(below > 0.99, "below-direction auc {below}");
         assert!(above < 0.01, "above-direction auc {above}");
+    }
+
+    #[test]
+    fn roc_survives_nan_statistics_with_a_counted_drop() {
+        let mut all = Vec::new();
+        for i in 0..4 {
+            all.push(series(LogicLevel::One, &[0.0, 1.0 + 0.1 * f64::from(i)]));
+            all.push(series(LogicLevel::Zero, &[0.0, -1.0 - 0.1 * f64::from(i)]));
+        }
+        // A degenerate series whose statistic is NaN used to panic the
+        // threshold sort mid-campaign.
+        all.push(series(LogicLevel::One, &[0.0, 0.5]));
+        let nan_stat = |s: &RouteSeries| {
+            if s.len() == 2 && (s.delta_ps[1] - 0.5).abs() < 1e-12 {
+                f64::NAN
+            } else {
+                s.slope_ps_per_hour()
+            }
+        };
+        let (points, dropped) = roc_curve_counted(&all, nan_stat, false);
+        assert_eq!(dropped, 1, "exactly the NaN series dropped");
+        let auc = roc_auc(&points);
+        assert!(
+            (auc - 1.0).abs() < 1e-9,
+            "finite series still separate: {auc}"
+        );
+        // All-NaN input degrades to an empty-ish curve, never a panic.
+        let (_, all_dropped) = roc_curve_counted(&all, |_| f64::NAN, false);
+        assert_eq!(all_dropped, all.len());
     }
 
     #[test]

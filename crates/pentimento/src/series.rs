@@ -3,7 +3,7 @@
 use bti_physics::LogicLevel;
 use serde::{Deserialize, Serialize};
 
-use crate::analysis::{ols_slope, KernelEstimator, KernelRegression};
+use crate::analysis::{ols_fit, ols_slope, KernelEstimator, KernelRegression};
 
 /// The Δps time series of one route under test — one point per
 /// measurement phase, centered at the first measurement exactly as the
@@ -167,13 +167,17 @@ impl RouteSeries {
         if self.len() < 4 {
             return self.clone();
         }
-        let slope = self.slope_ps_per_hour();
-        let t0 = self.hours[0];
+        // Fit slope AND intercept: forcing the trend through the first
+        // point (the old `d - slope * (h - t0)` residual) lets one noisy
+        // first sample bias every residual, masking real outliers and
+        // inventing fake ones. A full line fit makes the rejection
+        // invariant under constant shifts of the series.
+        let (slope, intercept) = ols_fit(&self.hours, &self.delta_ps);
         let residuals: Vec<f64> = self
             .hours
             .iter()
             .zip(&self.delta_ps)
-            .map(|(&h, &d)| d - slope * (h - t0))
+            .map(|(&h, &d)| d - (intercept + slope * h))
             .collect();
         let offsets: Vec<f64> = {
             let med = median(&residuals);
@@ -201,14 +205,40 @@ impl RouteSeries {
     /// Restricts the series to measurements at or after `from_hour`,
     /// re-centering on the first kept point (what the Threat Model 2
     /// attacker sees: nothing before they get the board).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `from_hour` is later than every measurement, i.e. the
+    /// window is empty. Fallible callers — a campaign whose attacker
+    /// acquires the board after the last recorded phase — should use
+    /// [`try_window_from`](Self::try_window_from) instead.
     #[must_use]
     pub fn window_from(&self, from_hour: f64) -> Self {
+        match self.try_window_from(from_hour) {
+            Ok(series) => series,
+            Err(e) => panic!("window_from({from_hour}): {e}"),
+        }
+    }
+
+    /// Non-panicking [`window_from`](Self::window_from).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PentimentoError::InvalidConfig`] when `from_hour`
+    /// is later than every measurement (an empty window).
+    pub fn try_window_from(&self, from_hour: f64) -> Result<Self, crate::PentimentoError> {
         let keep: Vec<usize> = (0..self.len())
             .filter(|&i| self.hours[i] >= from_hour)
             .collect();
+        if keep.is_empty() {
+            return Err(crate::PentimentoError::InvalidConfig(format!(
+                "window from {from_hour} h is empty: the series ends at {} h",
+                self.hours.last().copied().unwrap_or(f64::NEG_INFINITY)
+            )));
+        }
         let hours: Vec<f64> = keep.iter().map(|&i| self.hours[i]).collect();
         let raw: Vec<f64> = keep.iter().map(|&i| self.delta_ps[i]).collect();
-        Self::from_raw(
+        Self::try_from_raw(
             self.route_index,
             self.target_ps,
             self.burn_value,
@@ -337,5 +367,56 @@ mod tests {
         // Too short to filter: returned unchanged.
         let short = series(&[0.0, 9.0, 1.0]);
         assert_eq!(short.mad_filtered(5.0), short);
+    }
+
+    #[test]
+    fn mad_filter_survives_a_noisy_first_sample() {
+        // A spiked FIRST point used to anchor the no-intercept trend line,
+        // biasing every residual; the full line fit rejects exactly it.
+        let mut values: Vec<f64> = (0..12).map(|h| 0.5 * h as f64).collect();
+        values[0] -= 40.0;
+        let noisy = RouteSeries {
+            route_index: 0,
+            target_ps: 1000.0,
+            burn_value: LogicLevel::One,
+            hours: (0..12).map(f64::from).collect(),
+            delta_ps: values,
+        };
+        let cleaned = noisy.mad_filtered(5.0);
+        assert_eq!(cleaned.len(), 11, "exactly the first-point spike removed");
+        assert!((cleaned.slope_ps_per_hour() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn mad_filter_rejection_is_shift_invariant() {
+        let mut values: Vec<f64> = (0..12).map(|h| 0.5 * h as f64).collect();
+        values[8] += 40.0;
+        let base = series(&values);
+        let shifted = RouteSeries {
+            delta_ps: base.delta_ps.iter().map(|d| d + 123.0).collect(),
+            ..base.clone()
+        };
+        assert_eq!(
+            base.mad_filtered(5.0).hours,
+            shifted.mad_filtered(5.0).hours
+        );
+    }
+
+    #[test]
+    fn empty_window_is_a_typed_error_not_a_panic() {
+        let s = series(&[0.0, 1.0, 2.0]);
+        let err = s.try_window_from(10.0).unwrap_err();
+        assert!(matches!(err, crate::PentimentoError::InvalidConfig(_)));
+        // In-range windows still work through the fallible path.
+        let w = s.try_window_from(1.0).expect("window exists");
+        assert_eq!(w.hours, vec![1.0, 2.0]);
+        assert_eq!(w.delta_ps, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window_from")]
+    fn window_from_documents_its_panic() {
+        let s = series(&[0.0, 1.0, 2.0]);
+        let _ = s.window_from(10.0);
     }
 }

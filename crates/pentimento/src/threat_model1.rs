@@ -12,10 +12,11 @@ use cloud::{Provider, TenantId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tdc::{TdcConfig, TdcSensor};
+use tdc::{TdcArray, TdcConfig};
 
 use crate::classify::{BitClassifier, DriftSlopeClassifier};
 use crate::designs::build_target_design;
+use crate::experiment::oracle_deltas;
 use crate::metrics::RecoveryMetrics;
 use crate::{MeasurementMode, PentimentoError, RouteGroupSpec, RouteSeries, Skeleton};
 
@@ -86,7 +87,12 @@ pub fn run(
     provider: &mut Provider,
     config: &ThreatModel1Config,
 ) -> Result<ThreatModel1Outcome, PentimentoError> {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7EA5_E77E);
+    // Master seed of the per-(route, phase) derived RNG streams; the
+    // vendor's secret is drawn serially from a generator seeded with it.
+    // The campaign runner mirrors this exact derivation (`Mission::seed`),
+    // which is what keeps benign campaigns bit-identical to this driver.
+    let master_seed = config.seed ^ 0x7EA5_E77E;
+    let mut rng = StdRng::seed_from_u64(master_seed);
 
     // --- Vendor side: publish the sealed AFI with secret X. -----------
     let attacker = TenantId::new("attacker");
@@ -120,60 +126,56 @@ pub fn run(
     }
 
     // --- Attacker side: sense the analog imprint instead. --------------
-    let mut sensors: Vec<TdcSensor> = Vec::new();
+    // Sensors are placed as one bank and calibrated in parallel, each
+    // from its own derived RNG stream.
+    let mut sensors = TdcArray::place(provider.device(&session)?, Vec::new(), TdcConfig::cloud())?;
     if config.mode == MeasurementMode::Tdc {
         let device = provider.device(&session)?;
-        for entry in skeleton.entries() {
-            let mut sensor = TdcSensor::place(device, entry.route.clone(), TdcConfig::cloud())?;
-            sensor.calibrate(device, &mut rng)?;
-            sensors.push(sensor);
-        }
+        sensors = TdcArray::place(
+            device,
+            skeleton.entries().iter().map(|e| e.route.clone()),
+            TdcConfig::cloud(),
+        )?;
+        sensors.calibrate_all_streamed(device, master_seed)?;
     }
 
     let mut hours_log = Vec::new();
     let mut readings: Vec<Vec<f64>> = vec![Vec::new(); skeleton.len()];
+    // One measurement phase: every route read in parallel. The phase
+    // number (count of already-recorded phases) selects the per-route
+    // RNG streams, so the readings are bit-identical at every thread
+    // count and independent of scheduling order.
     let record = |hour: f64,
                   provider: &Provider,
-                  rng: &mut StdRng,
                   readings: &mut Vec<Vec<f64>>,
                   hours_log: &mut Vec<f64>|
      -> Result<(), PentimentoError> {
         let device = provider.device(&session)?;
+        let phase = hours_log.len() as u64;
         hours_log.push(hour);
-        match config.mode {
-            MeasurementMode::Oracle => {
-                for (per_route, route) in readings.iter_mut().zip(skeleton.routes()) {
-                    per_route.push(device.route_delta_ps(route));
-                }
-            }
-            MeasurementMode::Tdc => {
-                let repeats = config.measurement_repeats.max(1);
-                for (per_route, sensor) in readings.iter_mut().zip(&sensors) {
-                    let mut acc = 0.0;
-                    for _ in 0..repeats {
-                        acc += sensor.measure(device, rng)?.delta_ps;
-                    }
-                    per_route.push(acc / repeats as f64);
-                }
-            }
+        let measured = match config.mode {
+            MeasurementMode::Oracle => oracle_deltas(device, &skeleton),
+            MeasurementMode::Tdc => sensors.measure_deltas_streamed(
+                device,
+                config.measurement_repeats.max(1),
+                master_seed,
+                phase,
+            )?,
+        };
+        for (per_route, value) in readings.iter_mut().zip(measured) {
+            per_route.push(value);
         }
         Ok(())
     };
 
     // Pre-burn baseline, then load the sealed AFI and interleave
     // Condition (1 h) / Measurement.
-    record(0.0, provider, &mut rng, &mut readings, &mut hours_log)?;
+    record(0.0, provider, &mut readings, &mut hours_log)?;
     provider.load_afi(&session, afi)?;
     for hour in 1..=config.burn_hours {
         provider.advance_time(Hours::new(1.0));
         if hour % config.measure_every == 0 {
-            record(
-                hour as f64,
-                provider,
-                &mut rng,
-                &mut readings,
-                &mut hours_log,
-            )?;
+            record(hour as f64, provider, &mut readings, &mut hours_log)?;
         }
     }
     provider.unload(&session)?;

@@ -12,10 +12,11 @@ use cloud::{Provider, TenantId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tdc::{TdcConfig, TdcSensor};
+use tdc::{TdcArray, TdcConfig};
 
 use crate::classify::{BitClassifier, RecoverySlopeClassifier};
 use crate::designs::{build_condition_design, build_target_design};
+use crate::experiment::oracle_deltas;
 use crate::metrics::RecoveryMetrics;
 use crate::{MeasurementMode, PentimentoError, RouteGroupSpec, RouteSeries, Skeleton};
 
@@ -106,7 +107,11 @@ pub fn run(
     provider: &mut Provider,
     config: &ThreatModel2Config,
 ) -> Result<ThreatModel2Outcome, PentimentoError> {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0DD_B175);
+    // Master seed of the per-(route, phase) derived RNG streams; the
+    // victim's secret is drawn serially from a generator seeded with it.
+    // `Mission::seed` in the campaign runner mirrors this derivation.
+    let master_seed = config.seed ^ 0x0DD_B175;
+    let mut rng = StdRng::seed_from_u64(master_seed);
 
     let specs: Vec<RouteGroupSpec> = config
         .route_lengths_ps
@@ -173,49 +178,48 @@ pub fn run(
     // board; `measure_with_retune` handles per-die deviation. Calibration
     // against the device here never observes pre-victim state (the victim
     // is already gone — there is nothing else to observe).
-    let mut sensors: Vec<TdcSensor> = Vec::new();
+    let mut sensors = TdcArray::place(provider.device(&session)?, Vec::new(), TdcConfig::cloud())?;
     if config.mode == MeasurementMode::Tdc {
         let device = provider.device(&session)?;
-        for entry in skeleton.entries() {
-            let mut sensor = TdcSensor::place(device, entry.route.clone(), TdcConfig::cloud())?;
-            sensor.calibrate(device, &mut rng)?;
-            sensors.push(sensor);
-        }
+        sensors = TdcArray::place(
+            device,
+            skeleton.entries().iter().map(|e| e.route.clone()),
+            TdcConfig::cloud(),
+        )?;
+        sensors.calibrate_all_streamed(device, master_seed)?;
     }
 
     let mut hours_log = Vec::new();
     let mut readings: Vec<Vec<f64>> = vec![Vec::new(); skeleton.len()];
+    // One measurement phase: every route read in parallel from its own
+    // derived RNG stream, so readings are bit-identical at every thread
+    // count.
     let record = |hour: f64,
                   provider: &Provider,
-                  rng: &mut StdRng,
                   readings: &mut Vec<Vec<f64>>,
                   hours_log: &mut Vec<f64>|
      -> Result<(), PentimentoError> {
         let device = provider.device(&session)?;
+        let phase = hours_log.len() as u64;
         hours_log.push(hour);
-        match config.mode {
-            MeasurementMode::Oracle => {
-                for (per_route, route) in readings.iter_mut().zip(skeleton.routes()) {
-                    per_route.push(device.route_delta_ps(route));
-                }
-            }
-            MeasurementMode::Tdc => {
-                let repeats = config.measurement_repeats.max(1);
-                for (per_route, sensor) in readings.iter_mut().zip(&sensors) {
-                    let mut acc = 0.0;
-                    for _ in 0..repeats {
-                        acc += sensor.measure(device, rng)?.delta_ps;
-                    }
-                    per_route.push(acc / repeats as f64);
-                }
-            }
+        let measured = match config.mode {
+            MeasurementMode::Oracle => oracle_deltas(device, &skeleton),
+            MeasurementMode::Tdc => sensors.measure_deltas_streamed(
+                device,
+                config.measurement_repeats.max(1),
+                master_seed,
+                phase,
+            )?,
+        };
+        for (per_route, value) in readings.iter_mut().zip(measured) {
+            per_route.push(value);
         }
         Ok(())
     };
 
     // Measurement/Condition loop over the recovery window.
     let epoch = provider.now().value();
-    record(0.0, provider, &mut rng, &mut readings, &mut hours_log)?;
+    record(0.0, provider, &mut readings, &mut hours_log)?;
     provider.load_design(
         &session,
         build_condition_design(&skeleton, config.condition_level),
@@ -223,7 +227,7 @@ pub fn run(
     for _ in 0..config.attack_hours {
         provider.advance_time(Hours::new(1.0));
         let hour = provider.now().value() - epoch;
-        record(hour, provider, &mut rng, &mut readings, &mut hours_log)?;
+        record(hour, provider, &mut readings, &mut hours_log)?;
     }
     provider.unload(&session)?;
     provider.release(session)?;

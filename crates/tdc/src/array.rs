@@ -8,9 +8,12 @@
 //! seconds while the condition phase costs an hour).
 
 use fpga_fabric::{FpgaDevice, Route};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::stream::{stream_seed, STREAM_CALIBRATE, STREAM_MEASURE};
 use crate::{Measurement, TdcConfig, TdcError, TdcSensor};
 
 /// A bank of TDC sensors sharing one configuration.
@@ -70,6 +73,33 @@ impl TdcArray {
             .collect()
     }
 
+    /// Calibration phase for the whole bank, fanned across worker threads
+    /// with one derived RNG stream per sensor: sensor `i` draws from
+    /// `stream_seed(master_seed, i, STREAM_CALIBRATE)`, so the result is
+    /// bit-identical at every thread count and independent of scheduling
+    /// order — unlike [`TdcArray::calibrate_all`], whose shared `rng`
+    /// entangles each sensor with its predecessors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the calibration failure of the lowest-indexed failing
+    /// sensor.
+    pub fn calibrate_all_streamed(
+        &mut self,
+        device: &FpgaDevice,
+        master_seed: u64,
+    ) -> Result<Vec<f64>, TdcError> {
+        self.sensors
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, sensor)| {
+                let mut rng =
+                    StdRng::seed_from_u64(stream_seed(master_seed, i as u64, STREAM_CALIBRATE));
+                sensor.calibrate(device, &mut rng)
+            })
+            .collect()
+    }
+
     /// Adopts per-sensor θ_init values calibrated elsewhere (a sibling
     /// board of the same type — the Threat Model 2 bootstrap).
     ///
@@ -126,6 +156,45 @@ impl TdcArray {
                 let mut acc = 0.0;
                 for _ in 0..repeats {
                     acc += sensor.measure(device, rng)?.delta_ps;
+                }
+                Ok(acc / repeats as f64)
+            })
+            .collect()
+    }
+
+    /// Batched read: measures the whole bank in one call, fanned across
+    /// worker threads, averaging `repeats` reads per sensor. Sensor `i`
+    /// at measurement phase `phase` (0 for the hour-zero baseline) draws
+    /// from its own stream `stream_seed(master_seed, i, STREAM_MEASURE +
+    /// phase)`, so the returned deltas are bit-identical at every thread
+    /// count and independent of which routes were measured before.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failure of the lowest-indexed failing sensor;
+    /// `repeats` of zero is rejected.
+    pub fn measure_deltas_streamed(
+        &self,
+        device: &FpgaDevice,
+        repeats: usize,
+        master_seed: u64,
+        phase: u64,
+    ) -> Result<Vec<f64>, TdcError> {
+        if repeats == 0 {
+            return Err(TdcError::InvalidConfig("repeats must be at least 1"));
+        }
+        self.sensors
+            .par_iter()
+            .enumerate()
+            .map(|(i, sensor)| {
+                let mut rng = StdRng::seed_from_u64(stream_seed(
+                    master_seed,
+                    i as u64,
+                    STREAM_MEASURE + phase,
+                ));
+                let mut acc = 0.0;
+                for _ in 0..repeats {
+                    acc += sensor.measure(device, &mut rng)?.delta_ps;
                 }
                 Ok(acc / repeats as f64)
             })
@@ -244,5 +313,66 @@ mod tests {
         let array = TdcArray::place(&device, routes(&device, 1), TdcConfig::lab()).expect("places");
         let mut rng = StdRng::seed_from_u64(87);
         assert!(array.measure_deltas_averaged(&device, 0, &mut rng).is_err());
+        assert!(array.measure_deltas_streamed(&device, 0, 87, 0).is_err());
+    }
+
+    #[test]
+    fn streamed_reads_are_identical_at_every_thread_count() {
+        let device = FpgaDevice::zcu102_new(88);
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool builds")
+                .install(|| {
+                    let mut array =
+                        TdcArray::place(&device, routes(&device, 6), TdcConfig::cloud())
+                            .expect("places");
+                    let thetas = array
+                        .calibrate_all_streamed(&device, 88)
+                        .expect("calibrates");
+                    let deltas: Vec<Vec<f64>> = (0..4)
+                        .map(|phase| {
+                            array
+                                .measure_deltas_streamed(&device, 3, 88, phase)
+                                .expect("measures")
+                        })
+                        .collect();
+                    (thetas, deltas)
+                })
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), serial, "thread count {threads} diverges");
+        }
+    }
+
+    #[test]
+    fn streamed_reads_do_not_depend_on_phase_order() {
+        let device = FpgaDevice::zcu102_new(89);
+        let mut array =
+            TdcArray::place(&device, routes(&device, 3), TdcConfig::cloud()).expect("places");
+        array
+            .calibrate_all_streamed(&device, 89)
+            .expect("calibrates");
+        let forward: Vec<Vec<f64>> = (0..3)
+            .map(|p| {
+                array
+                    .measure_deltas_streamed(&device, 2, 89, p)
+                    .expect("ok")
+            })
+            .collect();
+        let backward: Vec<Vec<f64>> = (0..3)
+            .rev()
+            .map(|p| {
+                array
+                    .measure_deltas_streamed(&device, 2, 89, p)
+                    .expect("ok")
+            })
+            .collect();
+        assert_eq!(forward[0], backward[2]);
+        assert_eq!(forward[2], backward[0]);
+        // Distinct phases see distinct noise draws.
+        assert_ne!(forward[0], forward[1]);
     }
 }

@@ -56,6 +56,7 @@ mod error;
 mod faults;
 mod measurement;
 mod sensor;
+mod stream;
 
 pub use array::TdcArray;
 pub use capture::CaptureWord;
@@ -65,6 +66,7 @@ pub use error::TdcError;
 pub use faults::SensorFaultPlan;
 pub use measurement::{Measurement, Trace};
 pub use sensor::TdcSensor;
+pub use stream::{stream_seed, STREAM_CALIBRATE, STREAM_MEASURE};
 
 pub(crate) mod util {
     use rand::Rng;

@@ -17,6 +17,14 @@ cargo test -q
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
+echo "== cargo bench --no-run =="
+cargo bench --no-run
+
+echo "== parallel_scaling smoke (2 threads, serial == parallel) =="
+# The bin exits non-zero if any pool width diverges from the serial
+# reference, so this is the CI teeth for the deterministic sweep engine.
+cargo run --release -q -p bench --bin parallel_scaling -- --smoke --threads 2
+
 echo "== cargo clippy --workspace -- -D warnings =="
 if command -v cargo-clippy >/dev/null 2>&1; then
     cargo clippy --workspace -- -D warnings

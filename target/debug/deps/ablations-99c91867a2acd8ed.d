@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-99c91867a2acd8ed.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-99c91867a2acd8ed: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-aa1542a317eb90eb.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-aa1542a317eb90eb: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_accuracy-89dd2e969a84208f.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/debug/deps/attack_accuracy-89dd2e969a84208f: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

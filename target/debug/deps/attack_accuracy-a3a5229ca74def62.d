@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_accuracy-a3a5229ca74def62.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/debug/deps/attack_accuracy-a3a5229ca74def62: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

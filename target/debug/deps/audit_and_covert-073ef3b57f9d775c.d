@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_and_covert-073ef3b57f9d775c.d: tests/audit_and_covert.rs
+
+/root/repo/target/debug/deps/audit_and_covert-073ef3b57f9d775c: tests/audit_and_covert.rs
+
+tests/audit_and_covert.rs:

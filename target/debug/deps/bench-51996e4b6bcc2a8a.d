@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-51996e4b6bcc2a8a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-51996e4b6bcc2a8a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-51996e4b6bcc2a8a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

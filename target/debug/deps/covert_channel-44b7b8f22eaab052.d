@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/covert_channel-44b7b8f22eaab052.d: crates/bench/src/bin/covert_channel.rs
+
+/root/repo/target/debug/deps/covert_channel-44b7b8f22eaab052: crates/bench/src/bin/covert_channel.rs
+
+crates/bench/src/bin/covert_channel.rs:

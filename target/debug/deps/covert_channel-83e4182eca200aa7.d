@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/covert_channel-83e4182eca200aa7.d: crates/bench/src/bin/covert_channel.rs
+
+/root/repo/target/debug/deps/covert_channel-83e4182eca200aa7: crates/bench/src/bin/covert_channel.rs
+
+crates/bench/src/bin/covert_channel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/covert_channel-bcde8d1548e6c04f.d: crates/bench/src/bin/covert_channel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcovert_channel-bcde8d1548e6c04f.rmeta: crates/bench/src/bin/covert_channel.rs Cargo.toml
+
+crates/bench/src/bin/covert_channel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

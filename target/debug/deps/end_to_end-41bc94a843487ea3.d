@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-41bc94a843487ea3.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-41bc94a843487ea3: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-582f717b57472441.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-582f717b57472441: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-b2a529aa69334ac5.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-b2a529aa69334ac5: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance-dc0acb6c55aee2b5.d: crates/bench/src/bin/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-dc0acb6c55aee2b5.rmeta: crates/bench/src/bin/fault_tolerance.rs Cargo.toml
+
+crates/bench/src/bin/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_inverter-7793bfbd97ab0de0.d: crates/bench/src/bin/fig2_inverter.rs
+
+/root/repo/target/debug/deps/fig2_inverter-7793bfbd97ab0de0: crates/bench/src/bin/fig2_inverter.rs
+
+crates/bench/src/bin/fig2_inverter.rs:

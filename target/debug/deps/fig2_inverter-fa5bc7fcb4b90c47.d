@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_inverter-fa5bc7fcb4b90c47.d: crates/bench/src/bin/fig2_inverter.rs
+
+/root/repo/target/debug/deps/fig2_inverter-fa5bc7fcb4b90c47: crates/bench/src/bin/fig2_inverter.rs
+
+crates/bench/src/bin/fig2_inverter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_traces-5cc361609abc8ad9.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/debug/deps/fig3_traces-5cc361609abc8ad9: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

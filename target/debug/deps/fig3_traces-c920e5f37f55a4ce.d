@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_traces-c920e5f37f55a4ce.d: crates/bench/src/bin/fig3_traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_traces-c920e5f37f55a4ce.rmeta: crates/bench/src/bin/fig3_traces.rs Cargo.toml
+
+crates/bench/src/bin/fig3_traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-64971e336635d405.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-64971e336635d405: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-d53ccca8ccd3a78d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-d53ccca8ccd3a78d: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-38adebcc338c36a4.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-38adebcc338c36a4: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-e8c17fbcb1f0d9b1.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-e8c17fbcb1f0d9b1: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

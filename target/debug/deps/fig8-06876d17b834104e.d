@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-06876d17b834104e.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-06876d17b834104e: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

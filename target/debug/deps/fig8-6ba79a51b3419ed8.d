@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-6ba79a51b3419ed8.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-6ba79a51b3419ed8: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

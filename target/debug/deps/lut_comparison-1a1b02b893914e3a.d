@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lut_comparison-1a1b02b893914e3a.d: crates/bench/src/bin/lut_comparison.rs
+
+/root/repo/target/debug/deps/lut_comparison-1a1b02b893914e3a: crates/bench/src/bin/lut_comparison.rs
+
+crates/bench/src/bin/lut_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lut_comparison-ac44a37fb9439b34.d: crates/bench/src/bin/lut_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblut_comparison-ac44a37fb9439b34.rmeta: crates/bench/src/bin/lut_comparison.rs Cargo.toml
+
+crates/bench/src/bin/lut_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lut_comparison-c3633ee2362f9be9.d: crates/bench/src/bin/lut_comparison.rs
+
+/root/repo/target/debug/deps/lut_comparison-c3633ee2362f9be9: crates/bench/src/bin/lut_comparison.rs
+
+crates/bench/src/bin/lut_comparison.rs:

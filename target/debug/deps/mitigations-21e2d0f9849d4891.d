@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mitigations-21e2d0f9849d4891.d: crates/bench/src/bin/mitigations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmitigations-21e2d0f9849d4891.rmeta: crates/bench/src/bin/mitigations.rs Cargo.toml
+
+crates/bench/src/bin/mitigations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

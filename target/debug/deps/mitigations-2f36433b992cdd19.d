@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mitigations-2f36433b992cdd19.d: crates/bench/src/bin/mitigations.rs
+
+/root/repo/target/debug/deps/mitigations-2f36433b992cdd19: crates/bench/src/bin/mitigations.rs
+
+crates/bench/src/bin/mitigations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mitigations-696ff990ff09e671.d: crates/bench/src/bin/mitigations.rs
+
+/root/repo/target/debug/deps/mitigations-696ff990ff09e671: crates/bench/src/bin/mitigations.rs
+
+crates/bench/src/bin/mitigations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-0ca7110976cdbb20.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-0ca7110976cdbb20: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

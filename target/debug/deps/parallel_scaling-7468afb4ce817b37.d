@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_scaling-7468afb4ce817b37.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/debug/deps/parallel_scaling-7468afb4ce817b37: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

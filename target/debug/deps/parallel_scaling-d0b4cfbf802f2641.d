@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_scaling-d0b4cfbf802f2641.d: crates/bench/src/bin/parallel_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_scaling-d0b4cfbf802f2641.rmeta: crates/bench/src/bin/parallel_scaling.rs Cargo.toml
+
+crates/bench/src/bin/parallel_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pentimento_repro-a11f776d1050e453.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpentimento_repro-a11f776d1050e453.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpentimento_repro-a11f776d1050e453.rmeta: src/lib.rs
+
+src/lib.rs:

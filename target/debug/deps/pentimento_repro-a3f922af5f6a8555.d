@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pentimento_repro-a3f922af5f6a8555.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpentimento_repro-a3f922af5f6a8555.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

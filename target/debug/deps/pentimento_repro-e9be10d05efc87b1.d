@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pentimento_repro-e9be10d05efc87b1.d: src/lib.rs
+
+/root/repo/target/debug/deps/pentimento_repro-e9be10d05efc87b1: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b90c7e897d1f1c86.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b90c7e897d1f1c86: tests/properties.rs
+
+tests/properties.rs:

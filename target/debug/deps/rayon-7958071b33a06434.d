@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-7958071b33a06434.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-7958071b33a06434: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

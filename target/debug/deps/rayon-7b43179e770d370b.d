@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-7b43179e770d370b.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-7b43179e770d370b.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-7b43179e770d370b.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repeatability-435ea19692848948.d: crates/bench/src/bin/repeatability.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepeatability-435ea19692848948.rmeta: crates/bench/src/bin/repeatability.rs Cargo.toml
+
+crates/bench/src/bin/repeatability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repeatability-9ea2440cdfaeaa9a.d: crates/bench/src/bin/repeatability.rs
+
+/root/repo/target/debug/deps/repeatability-9ea2440cdfaeaa9a: crates/bench/src/bin/repeatability.rs
+
+crates/bench/src/bin/repeatability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repeatability-9f60d7bb1b8b322f.d: crates/bench/src/bin/repeatability.rs
+
+/root/repo/target/debug/deps/repeatability-9f60d7bb1b8b322f: crates/bench/src/bin/repeatability.rs
+
+crates/bench/src/bin/repeatability.rs:

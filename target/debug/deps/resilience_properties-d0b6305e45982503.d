@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience_properties-d0b6305e45982503.d: tests/resilience_properties.rs
+
+/root/repo/target/debug/deps/resilience_properties-d0b6305e45982503: tests/resilience_properties.rs
+
+tests/resilience_properties.rs:

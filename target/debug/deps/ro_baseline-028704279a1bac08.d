@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ro_baseline-028704279a1bac08.d: crates/bench/src/bin/ro_baseline.rs
+
+/root/repo/target/debug/deps/ro_baseline-028704279a1bac08: crates/bench/src/bin/ro_baseline.rs
+
+crates/bench/src/bin/ro_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ro_baseline-4925d953c23e08cc.d: crates/bench/src/bin/ro_baseline.rs
+
+/root/repo/target/debug/deps/ro_baseline-4925d953c23e08cc: crates/bench/src/bin/ro_baseline.rs
+
+crates/bench/src/bin/ro_baseline.rs:

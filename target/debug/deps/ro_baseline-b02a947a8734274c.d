@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ro_baseline-b02a947a8734274c.d: crates/bench/src/bin/ro_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libro_baseline-b02a947a8734274c.rmeta: crates/bench/src/bin/ro_baseline.rs Cargo.toml
+
+crates/bench/src/bin/ro_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensor_fidelity-73db5f72f1049f71.d: tests/sensor_fidelity.rs
+
+/root/repo/target/debug/deps/sensor_fidelity-73db5f72f1049f71: tests/sensor_fidelity.rs
+
+tests/sensor_fidelity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-349f463c2996c5a0.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-349f463c2996c5a0: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d87af095a9439430.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-d87af095a9439430: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/tdc-df253bee1fc1db50.d: crates/tdc/src/lib.rs crates/tdc/src/array.rs crates/tdc/src/capture.rs crates/tdc/src/clock.rs crates/tdc/src/config.rs crates/tdc/src/error.rs crates/tdc/src/faults.rs crates/tdc/src/measurement.rs crates/tdc/src/sensor.rs crates/tdc/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtdc-df253bee1fc1db50.rmeta: crates/tdc/src/lib.rs crates/tdc/src/array.rs crates/tdc/src/capture.rs crates/tdc/src/clock.rs crates/tdc/src/config.rs crates/tdc/src/error.rs crates/tdc/src/faults.rs crates/tdc/src/measurement.rs crates/tdc/src/sensor.rs crates/tdc/src/stream.rs Cargo.toml
+
+crates/tdc/src/lib.rs:
+crates/tdc/src/array.rs:
+crates/tdc/src/capture.rs:
+crates/tdc/src/clock.rs:
+crates/tdc/src/config.rs:
+crates/tdc/src/error.rs:
+crates/tdc/src/faults.rs:
+crates/tdc/src/measurement.rs:
+crates/tdc/src/sensor.rs:
+crates/tdc/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/marketplace_key_extraction-b0fdc4c7341b373b.d: examples/marketplace_key_extraction.rs
+
+/root/repo/target/debug/examples/marketplace_key_extraction-b0fdc4c7341b373b: examples/marketplace_key_extraction.rs
+
+examples/marketplace_key_extraction.rs:

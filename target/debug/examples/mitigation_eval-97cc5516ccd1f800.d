@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mitigation_eval-97cc5516ccd1f800.d: examples/mitigation_eval.rs
+
+/root/repo/target/debug/examples/mitigation_eval-97cc5516ccd1f800: examples/mitigation_eval.rs
+
+examples/mitigation_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/opentitan_audit-e66c07a3c8cc4201.d: examples/opentitan_audit.rs
+
+/root/repo/target/debug/examples/opentitan_audit-e66c07a3c8cc4201: examples/opentitan_audit.rs
+
+examples/opentitan_audit.rs:

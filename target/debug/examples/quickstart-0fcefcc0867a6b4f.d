@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0fcefcc0867a6b4f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0fcefcc0867a6b4f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilient_campaign-049c15131a7f05c7.d: examples/resilient_campaign.rs
+
+/root/repo/target/debug/examples/resilient_campaign-049c15131a7f05c7: examples/resilient_campaign.rs
+
+examples/resilient_campaign.rs:

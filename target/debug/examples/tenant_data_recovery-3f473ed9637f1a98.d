@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tenant_data_recovery-3f473ed9637f1a98.d: examples/tenant_data_recovery.rs
+
+/root/repo/target/debug/examples/tenant_data_recovery-3f473ed9637f1a98: examples/tenant_data_recovery.rs
+
+examples/tenant_data_recovery.rs:

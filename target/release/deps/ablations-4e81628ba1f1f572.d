@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-4e81628ba1f1f572.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-4e81628ba1f1f572: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attack_accuracy-1cc3ef66d60220ad.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/release/deps/attack_accuracy-1cc3ef66d60220ad: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-9d5ca11e61d9f568.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-9d5ca11e61d9f568.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-9d5ca11e61d9f568.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/covert_channel-0a41d96f310e7858.d: crates/bench/src/bin/covert_channel.rs
+
+/root/repo/target/release/deps/covert_channel-0a41d96f310e7858: crates/bench/src/bin/covert_channel.rs
+
+crates/bench/src/bin/covert_channel.rs:

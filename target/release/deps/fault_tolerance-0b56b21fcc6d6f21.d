@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-0b56b21fcc6d6f21.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-0b56b21fcc6d6f21: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

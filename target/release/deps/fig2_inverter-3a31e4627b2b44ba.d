@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_inverter-3a31e4627b2b44ba.d: crates/bench/src/bin/fig2_inverter.rs
+
+/root/repo/target/release/deps/fig2_inverter-3a31e4627b2b44ba: crates/bench/src/bin/fig2_inverter.rs
+
+crates/bench/src/bin/fig2_inverter.rs:

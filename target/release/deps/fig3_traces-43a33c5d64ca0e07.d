@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_traces-43a33c5d64ca0e07.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/release/deps/fig3_traces-43a33c5d64ca0e07: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

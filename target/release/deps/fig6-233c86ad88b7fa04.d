@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-233c86ad88b7fa04.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-233c86ad88b7fa04: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-f301111d3f5e14ce.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-f301111d3f5e14ce: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

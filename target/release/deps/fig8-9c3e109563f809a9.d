@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-9c3e109563f809a9.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-9c3e109563f809a9: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lut_comparison-27e23b801e60d176.d: crates/bench/src/bin/lut_comparison.rs
+
+/root/repo/target/release/deps/lut_comparison-27e23b801e60d176: crates/bench/src/bin/lut_comparison.rs
+
+crates/bench/src/bin/lut_comparison.rs:

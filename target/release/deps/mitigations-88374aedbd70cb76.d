@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mitigations-88374aedbd70cb76.d: crates/bench/src/bin/mitigations.rs
+
+/root/repo/target/release/deps/mitigations-88374aedbd70cb76: crates/bench/src/bin/mitigations.rs
+
+crates/bench/src/bin/mitigations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_scaling-9abbf8e9cb96afef.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/release/deps/parallel_scaling-9abbf8e9cb96afef: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

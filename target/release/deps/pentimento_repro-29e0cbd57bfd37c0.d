@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pentimento_repro-29e0cbd57bfd37c0.d: src/lib.rs
+
+/root/repo/target/release/deps/pentimento_repro-29e0cbd57bfd37c0: src/lib.rs
+
+src/lib.rs:

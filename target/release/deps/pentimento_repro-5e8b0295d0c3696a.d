@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pentimento_repro-5e8b0295d0c3696a.d: src/lib.rs
+
+/root/repo/target/release/deps/libpentimento_repro-5e8b0295d0c3696a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpentimento_repro-5e8b0295d0c3696a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-9eb0abe5ff7dc1e6.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-9eb0abe5ff7dc1e6.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-9eb0abe5ff7dc1e6.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repeatability-7e15c649fcf38a95.d: crates/bench/src/bin/repeatability.rs
+
+/root/repo/target/release/deps/repeatability-7e15c649fcf38a95: crates/bench/src/bin/repeatability.rs
+
+crates/bench/src/bin/repeatability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ro_baseline-fe6618ebc1de4699.d: crates/bench/src/bin/ro_baseline.rs
+
+/root/repo/target/release/deps/ro_baseline-fe6618ebc1de4699: crates/bench/src/bin/ro_baseline.rs
+
+crates/bench/src/bin/ro_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-92077de31552af2f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-92077de31552af2f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

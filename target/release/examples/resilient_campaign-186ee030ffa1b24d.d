@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resilient_campaign-186ee030ffa1b24d.d: examples/resilient_campaign.rs
+
+/root/repo/target/release/examples/resilient_campaign-186ee030ffa1b24d: examples/resilient_campaign.rs
+
+examples/resilient_campaign.rs:

@@ -1,0 +1,163 @@
+//! Serial ≡ parallel golden tests for the deterministic sweep engine.
+//!
+//! Every measurement and calibration draw comes from a counter-based
+//! per-route stream (`tdc::stream_seed`), so the same experiment must be
+//! byte-identical at every worker-pool width — and a checkpoint taken
+//! under one width must resume bit-identically under another.
+
+use bti_physics::{Hours, LogicLevel};
+use cloud::{FaultKind, FaultPlan, Provider, ProviderConfig};
+use pentimento::threat_model1::{self, ThreatModel1Config};
+use pentimento::threat_model2::{self, ThreatModel2Config};
+use pentimento::{
+    Campaign, CampaignConfig, LabExperiment, LabExperimentConfig, MeasurementMode, Mission,
+};
+use tdc::SensorFaultPlan;
+
+/// Runs `f` on a worker pool of exactly `n` threads.
+fn at_width<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("pool builds")
+        .install(f)
+}
+
+#[test]
+fn lab_experiment_is_identical_at_every_pool_width() {
+    let config = LabExperimentConfig {
+        route_lengths_ps: vec![5_000.0, 10_000.0],
+        routes_per_length: 2,
+        burn_hours: 20,
+        recovery_hours: 10,
+        measure_every: 5,
+        mode: MeasurementMode::Tdc,
+        seed: 77,
+    };
+    let run = |width: usize| {
+        let config = config.clone();
+        at_width(width, move || {
+            LabExperiment::new(config)
+                .expect("experiment builds")
+                .run()
+                .expect("experiment runs")
+        })
+    };
+    let serial = run(1);
+    for width in [2, 4, 8] {
+        let parallel = run(width);
+        assert_eq!(
+            serial.series, parallel.series,
+            "lab series must be byte-identical at width {width}"
+        );
+    }
+}
+
+#[test]
+fn tm1_driver_is_identical_at_every_pool_width() {
+    let config = ThreatModel1Config {
+        route_lengths_ps: vec![5_000.0],
+        routes_per_length: 2,
+        burn_hours: 20,
+        measure_every: 2,
+        mode: MeasurementMode::Tdc,
+        seed: 78,
+        measurement_repeats: 2,
+    };
+    let run = |width: usize| {
+        let config = config.clone();
+        at_width(width, move || {
+            let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, 78));
+            threat_model1::run(&mut provider, &config).expect("attack completes")
+        })
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.series, parallel.series);
+    assert_eq!(serial.recovered, parallel.recovered);
+    assert_eq!(serial.truth, parallel.truth);
+}
+
+#[test]
+fn tm2_driver_is_identical_at_every_pool_width() {
+    let config = ThreatModel2Config {
+        route_lengths_ps: vec![5_000.0, 10_000.0],
+        routes_per_length: 2,
+        victim_hours: 60,
+        attack_hours: 10,
+        condition_level: LogicLevel::Zero,
+        mode: MeasurementMode::Tdc,
+        seed: 79,
+        measurement_repeats: 2,
+        victim_hold_and_recover_hours: 0,
+    };
+    let run = |width: usize| {
+        let config = config.clone();
+        at_width(width, move || {
+            let mut provider = Provider::new(ProviderConfig::aws_f1_like(2, 79));
+            threat_model2::run(&mut provider, &config).expect("attack completes")
+        })
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.series, parallel.series);
+    assert_eq!(serial.recovered, parallel.recovered);
+}
+
+fn hostile_tm1_campaign() -> Campaign {
+    let config = ThreatModel1Config {
+        route_lengths_ps: vec![5_000.0, 10_000.0],
+        routes_per_length: 2,
+        burn_hours: 30,
+        measure_every: 3,
+        mode: MeasurementMode::Tdc,
+        seed: 80,
+        measurement_repeats: 2,
+    };
+    let mut campaign_config = CampaignConfig::default();
+    campaign_config.fault_plan =
+        FaultPlan::hostile(80, 0.02).with_scheduled(Hours::new(12.0), FaultKind::Preemption);
+    campaign_config.sensor_faults = SensorFaultPlan::noisy(80, 0.02);
+    Campaign::new(
+        Provider::new(ProviderConfig::aws_f1_like(2, 80)),
+        Mission::ThreatModel1(config),
+        campaign_config,
+    )
+    .expect("campaign builds")
+}
+
+#[test]
+fn hostile_campaign_is_identical_at_every_pool_width_including_stats() {
+    let serial = at_width(1, || hostile_tm1_campaign().run().expect("completes"));
+    let parallel = at_width(4, || hostile_tm1_campaign().run().expect("completes"));
+    assert_eq!(serial.series, parallel.series);
+    assert_eq!(serial.recovered, parallel.recovered);
+    // The retry/backoff bookkeeping merges in route order, so even the
+    // stats — including the f64 backoff total — are bit-identical.
+    assert_eq!(serial.stats, parallel.stats);
+}
+
+#[test]
+fn checkpoint_under_one_width_resumes_identically_under_another() {
+    let reference = at_width(1, || hostile_tm1_campaign().run().expect("completes"));
+
+    // Step half the campaign on a 4-wide pool, checkpoint, then resume
+    // and finish serially: the per-route streams make the pool width
+    // invisible to the result.
+    let checkpoint = at_width(4, || {
+        let mut campaign = hostile_tm1_campaign();
+        for _ in 0..15 {
+            campaign.step().expect("steps");
+        }
+        campaign.checkpoint()
+    });
+    let resumed = at_width(1, || {
+        Campaign::resume(checkpoint)
+            .expect("manifest validates")
+            .run()
+            .expect("completes")
+    });
+    assert_eq!(resumed.series, reference.series);
+    assert_eq!(resumed.recovered, reference.recovered);
+    assert_eq!(resumed.stats, reference.stats);
+}

@@ -129,3 +129,99 @@ fn classifiers_are_consistent_between_modes() {
         "long-route classifications must agree between oracle and sensor"
     );
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `try_window_from` never panics: any cut point either yields a
+    /// well-formed sub-series (every kept hour >= the cut) or the typed
+    /// `InvalidConfig` error — and it errs exactly when the cut lies
+    /// beyond the last measurement.
+    #[test]
+    fn window_from_is_total_over_cut_points(
+        n in 1usize..12,
+        step in 0.5f64..10.0,
+        cut in -5.0f64..200.0,
+    ) {
+        use pentimento::RouteSeries;
+        let hours: Vec<f64> = (0..n).map(|i| i as f64 * step).collect();
+        let deltas: Vec<f64> = hours.iter().map(|h| h * 0.01).collect();
+        let series = RouteSeries::from_raw(0, 5_000.0, LogicLevel::One, hours.clone(), deltas);
+        match series.try_window_from(cut) {
+            Ok(window) => {
+                prop_assert!(!window.hours.is_empty());
+                prop_assert!(window.hours.iter().all(|&h| h >= cut));
+                prop_assert_eq!(
+                    window.hours.len(),
+                    hours.iter().filter(|&&h| h >= cut).count()
+                );
+            }
+            Err(e) => {
+                prop_assert!(
+                    hours.iter().all(|&h| h < cut),
+                    "typed error only for empty windows, got {e} with cut {cut}"
+                );
+            }
+        }
+    }
+
+    /// MAD outlier rejection is invariant under vertical shifts: adding a
+    /// constant to every sample must reject exactly the same hours,
+    /// because residuals are taken against a slope-and-intercept fit.
+    #[test]
+    fn mad_filter_is_shift_invariant(
+        shift in -500.0f64..500.0,
+        spike_at in 0usize..10,
+        spike in 25.0f64..80.0,
+        k in 2.0f64..4.0,
+    ) {
+        use pentimento::RouteSeries;
+        let hours: Vec<f64> = (0..10).map(|i| i as f64 * 3.0).collect();
+        let mut deltas: Vec<f64> = hours.iter().map(|h| 1.0 + 0.2 * h).collect();
+        deltas[spike_at] += spike;
+        let shifted: Vec<f64> = deltas.iter().map(|d| d + shift).collect();
+        let base = RouteSeries::from_raw(0, 5_000.0, LogicLevel::One, hours.clone(), deltas)
+            .mad_filtered(k);
+        let moved = RouteSeries::from_raw(0, 5_000.0, LogicLevel::One, hours, shifted)
+            .mad_filtered(k);
+        prop_assert_eq!(&base.hours, &moved.hours, "same hours must survive the filter");
+        prop_assert!(
+            !base.hours.contains(&(spike_at as f64 * 3.0)),
+            "the spiked sample must be rejected"
+        );
+    }
+
+    /// The ROC machinery is total over contaminated statistics: NaN and
+    /// infinite scores are dropped (and counted), never panicked on, and
+    /// the curve built from the finite remainder stays monotone.
+    #[test]
+    fn roc_is_total_under_nan_contamination(
+        n_clean in 2usize..10,
+        n_nan in 0usize..4,
+        seed in 0u64..100,
+    ) {
+        use pentimento::{roc_curve_counted, RouteSeries};
+        let mut series = Vec::new();
+        for i in 0..n_clean {
+            let bit = (i + seed as usize) % 2 == 0;
+            let value = if bit { 1.0 + i as f64 } else { -1.0 - i as f64 };
+            series.push(RouteSeries::from_raw(
+                i, 5_000.0, LogicLevel::from_bool(bit),
+                vec![0.0, 1.0], vec![0.0, value],
+            ));
+        }
+        for i in 0..n_nan {
+            series.push(RouteSeries::from_raw(
+                n_clean + i, 5_000.0, LogicLevel::One,
+                vec![0.0, 1.0], vec![0.0, f64::NAN],
+            ));
+        }
+        let statistic = |s: &RouteSeries| s.delta_ps[1];
+        let (curve, dropped) = roc_curve_counted(&series, statistic, false);
+        prop_assert_eq!(dropped, n_nan, "every NaN statistic is a counted drop");
+        prop_assert!(curve.windows(2).all(|w| {
+            w[0].false_positive_rate <= w[1].false_positive_rate
+                && w[0].true_positive_rate <= w[1].true_positive_rate
+        }), "ROC curve must be monotone after the drop");
+    }
+}

@@ -1,0 +1,435 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Provides the parallel-iterator API subset the workspace uses —
+//! `par_iter`, `par_iter_mut`, `into_par_iter`, `map`, `enumerate`,
+//! `for_each`, `collect`, and thread pools with `install` — implemented
+//! over `std::thread::scope`. Work is split into at most
+//! [`current_num_threads`] *contiguous* chunks whose results are
+//! concatenated in input order, so every `collect` is deterministic and
+//! order-preserving regardless of thread count or scheduling.
+//!
+//! Known departure from upstream rayon: the [`ThreadPool::install`] width
+//! override is thread-local, so a nested parallel call issued from inside
+//! a worker thread runs at the default width instead of inheriting the
+//! pool's. The workspace keeps its parallel regions flat (one level of
+//! fan-out), so this never triggers.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+std::thread_local! {
+    static POOL_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations use on this thread.
+///
+/// Resolution order: an enclosing [`ThreadPool::install`] override, then
+/// the `RAYON_NUM_THREADS` environment variable, then the machine's
+/// available parallelism.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_WIDTH.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = raw.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. This stand-in never
+/// actually fails to build a pool; the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default width.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool width; `0` means "use the default width".
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in this stand-in.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` mirrors upstream rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A logical thread pool: a width that [`ThreadPool::install`] applies to
+/// every parallel operation run inside it.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+struct WidthGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for WidthGuard {
+    fn drop(&mut self) {
+        POOL_WIDTH.with(|w| w.set(self.prev));
+    }
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's width installed for the current thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let width = self.current_num_threads();
+        let _guard = WidthGuard {
+            prev: POOL_WIDTH.with(|w| w.replace(Some(width))),
+        };
+        f()
+    }
+
+    /// This pool's effective width.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// Runs `f` over `items`, split into contiguous chunks across worker
+/// threads, and returns the results in input order. Worker panics are
+/// re-raised on the caller thread.
+fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let width = current_num_threads();
+    let n = items.len();
+    if width <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_count = width.min(n);
+    let base = n / chunk_count;
+    let extra = n % chunk_count;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(chunk_count);
+    let mut iter = items.into_iter();
+    for c in 0..chunk_count {
+        let take = base + usize::from(c < extra);
+        chunks.push(iter.by_ref().take(take).collect());
+    }
+    let f = &f;
+    let chunk_results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    chunk_results.into_iter().flatten().collect()
+}
+
+/// A parallel iterator over owned items, realized as an eager vector.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> VecParIter<T> {
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Pairs every item with its index, preserving order.
+    #[must_use]
+    pub fn enumerate(self) -> VecParIter<(usize, T)> {
+        VecParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Maps every item through `f` in parallel (lazily: work runs at
+    /// `collect`/`for_each`).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_chunked(self.items, f);
+    }
+
+    /// Collects the items in input order.
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_par_vec(self.items)
+    }
+}
+
+/// The pending result of [`VecParIter::map`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_par_vec(run_chunked(self.items, self.f))
+    }
+
+    /// Runs the map in parallel for its side effects, feeding each mapped
+    /// value to `g`.
+    pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+        let f = self.f;
+        run_chunked(self.items, move |item| g(f(item)));
+    }
+}
+
+/// Conversion from a parallel iterator's ordered results.
+pub trait FromParallelIterator<T>: Sized {
+    /// Builds `Self` from results given in input order.
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_vec(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Types convertible into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> VecParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> VecParIter<usize> {
+        VecParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> VecParIter<&'a T> {
+        VecParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> VecParIter<&'a T> {
+        VecParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter` on borrowed collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed element type.
+    type Item: Send;
+    /// Parallel iterator over shared references.
+    fn par_iter(&'data self) -> VecParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> VecParIter<&'data T> {
+        VecParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> VecParIter<&'data T> {
+        VecParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut` on borrowed collections.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The mutably borrowed element type.
+    type Item: Send;
+    /// Parallel iterator over exclusive references.
+    fn par_iter_mut(&'data mut self) -> VecParIter<Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> VecParIter<&'data mut T> {
+        VecParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> VecParIter<&'data mut T> {
+        VecParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// The traits needed to call the parallel-iterator methods.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{current_num_threads, ThreadPoolBuilder};
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let squares = |width: usize| -> Vec<usize> {
+            ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .expect("pool builds")
+                .install(|| (0..100).into_par_iter().map(|i| i * i).collect())
+        };
+        let serial = squares(1);
+        assert_eq!(serial, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        for width in [2, 3, 4, 7] {
+            assert_eq!(squares(width), serial, "width {width}");
+        }
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_first_error_in_order() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool builds");
+        let out: Result<Vec<usize>, usize> = pool.install(|| {
+            (0..16)
+                .into_par_iter()
+                .map(|i| if i % 5 == 3 { Err(i) } else { Ok(i) })
+                .collect()
+        });
+        assert_eq!(out, Err(3), "lowest-index error wins");
+        let ok: Result<Vec<usize>, usize> =
+            pool.install(|| (0..8).into_par_iter().map(Ok).collect());
+        assert_eq!(ok, Ok((0..8).collect()));
+    }
+
+    #[test]
+    fn par_iter_mut_applies_in_place() {
+        let mut data: Vec<u64> = (0..33).collect();
+        ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool builds")
+            .install(|| {
+                data.par_iter_mut()
+                    .enumerate()
+                    .for_each(|(i, slot)| *slot += 1000 * i as u64);
+            });
+        assert_eq!(data[32], 32 + 32_000);
+        assert_eq!(data[0], 0);
+    }
+
+    #[test]
+    fn install_overrides_and_restores_width() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .expect("pool builds");
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside, "override is scoped");
+    }
+
+    #[test]
+    fn slice_par_iter_reads_borrowed_items() {
+        let words = vec!["a".to_owned(), "bb".to_owned(), "ccc".to_owned()];
+        let lens: Vec<usize> = words.par_iter().map(String::len).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+}
