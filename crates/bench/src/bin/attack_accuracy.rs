@@ -2,7 +2,10 @@
 //! bit-recovery accuracy per route length and burn duration for both
 //! threat models, through the full TDC pipeline on aged cloud devices.
 
-use bench::{exit_by, run_with_thread_arg, save_artifact, ShapeReport};
+use bench::{
+    exit_by, run_with_thread_arg, save_artifact, smoke_from_args, tm1_end_to_end_config,
+    ShapeReport,
+};
 use bti_physics::LogicLevel;
 use cloud::{Provider, ProviderConfig};
 use pentimento::threat_model1::{self, ThreatModel1Config};
@@ -33,6 +36,10 @@ fn main() {
 }
 
 fn run() {
+    // `--smoke` shrinks the sweep to the shared CI workload (one burn
+    // point, fewer routes/repeats) — the same point `kernel_bench` times
+    // reference-vs-fast, so its wall-clock rows describe this run.
+    let smoke = smoke_from_args();
     let lengths = [1_000.0, 2_000.0, 5_000.0, 10_000.0];
     let mut csv = String::from("model,burn_hours,target_ps,correct,total,accuracy\n");
     let mut report = ShapeReport::new();
@@ -44,19 +51,24 @@ fn run() {
     );
     // Each sweep point owns its provider and seed; fan them out and merge
     // the rows back in sweep order.
-    let tm1_outcomes: Vec<_> = vec![50usize, 100, 200]
+    let tm1_burns: Vec<usize> = if smoke { vec![50] } else { vec![50, 100, 200] };
+    let tm1_outcomes: Vec<_> = tm1_burns
         .into_par_iter()
         .map(|burn_hours| {
-            let mut provider =
-                Provider::new(ProviderConfig::aws_f1_like(1, 500 + burn_hours as u64));
-            let config = ThreatModel1Config {
-                route_lengths_ps: lengths.to_vec(),
-                routes_per_length: 8,
-                burn_hours,
-                measure_every: 1,
-                mode: MeasurementMode::Tdc,
-                seed: 500 + burn_hours as u64,
-                measurement_repeats: 4,
+            let seed = 500 + burn_hours as u64;
+            let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, seed));
+            let config = if smoke {
+                tm1_end_to_end_config(seed)
+            } else {
+                ThreatModel1Config {
+                    route_lengths_ps: lengths.to_vec(),
+                    routes_per_length: 8,
+                    burn_hours,
+                    measure_every: 1,
+                    mode: MeasurementMode::Tdc,
+                    seed,
+                    measurement_repeats: 4,
+                }
             };
             let outcome = threat_model1::run(&mut provider, &config).expect("attack completes");
             (burn_hours, outcome)
@@ -85,20 +97,21 @@ fn run() {
         "{:>10} | {:>9} {:>9} {:>9} {:>9} | {:>7}",
         "burn h", "1000", "2000", "5000", "10000", "overall"
     );
-    let tm2_outcomes: Vec<_> = vec![100usize, 200]
+    let tm2_victims: Vec<usize> = if smoke { vec![100] } else { vec![100, 200] };
+    let tm2_outcomes: Vec<_> = tm2_victims
         .into_par_iter()
         .map(|victim_hours| {
             let mut provider =
                 Provider::new(ProviderConfig::aws_f1_like(2, 900 + victim_hours as u64));
             let config = ThreatModel2Config {
                 route_lengths_ps: lengths.to_vec(),
-                routes_per_length: 8,
+                routes_per_length: if smoke { 4 } else { 8 },
                 victim_hours,
                 attack_hours: 25,
                 condition_level: LogicLevel::Zero,
                 mode: MeasurementMode::Tdc,
                 seed: 900 + victim_hours as u64,
-                measurement_repeats: 8,
+                measurement_repeats: if smoke { 4 } else { 8 },
                 victim_hold_and_recover_hours: 0,
             };
             let outcome = threat_model2::run(&mut provider, &config).expect("attack completes");
@@ -129,16 +142,26 @@ fn run() {
         }
     }
 
-    report.check(
-        "TM1 after 200 h recovers the full secret (>= 95% overall)",
-        tm1_200h_overall >= 0.95,
-        format!("{:.1}%", tm1_200h_overall * 100.0),
-    );
-    report.check(
-        "TM2 after 200 h recovers long-route (>=5000 ps) bits (>= 85%)",
-        tm2_200h_long >= 0.85,
-        format!("{:.1}%", tm2_200h_long * 100.0),
-    );
+    if smoke {
+        // The 200 h sweep points the paper-shape gates need do not run
+        // in smoke mode; completion is the contract here.
+        report.check(
+            "smoke sweep completed (200 h paper-shape gates need the full sweep)",
+            true,
+            "smoke workload",
+        );
+    } else {
+        report.check(
+            "TM1 after 200 h recovers the full secret (>= 95% overall)",
+            tm1_200h_overall >= 0.95,
+            format!("{:.1}%", tm1_200h_overall * 100.0),
+        );
+        report.check(
+            "TM2 after 200 h recovers long-route (>=5000 ps) bits (>= 85%)",
+            tm2_200h_long >= 0.85,
+            format!("{:.1}%", tm2_200h_long * 100.0),
+        );
+    }
     if let Ok(path) = save_artifact("attack_accuracy.csv", &csv) {
         println!("\nwrote {}", path.display());
     }

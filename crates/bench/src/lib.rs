@@ -12,7 +12,8 @@ use std::path::PathBuf;
 
 use bti_physics::LogicLevel;
 use pentimento::analysis::mean;
-use pentimento::RouteSeries;
+use pentimento::threat_model1::ThreatModel1Config;
+use pentimento::{MeasurementMode, RouteSeries};
 
 /// A named boolean expectation about the regenerated data.
 #[derive(Debug, Clone)]
@@ -116,6 +117,29 @@ pub fn save_artifact(name: &str, contents: &str) -> std::io::Result<PathBuf> {
 /// Exit with status 1 when shape checks failed (so CI catches drift).
 pub fn exit_by(ok: bool) -> ! {
     std::process::exit(i32::from(!ok))
+}
+
+/// Whether `--smoke` was passed on the process command line.
+#[must_use]
+pub fn smoke_from_args() -> bool {
+    std::env::args().skip(1).any(|a| a == "--smoke")
+}
+
+/// The TM1 sweep point shared by `attack_accuracy --smoke` and
+/// `kernel_bench`'s end-to-end row: both run exactly this workload, so
+/// the baseline-vs-optimized wall-clock row in `BENCH_kernels.json`
+/// describes the same sweep CI exercises.
+#[must_use]
+pub fn tm1_end_to_end_config(seed: u64) -> ThreatModel1Config {
+    ThreatModel1Config {
+        route_lengths_ps: vec![1_000.0, 2_000.0, 5_000.0, 10_000.0],
+        routes_per_length: 4,
+        burn_hours: 50,
+        measure_every: 1,
+        mode: MeasurementMode::Tdc,
+        seed,
+        measurement_repeats: 2,
+    }
 }
 
 /// Parses a `--threads N` (or `--threads=N`) worker-count override from

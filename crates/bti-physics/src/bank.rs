@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{BtiError, DutyCycle, Hours, Polarity, TrapBin};
+use crate::{BinKernel, BtiError, DutyCycle, Hours, Polarity, TrapBin};
 
 /// The defect-trap population of one polarity (NBTI or PBTI) on one
 /// physical resource.
@@ -164,6 +164,47 @@ impl TrapBank {
         let share = duty.stress_share(self.polarity);
         for b in &mut self.bins {
             b.advance(dt, share, capture_accel, emission_accel);
+        }
+    }
+
+    /// Advances the bank over one entire constant-condition phase in
+    /// closed form — bit-identical to [`advance`](TrapBank::advance) with
+    /// the same arguments, because each bin's occupancy ODE is linear
+    /// with constant coefficients and [`TrapBin::advance`] already is its
+    /// exact solution for a single call.
+    ///
+    /// The point of the separate entry is cost shape: callers that step
+    /// hour-by-hour pay one `exp` per bin per *hour*; a phase advance
+    /// pays one `exp` per bin per *phase*, however long the phase is.
+    pub fn advance_phase(
+        &mut self,
+        dt: Hours,
+        duty: DutyCycle,
+        capture_accel: f64,
+        emission_accel: f64,
+    ) {
+        let share = duty.stress_share(self.polarity);
+        for b in &mut self.bins {
+            let kernel = BinKernel::for_bin(b, dt, share, capture_accel, emission_accel);
+            b.occupancy = kernel.apply(b.occupancy);
+        }
+    }
+
+    /// Applies a precomputed per-bin kernel table (from a
+    /// [`crate::DecayCache`]) to every bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel table was built for a bank with a different
+    /// number of bins — silently truncating would corrupt the physics.
+    pub fn apply_kernel(&mut self, kernels: &[BinKernel]) {
+        assert_eq!(
+            self.bins.len(),
+            kernels.len(),
+            "kernel table width must match the bank's bin count"
+        );
+        for (b, k) in self.bins.iter_mut().zip(kernels) {
+            b.occupancy = k.apply(b.occupancy);
         }
     }
 

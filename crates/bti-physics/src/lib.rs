@@ -70,6 +70,7 @@ mod bin;
 mod error;
 mod inverter;
 mod model;
+mod phase;
 mod polarity;
 mod state;
 mod temperature;
@@ -81,6 +82,7 @@ pub use bin::TrapBin;
 pub use error::BtiError;
 pub use inverter::Inverter;
 pub use model::{BtiModel, BtiModelBuilder, PolarityParams};
+pub use phase::{BinKernel, DecayCache, PhaseKernel};
 pub use polarity::{DutyCycle, LogicLevel, Polarity};
 pub use state::AgingState;
 pub use temperature::{arrhenius_acceleration, arrhenius_acceleration_kelvin, BOLTZMANN_EV_PER_K};

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{BtiModel, Celsius, DutyCycle, Hours, LogicLevel, Polarity, TrapBank};
+use crate::{BtiModel, Celsius, DutyCycle, Hours, LogicLevel, PhaseKernel, Polarity, TrapBank};
 
 /// The complete BTI state of one physical resource (a wire, a transistor
 /// chain, an inverter).
@@ -49,6 +49,37 @@ impl AgingState {
         let (pc, pe) = model.acceleration(Polarity::Pbti, temperature);
         self.nbti.advance(dt, duty, nc, ne);
         self.pbti.advance(dt, duty, pc, pe);
+        self.stress_hours += dt;
+    }
+
+    /// Advances the state over one constant-condition phase in closed
+    /// form — bit-identical to [`advance`](AgingState::advance), one
+    /// `exp` per bin regardless of phase length. See
+    /// [`TrapBank::advance_phase`].
+    pub fn advance_phase(
+        &mut self,
+        model: &BtiModel,
+        dt: Hours,
+        duty: DutyCycle,
+        temperature: Celsius,
+    ) {
+        assert!(dt.value() >= 0.0, "aging duration must be non-negative");
+        let (nc, ne) = model.acceleration(Polarity::Nbti, temperature);
+        let (pc, pe) = model.acceleration(Polarity::Pbti, temperature);
+        self.nbti.advance_phase(dt, duty, nc, ne);
+        self.pbti.advance_phase(dt, duty, pc, pe);
+        self.stress_hours += dt;
+    }
+
+    /// Applies a memoized phase kernel (from a [`crate::DecayCache`]) to
+    /// both banks — the zero-`exp` fast path for the common case where
+    /// many resources share identical phase conditions.
+    ///
+    /// `dt` must be the phase length the kernel was built for; it only
+    /// feeds the lifetime odometer, the physics lives in the kernel.
+    pub fn apply_phase_kernel(&mut self, kernel: &PhaseKernel, dt: Hours) {
+        self.nbti.apply_kernel(kernel.nbti());
+        self.pbti.apply_kernel(kernel.pbti());
         self.stress_hours += dt;
     }
 

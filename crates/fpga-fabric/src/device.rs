@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use bti_physics::{AgingState, BtiModel, Celsius, DutyCycle, Hours, WearModel};
+use bti_physics::{AgingState, BtiModel, Celsius, DecayCache, DutyCycle, Hours, WearModel};
 use serde::{Deserialize, Serialize};
 
 use crate::router::{route_direct, route_serpentine, Topology};
@@ -54,6 +54,18 @@ pub struct FpgaDevice {
     clock: Hours,
     aging: HashMap<WireId, AgingState>,
     loaded: Option<Design>,
+    /// Memoized phase kernels shared by every wire at the same
+    /// conditions. Pure derived values — never serialized, and a resumed
+    /// device simply rebuilds them on first use.
+    #[serde(skip)]
+    decay_cache: DecayCache,
+    /// When set, aging integrates through the original per-wire
+    /// `AgingState::advance`/`relax` path instead of the cached kernels.
+    /// The two are bit-identical (`kernel_bench` and the property suite
+    /// enforce it); the switch exists so benches can time one against the
+    /// other.
+    #[serde(skip)]
+    reference_kernels: bool,
 }
 
 impl FpgaDevice {
@@ -66,10 +78,12 @@ impl FpgaDevice {
         thermal: ThermalModel,
     ) -> Self {
         let (cols, rows) = profile.grid();
+        let model = BtiModel::ultrascale_plus();
         Self {
             profile,
             topo: Topology::new(cols, rows),
-            model: BtiModel::ultrascale_plus(),
+            decay_cache: DecayCache::new(&model),
+            model,
             wear: WearModel::default(),
             variation: VariationModel::new(seed, 0.03),
             die_temp: thermal.die_temperature(0.0),
@@ -78,6 +92,7 @@ impl FpgaDevice {
             clock: Hours::ZERO,
             aging: HashMap::new(),
             loaded: None,
+            reference_kernels: false,
         }
     }
 
@@ -325,9 +340,18 @@ impl FpgaDevice {
             }
             self.loaded = Some(design);
         }
-        for (id, state) in &mut self.aging {
-            if !driven.contains(id) {
-                state.relax(&self.model, dt, temperature);
+        if self.reference_kernels {
+            for (id, state) in &mut self.aging {
+                if !driven.contains(id) {
+                    state.relax(&self.model, dt, temperature);
+                }
+            }
+        } else {
+            let kernel = self.decay_cache.relaxed(&self.model, dt, temperature);
+            for (id, state) in &mut self.aging {
+                if !driven.contains(id) {
+                    state.apply_phase_kernel(kernel, dt);
+                }
             }
         }
         self.clock += dt;
@@ -349,13 +373,39 @@ impl FpgaDevice {
         dt: Hours,
         temperature: Celsius,
     ) {
+        if self.reference_kernels {
+            for seg in route.segments() {
+                let state = self
+                    .aging
+                    .entry(seg.id)
+                    .or_insert_with(|| AgingState::new(&self.model));
+                state.advance(&self.model, dt, duty, temperature);
+            }
+            return;
+        }
+        let model = &self.model;
+        let kernel = self.decay_cache.conditioned(model, dt, duty, temperature);
         for seg in route.segments() {
             let state = self
                 .aging
                 .entry(seg.id)
-                .or_insert_with(|| AgingState::new(&self.model));
-            state.advance(&self.model, dt, duty, temperature);
+                .or_insert_with(|| AgingState::new(model));
+            state.apply_phase_kernel(kernel, dt);
         }
+    }
+
+    /// Selects the aging integration path: `true` pins the original
+    /// per-wire reference arithmetic, `false` (the default) the
+    /// cache-shared phase kernels. Results are bit-identical either way;
+    /// only the wall-clock differs.
+    pub fn set_reference_kernels(&mut self, reference: bool) {
+        self.reference_kernels = reference;
+    }
+
+    /// Whether the device is pinned to the reference aging path.
+    #[must_use]
+    pub fn reference_kernels(&self) -> bool {
+        self.reference_kernels
     }
 
     // ------------------------------------------------------------------
@@ -581,6 +631,41 @@ mod tests {
         let faded = dev.route_delta_ps(&route);
         assert!(faded < 0.5 * burned, "imprint {burned} -> {faded}");
         assert!(faded > 0.0, "relaxation never overshoots");
+    }
+
+    #[test]
+    fn reference_and_cached_kernels_age_bit_identically() {
+        let build = |reference: bool| {
+            let mut dev = FpgaDevice::zcu102_new(13);
+            dev.set_reference_kernels(reference);
+            let route = dev.route_with_target_delay(&request(10_000.0)).unwrap();
+            let mut design = Design::new("bit");
+            design.add_net(
+                "n",
+                NetActivity::Static(LogicLevel::One),
+                Some(route.clone()),
+            );
+            dev.load_design(design).unwrap();
+            // Stress (with a thermal transient), then wipe and relax.
+            for _ in 0..30 {
+                dev.run_for(Hours::new(1.0));
+            }
+            dev.wipe();
+            for _ in 0..20 {
+                dev.run_for(Hours::new(1.0));
+            }
+            (dev, route)
+        };
+        let (reference, route) = build(true);
+        let (cached, _) = build(false);
+        assert_eq!(
+            reference.route_delta_ps(&route).to_bits(),
+            cached.route_delta_ps(&route).to_bits(),
+            "cached kernels must reproduce the reference path exactly"
+        );
+        for seg in route.segments() {
+            assert_eq!(reference.wire_aging(seg.id), cached.wire_aging(seg.id));
+        }
     }
 
     #[test]

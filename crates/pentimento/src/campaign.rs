@@ -648,6 +648,12 @@ impl Campaign {
     /// Advances one attack-window hour: step the world, repair whatever
     /// the hostile cloud broke, and take the hour's measurements.
     ///
+    /// The step is pinned to one hour because fault injection and
+    /// checkpointing are defined on hour boundaries; each hour's aging is
+    /// nevertheless a single closed-form phase advance through the
+    /// fleet's shared decay caches, so stepping costs no per-wire `exp`
+    /// work.
+    ///
     /// Returns `Ok(true)` while more hours remain.
     ///
     /// # Errors

@@ -238,11 +238,17 @@ impl LabExperiment {
         record(0.0, self, &mut readings, &mut hours_log)?;
 
         // Burn-in period: Condition with X, Measurement every interval.
+        // Conditions are constant for the whole stretch between two
+        // measurements, so each stretch is a single closed-form phase
+        // advance rather than `measure_every` hourly steps.
         let burn = build_target_design(&self.skeleton, &self.values);
         self.device.load_design(burn)?;
-        for hour in 1..=self.config.burn_hours {
-            self.device.run_for(bti_physics::Hours::new(1.0));
-            if hour % self.config.measure_every == 0 {
+        let mut hour = 0;
+        while hour < self.config.burn_hours {
+            let chunk = self.config.measure_every.min(self.config.burn_hours - hour);
+            self.device.run_for(bti_physics::Hours::new(chunk as f64));
+            hour += chunk;
+            if hour.is_multiple_of(self.config.measure_every) {
                 record(hour as f64, self, &mut readings, &mut hours_log)?;
             }
         }
@@ -253,9 +259,15 @@ impl LabExperiment {
             let complement: Vec<LogicLevel> = self.values.iter().map(|&v| !v).collect();
             let recover = build_target_design(&self.skeleton, &complement);
             self.device.load_design(recover)?;
-            for hour in 1..=self.config.recovery_hours {
-                self.device.run_for(bti_physics::Hours::new(1.0));
-                if hour % self.config.measure_every == 0 {
+            let mut hour = 0;
+            while hour < self.config.recovery_hours {
+                let chunk = self
+                    .config
+                    .measure_every
+                    .min(self.config.recovery_hours - hour);
+                self.device.run_for(bti_physics::Hours::new(chunk as f64));
+                hour += chunk;
+                if hour.is_multiple_of(self.config.measure_every) {
                     record(
                         (self.config.burn_hours + hour) as f64,
                         self,

@@ -3,7 +3,7 @@
 use bti_physics::LogicLevel;
 use serde::{Deserialize, Serialize};
 
-use crate::analysis::{ols_fit, ols_slope, KernelEstimator, KernelRegression};
+use crate::analysis::{median_in_place, ols_fit, ols_slope, KernelEstimator, KernelRegression};
 
 /// The Δps time series of one route under test — one point per
 /// measurement phase, centered at the first measurement exactly as the
@@ -71,12 +71,16 @@ impl RouteSeries {
         let origin = *raw_delta_ps.first().ok_or_else(|| {
             crate::PentimentoError::InvalidConfig("series must not be empty".to_owned())
         })?;
+        let mut delta_ps = raw_delta_ps;
+        for v in &mut delta_ps {
+            *v -= origin;
+        }
         Ok(Self {
             route_index,
             target_ps,
             burn_value,
             hours,
-            delta_ps: raw_delta_ps.into_iter().map(|v| v - origin).collect(),
+            delta_ps,
         })
     }
 
@@ -164,8 +168,18 @@ impl RouteSeries {
     /// rejection would be that aggressive.
     #[must_use]
     pub fn mad_filtered(&self, k: f64) -> Self {
-        if self.len() < 4 {
-            return self.clone();
+        // Every pass-through case (too short, degenerate MAD, nothing
+        // rejected, over-aggressive rejection) funnels into this one
+        // clone.
+        self.filtered_points(k).unwrap_or_else(|| self.clone())
+    }
+
+    /// The actually-filtered series, or `None` when the original should
+    /// be returned unchanged.
+    fn filtered_points(&self, k: f64) -> Option<Self> {
+        let n = self.len();
+        if n < 4 {
+            return None;
         }
         // Fit slope AND intercept: forcing the trend through the first
         // point (the old `d - slope * (h - t0)` residual) lets one noisy
@@ -173,33 +187,41 @@ impl RouteSeries {
         // inventing fake ones. A full line fit makes the rejection
         // invariant under constant shifts of the series.
         let (slope, intercept) = ols_fit(&self.hours, &self.delta_ps);
-        let residuals: Vec<f64> = self
-            .hours
-            .iter()
-            .zip(&self.delta_ps)
-            .map(|(&h, &d)| d - (intercept + slope * h))
-            .collect();
-        let offsets: Vec<f64> = {
-            let med = median(&residuals);
-            residuals.iter().map(|r| (r - med).abs()).collect()
-        };
-        let mad = median(&offsets);
+        let residual = |i: usize| self.delta_ps[i] - (intercept + slope * self.hours[i]);
+        // One scratch buffer serves both medians; selection permutes it,
+        // so per-index values are recomputed from the closures instead of
+        // read back out of it.
+        let mut scratch: Vec<f64> = (0..n).map(residual).collect();
+        let med = median_in_place(&mut scratch);
+        let offset = |i: usize| (residual(i) - med).abs();
+        for (i, slot) in scratch.iter_mut().enumerate() {
+            *slot = offset(i);
+        }
+        let mad = median_in_place(&mut scratch);
         if mad <= f64::EPSILON {
-            return self.clone();
+            return None;
         }
-        let keep: Vec<usize> = (0..self.len()).filter(|&i| offsets[i] <= k * mad).collect();
-        if keep.len() * 2 < self.len() || keep.is_empty() {
-            return self.clone();
+        let mut hours = Vec::with_capacity(n);
+        let mut delta_ps = Vec::with_capacity(n);
+        for i in 0..n {
+            if offset(i) <= k * mad {
+                hours.push(self.hours[i]);
+                // Already centered: copy the kept values as-is rather
+                // than re-centering on a possibly-outlying new first
+                // point.
+                delta_ps.push(self.delta_ps[i]);
+            }
         }
-        Self {
+        if hours.len() == n || hours.len() * 2 < n {
+            return None;
+        }
+        Some(Self {
             route_index: self.route_index,
             target_ps: self.target_ps,
             burn_value: self.burn_value,
-            hours: keep.iter().map(|&i| self.hours[i]).collect(),
-            // Already centered: copy the kept values as-is rather than
-            // re-centering on a possibly-outlying new first point.
-            delta_ps: keep.iter().map(|&i| self.delta_ps[i]).collect(),
-        }
+            hours,
+            delta_ps,
+        })
     }
 
     /// Restricts the series to measurements at or after `from_hour`,
@@ -227,17 +249,20 @@ impl RouteSeries {
     /// Returns [`crate::PentimentoError::InvalidConfig`] when `from_hour`
     /// is later than every measurement (an empty window).
     pub fn try_window_from(&self, from_hour: f64) -> Result<Self, crate::PentimentoError> {
-        let keep: Vec<usize> = (0..self.len())
-            .filter(|&i| self.hours[i] >= from_hour)
-            .collect();
-        if keep.is_empty() {
+        let mut hours = Vec::new();
+        let mut raw = Vec::new();
+        for (&h, &d) in self.hours.iter().zip(&self.delta_ps) {
+            if h >= from_hour {
+                hours.push(h);
+                raw.push(d);
+            }
+        }
+        if hours.is_empty() {
             return Err(crate::PentimentoError::InvalidConfig(format!(
                 "window from {from_hour} h is empty: the series ends at {} h",
                 self.hours.last().copied().unwrap_or(f64::NEG_INFINITY)
             )));
         }
-        let hours: Vec<f64> = keep.iter().map(|&i| self.hours[i]).collect();
-        let raw: Vec<f64> = keep.iter().map(|&i| self.delta_ps[i]).collect();
         Self::try_from_raw(
             self.route_index,
             self.target_ps,
@@ -245,21 +270,6 @@ impl RouteSeries {
             hours,
             raw,
         )
-    }
-}
-
-/// Median of a non-empty slice (0.0 for an empty one).
-fn median(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    let mid = sorted.len() / 2;
-    if sorted.len().is_multiple_of(2) {
-        (sorted[mid - 1] + sorted[mid]) / 2.0
-    } else {
-        sorted[mid]
     }
 }
 

@@ -112,9 +112,8 @@ pub fn run(
     let truth: Vec<LogicLevel> = (0..skeleton.len())
         .map(|_| LogicLevel::from_bool(rng.gen()))
         .collect();
-    let vendor = TenantId::new("vendor");
     let afi = provider.marketplace_mut().publish(
-        vendor.clone(),
+        TenantId::new("vendor"),
         build_target_design(&skeleton, &truth),
         true,
     );
@@ -172,6 +171,11 @@ pub fn run(
     // Condition (1 h) / Measurement.
     record(0.0, provider, &mut readings, &mut hours_log)?;
     provider.load_afi(&session, afi)?;
+    // The loop must stay hourly — provider faults fire on hour
+    // boundaries, and the campaign runner's byte-identity tests compare
+    // against exactly this schedule. Each hourly step is still a
+    // closed-form phase advance: the device's decay cache computes the
+    // 1 h kernel once and shares it across every wire of every route.
     for hour in 1..=config.burn_hours {
         provider.advance_time(Hours::new(1.0));
         if hour % config.measure_every == 0 {

@@ -160,7 +160,7 @@ pub fn run(
 
     // --- Attacker epoch. -------------------------------------------------
     // Flash attack: the only rentable device is the victim's.
-    let session = provider.rent(attacker.clone())?;
+    let session = provider.rent(attacker)?;
     let reacquired = session.device_id() == victim_device;
     if !reacquired {
         // Release everything and admit defeat.
@@ -224,6 +224,10 @@ pub fn run(
         &session,
         build_condition_design(&skeleton, config.condition_level),
     )?;
+    // Hourly on purpose: measurements land every hour and provider
+    // faults fire on hour boundaries (the campaign identity tests pin
+    // this schedule). The per-hour cost is one cached 1 h phase kernel
+    // shared across all wires, not a per-wire `exp` table.
     for _ in 0..config.attack_hours {
         provider.advance_time(Hours::new(1.0));
         let hour = provider.now().value() - epoch;

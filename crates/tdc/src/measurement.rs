@@ -257,30 +257,44 @@ impl Measurement {
 /// Marks which values sit within `k` MADs of the median (all of them when
 /// the MAD degenerates to zero).
 fn mad_inlier_mask(values: &[f64], k: f64) -> Vec<bool> {
-    let med = match median(values) {
-        Some(m) => m,
-        None => return Vec::new(),
-    };
-    let spreads: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
-    let mad = median(&spreads).unwrap_or(0.0);
+    if values.is_empty() {
+        return Vec::new();
+    }
+    // One scratch buffer carries both selection medians; it is permuted
+    // by the selection, so the inlier test recomputes spreads from
+    // `values` instead of reading the buffer back.
+    let mut scratch = values.to_vec();
+    let med = select_median(&mut scratch);
+    for (slot, v) in scratch.iter_mut().zip(values) {
+        *slot = (v - med).abs();
+    }
+    let mad = select_median(&mut scratch);
     if mad <= f64::EPSILON {
         return vec![true; values.len()];
     }
     values.iter().map(|v| (v - med).abs() <= k * mad).collect()
 }
 
-fn median(values: &[f64]) -> Option<f64> {
-    if values.is_empty() {
-        return None;
-    }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    let mid = sorted.len() / 2;
-    Some(if sorted.len().is_multiple_of(2) {
-        (sorted[mid - 1] + sorted[mid]) / 2.0
+/// Median by in-place selection — O(n), permutes `values`. Equivalent to
+/// sorting and averaging the middle: `select_nth_unstable_by` with
+/// `total_cmp` places the true upper middle, and the even-length lower
+/// middle is the maximum of the left partition.
+fn select_median(values: &mut [f64]) -> f64 {
+    let n = values.len();
+    debug_assert!(n > 0, "caller screens the empty case");
+    let mid = n / 2;
+    let (left, upper, _) = values.select_nth_unstable_by(mid, f64::total_cmp);
+    let upper = *upper;
+    if !n.is_multiple_of(2) {
+        upper
     } else {
-        sorted[mid]
-    })
+        let lower = left
+            .iter()
+            .copied()
+            .max_by(f64::total_cmp)
+            .expect("even length ≥ 2 leaves a non-empty left partition");
+        (lower + upper) / 2.0
+    }
 }
 
 #[cfg(test)]

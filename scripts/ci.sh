@@ -25,9 +25,17 @@ echo "== parallel_scaling smoke (2 threads, serial == parallel) =="
 # reference, so this is the CI teeth for the deterministic sweep engine.
 cargo run --release -q -p bench --bin parallel_scaling -- --smoke --threads 2
 
+echo "== kernel_bench smoke (fast-path equivalence) =="
+# Exits non-zero on any reference-vs-fast equivalence violation
+# (phase advance, banded smoother, selection median, end-to-end TM1
+# byte-identity). Speedup gates never fire in smoke mode — timing
+# noise on shared CI hosts must not fail the build.
+cargo run --release -q -p bench --bin kernel_bench -- --smoke
+
 echo "== cargo clippy --workspace -- -D warnings =="
 if command -v cargo-clippy >/dev/null 2>&1; then
-    cargo clippy --workspace -- -D warnings
+    cargo clippy --workspace -- -D warnings \
+        -W clippy::redundant_clone -W clippy::needless_collect
 else
     echo "clippy not installed; skipping (install with: rustup component add clippy)"
 fi

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/bti_physics-5f10152e5ebb17c1.d: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
+/root/repo/target/debug/deps/bti_physics-5f10152e5ebb17c1.d: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/phase.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
 
-/root/repo/target/debug/deps/bti_physics-5f10152e5ebb17c1: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
+/root/repo/target/debug/deps/bti_physics-5f10152e5ebb17c1: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/phase.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
 
 crates/bti-physics/src/lib.rs:
 crates/bti-physics/src/bank.rs:
@@ -8,6 +8,7 @@ crates/bti-physics/src/bin.rs:
 crates/bti-physics/src/error.rs:
 crates/bti-physics/src/inverter.rs:
 crates/bti-physics/src/model.rs:
+crates/bti-physics/src/phase.rs:
 crates/bti-physics/src/polarity.rs:
 crates/bti-physics/src/state.rs:
 crates/bti-physics/src/temperature.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/bti_physics-a6dd74c27402366d.d: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs Cargo.toml
+/root/repo/target/debug/deps/bti_physics-a6dd74c27402366d.d: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/phase.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbti_physics-a6dd74c27402366d.rmeta: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs Cargo.toml
+/root/repo/target/debug/deps/libbti_physics-a6dd74c27402366d.rmeta: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/phase.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs Cargo.toml
 
 crates/bti-physics/src/lib.rs:
 crates/bti-physics/src/bank.rs:
@@ -8,6 +8,7 @@ crates/bti-physics/src/bin.rs:
 crates/bti-physics/src/error.rs:
 crates/bti-physics/src/inverter.rs:
 crates/bti-physics/src/model.rs:
+crates/bti-physics/src/phase.rs:
 crates/bti-physics/src/polarity.rs:
 crates/bti-physics/src/state.rs:
 crates/bti-physics/src/temperature.rs:
@@ -15,5 +16,5 @@ crates/bti-physics/src/units.rs:
 crates/bti-physics/src/wear.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

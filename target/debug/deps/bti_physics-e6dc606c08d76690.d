@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/bti_physics-e6dc606c08d76690.d: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
+/root/repo/target/debug/deps/bti_physics-e6dc606c08d76690.d: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/phase.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
 
-/root/repo/target/debug/deps/libbti_physics-e6dc606c08d76690.rlib: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
+/root/repo/target/debug/deps/libbti_physics-e6dc606c08d76690.rlib: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/phase.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
 
-/root/repo/target/debug/deps/libbti_physics-e6dc606c08d76690.rmeta: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
+/root/repo/target/debug/deps/libbti_physics-e6dc606c08d76690.rmeta: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/phase.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
 
 crates/bti-physics/src/lib.rs:
 crates/bti-physics/src/bank.rs:
@@ -10,6 +10,7 @@ crates/bti-physics/src/bin.rs:
 crates/bti-physics/src/error.rs:
 crates/bti-physics/src/inverter.rs:
 crates/bti-physics/src/model.rs:
+crates/bti-physics/src/phase.rs:
 crates/bti-physics/src/polarity.rs:
 crates/bti-physics/src/state.rs:
 crates/bti-physics/src/temperature.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_bench-f5bfe7abaf06ee18.d: crates/bench/src/bin/kernel_bench.rs
+
+/root/repo/target/debug/deps/kernel_bench-f5bfe7abaf06ee18: crates/bench/src/bin/kernel_bench.rs
+
+crates/bench/src/bin/kernel_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_equivalence-4fecc58017c97449.d: tests/kernel_equivalence.rs
+
+/root/repo/target/debug/deps/kernel_equivalence-4fecc58017c97449: tests/kernel_equivalence.rs
+
+tests/kernel_equivalence.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/bti_physics-2ce8498f63c21652.d: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
+/root/repo/target/release/deps/bti_physics-2ce8498f63c21652.d: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/phase.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
 
-/root/repo/target/release/deps/libbti_physics-2ce8498f63c21652.rlib: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
+/root/repo/target/release/deps/libbti_physics-2ce8498f63c21652.rlib: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/phase.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
 
-/root/repo/target/release/deps/libbti_physics-2ce8498f63c21652.rmeta: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
+/root/repo/target/release/deps/libbti_physics-2ce8498f63c21652.rmeta: crates/bti-physics/src/lib.rs crates/bti-physics/src/bank.rs crates/bti-physics/src/bin.rs crates/bti-physics/src/error.rs crates/bti-physics/src/inverter.rs crates/bti-physics/src/model.rs crates/bti-physics/src/phase.rs crates/bti-physics/src/polarity.rs crates/bti-physics/src/state.rs crates/bti-physics/src/temperature.rs crates/bti-physics/src/units.rs crates/bti-physics/src/wear.rs
 
 crates/bti-physics/src/lib.rs:
 crates/bti-physics/src/bank.rs:
@@ -10,6 +10,7 @@ crates/bti-physics/src/bin.rs:
 crates/bti-physics/src/error.rs:
 crates/bti-physics/src/inverter.rs:
 crates/bti-physics/src/model.rs:
+crates/bti-physics/src/phase.rs:
 crates/bti-physics/src/polarity.rs:
 crates/bti-physics/src/state.rs:
 crates/bti-physics/src/temperature.rs:

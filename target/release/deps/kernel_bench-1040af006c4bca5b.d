@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel_bench-1040af006c4bca5b.d: crates/bench/src/bin/kernel_bench.rs
+
+/root/repo/target/release/deps/kernel_bench-1040af006c4bca5b: crates/bench/src/bin/kernel_bench.rs
+
+crates/bench/src/bin/kernel_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/marketplace_key_extraction-c6f693694287b3ee.d: examples/marketplace_key_extraction.rs
+
+/root/repo/target/release/examples/marketplace_key_extraction-c6f693694287b3ee: examples/marketplace_key_extraction.rs
+
+examples/marketplace_key_extraction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mitigation_eval-678b2528c9bbad39.d: examples/mitigation_eval.rs
+
+/root/repo/target/release/examples/mitigation_eval-678b2528c9bbad39: examples/mitigation_eval.rs
+
+examples/mitigation_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/opentitan_audit-cc336d34680cfed0.d: examples/opentitan_audit.rs
+
+/root/repo/target/release/examples/opentitan_audit-cc336d34680cfed0: examples/opentitan_audit.rs
+
+examples/opentitan_audit.rs:

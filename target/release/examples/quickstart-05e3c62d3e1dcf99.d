@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-05e3c62d3e1dcf99.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-05e3c62d3e1dcf99: examples/quickstart.rs
+
+examples/quickstart.rs:

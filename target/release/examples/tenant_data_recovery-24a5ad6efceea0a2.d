@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tenant_data_recovery-24a5ad6efceea0a2.d: examples/tenant_data_recovery.rs
+
+/root/repo/target/release/examples/tenant_data_recovery-24a5ad6efceea0a2: examples/tenant_data_recovery.rs
+
+examples/tenant_data_recovery.rs:

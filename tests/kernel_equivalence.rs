@@ -1,0 +1,183 @@
+//! Equivalence properties of the analytic fast-path kernels (ISSUE 3):
+//! the optimized kernels must be interchangeable with their reference
+//! implementations everywhere the simulator uses them.
+//!
+//! Three families, three contracts:
+//!
+//! 1. **Closed-form phase advance** — `AgingState::advance_phase` over a
+//!    random piecewise-constant phase schedule tracks hour-by-hour
+//!    `advance` stepping to <= 1e-9 relative (the two compose the same
+//!    exponentials in different order, so bit-identity is impossible —
+//!    but a *single* phase must be bit-identical to a single `advance`
+//!    call of the same duration, which is what the device layer's
+//!    kernel cache relies on).
+//! 2. **Banded local regression** — `smooth` (Gaussian kernel truncated
+//!    at +-8 sigma) matches the dense `smooth_dense` reference to
+//!    <= 1e-9 relative on random sorted grids, including bandwidths so
+//!    wide that every boundary window is narrower than 8 sigma (the
+//!    truncation never fires) and so narrow that almost every window
+//!    truncates on both sides.
+//! 3. **Selection median** — `median_in_place` is *bit-identical* to
+//!    the sort-based `median_sorted` on NaN-free input, both parities.
+
+use bti_physics::{AgingState, BtiModel, Celsius, DutyCycle, Hours, Polarity};
+use pentimento::analysis::{median_in_place, median_sorted, KernelEstimator, KernelRegression};
+use proptest::prelude::*;
+
+/// Duty cycles biased toward the paper's static-burn endpoints but
+/// covering the whole interior.
+fn duty_fraction() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), Just(1.0), Just(0.5), 0.0f64..1.0]
+}
+
+/// A random piecewise-constant schedule: 1–4 phases of 1–60 h each.
+fn phase_schedule() -> impl Strategy<Value = Vec<(usize, f64)>> {
+    proptest::collection::vec((1usize..60, duty_fraction()), 1..4)
+}
+
+/// Max relative disagreement between two occupancy levels.
+fn rel_err(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+/// Strictly increasing measurement grid with random gaps, plus matching
+/// noisy-drift observations.
+fn sorted_series(len: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        proptest::collection::vec(0.05f64..3.0, len..len + 1),
+        proptest::collection::vec(-1.0f64..1.0, len..len + 1),
+    )
+        .prop_map(|(gaps, noise)| {
+            let mut x = Vec::with_capacity(gaps.len());
+            let mut acc = 0.0;
+            for g in gaps {
+                acc += g;
+                x.push(acc);
+            }
+            let y = x
+                .iter()
+                .zip(noise)
+                .map(|(&h, n)| 5.0 * (1.0 - (-h / 20.0).exp()) + n)
+                .collect();
+            (x, y)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// (1) Schedule equivalence: one closed-form advance per phase
+    /// tracks hour-stepping through the same schedule to <= 1e-9.
+    #[test]
+    fn phase_advance_tracks_hour_stepping(
+        schedule in phase_schedule(),
+        temp_c in 40.0f64..80.0,
+    ) {
+        let model = BtiModel::ultrascale_plus();
+        let temp = Celsius::new(temp_c);
+        let mut stepped = AgingState::new(&model);
+        let mut phased = AgingState::new(&model);
+        for &(hours, frac) in &schedule {
+            let duty = DutyCycle::new(frac).expect("fraction in [0, 1]");
+            for _ in 0..hours {
+                stepped.advance(&model, Hours::new(1.0), duty, temp);
+            }
+            phased.advance_phase(&model, Hours::new(hours as f64), duty, temp);
+        }
+        prop_assert_eq!(
+            stepped.stress_hours().value(),
+            phased.stress_hours().value()
+        );
+        for polarity in [Polarity::Nbti, Polarity::Pbti] {
+            let (r, f) = (stepped.level(polarity), phased.level(polarity));
+            prop_assert!(
+                rel_err(r, f) <= 1e-9,
+                "{polarity:?}: stepped {r} vs phased {f} (rel {})",
+                rel_err(r, f)
+            );
+        }
+    }
+
+    /// (1b) Single-phase bit-identity: over one constant-condition
+    /// stretch the closed form IS the reference update, bit for bit —
+    /// on a fresh state and on an arbitrarily pre-aged one.
+    #[test]
+    fn single_phase_is_bit_identical_to_advance(
+        prefix in phase_schedule(),
+        hours in 1.0f64..400.0,
+        frac in duty_fraction(),
+        temp_c in 40.0f64..80.0,
+    ) {
+        let model = BtiModel::ultrascale_plus();
+        let temp = Celsius::new(temp_c);
+        let mut reference = AgingState::new(&model);
+        let mut fast = AgingState::new(&model);
+        for &(h, f) in &prefix {
+            let duty = DutyCycle::new(f).expect("fraction in [0, 1]");
+            // Identical aging history on both states.
+            reference.advance(&model, Hours::new(h as f64), duty, temp);
+            fast.advance(&model, Hours::new(h as f64), duty, temp);
+        }
+        let duty = DutyCycle::new(frac).expect("fraction in [0, 1]");
+        reference.advance(&model, Hours::new(hours), duty, temp);
+        fast.advance_phase(&model, Hours::new(hours), duty, temp);
+        for (r, f) in reference
+            .nbti_bank()
+            .bins()
+            .iter()
+            .chain(reference.pbti_bank().bins())
+            .zip(fast.nbti_bank().bins().iter().chain(fast.pbti_bank().bins()))
+        {
+            prop_assert_eq!(r.occupancy.to_bits(), f.occupancy.to_bits());
+        }
+    }
+
+    /// (2) Banded smoother equivalence on random sorted grids. Small
+    /// bandwidths make nearly every window truncate at +-8 sigma;
+    /// large ones keep every window (including the boundary windows,
+    /// which are narrower than 8 sigma) dense — both must agree with
+    /// the O(n^2) reference.
+    #[test]
+    fn banded_smoother_matches_dense(
+        (x, y) in (20usize..120).prop_flat_map(sorted_series),
+        bandwidth in prop_oneof![0.1f64..1.0, 20.0f64..200.0],
+        estimator in prop_oneof![
+            Just(KernelEstimator::LocallyConstant),
+            Just(KernelEstimator::LocallyLinear),
+        ],
+    ) {
+        let fit = KernelRegression::fit(&x, &y, bandwidth, estimator).expect("valid series");
+        let dense = fit.smooth_dense();
+        let banded = fit.smooth();
+        prop_assert_eq!(dense.len(), banded.len());
+        for (i, (&d, &b)) in dense.iter().zip(&banded).enumerate() {
+            prop_assert!(
+                rel_err(d, b) <= 1e-9,
+                "index {i}: dense {d} vs banded {b} (bw {bandwidth})"
+            );
+        }
+    }
+
+    /// (3) Selection median vs. sort median, both parities, bit-exact.
+    #[test]
+    fn selection_median_matches_sort_median(
+        values in proptest::collection::vec(-1_000.0f64..1_000.0, 1..200),
+    ) {
+        let mut scratch = values.clone();
+        prop_assert_eq!(
+            median_in_place(&mut scratch).to_bits(),
+            median_sorted(&values).to_bits()
+        );
+        // Force the opposite parity too.
+        let mut trimmed = values[1..].to_vec();
+        prop_assert_eq!(
+            median_in_place(&mut trimmed).to_bits(),
+            median_sorted(&values[1..]).to_bits()
+        );
+    }
+}

@@ -153,6 +153,9 @@ where
     }
     let f = &f;
     let chunk_results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        // The collect is load-bearing: it spawns every worker before the
+        // first join, which is the entire point of the fan-out.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
