@@ -3,7 +3,7 @@
 //! threat models, through the full TDC pipeline on aged cloud devices.
 
 use bench::{
-    exit_by, run_with_thread_arg, save_artifact, smoke_from_args, tm1_end_to_end_config,
+    exit_by, run_with_thread_arg, save_artifact, smoke_from_args, tm1_end_to_end_config, ObsSink,
     ShapeReport,
 };
 use bti_physics::LogicLevel;
@@ -40,6 +40,11 @@ fn run() {
     // point, fewer routes/repeats) — the same point `kernel_bench` times
     // reference-vs-fast, so its wall-clock rows describe this run.
     let smoke = smoke_from_args();
+    // `--trace` / `--metrics` attach one shared recorder to every sweep
+    // point; the content-ordered drain keeps the trace deterministic even
+    // though the sweep fans out.
+    let sink = ObsSink::from_args();
+    let rec = sink.as_ref().map(ObsSink::recorder);
     let lengths = [1_000.0, 2_000.0, 5_000.0, 10_000.0];
     let mut csv = String::from("model,burn_hours,target_ps,correct,total,accuracy\n");
     let mut report = ShapeReport::new();
@@ -57,6 +62,7 @@ fn run() {
         .map(|burn_hours| {
             let seed = 500 + burn_hours as u64;
             let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, seed));
+            provider.set_recorder(rec.clone());
             let config = if smoke {
                 tm1_end_to_end_config(seed)
             } else {
@@ -70,7 +76,8 @@ fn run() {
                     measurement_repeats: 4,
                 }
             };
-            let outcome = threat_model1::run(&mut provider, &config).expect("attack completes");
+            let outcome = threat_model1::run_traced(&mut provider, &config, rec.as_deref())
+                .expect("attack completes");
             (burn_hours, outcome)
         })
         .collect();
@@ -103,6 +110,7 @@ fn run() {
         .map(|victim_hours| {
             let mut provider =
                 Provider::new(ProviderConfig::aws_f1_like(2, 900 + victim_hours as u64));
+            provider.set_recorder(rec.clone());
             let config = ThreatModel2Config {
                 route_lengths_ps: lengths.to_vec(),
                 routes_per_length: if smoke { 4 } else { 8 },
@@ -114,7 +122,8 @@ fn run() {
                 measurement_repeats: if smoke { 4 } else { 8 },
                 victim_hold_and_recover_hours: 0,
             };
-            let outcome = threat_model2::run(&mut provider, &config).expect("attack completes");
+            let outcome = threat_model2::run_traced(&mut provider, &config, rec.as_deref())
+                .expect("attack completes");
             (victim_hours, outcome)
         })
         .collect();
@@ -164,6 +173,13 @@ fn run() {
     }
     if let Ok(path) = save_artifact("attack_accuracy.csv", &csv) {
         println!("\nwrote {}", path.display());
+    }
+    if let Some(sink) = &sink {
+        report.check(
+            "observability artifacts written",
+            sink.finish().is_ok(),
+            "trace/metrics flags",
+        );
     }
     exit_by(report.finish());
 }

@@ -18,7 +18,7 @@
 //!
 //! Artifacts: `fault_tolerance.csv` and `fault_tolerance.json`.
 
-use bench::{exit_by, run_with_thread_arg, save_artifact, ShapeReport};
+use bench::{exit_by, run_with_thread_arg, save_artifact, ObsSink, ShapeReport};
 use bti_physics::{Hours, LogicLevel};
 use cloud::{FaultKind, FaultPlan, Provider, ProviderConfig};
 use pentimento::threat_model1::{self, ThreatModel1Config};
@@ -139,8 +139,9 @@ impl SweepRow {
 fn run_campaign(
     mission: Mission,
     rate: f64,
+    recorder: Option<std::sync::Arc<obs::Recorder>>,
 ) -> Result<CampaignOutcome, pentimento::PentimentoError> {
-    Campaign::new(provider(), mission, campaign_config(rate))?.run()
+    Campaign::new_observed(provider(), mission, campaign_config(rate), recorder)?.run()
 }
 
 fn main() {
@@ -149,6 +150,8 @@ fn main() {
 
 fn run() {
     let mut report = ShapeReport::new();
+    let sink = ObsSink::from_args();
+    let rec = sink.as_ref().map(ObsSink::recorder);
     let mut rows: Vec<SweepRow> = Vec::new();
 
     // ----- Sweep both threat models over the fault-rate grid. -----------
@@ -166,7 +169,7 @@ fn run() {
         .collect();
     let sweep: Vec<_> = grid
         .into_par_iter()
-        .map(|(rate, tm, mission)| (rate, tm, run_campaign(mission, rate)))
+        .map(|(rate, tm, mission)| (rate, tm, run_campaign(mission, rate, rec.clone())))
         .collect();
     for (rate, tm, result) in sweep {
         match result {
@@ -337,6 +340,13 @@ fn run() {
     }
     if let Ok(path) = save_artifact("fault_tolerance.json", &json) {
         println!("wrote {}", path.display());
+    }
+    if let Some(sink) = &sink {
+        report.check(
+            "observability artifacts written",
+            sink.finish().is_ok(),
+            "trace/metrics flags",
+        );
     }
 
     exit_by(report.finish());

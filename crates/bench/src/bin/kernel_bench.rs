@@ -29,7 +29,7 @@
 
 use std::time::Instant;
 
-use bench::{exit_by, save_artifact, smoke_from_args, tm1_end_to_end_config, ShapeReport};
+use bench::{exit_by, save_artifact, smoke_from_args, tm1_end_to_end_config, ObsSink, ShapeReport};
 use bti_physics::{AgingState, BtiModel, Celsius, DutyCycle, Hours, Polarity};
 use cloud::{Provider, ProviderConfig};
 use pentimento::analysis::{median_in_place, median_sorted, KernelEstimator, KernelRegression};
@@ -261,18 +261,24 @@ fn bench_median(smoke: bool) -> Row {
 /// The shared `attack_accuracy --smoke` TM1 sweep, reference device
 /// kernels vs. the cached closed-form path. Byte-identity is the
 /// contract; the wall-clock row shows what the cache buys end to end.
-fn bench_end_to_end() -> Row {
+/// Both legs run traced or both untraced, so the comparison stays fair.
+fn bench_end_to_end(sink: Option<&ObsSink>) -> Row {
     let config = tm1_end_to_end_config(SEED);
+    let rec = sink.map(ObsSink::recorder);
 
     let start = Instant::now();
     let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, SEED));
     provider.set_reference_kernels(true);
-    let reference = threat_model1::run(&mut provider, &config).expect("attack completes");
+    provider.set_recorder(rec.clone());
+    let reference = threat_model1::run_traced(&mut provider, &config, rec.as_deref())
+        .expect("attack completes");
     let reference_seconds = start.elapsed().as_secs_f64();
 
     let start = Instant::now();
     let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, SEED));
-    let fast = threat_model1::run(&mut provider, &config).expect("attack completes");
+    provider.set_recorder(rec.clone());
+    let fast = threat_model1::run_traced(&mut provider, &config, rec.as_deref())
+        .expect("attack completes");
     let fast_seconds = start.elapsed().as_secs_f64();
 
     let bit_identical = reference.series == fast.series
@@ -292,6 +298,7 @@ fn bench_end_to_end() -> Row {
 
 fn main() {
     let smoke = smoke_from_args();
+    let sink = ObsSink::from_args();
     let hardware_threads = std::thread::available_parallelism().map_or(1, usize::from);
     let gates_active = !smoke && hardware_threads >= 4;
 
@@ -304,7 +311,7 @@ fn main() {
         bench_phase_advance(smoke),
         bench_smoother(smoke),
         bench_median(smoke),
-        bench_end_to_end(),
+        bench_end_to_end(sink.as_ref()),
     ];
     for row in &mut rows {
         row.gate_active = gates_active && row.gate.is_some();
@@ -386,6 +393,13 @@ fn main() {
     );
     if let Ok(path) = save_artifact("BENCH_kernels.json", &json) {
         println!("wrote {}", path.display());
+    }
+    if let Some(sink) = &sink {
+        report.check(
+            "observability artifacts written",
+            sink.finish().is_ok(),
+            "trace/metrics flags",
+        );
     }
     exit_by(report.finish());
 }

@@ -21,10 +21,12 @@
 //! Artifact: `BENCH_parallel.json` (per-width seconds, route-points/sec,
 //! speedup vs serial, identity verdicts).
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use bench::{exit_by, save_artifact, threads_from_args, ShapeReport};
+use bench::{exit_by, save_artifact, threads_from_args, ObsSink, ShapeReport};
 use cloud::{Provider, ProviderConfig};
+use obs::Recorder;
 use pentimento::threat_model1::{self, ThreatModel1Config, ThreatModel1Outcome};
 use pentimento::MeasurementMode;
 
@@ -55,7 +57,11 @@ fn workload_config(smoke: bool) -> ThreatModel1Config {
 }
 
 /// One full TM1 accuracy sweep on a pool of `threads` workers.
-fn run_at(threads: usize, config: &ThreatModel1Config) -> (ThreatModel1Outcome, f64) {
+fn run_at(
+    threads: usize,
+    config: &ThreatModel1Config,
+    rec: Option<&Arc<Recorder>>,
+) -> (ThreatModel1Outcome, f64) {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
@@ -63,7 +69,9 @@ fn run_at(threads: usize, config: &ThreatModel1Config) -> (ThreatModel1Outcome, 
     let start = Instant::now();
     let outcome = pool.install(|| {
         let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, SEED));
-        threat_model1::run(&mut provider, config).expect("attack completes")
+        provider.set_recorder(rec.map(Arc::clone));
+        threat_model1::run_traced(&mut provider, config, rec.map(Arc::as_ref))
+            .expect("attack completes")
     });
     (outcome, start.elapsed().as_secs_f64())
 }
@@ -73,6 +81,8 @@ fn main() {
     let max_threads = threads_from_args().unwrap_or(4).max(1);
     let hardware_threads = std::thread::available_parallelism().map_or(1, usize::from);
 
+    let sink = ObsSink::from_args();
+    let rec = sink.as_ref().map(ObsSink::recorder);
     let config = workload_config(smoke);
     let mut widths = vec![1usize];
     let mut w = 2;
@@ -91,7 +101,7 @@ fn main() {
         config.measurement_repeats,
     );
 
-    let (reference, serial_s) = run_at(1, &config);
+    let (reference, serial_s) = run_at(1, &config, rec.as_ref());
     let route_points = reference.series.len()
         * reference
             .series
@@ -109,7 +119,7 @@ fn main() {
     let mut all_identical = true;
     let mut speedup_at_max = 1.0;
     for &threads in &widths {
-        let (outcome, seconds) = run_at(threads, &config);
+        let (outcome, seconds) = run_at(threads, &config, rec.as_ref());
         let identical = outcome.series == reference.series
             && outcome.recovered == reference.recovered
             && outcome.truth == reference.truth;
@@ -176,6 +186,13 @@ fn main() {
     );
     if let Ok(path) = save_artifact("BENCH_parallel.json", &json) {
         println!("wrote {}", path.display());
+    }
+    if let Some(sink) = &sink {
+        report.check(
+            "observability artifacts written",
+            sink.finish().is_ok(),
+            "trace/metrics flags",
+        );
     }
     exit_by(report.finish());
 }

@@ -9,8 +9,10 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use bti_physics::LogicLevel;
+use obs::Recorder;
 use pentimento::analysis::mean;
 use pentimento::threat_model1::ThreatModel1Config;
 use pentimento::{MeasurementMode, RouteSeries};
@@ -164,6 +166,92 @@ pub fn threads_from_args() -> Option<usize> {
     threads_from(std::env::args().skip(1))
 }
 
+/// Parses a `--NAME PATH` (or `--NAME=PATH`) flag value from `args`.
+/// Returns `None` when the flag is absent or has no value.
+fn path_value_from<I: IntoIterator<Item = String>>(args: I, name: &str) -> Option<PathBuf> {
+    let long = format!("--{name}");
+    let assigned = format!("--{name}=");
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == long {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(v) = arg.strip_prefix(&assigned) {
+            return Some(PathBuf::from(v));
+        }
+    }
+    None
+}
+
+/// The observability sink a bench binary drains into when `--trace` or
+/// `--metrics` was passed: one shared [`Recorder`] plus the output paths.
+///
+/// Attaching the recorder never perturbs the simulation — events carry
+/// only values already computed on the untraced path, and the trace's
+/// ordered drain makes the JSONL byte-identical at every thread width.
+/// Wall-clock span durations go only into the metrics JSON, which is the
+/// one deliberately nondeterministic artifact.
+#[derive(Debug)]
+pub struct ObsSink {
+    recorder: Arc<Recorder>,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+}
+
+impl ObsSink {
+    /// Builds the sink from the process command line: `Some` when
+    /// `--trace PATH` and/or `--metrics PATH` was passed (either `=` or
+    /// space-separated spelling), `None` when neither flag is present.
+    #[must_use]
+    pub fn from_args() -> Option<Self> {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let trace = path_value_from(args.iter().cloned(), "trace");
+        let metrics = path_value_from(args.iter().cloned(), "metrics");
+        if trace.is_none() && metrics.is_none() {
+            return None;
+        }
+        Some(Self {
+            recorder: Arc::new(Recorder::new()),
+            trace,
+            metrics,
+        })
+    }
+
+    /// The shared recorder, for attaching to providers and drivers.
+    #[must_use]
+    pub fn recorder(&self) -> Arc<Recorder> {
+        Arc::clone(&self.recorder)
+    }
+
+    /// Writes the requested artifacts and prints the human-readable
+    /// summary table. Returns the first I/O error, after attempting both
+    /// writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures writing either artifact.
+    pub fn finish(&self) -> std::io::Result<()> {
+        let mut first_err = None;
+        if let Some(path) = &self.trace {
+            match fs::write(path, self.recorder.trace_jsonl()) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(path) = &self.metrics {
+            match fs::write(path, self.recorder.metrics_json()) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        println!("\n{}", self.recorder.summary_table());
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
 /// Runs `f` inside a worker pool sized by the command line's `--threads`
 /// flag, or on the default pool when the flag is absent. The sweep
 /// engine's per-route RNG streams make the result bit-identical either
@@ -219,6 +307,22 @@ mod tests {
         assert_eq!(threads_from(args(&["--threads"])), None);
         assert_eq!(threads_from(args(&["--threads", "zero"])), None);
         assert_eq!(threads_from(args(&[])), None);
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_parse_both_spellings() {
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert_eq!(
+            path_value_from(args(&["--trace", "out.jsonl"]), "trace"),
+            Some(PathBuf::from("out.jsonl"))
+        );
+        assert_eq!(
+            path_value_from(args(&["--smoke", "--metrics=m.json"]), "metrics"),
+            Some(PathBuf::from("m.json"))
+        );
+        assert_eq!(path_value_from(args(&["--trace"]), "trace"), None);
+        assert_eq!(path_value_from(args(&["--metrics", "m"]), "trace"), None);
+        assert_eq!(path_value_from(args(&[]), "trace"), None);
     }
 
     #[test]

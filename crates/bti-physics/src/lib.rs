@@ -82,7 +82,7 @@ pub use bin::TrapBin;
 pub use error::BtiError;
 pub use inverter::Inverter;
 pub use model::{BtiModel, BtiModelBuilder, PolarityParams};
-pub use phase::{BinKernel, DecayCache, PhaseKernel};
+pub use phase::{BinKernel, CacheStats, DecayCache, PhaseKernel};
 pub use polarity::{DutyCycle, LogicLevel, Polarity};
 pub use state::AgingState;
 pub use temperature::{arrhenius_acceleration, arrhenius_acceleration_kelvin, BOLTZMANN_EV_PER_K};

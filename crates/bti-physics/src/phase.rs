@@ -205,6 +205,49 @@ struct PhaseKey {
 /// pathological caller sweeping unbounded unique temperatures.
 const DECAY_CACHE_CAPACITY: usize = 4096;
 
+/// Lifetime hit/miss/reset counters for one [`DecayCache`].
+///
+/// Pure telemetry: the counters never influence which kernel a lookup
+/// returns, so two runs that differ only in whether anyone *reads* the
+/// stats stay bit-identical. They are excluded from serialization for the
+/// same reason checkpointed caches may be dropped wholesale — observability
+/// state is not simulation state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a memoized kernel.
+    pub hits: u64,
+    /// Lookups that derived (and inserted) a fresh kernel.
+    pub misses: u64,
+    /// Times the cache filled to its capacity bound (4096 distinct
+    /// tuples) and was cleared to make room — previously an invisible
+    /// cliff.
+    pub resets: u64,
+}
+
+impl CacheStats {
+    /// Element-wise sum, for aggregating a fleet of device caches.
+    #[must_use]
+    pub fn combined(self, other: Self) -> Self {
+        Self {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            resets: self.resets + other.resets,
+        }
+    }
+
+    /// Element-wise difference vs an `earlier` snapshot of the *same*
+    /// monotonic counters (saturating, so a cache swapped for a fresh one
+    /// reads as zero delta rather than underflowing).
+    #[must_use]
+    pub fn since(self, earlier: Self) -> Self {
+        Self {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            resets: self.resets.saturating_sub(earlier.resets),
+        }
+    }
+}
+
 /// Memoizes [`PhaseKernel`]s per `(Δt, duty, temperature)` so the
 /// Arrhenius factors and per-bin `exp` tables are computed once per
 /// condition and shared across every wire and route of a device.
@@ -217,6 +260,8 @@ pub struct DecayCache {
     nbti_proto: Vec<TrapBin>,
     pbti_proto: Vec<TrapBin>,
     map: HashMap<PhaseKey, PhaseKernel>,
+    #[serde(skip)]
+    stats: CacheStats,
 }
 
 impl DecayCache {
@@ -227,7 +272,14 @@ impl DecayCache {
             nbti_proto: model.fresh_bank(Polarity::Nbti).bins().to_vec(),
             pbti_proto: model.fresh_bank(Polarity::Pbti).bins().to_vec(),
             map: HashMap::new(),
+            stats: CacheStats::default(),
         }
+    }
+
+    /// Lifetime hit/miss/reset counters (see [`CacheStats`]).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
     }
 
     /// Number of memoized condition tuples.
@@ -257,13 +309,21 @@ impl DecayCache {
             temp_bits: temperature.value().to_bits(),
             relax: false,
         };
-        if self.map.len() >= DECAY_CACHE_CAPACITY && !self.map.contains_key(&key) {
+        let hit = self.map.contains_key(&key);
+        if !hit && self.map.len() >= DECAY_CACHE_CAPACITY {
             self.map.clear();
+            self.stats.resets += 1;
+        }
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
         }
         let Self {
             nbti_proto,
             pbti_proto,
             map,
+            ..
         } = self;
         map.entry(key).or_insert_with(|| {
             PhaseKernel::conditioned(model, nbti_proto, pbti_proto, dt, duty, temperature)
@@ -278,13 +338,21 @@ impl DecayCache {
             temp_bits: temperature.value().to_bits(),
             relax: true,
         };
-        if self.map.len() >= DECAY_CACHE_CAPACITY && !self.map.contains_key(&key) {
+        let hit = self.map.contains_key(&key);
+        if !hit && self.map.len() >= DECAY_CACHE_CAPACITY {
             self.map.clear();
+            self.stats.resets += 1;
+        }
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
         }
         let Self {
             nbti_proto,
             pbti_proto,
             map,
+            ..
         } = self;
         map.entry(key)
             .or_insert_with(|| PhaseKernel::relaxed(model, nbti_proto, pbti_proto, dt, temperature))
@@ -449,5 +517,53 @@ mod tests {
         }
         assert!(cache.len() <= DECAY_CACHE_CAPACITY);
         assert!(!cache.is_empty());
+        let stats = cache.stats();
+        assert_eq!(stats.resets, 1, "one pass over the bound, one reset");
+        assert_eq!(stats.misses, (DECAY_CACHE_CAPACITY + 10) as u64);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn cache_stats_count_hits_misses_and_aggregate() {
+        let m = model();
+        let mut cache = DecayCache::new(&m);
+        let t = Celsius::new(55.0);
+        for _ in 0..5 {
+            let _ = cache.conditioned(&m, Hours::new(1.0), DutyCycle::BALANCED, t);
+        }
+        let _ = cache.relaxed(&m, Hours::new(1.0), t);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "one conditioned key, one relaxed key");
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.resets, 0);
+        let doubled = stats.combined(stats);
+        assert_eq!(doubled.hits, 8);
+        assert_eq!(stats.since(CacheStats::default()), stats);
+        assert_eq!(CacheStats::default().since(stats), CacheStats::default());
+    }
+
+    #[test]
+    fn beyond_capacity_sweep_stays_bit_identical_to_reference() {
+        // Regression for the capacity cliff: a campaign-style sweep over
+        // more distinct condition tuples than the cache can hold must
+        // produce exactly the kernels the uncached reference derives —
+        // the reset is a performance event, never a results event — and
+        // the new counters must make the cliff visible.
+        let m = model();
+        let mut cache = DecayCache::new(&m);
+        let mut fast = AgingState::new(&m);
+        let mut reference = AgingState::new(&m);
+        let distinct = DECAY_CACHE_CAPACITY + 64;
+        for i in 0..distinct {
+            let t = Celsius::new(40.0 + i as f64 * 1e-7);
+            let dt = Hours::new(1.0);
+            let kernel = cache.conditioned(&m, dt, DutyCycle::ALWAYS_ONE, t);
+            fast.apply_phase_kernel(kernel, dt);
+            reference.advance(&m, dt, DutyCycle::ALWAYS_ONE, t);
+        }
+        assert_eq!(fast, reference, "reset must not perturb results");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, distinct as u64, "every tuple distinct");
+        assert!(stats.resets >= 1, "sweep crossed the capacity bound");
     }
 }

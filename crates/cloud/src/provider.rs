@@ -2,9 +2,11 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use bti_physics::{Celsius, Hours};
+use bti_physics::{CacheStats, Celsius, Hours};
 use fpga_fabric::{check_design, Design, FpgaDevice, ThermalModel};
+use obs::{CampaignEvent, EventKind, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -97,6 +99,27 @@ pub struct Provider {
     /// Scheduled rent-time faults that came due while time advanced and
     /// are waiting for the next `rent` call to consume them.
     pending_rent_faults: Vec<FaultKind>,
+    /// Optional telemetry sink. Every emission happens on the serial
+    /// `&mut self` paths, so events carry deterministic keys and an
+    /// attached recorder can never perturb results.
+    recorder: Option<Arc<Recorder>>,
+    /// Fleet-wide decay-cache counters already reported to the recorder;
+    /// each `advance_time` emits only the delta since this snapshot.
+    cache_seen: CacheStats,
+}
+
+/// Emits a `FaultInjected` event alongside a ledger record. A free
+/// function on purpose: callers hold field borrows of `Provider`, so this
+/// must touch only the recorder handle.
+fn note_fault(recorder: &Option<Arc<Recorder>>, record: &FaultRecord) {
+    let Some(r) = recorder else { return };
+    let mut event = CampaignEvent::new(EventKind::FaultInjected, record.at.value())
+        .detail(record.kind.to_string());
+    if let Some(device) = record.device {
+        event = event.value(f64::from(device.0));
+    }
+    r.event(event);
+    r.incr(&format!("cloud.faults.{}", record.kind), 1);
 }
 
 impl Provider {
@@ -143,7 +166,52 @@ impl Provider {
             fault_plan: FaultPlan::none(),
             fault_state: FaultState::new(),
             pending_rent_faults: Vec::new(),
+            recorder: None,
+            cache_seen: CacheStats::default(),
         }
+    }
+
+    /// Attaches (or detaches) a telemetry recorder. Pure observability:
+    /// simulation results are bit-identical with or without one.
+    pub fn set_recorder(&mut self, recorder: Option<Arc<Recorder>>) {
+        self.recorder = recorder;
+    }
+
+    /// The attached telemetry recorder, if any.
+    #[must_use]
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Fleet-wide decay-cache counters, summed over every device.
+    #[must_use]
+    pub fn decay_cache_stats(&self) -> CacheStats {
+        self.slots
+            .values()
+            .fold(CacheStats::default(), |acc, slot| {
+                acc.combined(slot.device.decay_cache_stats())
+            })
+    }
+
+    /// Reports the decay-cache activity since the last report as
+    /// `CacheHit`/`CacheMiss` events keyed at the current sim time.
+    fn note_cache_activity(&mut self) {
+        let Some(recorder) = self.recorder.clone() else {
+            return;
+        };
+        let total = self.decay_cache_stats();
+        let delta = total.since(self.cache_seen);
+        self.cache_seen = total;
+        let at = self.now.value();
+        if delta.hits > 0 {
+            recorder.event(CampaignEvent::new(EventKind::CacheHit, at).value(delta.hits as f64));
+            recorder.incr("cache.hits", delta.hits);
+        }
+        if delta.misses > 0 {
+            recorder.event(CampaignEvent::new(EventKind::CacheMiss, at).value(delta.misses as f64));
+            recorder.incr("cache.misses", delta.misses);
+        }
+        recorder.incr("cache.resets", delta.resets);
     }
 
     /// Installs a hostile-cloud [`FaultPlan`], resetting any draw counters
@@ -227,13 +295,15 @@ impl Provider {
                 .fault_state
                 .draw(&self.fault_plan, FaultKind::RentFailure, 1.0)
         {
-            self.ledger.record_fault(FaultRecord {
+            let record = FaultRecord {
                 at: self.now,
                 kind: FaultKind::RentFailure,
                 device: None,
                 session_id: None,
                 scheduled: forced_fail,
-            });
+            };
+            note_fault(&self.recorder, &record);
+            self.ledger.record_fault(record);
             return Err(CloudError::TransientCapacity);
         }
         let mut ids: Vec<DeviceId> = self
@@ -257,13 +327,15 @@ impl Provider {
                     .draw(&self.fault_plan, FaultKind::DeviceSwap, 1.0)
             {
                 pick = 1;
-                self.ledger.record_fault(FaultRecord {
+                let record = FaultRecord {
                     at: self.now,
                     kind: FaultKind::DeviceSwap,
                     device: Some(ids[1]),
                     session_id: None,
                     scheduled: forced_swap,
-                });
+                };
+                note_fault(&self.recorder, &record);
+                self.ledger.record_fault(record);
             }
         }
         let id = ids[pick];
@@ -273,6 +345,14 @@ impl Provider {
             slot.state = SlotState::Rented {
                 session_id: session.id(),
             };
+        }
+        if let Some(r) = &self.recorder {
+            r.event(
+                CampaignEvent::new(EventKind::SessionAcquired, self.now.value())
+                    .value(f64::from(id.0))
+                    .detail(tenant.as_str()),
+            );
+            r.incr("cloud.sessions_acquired", 1);
         }
         self.ledger.record_rent(id, session.id(), tenant, self.now);
         Ok(session)
@@ -330,6 +410,13 @@ impl Provider {
         slot.state = SlotState::Free {
             released_at: Some(now),
         };
+        if let Some(r) = &self.recorder {
+            r.event(
+                CampaignEvent::new(EventKind::SessionReleased, now.value())
+                    .value(f64::from(session.device_id().0)),
+            );
+            r.incr("cloud.sessions_released", 1);
+        }
         self.ledger.record_release(session.id(), now);
         Ok(())
     }
@@ -417,6 +504,7 @@ impl Provider {
                 slot.device.run_for(dt);
             }
             self.now += dt;
+            self.note_cache_activity();
             return;
         }
         let end = self.now + dt;
@@ -467,13 +555,15 @@ impl Provider {
                 slot.device.set_thermal(hot);
                 slot.device.run_for(dt);
                 slot.device.set_thermal(original);
-                self.ledger.record_fault(FaultRecord {
+                let record = FaultRecord {
                     at: end,
                     kind: FaultKind::ThermalTransient,
                     device: Some(id),
                     session_id: rented_session,
                     scheduled: thermal_scheduled,
-                });
+                };
+                note_fault(&self.recorder, &record);
+                self.ledger.record_fault(record);
             } else {
                 slot.device.run_for(dt);
             }
@@ -496,13 +586,15 @@ impl Provider {
                     released_at: Some(end),
                 };
                 self.ledger.record_release(session_id, end);
-                self.ledger.record_fault(FaultRecord {
+                let record = FaultRecord {
                     at: end,
                     kind: FaultKind::Preemption,
                     device: Some(id),
                     session_id: Some(session_id),
                     scheduled: preempt_scheduled,
-                });
+                };
+                note_fault(&self.recorder, &record);
+                self.ledger.record_fault(record);
                 continue;
             }
             let scrub_scheduled = forced[1] > 0;
@@ -515,16 +607,19 @@ impl Provider {
                     forced[1] -= 1;
                 }
                 slot.device.wipe();
-                self.ledger.record_fault(FaultRecord {
+                let record = FaultRecord {
                     at: end,
                     kind: FaultKind::SpuriousScrub,
                     device: Some(id),
                     session_id: Some(session_id),
                     scheduled: scrub_scheduled,
-                });
+                };
+                note_fault(&self.recorder, &record);
+                self.ledger.record_fault(record);
             }
         }
         self.now = end;
+        self.note_cache_activity();
     }
 
     /// Read access to the physical device behind a session.
@@ -909,6 +1004,58 @@ mod tests {
             (events, faults)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn recorder_sees_sessions_faults_and_cache_activity() {
+        let mut p = provider(2);
+        let recorder = Arc::new(Recorder::new());
+        p.set_recorder(Some(recorder.clone()));
+        p.set_fault_plan(FaultPlan::none().with_scheduled(Hours::new(1.0), FaultKind::RentFailure));
+        let s = p.rent(TenantId::new("attacker")).unwrap();
+        p.load_design(&s, Design::new("d")).unwrap();
+        p.advance_time(Hours::new(2.0));
+        assert_eq!(
+            p.rent(TenantId::new("late")).unwrap_err(),
+            CloudError::TransientCapacity
+        );
+        p.release(s).unwrap();
+        assert_eq!(recorder.counter("cloud.sessions_acquired"), 1);
+        assert_eq!(recorder.counter("cloud.sessions_released"), 1);
+        assert_eq!(recorder.counter("cloud.faults.rent_failure"), 1);
+        assert!(
+            recorder.counter("cache.misses") > 0,
+            "first step derives kernels"
+        );
+        let kinds: Vec<EventKind> = recorder.kind_counts().into_iter().map(|(k, _)| k).collect();
+        assert!(kinds.contains(&EventKind::SessionAcquired));
+        assert!(kinds.contains(&EventKind::SessionReleased));
+        assert!(kinds.contains(&EventKind::FaultInjected));
+        assert!(kinds.contains(&EventKind::CacheMiss));
+    }
+
+    #[test]
+    fn attached_recorder_never_perturbs_results() {
+        let run = |observe: bool| {
+            let mut p = provider(2);
+            if observe {
+                p.set_recorder(Some(Arc::new(Recorder::new())));
+            }
+            let mut plan = FaultPlan::none();
+            plan.seed = 13;
+            plan.thermal_transient_rate_per_hour = 0.1;
+            plan.spurious_scrub_rate_per_hour = 0.05;
+            plan.thermal_amplitude_c = 8.0;
+            p.set_fault_plan(plan);
+            let s = p.rent(TenantId::new("t")).unwrap();
+            p.load_design(&s, Design::new("d")).unwrap();
+            p.advance_time(Hours::new(20.0));
+            (
+                p.device_by_id(DeviceId(0)).unwrap().die_temperature(),
+                p.ledger().faults().len(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

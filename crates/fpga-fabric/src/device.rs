@@ -408,6 +408,14 @@ impl FpgaDevice {
         self.reference_kernels
     }
 
+    /// Lifetime hit/miss/reset counters of this device's decay cache.
+    /// Stays all-zero while the device is pinned to the reference path
+    /// (the cache is bypassed there).
+    #[must_use]
+    pub fn decay_cache_stats(&self) -> bti_physics::CacheStats {
+        self.decay_cache.stats()
+    }
+
     // ------------------------------------------------------------------
     // Delay queries (what a sensor can observe)
     // ------------------------------------------------------------------

@@ -1,0 +1,693 @@
+//! Campaign observability: counters, histograms, span timers, and a
+//! structured event log with a *deterministic* drain order.
+//!
+//! The attack pipeline is deliberately bit-identical across thread-pool
+//! widths (see `tests/parallel_determinism.rs` at the workspace root), and
+//! its telemetry must be too — otherwise a trace diff between a serial and
+//! a parallel run would drown real regressions in interleaving noise. The
+//! [`Recorder`] therefore follows the same ordered-merge discipline as
+//! `cloud::FaultFunnel`: ingestion is thread-safe and order-free, and every
+//! read side (trace lines, metric snapshots, the summary table) sorts by a
+//! total, value-derived key before presenting anything. Two runs that
+//! record the same *multiset* of events produce byte-identical traces, no
+//! matter how their worker threads interleaved.
+//!
+//! Determinism contract, in detail:
+//!
+//! * [`CampaignEvent`]s are ordered by `(at, route, kind, value, detail)`
+//!   with `f64::total_cmp` — a total order on event *content*, never on
+//!   arrival time.
+//! * Counters and histograms drain in name order (`BTreeMap`).
+//! * Wall-clock durations (from [`Span`] timers) are nondeterministic by
+//!   nature, so they flow **only** into the metrics snapshot, never into
+//!   the event log: trace files stay comparable bit-for-bit, metrics files
+//!   carry the timing detail.
+//!
+//! The crate is std-only (no dependencies, matching the workspace's
+//! vendored-stub policy) and hand-rolls its JSON the same way
+//! `pentimento::Campaign::manifest_json` does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Every kind of structured event the campaign stack can emit.
+///
+/// The discriminant order is part of the determinism contract: events that
+/// tie on `(at, route)` sort by this enum's declaration order, exactly as
+/// `cloud::fault_rank` totals the order of `FaultKind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// A pipeline stage boundary (setup, arm, measure, classify, ...).
+    PhaseTransition,
+    /// A cloud rental session was acquired.
+    SessionAcquired,
+    /// A cloud rental session was released.
+    SessionReleased,
+    /// A device fingerprint was captured or matched during reacquisition.
+    FingerprintVerified,
+    /// A transient failure triggered another attempt.
+    Retry,
+    /// A retry slept for a deterministic jittered backoff.
+    Backoff,
+    /// The provider injected a fault (scheduled or stochastic).
+    FaultInjected,
+    /// A robust measurement lost too many traces to reach quorum.
+    QuorumFailure,
+    /// A classifier declined to call a bit.
+    Abstain,
+    /// A campaign checkpoint manifest was sealed.
+    CheckpointWrite,
+    /// Decay-cache lookups served from a memoized kernel.
+    CacheHit,
+    /// Decay-cache lookups that had to derive a fresh kernel.
+    CacheMiss,
+}
+
+impl EventKind {
+    /// All kinds, in rank order.
+    pub const ALL: [EventKind; 12] = [
+        EventKind::PhaseTransition,
+        EventKind::SessionAcquired,
+        EventKind::SessionReleased,
+        EventKind::FingerprintVerified,
+        EventKind::Retry,
+        EventKind::Backoff,
+        EventKind::FaultInjected,
+        EventKind::QuorumFailure,
+        EventKind::Abstain,
+        EventKind::CheckpointWrite,
+        EventKind::CacheHit,
+        EventKind::CacheMiss,
+    ];
+
+    /// Stable wire name used in JSONL traces and the summary table.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::PhaseTransition => "phase_transition",
+            EventKind::SessionAcquired => "session_acquired",
+            EventKind::SessionReleased => "session_released",
+            EventKind::FingerprintVerified => "fingerprint_verified",
+            EventKind::Retry => "retry",
+            EventKind::Backoff => "backoff",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::QuorumFailure => "quorum_failure",
+            EventKind::Abstain => "abstain",
+            EventKind::CheckpointWrite => "checkpoint_write",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheMiss => "cache_miss",
+        }
+    }
+}
+
+/// One structured event. The fields *are* the sort key: events carry no
+/// arrival timestamp, so identical content is interchangeable and the
+/// drained order is a pure function of the recorded multiset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignEvent {
+    /// Campaign-time coordinate (hours into the attack, or a phase index)
+    /// — the major sort key. Must be deterministic; never wall-clock.
+    pub at: f64,
+    /// Route index the event concerns, if any (`None` sorts first).
+    pub route: Option<u64>,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific magnitude (retry count, backoff seconds, cache-hit
+    /// delta, device id, ...). `0.0` when meaningless.
+    pub value: f64,
+    /// Free-form label (phase name, fault kind, operation).
+    pub detail: String,
+}
+
+impl CampaignEvent {
+    /// A minimal event of `kind` at campaign time `at`.
+    #[must_use]
+    pub fn new(kind: EventKind, at: f64) -> Self {
+        Self {
+            at,
+            route: None,
+            kind,
+            value: 0.0,
+            detail: String::new(),
+        }
+    }
+
+    /// Tags the event with a route index.
+    #[must_use]
+    pub fn route(mut self, route: u64) -> Self {
+        self.route = Some(route);
+        self
+    }
+
+    /// Attaches a magnitude.
+    #[must_use]
+    pub fn value(mut self, value: f64) -> Self {
+        self.value = value;
+        self
+    }
+
+    /// Attaches a label.
+    #[must_use]
+    pub fn detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = detail.into();
+        self
+    }
+
+    /// The total content order used by every drain.
+    #[must_use]
+    pub fn cmp_key(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .total_cmp(&other.at)
+            .then_with(|| self.route.cmp(&other.route))
+            .then_with(|| self.kind.cmp(&other.kind))
+            .then_with(|| self.value.total_cmp(&other.value))
+            .then_with(|| self.detail.cmp(&other.detail))
+    }
+
+    /// One JSONL trace line (no trailing newline).
+    #[must_use]
+    pub fn json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"at\":");
+        out.push_str(&json_f64(self.at));
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.as_str());
+        out.push_str("\",\"route\":");
+        match self.route {
+            Some(r) => {
+                let _ = write!(out, "{r}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"value\":");
+        out.push_str(&json_f64(self.value));
+        out.push_str(",\"detail\":\"");
+        out.push_str(&escape_json(&self.detail));
+        out.push_str("\"}");
+        out
+    }
+}
+
+/// Formats an `f64` as a JSON value; non-finite values become `null`
+/// (JSON has no NaN/Inf). Rust's shortest-roundtrip `Display` is
+/// deterministic, so equal bit patterns always print identically.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Log-scaled histogram: power-of-two buckets over `2^-24 .. 2^39`, with
+/// exact count/sum/min/max alongside. Good enough resolution for both
+/// sub-microsecond span timings and multi-hour backoff totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observation (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+    buckets: [u64; Histogram::BUCKETS],
+}
+
+impl Histogram {
+    const BUCKETS: usize = 64;
+    /// Bucket 0 holds everything `<= 2^-24`; bucket `i` holds
+    /// `(2^(i-25), 2^(i-24)]`.
+    const OFFSET: i32 = 24;
+
+    fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; Self::BUCKETS],
+        }
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        // NaN and non-positive values (incomparable or <= 0) land in
+        // bucket 0, as do non-finite positives.
+        if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !v.is_finite() {
+            return 0;
+        }
+        let exp = v.log2().ceil() as i32 + Self::OFFSET;
+        exp.clamp(0, Self::BUCKETS as i32 - 1) as usize
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs, ascending.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    fn json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{}",
+            self.count,
+            json_f64(self.sum)
+        );
+        if self.count > 0 {
+            let _ = write!(
+                out,
+                ",\"min\":{},\"max\":{}",
+                json_f64(self.min),
+                json_f64(self.max)
+            );
+        }
+        out.push_str(",\"buckets\":{");
+        for (n, (i, c)) in self.nonzero_buckets().into_iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{i}\":{c}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    events: Vec<CampaignEvent>,
+}
+
+/// Thread-safe telemetry sink with deterministic read sides.
+///
+/// Attach one (behind an `Arc`) to a `Campaign` or `Provider`; workers
+/// record through shared references, the owner drains sorted snapshots.
+/// Recording is cheap (one short mutex hold), and a stack with no
+/// recorder attached pays only an `Option` check.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    inner: Mutex<Inner>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned mutex means a panic mid-record; telemetry is
+        // side-band, so keep serving the data we have.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Adds `by` to the monotonic counter `name` (created at zero).
+    pub fn incr(&self, name: &str, by: u64) {
+        if by == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Current value of counter `name` (zero if never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, in name order.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.lock()
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// Records one observation into histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        inner
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Snapshot of histogram `name`, if any value was ever observed.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().histograms.get(name).cloned()
+    }
+
+    /// Appends a structured event. Arrival order is irrelevant — reads
+    /// sort by [`CampaignEvent::cmp_key`].
+    pub fn event(&self, event: CampaignEvent) {
+        self.lock().events.push(event);
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// All events in the canonical content order (non-draining).
+    #[must_use]
+    pub fn events_sorted(&self) -> Vec<CampaignEvent> {
+        let mut events = self.lock().events.clone();
+        events.sort_by(CampaignEvent::cmp_key);
+        events
+    }
+
+    /// Removes and returns all events in canonical order, like
+    /// `FaultFunnel::drain_into`.
+    #[must_use]
+    pub fn drain_events(&self) -> Vec<CampaignEvent> {
+        let mut events = std::mem::take(&mut self.lock().events);
+        events.sort_by(CampaignEvent::cmp_key);
+        events
+    }
+
+    /// Count of events per kind, in rank order (zero-count kinds omitted).
+    #[must_use]
+    pub fn kind_counts(&self) -> Vec<(EventKind, u64)> {
+        let mut counts = BTreeMap::new();
+        for event in self.lock().events.iter() {
+            *counts.entry(event.kind).or_insert(0u64) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Starts a wall-clock span; the guard records into histogram
+    /// `span_seconds.<name>` on drop. Durations reach only the metrics
+    /// snapshot, never the event log (see the determinism contract).
+    #[must_use]
+    pub fn span(&self, name: &str) -> Span<'_> {
+        self.incr(&format!("span.{name}.started"), 1);
+        Span {
+            recorder: self,
+            name: name.to_owned(),
+            start: Instant::now(),
+        }
+    }
+
+    /// The full trace as JSON Lines: one event object per line, in
+    /// canonical order, trailing newline included. Byte-identical across
+    /// thread-pool widths for deterministic pipelines.
+    #[must_use]
+    pub fn trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.events_sorted() {
+            out.push_str(&event.json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The metrics snapshot as one JSON object with keys `counters`,
+    /// `histograms`, `events`, and `event_kinds`.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::from("{\"counters\":{");
+        for (n, (name, value)) in inner.counters.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape_json(name), value);
+        }
+        out.push_str("},\"histograms\":{");
+        for (n, (name, hist)) in inner.histograms.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape_json(name), hist.json());
+        }
+        let total = inner.events.len();
+        let mut kind_counts: BTreeMap<EventKind, u64> = BTreeMap::new();
+        for event in inner.events.iter() {
+            *kind_counts.entry(event.kind).or_insert(0) += 1;
+        }
+        drop(inner);
+        let _ = write!(out, "}},\"events\":{total},\"event_kinds\":{{");
+        for (n, (kind, count)) in kind_counts.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{count}", kind.as_str());
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Human-readable summary for end-of-campaign printing.
+    #[must_use]
+    pub fn summary_table(&self) -> String {
+        let mut out = String::from("=== observability summary ===\n");
+        let kinds = self.kind_counts();
+        let _ = writeln!(out, "events: {}", self.event_count());
+        for (kind, count) in &kinds {
+            let _ = writeln!(out, "  {:<22} {count:>8}", kind.as_str());
+        }
+        let counters = self.counters();
+        if !counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &counters {
+                let _ = writeln!(out, "  {name:<38} {value:>10}");
+            }
+        }
+        let inner = self.lock();
+        let spans: Vec<(String, Histogram)> = inner
+            .histograms
+            .iter()
+            .filter(|(name, _)| name.starts_with("span_seconds."))
+            .map(|(name, hist)| (name.clone(), hist.clone()))
+            .collect();
+        drop(inner);
+        if !spans.is_empty() {
+            out.push_str("spans (wall seconds):\n");
+            for (name, hist) in &spans {
+                let short = name.trim_start_matches("span_seconds.");
+                let _ = writeln!(
+                    out,
+                    "  {short:<28} n={:<7} total={:.6}",
+                    hist.count, hist.sum
+                );
+            }
+        }
+        out
+    }
+}
+
+/// RAII wall-clock span; see [`Recorder::span`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    recorder: &'a Recorder,
+    name: String,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        self.recorder
+            .observe(&format!("span_seconds.{}", self.name), elapsed);
+        self.recorder
+            .incr(&format!("span.{}.finished", self.name), 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic_and_name_ordered() {
+        let r = Recorder::new();
+        r.incr("b.second", 2);
+        r.incr("a.first", 1);
+        r.incr("b.second", 3);
+        r.incr("a.first", 0); // no-op, must not create churn
+        assert_eq!(r.counter("a.first"), 1);
+        assert_eq!(r.counter("b.second"), 5);
+        assert_eq!(r.counter("absent"), 0);
+        let names: Vec<String> = r.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.first".to_owned(), "b.second".to_owned()]);
+    }
+
+    #[test]
+    fn event_drain_order_is_content_not_arrival() {
+        let forward = Recorder::new();
+        let reverse = Recorder::new();
+        let events = vec![
+            CampaignEvent::new(EventKind::Retry, 2.0)
+                .route(1)
+                .value(1.0),
+            CampaignEvent::new(EventKind::Backoff, 2.0)
+                .route(1)
+                .value(0.75),
+            CampaignEvent::new(EventKind::SessionAcquired, 0.0).detail("attacker"),
+            CampaignEvent::new(EventKind::CacheMiss, 1.0).value(4.0),
+        ];
+        for e in &events {
+            forward.event(e.clone());
+        }
+        for e in events.iter().rev() {
+            reverse.event(e.clone());
+        }
+        assert_eq!(forward.trace_jsonl(), reverse.trace_jsonl());
+        let drained = forward.drain_events();
+        assert_eq!(drained[0].kind, EventKind::SessionAcquired);
+        assert_eq!(forward.event_count(), 0, "drain empties the log");
+    }
+
+    #[test]
+    fn kind_ties_break_by_rank_like_fault_rank() {
+        let r = Recorder::new();
+        r.event(CampaignEvent::new(EventKind::Backoff, 1.0).route(0));
+        r.event(CampaignEvent::new(EventKind::Retry, 1.0).route(0));
+        let drained = r.drain_events();
+        assert_eq!(drained[0].kind, EventKind::Retry);
+        assert_eq!(drained[1].kind, EventKind::Backoff);
+    }
+
+    #[test]
+    fn trace_lines_are_valid_shapes_and_escape_details() {
+        let r = Recorder::new();
+        r.event(
+            CampaignEvent::new(EventKind::FaultInjected, 12.5)
+                .value(3.0)
+                .detail("kind=\"preemption\"\n"),
+        );
+        let trace = r.trace_jsonl();
+        assert_eq!(trace.lines().count(), 1);
+        let line = trace.lines().next().unwrap();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"kind\":\"fault_injected\""));
+        assert!(line.contains("\\\"preemption\\\"\\n"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn non_finite_values_serialize_as_null() {
+        let e = CampaignEvent::new(EventKind::Abstain, 0.0).value(f64::NAN);
+        assert!(e.json().contains("\"value\":null"));
+    }
+
+    #[test]
+    fn span_records_wall_time_into_metrics_only() {
+        let r = Recorder::new();
+        {
+            let _outer = r.span("outer");
+            let _inner = r.span("inner");
+        }
+        assert_eq!(r.counter("span.outer.started"), 1);
+        assert_eq!(r.counter("span.outer.finished"), 1);
+        assert_eq!(r.counter("span.inner.finished"), 1);
+        let hist = r.histogram("span_seconds.outer").expect("span observed");
+        assert_eq!(hist.count, 1);
+        assert!(hist.sum >= 0.0);
+        assert!(r.trace_jsonl().is_empty(), "spans never reach the trace");
+        assert!(r.metrics_json().contains("span_seconds.outer"));
+    }
+
+    #[test]
+    fn histogram_buckets_cover_extremes() {
+        let mut h = Histogram::new();
+        for v in [0.0, -3.0, 1e-30, 1e-6, 0.5, 1.0, 7.0, 1e12, f64::INFINITY] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 9);
+        assert_eq!(h.max, f64::INFINITY);
+        assert_eq!(h.min, -3.0);
+        let total: u64 = h.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 9, "every observation lands in exactly one bucket");
+    }
+
+    #[test]
+    fn metrics_json_has_required_keys() {
+        let r = Recorder::new();
+        r.incr("cloud.sessions_acquired", 1);
+        r.observe("span_seconds.x", 0.25);
+        r.event(CampaignEvent::new(EventKind::CacheHit, 1.0).value(10.0));
+        let json = r.metrics_json();
+        for key in [
+            "\"counters\"",
+            "\"histograms\"",
+            "\"events\":1",
+            "\"event_kinds\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"cache_hit\":1"));
+    }
+
+    #[test]
+    fn summary_table_lists_kinds_counters_and_spans() {
+        let r = Recorder::new();
+        r.event(CampaignEvent::new(EventKind::Retry, 1.0));
+        r.incr("campaign.rent_retries", 2);
+        drop(r.span("measure"));
+        let table = r.summary_table();
+        assert!(table.contains("retry"));
+        assert!(table.contains("campaign.rent_retries"));
+        assert!(table.contains("measure"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the `Recorder` determinism contract.
+
+use obs::{CampaignEvent, EventKind, Recorder};
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+fn kind_from(index: u8) -> EventKind {
+    EventKind::ALL[index as usize % EventKind::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Counters only ever grow, and the final value is the exact sum of
+    /// the increments regardless of interleaving.
+    #[test]
+    fn counters_are_monotonic_sums(
+        increments in proptest::collection::vec(0u64..1000, 1..40),
+        parallel in any::<bool>(),
+    ) {
+        let r = Recorder::new();
+        let expected: u64 = increments.iter().sum();
+        if parallel {
+            increments.par_iter().for_each(|&by| r.incr("c", by));
+        } else {
+            let mut last = 0;
+            for &by in &increments {
+                r.incr("c", by);
+                let now = r.counter("c");
+                prop_assert!(now >= last, "counter regressed: {now} < {last}");
+                last = now;
+            }
+        }
+        prop_assert_eq!(r.counter("c"), expected);
+    }
+
+    /// Every span that starts finishes exactly once, for arbitrary
+    /// nesting shapes (a stack of guards dropped in LIFO order).
+    #[test]
+    fn span_nesting_is_total(depths in proptest::collection::vec(1usize..6, 1..8)) {
+        let r = Recorder::new();
+        let mut total = 0u64;
+        for &depth in &depths {
+            let mut guards = Vec::new();
+            for level in 0..depth {
+                guards.push(r.span(&format!("level{level}")));
+            }
+            total += depth as u64;
+            drop(guards);
+        }
+        let mut started = 0;
+        let mut finished = 0;
+        for (name, value) in r.counters() {
+            if name.starts_with("span.") && name.ends_with(".started") {
+                started += value;
+            }
+            if name.starts_with("span.") && name.ends_with(".finished") {
+                finished += value;
+            }
+        }
+        prop_assert_eq!(started, total);
+        prop_assert_eq!(finished, total, "a started span never finished");
+        prop_assert!(r.trace_jsonl().is_empty(), "spans must not emit events");
+    }
+
+    /// The drained trace is a pure function of the recorded multiset:
+    /// serial insertion, reversed insertion, and parallel insertion under
+    /// different vendored-rayon pool widths all produce byte-identical
+    /// JSONL.
+    #[test]
+    fn drain_order_is_interleaving_invariant(
+        raw in proptest::collection::vec(
+            (0u8..200, 0u8..12, 0u8..4, 0u8..50, "[a-z]{0,6}"),
+            1..60,
+        ),
+    ) {
+        let events: Vec<CampaignEvent> = raw
+            .into_iter()
+            .map(|(at, kind, route, value, detail)| {
+                let mut e = CampaignEvent::new(kind_from(kind), f64::from(at) * 0.5)
+                    .value(f64::from(value))
+                    .detail(detail);
+                if route > 0 {
+                    e = e.route(u64::from(route));
+                }
+                e
+            })
+            .collect();
+
+        let serial = Recorder::new();
+        for e in &events {
+            serial.event(e.clone());
+        }
+        let reference = serial.trace_jsonl();
+
+        let reversed = Recorder::new();
+        for e in events.iter().rev() {
+            reversed.event(e.clone());
+        }
+        prop_assert_eq!(reversed.trace_jsonl(), reference.clone());
+
+        for width in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .expect("pool builds");
+            let parallel = Recorder::new();
+            pool.install(|| {
+                events.par_iter().for_each(|e| parallel.event(e.clone()));
+            });
+            prop_assert_eq!(
+                parallel.trace_jsonl(),
+                reference.clone(),
+                "width-{} interleaving changed the trace",
+                width
+            );
+        }
+    }
+}

@@ -193,7 +193,15 @@ impl<'a> KernelRegression<'a> {
 }
 
 /// Silverman's rule-of-thumb bandwidth for a sample grid: `1.06 · σ ·
-/// n^(−1/5)`, floored at `1e-9` so degenerate grids stay fittable.
+/// n^(−1/5)`.
+///
+/// The result is **always positive and finite**, floored at `1e-9`. The
+/// rule's raw value collapses to zero on a constant grid (σ = 0) and on
+/// single-point or empty input; an unfloored zero bandwidth would divide
+/// the kernel weights by zero and poison every smoothed point with NaN,
+/// which is exactly what a TM2 campaign hands [`KernelRegression::fit_auto`]
+/// when a route's observation window degenerates. (A NaN σ from non-finite
+/// samples also lands on the floor: `f64::max` ignores NaN operands.)
 #[must_use]
 pub fn silverman_bandwidth(x: &[f64]) -> f64 {
     let n = x.len().max(1) as f64;
@@ -433,6 +441,37 @@ mod tests {
         let y = vec![1.0; 30];
         let kr = KernelRegression::fit_auto(&x, &y, KernelEstimator::LocallyConstant).unwrap();
         assert_eq!(kr.bandwidth(), silverman_bandwidth(&x));
+    }
+
+    #[test]
+    fn silverman_bandwidth_is_floored_on_degenerate_grids() {
+        assert_eq!(silverman_bandwidth(&[]), 1e-9, "empty grid hits the floor");
+        assert_eq!(silverman_bandwidth(&[42.0]), 1e-9, "single point");
+        assert_eq!(silverman_bandwidth(&[7.0; 50]), 1e-9, "constant grid");
+        // NaN samples also land on the floor rather than propagating.
+        assert_eq!(silverman_bandwidth(&[1.0, f64::NAN]), 1e-9);
+        // A healthy grid clears the floor.
+        let x: Vec<f64> = (0..30).map(f64::from).collect();
+        assert!(silverman_bandwidth(&x) > 1.0);
+    }
+
+    #[test]
+    fn fit_auto_on_a_flat_grid_degrades_gracefully() {
+        // All observations at the same hour: the raw Silverman bandwidth
+        // is zero. The floor keeps the fit defined — every smoothed value
+        // must come back finite, not NaN.
+        let x = [5.0; 8];
+        let y = [1.0, 2.0, 3.0, 4.0, 4.0, 3.0, 2.0, 1.0];
+        for estimator in [
+            KernelEstimator::LocallyConstant,
+            KernelEstimator::LocallyLinear,
+        ] {
+            let kr = KernelRegression::fit_auto(&x, &y, estimator).unwrap();
+            assert_eq!(kr.bandwidth(), 1e-9);
+            for v in kr.smooth() {
+                assert!(v.is_finite(), "flat-grid smooth must stay finite: {v}");
+            }
+        }
     }
 
     #[test]

@@ -41,9 +41,12 @@
 //! simulated hours, so a recovered campaign conditions the same
 //! device-hours as an unluckier one.
 
+use std::sync::Arc;
+
 use bti_physics::{Hours, LogicLevel};
 use cloud::{CloudError, DeviceId, FaultPlan, Provider, Session, TenantId};
 use fpga_fabric::FpgaDevice;
+use obs::{CampaignEvent, EventKind, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -353,6 +356,12 @@ pub struct Campaign {
     stats: CampaignStats,
     backoff_draws: u64,
     armed: bool,
+    /// Optional telemetry sink, shared with the provider. Every campaign
+    /// emission happens on a serial code path (the setup prologue, the
+    /// route-ordered merge in `record`, finalize), so traces are
+    /// deterministic at every thread-pool width; see `obs`'s crate docs
+    /// for the contract.
+    recorder: Option<Arc<Recorder>>,
 }
 
 /// A point-in-time snapshot of a campaign plus an integrity manifest.
@@ -392,8 +401,27 @@ impl Campaign {
         mission: Mission,
         config: CampaignConfig,
     ) -> Result<Self, PentimentoError> {
+        Self::new_observed(provider, mission, config, None)
+    }
+
+    /// [`Campaign::new`] with a telemetry recorder attached from the very
+    /// first rent, so the setup prologue's session and cache events are
+    /// captured too. The recorder is shared with the provider; results
+    /// are bit-identical with or without one.
+    ///
+    /// # Errors
+    ///
+    /// As [`Campaign::new`].
+    pub fn new_observed(
+        mut provider: Provider,
+        mission: Mission,
+        config: CampaignConfig,
+        recorder: Option<Arc<Recorder>>,
+    ) -> Result<Self, PentimentoError> {
+        provider.set_recorder(recorder.clone());
         let rng = StdRng::seed_from_u64(mission.seed());
         let mut campaign = Self {
+            recorder,
             provider,
             mission,
             config,
@@ -432,6 +460,7 @@ impl Campaign {
     }
 
     fn setup_tm1(&mut self, cfg: &ThreatModel1Config) -> Result<(), PentimentoError> {
+        self.note_phase("setup:tm1");
         let attacker = TenantId::new("attacker");
         let session = self.rent_with_retries(&attacker)?;
 
@@ -465,6 +494,7 @@ impl Campaign {
         };
 
         let fingerprint = DeviceFingerprint::capture(self.provider.device(&session)?, &skeleton);
+        self.note_fingerprint(session.device_id(), "capture");
         self.run = RunState {
             victim_device: session.device_id(),
             session: Some(session),
@@ -486,6 +516,7 @@ impl Campaign {
     }
 
     fn setup_tm2(&mut self, cfg: &ThreatModel2Config) -> Result<(), PentimentoError> {
+        self.note_phase("setup:tm2");
         let specs = self.mission.specs();
 
         // --- Victim epoch (unobserved; always fault-free). --------------
@@ -554,6 +585,7 @@ impl Campaign {
         };
 
         let fingerprint = DeviceFingerprint::capture(self.provider.device(&session)?, &skeleton);
+        self.note_fingerprint(victim_device, "capture");
         self.run = RunState {
             victim_device,
             session: Some(session),
@@ -587,6 +619,19 @@ impl Campaign {
             sensor.set_fault_plan(self.config.sensor_faults.clone());
         }
         self.armed = true;
+        self.note_phase("arm");
+    }
+
+    /// Emits a `FingerprintVerified` event keyed at the current provider
+    /// time.
+    fn note_fingerprint(&self, device: DeviceId, what: &str) {
+        if let Some(r) = self.obs() {
+            r.event(
+                CampaignEvent::new(EventKind::FingerprintVerified, self.provider.now().value())
+                    .value(f64::from(device.0))
+                    .detail(what),
+            );
+        }
     }
 
     /// Places one sensor per skeleton route, then calibrates them in
@@ -639,6 +684,33 @@ impl Campaign {
         &self.stats
     }
 
+    /// Attaches (or detaches) a telemetry recorder mid-campaign, sharing
+    /// it with the provider. Results are bit-identical either way.
+    pub fn set_recorder(&mut self, recorder: Option<Arc<Recorder>>) {
+        self.provider.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The attached telemetry recorder, if any.
+    #[must_use]
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    fn obs(&self) -> Option<&Recorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Emits a `PhaseTransition` event keyed at the current provider time.
+    fn note_phase(&self, name: &str) {
+        if let Some(r) = self.obs() {
+            r.event(
+                CampaignEvent::new(EventKind::PhaseTransition, self.provider.now().value())
+                    .detail(name),
+            );
+        }
+    }
+
     /// The provider (ledger and fleet introspection).
     #[must_use]
     pub fn provider(&self) -> &Provider {
@@ -688,6 +760,7 @@ impl Campaign {
 
     /// Releases the lease and turns the recorded series into verdicts.
     fn finalize(&mut self) -> Result<CampaignOutcome, PentimentoError> {
+        self.note_phase("classify");
         if let Some(session) = self.run.session.take() {
             // A preemption on the very last step may have revoked the
             // lease already; that is not a campaign failure.
@@ -752,6 +825,20 @@ impl Campaign {
         self.stats.non_finite_statistics =
             scored.iter().filter(|c| !c.confidence.is_finite()).count();
         self.stats.faults_injected = self.provider.ledger().faults().len();
+        if let Some(r) = self.obs() {
+            let at = self.provider.now().value();
+            for (route, classified) in scored.iter().enumerate() {
+                if classified.verdict.is_abstain() {
+                    r.event(
+                        CampaignEvent::new(EventKind::Abstain, at)
+                            .route(route as u64)
+                            .value(classified.confidence),
+                    );
+                }
+            }
+            r.incr("campaign.abstained", self.stats.abstained as u64);
+            r.incr("campaign.routes_classified", scored.len() as u64);
+        }
         let metrics = RecoveryMetrics::score(&series, &recovered);
         Ok(CampaignOutcome {
             series,
@@ -788,6 +875,14 @@ impl Campaign {
     /// counters, readings — sealed with [`manifest_json`](Self::manifest_json).
     #[must_use]
     pub fn checkpoint(&self) -> CampaignCheckpoint {
+        if let Some(r) = self.obs() {
+            r.event(
+                CampaignEvent::new(EventKind::CheckpointWrite, self.provider.now().value())
+                    .value(self.run.hours_log.len() as f64)
+                    .detail(self.mission.tag()),
+            );
+            r.incr("campaign.checkpoints", 1);
+        }
         CampaignCheckpoint {
             campaign: self.clone(),
             manifest: self.manifest_json(),
@@ -890,6 +985,7 @@ impl Campaign {
         match outcome {
             Ok(session) => {
                 self.stats.reacquisitions += 1;
+                self.note_fingerprint(session.device_id(), "reacquire");
                 self.load_attack_design(&session)?;
                 self.run.session = Some(session);
                 Ok(())
@@ -938,6 +1034,20 @@ impl Campaign {
         let wait = self.config.retry.backoff_s(attempt, self.backoff_draws);
         self.backoff_draws += 1;
         self.stats.backoff_seconds += wait;
+        if let Some(r) = self.obs() {
+            let at = self.provider.now().value();
+            r.event(
+                CampaignEvent::new(EventKind::Retry, at)
+                    .value(f64::from(attempt))
+                    .detail("session"),
+            );
+            r.event(
+                CampaignEvent::new(EventKind::Backoff, at)
+                    .value(wait)
+                    .detail("session"),
+            );
+            r.incr("campaign.session_retries", 1);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -959,6 +1069,14 @@ impl Campaign {
         let session = self.current_session()?;
         let phase = self.run.hours_log.len() as u64;
         self.run.hours_log.push(hour);
+        if let Some(r) = self.obs() {
+            r.event(
+                CampaignEvent::new(EventKind::PhaseTransition, hour)
+                    .value(phase as f64)
+                    .detail("measure"),
+            );
+            r.incr("campaign.measurement_phases", 1);
+        }
         match self.mission.mode() {
             MeasurementMode::Oracle => {
                 let device = self.provider.device(&session)?;
@@ -999,6 +1117,43 @@ impl Campaign {
                     } else if point.got < repeats {
                         self.stats.degraded_points += 1;
                     }
+                    // Telemetry is emitted here, in the serial
+                    // route-ordered merge — never from the parallel
+                    // workers — so event keys are pure data and the trace
+                    // is width-invariant.
+                    if let Some(r) = self.obs() {
+                        let route = i as u64;
+                        if point.retries > 0 {
+                            r.event(
+                                CampaignEvent::new(EventKind::Retry, hour)
+                                    .route(route)
+                                    .value(f64::from(point.retries))
+                                    .detail("measure"),
+                            );
+                            r.incr("campaign.measurement_retries", u64::from(point.retries));
+                        }
+                        if point.backoff_s > 0.0 {
+                            r.event(
+                                CampaignEvent::new(EventKind::Backoff, hour)
+                                    .route(route)
+                                    .value(point.backoff_s)
+                                    .detail("measure"),
+                            );
+                        }
+                        if point.quorum_failures > 0 {
+                            r.event(
+                                CampaignEvent::new(EventKind::QuorumFailure, hour)
+                                    .route(route)
+                                    .value(f64::from(point.quorum_failures)),
+                            );
+                            r.incr("campaign.quorum_failures", u64::from(point.quorum_failures));
+                        }
+                        if point.got == 0 {
+                            r.incr("campaign.dropped_points", 1);
+                        } else if point.got < repeats {
+                            r.incr("campaign.degraded_points", 1);
+                        }
+                    }
                     self.run.readings[i].push(point.value);
                 }
             }
@@ -1016,6 +1171,9 @@ struct RoutePoint {
     got: usize,
     /// Transient measurement failures retried on this route.
     retries: u32,
+    /// How many of those retries were robust-quorum failures
+    /// ([`tdc::TdcError::Dropout`]) rather than other transient faults.
+    quorum_failures: u32,
     /// Simulated backoff this route's retries accrued, in seconds.
     backoff_s: f64,
 }
@@ -1048,6 +1206,7 @@ fn measure_route(
         value: None,
         got: 0,
         retries: 0,
+        quorum_failures: 0,
         backoff_s: 0.0,
     };
     let mut acc = 0.0;
@@ -1065,6 +1224,9 @@ fn measure_route(
                     break;
                 }
                 Err(e) if e.is_transient() => {
+                    if matches!(e, tdc::TdcError::Dropout { .. }) {
+                        point.quorum_failures += 1;
+                    }
                     // Jitter draws index a per-(route, phase, retry)
                     // stream instead of a shared campaign counter, so
                     // the wait bookkeeping cannot depend on scheduling.

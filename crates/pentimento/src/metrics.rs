@@ -8,24 +8,40 @@ use crate::RouteSeries;
 
 /// Fraction of recovered bits matching the ground truth.
 ///
+/// Scoring zero bits is vacuous, not fatal: empty inputs return the
+/// documented sentinel `0.0` ("nothing was recovered") instead of
+/// panicking. An abstain-everything campaign — every route dropped or
+/// unclassifiable — can therefore still be scored and reported. This
+/// used to be an `assert!` that tore down the whole campaign runner.
+///
 /// # Panics
 ///
-/// Panics if the slices differ in length or are empty.
+/// Panics if the slices differ in length.
 #[must_use]
 pub fn accuracy(recovered: &[LogicLevel], truth: &[LogicLevel]) -> f64 {
     assert_eq!(recovered.len(), truth.len(), "bit vectors differ in length");
-    assert!(!truth.is_empty(), "cannot score zero bits");
+    if truth.is_empty() {
+        return 0.0;
+    }
     let correct = recovered.iter().zip(truth).filter(|(a, b)| a == b).count();
     correct as f64 / truth.len() as f64
 }
 
 /// Fraction of recovered bits that are wrong (1 − accuracy).
 ///
+/// Empty inputs return `0.0`, not `1.0`: zero bits were recovered
+/// incorrectly. (The naive `1.0 - accuracy(..)` would report a 100%
+/// error rate for a campaign that recovered nothing.)
+///
 /// # Panics
 ///
-/// As [`accuracy`].
+/// Panics if the slices differ in length.
 #[must_use]
 pub fn bit_error_rate(recovered: &[LogicLevel], truth: &[LogicLevel]) -> f64 {
+    assert_eq!(recovered.len(), truth.len(), "bit vectors differ in length");
+    if truth.is_empty() {
+        return 0.0;
+    }
     1.0 - accuracy(recovered, truth)
 }
 
@@ -176,9 +192,12 @@ impl RecoveryMetrics {
     /// Scores recovered bits against ground truth, using the series'
     /// slopes as the separation statistic.
     ///
+    /// Empty inputs score as `bits: 0, accuracy: 0.0, dprime: 0.0` (the
+    /// [`accuracy`] and [`separation_dprime`] empty-input conventions).
+    ///
     /// # Panics
     ///
-    /// Panics when inputs are empty or mismatched.
+    /// Panics when `recovered` and `series` lengths mismatch.
     #[must_use]
     pub fn score(series: &[RouteSeries], recovered: &[LogicLevel]) -> Self {
         let truth: Vec<LogicLevel> = series.iter().map(|s| s.burn_value).collect();
@@ -242,6 +261,61 @@ mod tests {
     #[should_panic(expected = "differ in length")]
     fn mismatched_accuracy_panics() {
         let _ = accuracy(&[LogicLevel::One], &[]);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero_without_panicking() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(bit_error_rate(&[], &[]), 0.0, "no bits were wrong");
+        let scored = RecoveryMetrics::score(&[], &[]);
+        assert_eq!(scored.bits, 0);
+        assert_eq!(scored.accuracy, 0.0);
+        assert_eq!(scored.dprime, 0.0);
+    }
+
+    #[test]
+    fn roc_single_class_input_stays_finite() {
+        // Every route burned the same bit: one of the rate denominators
+        // is a zero count. The curve must stay finite (no NaN from 0/0)
+        // and the AUC must stay inside [0, 1] in both sweep directions.
+        for level in [LogicLevel::One, LogicLevel::Zero] {
+            let all: Vec<RouteSeries> = (0..5)
+                .map(|i| series(level, &[0.0, 0.3 * f64::from(i)]))
+                .collect();
+            for positive_below in [false, true] {
+                let points = roc_curve(&all, RouteSeries::slope_ps_per_hour, positive_below);
+                for p in &points {
+                    assert!(p.true_positive_rate.is_finite());
+                    assert!(p.false_positive_rate.is_finite());
+                    assert!((0.0..=1.0).contains(&p.true_positive_rate));
+                    assert!((0.0..=1.0).contains(&p.false_positive_rate));
+                }
+                let auc = roc_auc(&points);
+                assert!(
+                    (0.0..=1.0).contains(&auc),
+                    "single-class auc out of range: {auc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roc_duplicate_statistics_never_go_negative() {
+        // Heavily tied statistic values produce many duplicate-FPR points;
+        // the trapezoid must see them in sorted order (dx >= 0 everywhere)
+        // so no segment contributes negative area.
+        let mut all = Vec::new();
+        for i in 0..12 {
+            let v = f64::from(i % 3); // only three distinct values
+            all.push(series(LogicLevel::One, &[0.0, v]));
+            all.push(series(LogicLevel::Zero, &[0.0, -v]));
+        }
+        let points = roc_curve(&all, RouteSeries::slope_ps_per_hour, false);
+        for w in points.windows(2) {
+            assert!(w[1].false_positive_rate >= w[0].false_positive_rate);
+        }
+        let auc = roc_auc(&points);
+        assert!(auc.is_finite() && (0.0..=1.0).contains(&auc), "auc = {auc}");
     }
 
     #[test]

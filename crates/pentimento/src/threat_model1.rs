@@ -9,6 +9,7 @@
 
 use bti_physics::{Hours, LogicLevel};
 use cloud::{Provider, TenantId};
+use obs::{CampaignEvent, EventKind, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -87,6 +88,33 @@ pub fn run(
     provider: &mut Provider,
     config: &ThreatModel1Config,
 ) -> Result<ThreatModel1Outcome, PentimentoError> {
+    run_traced(provider, config, None)
+}
+
+/// [`run`], with optional structured telemetry.
+///
+/// When `recorder` is `Some`, the driver emits phase-transition events
+/// (`tm1:setup`, per-measurement `measure`, `tm1:classify`) and routes the
+/// batched sensor calls through the observed [`TdcArray`] variants so batch
+/// spans and read counters land in the recorder. Every event is emitted
+/// from this serial driver — never from the parallel sensor workers — so
+/// the trace is deterministic, and the measurement results are
+/// bit-identical to an untraced [`run`].
+///
+/// # Errors
+///
+/// Propagates cloud, fabric, and sensor failures, exactly as [`run`].
+pub fn run_traced(
+    provider: &mut Provider,
+    config: &ThreatModel1Config,
+    recorder: Option<&Recorder>,
+) -> Result<ThreatModel1Outcome, PentimentoError> {
+    if let Some(r) = recorder {
+        r.event(
+            CampaignEvent::new(EventKind::PhaseTransition, provider.now().value())
+                .detail("tm1:setup"),
+        );
+    }
     // Master seed of the per-(route, phase) derived RNG streams; the
     // vendor's secret is drawn serially from a generator seeded with it.
     // The campaign runner mirrors this exact derivation (`Mission::seed`),
@@ -135,7 +163,7 @@ pub fn run(
             skeleton.entries().iter().map(|e| e.route.clone()),
             TdcConfig::cloud(),
         )?;
-        sensors.calibrate_all_streamed(device, master_seed)?;
+        sensors.calibrate_all_streamed_observed(device, master_seed, recorder)?;
     }
 
     let mut hours_log = Vec::new();
@@ -152,13 +180,22 @@ pub fn run(
         let device = provider.device(&session)?;
         let phase = hours_log.len() as u64;
         hours_log.push(hour);
+        if let Some(r) = recorder {
+            r.event(
+                CampaignEvent::new(EventKind::PhaseTransition, hour)
+                    .value(phase as f64)
+                    .detail("measure"),
+            );
+            r.incr("tm1.measurement_phases", 1);
+        }
         let measured = match config.mode {
             MeasurementMode::Oracle => oracle_deltas(device, &skeleton),
-            MeasurementMode::Tdc => sensors.measure_deltas_streamed(
+            MeasurementMode::Tdc => sensors.measure_deltas_streamed_observed(
                 device,
                 config.measurement_repeats.max(1),
                 master_seed,
                 phase,
+                recorder,
             )?,
         };
         for (per_route, value) in readings.iter_mut().zip(measured) {
@@ -184,6 +221,12 @@ pub fn run(
     }
     provider.unload(&session)?;
     provider.release(session)?;
+    if let Some(r) = recorder {
+        r.event(
+            CampaignEvent::new(EventKind::PhaseTransition, provider.now().value())
+                .detail("tm1:classify"),
+        );
+    }
 
     let series: Vec<RouteSeries> = skeleton
         .entries()

@@ -9,6 +9,7 @@
 
 use bti_physics::{Hours, LogicLevel};
 use cloud::{Provider, TenantId};
+use obs::{CampaignEvent, EventKind, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -107,6 +108,32 @@ pub fn run(
     provider: &mut Provider,
     config: &ThreatModel2Config,
 ) -> Result<ThreatModel2Outcome, PentimentoError> {
+    run_traced(provider, config, None)
+}
+
+/// [`run`], with optional structured telemetry.
+///
+/// When `recorder` is `Some`, the driver emits phase-transition events
+/// (`tm2:victim`, `tm2:attack`, per-measurement `measure`, `tm2:classify`)
+/// and routes the batched sensor calls through the observed [`TdcArray`]
+/// variants. Events are emitted only from this serial driver, so the trace
+/// is deterministic and the measurements are bit-identical to an untraced
+/// [`run`].
+///
+/// # Errors
+///
+/// Propagates cloud, fabric, and sensor failures, exactly as [`run`].
+pub fn run_traced(
+    provider: &mut Provider,
+    config: &ThreatModel2Config,
+    recorder: Option<&Recorder>,
+) -> Result<ThreatModel2Outcome, PentimentoError> {
+    if let Some(r) = recorder {
+        r.event(
+            CampaignEvent::new(EventKind::PhaseTransition, provider.now().value())
+                .detail("tm2:victim"),
+        );
+    }
     // Master seed of the per-(route, phase) derived RNG streams; the
     // victim's secret is drawn serially from a generator seeded with it.
     // `Mission::seed` in the campaign runner mirrors this derivation.
@@ -160,6 +187,12 @@ pub fn run(
 
     // --- Attacker epoch. -------------------------------------------------
     // Flash attack: the only rentable device is the victim's.
+    if let Some(r) = recorder {
+        r.event(
+            CampaignEvent::new(EventKind::PhaseTransition, provider.now().value())
+                .detail("tm2:attack"),
+        );
+    }
     let session = provider.rent(attacker)?;
     let reacquired = session.device_id() == victim_device;
     if !reacquired {
@@ -186,7 +219,7 @@ pub fn run(
             skeleton.entries().iter().map(|e| e.route.clone()),
             TdcConfig::cloud(),
         )?;
-        sensors.calibrate_all_streamed(device, master_seed)?;
+        sensors.calibrate_all_streamed_observed(device, master_seed, recorder)?;
     }
 
     let mut hours_log = Vec::new();
@@ -202,13 +235,22 @@ pub fn run(
         let device = provider.device(&session)?;
         let phase = hours_log.len() as u64;
         hours_log.push(hour);
+        if let Some(r) = recorder {
+            r.event(
+                CampaignEvent::new(EventKind::PhaseTransition, hour)
+                    .value(phase as f64)
+                    .detail("measure"),
+            );
+            r.incr("tm2.measurement_phases", 1);
+        }
         let measured = match config.mode {
             MeasurementMode::Oracle => oracle_deltas(device, &skeleton),
-            MeasurementMode::Tdc => sensors.measure_deltas_streamed(
+            MeasurementMode::Tdc => sensors.measure_deltas_streamed_observed(
                 device,
                 config.measurement_repeats.max(1),
                 master_seed,
                 phase,
+                recorder,
             )?,
         };
         for (per_route, value) in readings.iter_mut().zip(measured) {
@@ -235,6 +277,12 @@ pub fn run(
     }
     provider.unload(&session)?;
     provider.release(session)?;
+    if let Some(r) = recorder {
+        r.event(
+            CampaignEvent::new(EventKind::PhaseTransition, provider.now().value())
+                .detail("tm2:classify"),
+        );
+    }
 
     let series: Vec<RouteSeries> = skeleton
         .entries()

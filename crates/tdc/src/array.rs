@@ -8,6 +8,7 @@
 //! seconds while the condition phase costs an hour).
 
 use fpga_fabric::{FpgaDevice, Route};
+use obs::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -89,7 +90,28 @@ impl TdcArray {
         device: &FpgaDevice,
         master_seed: u64,
     ) -> Result<Vec<f64>, TdcError> {
-        self.sensors
+        self.calibrate_all_streamed_observed(device, master_seed, None)
+    }
+
+    /// [`TdcArray::calibrate_all_streamed`] with an optional telemetry
+    /// recorder: the batch is timed as one `tdc.calibrate_batch` span and
+    /// counted per sensor. Only aggregate counters are recorded (never
+    /// per-worker events), so an attached recorder cannot leak thread
+    /// interleavings into a trace.
+    ///
+    /// # Errors
+    ///
+    /// As [`TdcArray::calibrate_all_streamed`].
+    pub fn calibrate_all_streamed_observed(
+        &mut self,
+        device: &FpgaDevice,
+        master_seed: u64,
+        recorder: Option<&Recorder>,
+    ) -> Result<Vec<f64>, TdcError> {
+        let _span = recorder.map(|r| r.span("tdc.calibrate_batch"));
+        let count = self.sensors.len() as u64;
+        let result = self
+            .sensors
             .par_iter_mut()
             .enumerate()
             .map(|(i, sensor)| {
@@ -97,7 +119,11 @@ impl TdcArray {
                     StdRng::seed_from_u64(stream_seed(master_seed, i as u64, STREAM_CALIBRATE));
                 sensor.calibrate(device, &mut rng)
             })
-            .collect()
+            .collect();
+        if let Some(r) = recorder {
+            r.incr("tdc.calibrations", count);
+        }
+        result
     }
 
     /// Adopts per-sensor θ_init values calibrated elsewhere (a sibling
@@ -180,10 +206,32 @@ impl TdcArray {
         master_seed: u64,
         phase: u64,
     ) -> Result<Vec<f64>, TdcError> {
+        self.measure_deltas_streamed_observed(device, repeats, master_seed, phase, None)
+    }
+
+    /// [`TdcArray::measure_deltas_streamed`] with an optional telemetry
+    /// recorder: the batch is timed as one `tdc.measure_batch` span, and
+    /// the batch/read counters grow by the batch totals. Only aggregate
+    /// counters are recorded (never per-worker events), so an attached
+    /// recorder cannot leak thread interleavings into a trace.
+    ///
+    /// # Errors
+    ///
+    /// As [`TdcArray::measure_deltas_streamed`].
+    pub fn measure_deltas_streamed_observed(
+        &self,
+        device: &FpgaDevice,
+        repeats: usize,
+        master_seed: u64,
+        phase: u64,
+        recorder: Option<&Recorder>,
+    ) -> Result<Vec<f64>, TdcError> {
         if repeats == 0 {
             return Err(TdcError::InvalidConfig("repeats must be at least 1"));
         }
-        self.sensors
+        let _span = recorder.map(|r| r.span("tdc.measure_batch"));
+        let result: Result<Vec<f64>, TdcError> = self
+            .sensors
             .par_iter()
             .enumerate()
             .map(|(i, sensor)| {
@@ -198,7 +246,12 @@ impl TdcArray {
                 }
                 Ok(acc / repeats as f64)
             })
-            .collect()
+            .collect();
+        if let Some(r) = recorder {
+            r.incr("tdc.batched_reads", 1);
+            r.incr("tdc.sensor_reads", (self.sensors.len() * repeats) as u64);
+        }
+        result
     }
 }
 
@@ -345,6 +398,32 @@ mod tests {
         for threads in [2, 4] {
             assert_eq!(run(threads), serial, "thread count {threads} diverges");
         }
+    }
+
+    #[test]
+    fn observed_reads_match_unobserved_and_count_batches() {
+        let device = FpgaDevice::zcu102_new(90);
+        let recorder = Recorder::new();
+        let mut plain = TdcArray::place(&device, routes(&device, 3), TdcConfig::cloud()).unwrap();
+        let mut observed = plain.clone();
+        let a = plain.calibrate_all_streamed(&device, 90).unwrap();
+        let b = observed
+            .calibrate_all_streamed_observed(&device, 90, Some(&recorder))
+            .unwrap();
+        assert_eq!(a, b, "telemetry must not perturb calibration");
+        let x = plain.measure_deltas_streamed(&device, 2, 90, 1).unwrap();
+        let y = observed
+            .measure_deltas_streamed_observed(&device, 2, 90, 1, Some(&recorder))
+            .unwrap();
+        assert_eq!(x, y, "telemetry must not perturb measurement");
+        assert_eq!(recorder.counter("tdc.calibrations"), 3);
+        assert_eq!(recorder.counter("tdc.batched_reads"), 1);
+        assert_eq!(recorder.counter("tdc.sensor_reads"), 6);
+        assert_eq!(recorder.counter("span.tdc.measure_batch.finished"), 1);
+        assert!(
+            recorder.trace_jsonl().is_empty(),
+            "counters only, no events"
+        );
     }
 
     #[test]

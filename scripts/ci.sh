@@ -32,6 +32,59 @@ echo "== kernel_bench smoke (fast-path equivalence) =="
 # noise on shared CI hosts must not fail the build.
 cargo run --release -q -p bench --bin kernel_bench -- --smoke
 
+echo "== attack_accuracy trace smoke (observability artifacts + overhead) =="
+# The traced smoke run must produce a parseable JSONL trace and metrics
+# JSON, leave the CSV artifact byte-identical to the untraced run, and
+# (on real hardware) stay within the < 5 % instrumentation overhead
+# budget. The overhead gate follows the kernel_bench convention:
+# informational on hosts with < 4 hardware threads.
+t0=$(date +%s%N)
+cargo run --release -q -p bench --bin attack_accuracy -- --smoke
+t1=$(date +%s%N)
+cp results/attack_accuracy.csv /tmp/ci_untraced_attack_accuracy.csv
+t2=$(date +%s%N)
+cargo run --release -q -p bench --bin attack_accuracy -- --smoke \
+    --trace /tmp/ci_trace.jsonl --metrics /tmp/ci_metrics.json
+t3=$(date +%s%N)
+cmp results/attack_accuracy.csv /tmp/ci_untraced_attack_accuracy.csv \
+    || { echo "FAIL: tracing changed attack_accuracy.csv"; exit 1; }
+test -s /tmp/ci_trace.jsonl || { echo "FAIL: empty trace"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'PY'
+import json
+with open("/tmp/ci_trace.jsonl") as f:
+    lines = [json.loads(l) for l in f if l.strip()]
+assert lines, "trace must contain events"
+for e in lines:
+    assert set(e) == {"at", "kind", "route", "value", "detail"}, e
+kinds = {e["kind"] for e in lines}
+assert len(kinds) >= 3, f"smoke trace too poor: {kinds}"
+with open("/tmp/ci_metrics.json") as f:
+    m = json.load(f)
+for key in ("counters", "histograms", "events", "event_kinds"):
+    assert key in m, f"metrics missing {key}"
+assert m["events"] == len(lines), "metrics/event count mismatch"
+print(f"trace OK: {len(lines)} events, {len(kinds)} kinds")
+PY
+else
+    grep -q '"kind":"phase_transition"' /tmp/ci_trace.jsonl \
+        || { echo "FAIL: trace missing phase_transition"; exit 1; }
+    grep -q '"counters"' /tmp/ci_metrics.json \
+        || { echo "FAIL: metrics missing counters"; exit 1; }
+    echo "trace OK (python3 unavailable; grep-validated)"
+fi
+untraced_s=$(awk "BEGIN{print ($t1-$t0)/1e9}")
+traced_s=$(awk "BEGIN{print ($t3-$t2)/1e9}")
+overhead=$(awk "BEGIN{print ($traced_s-$untraced_s)/$untraced_s*100}")
+echo "untraced ${untraced_s}s, traced ${traced_s}s, overhead ${overhead}%"
+hw_threads=$(nproc 2>/dev/null || echo 1)
+if [ "$hw_threads" -ge 4 ]; then
+    awk "BEGIN{exit !($overhead < 5.0)}" \
+        || { echo "FAIL: instrumentation overhead ${overhead}% >= 5%"; exit 1; }
+else
+    echo "(${hw_threads} hardware thread(s): overhead gate informational)"
+fi
+
 echo "== cargo clippy --workspace -- -D warnings =="
 if command -v cargo-clippy >/dev/null 2>&1; then
     cargo clippy --workspace -- -D warnings \

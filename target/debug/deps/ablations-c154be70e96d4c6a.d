@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-c154be70e96d4c6a.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-c154be70e96d4c6a: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-e2f3a8ead56e1513.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-e2f3a8ead56e1513: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_accuracy-2f7769daff96488a.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/debug/deps/attack_accuracy-2f7769daff96488a: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_accuracy-df6f450db02b1223.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/debug/deps/attack_accuracy-df6f450db02b1223: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

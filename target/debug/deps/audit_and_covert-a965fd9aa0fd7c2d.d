@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_and_covert-a965fd9aa0fd7c2d.d: tests/audit_and_covert.rs
+
+/root/repo/target/debug/deps/audit_and_covert-a965fd9aa0fd7c2d: tests/audit_and_covert.rs
+
+tests/audit_and_covert.rs:

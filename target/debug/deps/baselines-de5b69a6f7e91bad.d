@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/baselines-de5b69a6f7e91bad.d: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+/root/repo/target/debug/deps/baselines-de5b69a6f7e91bad: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ro.rs:
+crates/baselines/src/thermal_channel.rs:

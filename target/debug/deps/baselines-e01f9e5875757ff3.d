@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-e01f9e5875757ff3.d: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+/root/repo/target/debug/deps/libbaselines-e01f9e5875757ff3.rlib: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+/root/repo/target/debug/deps/libbaselines-e01f9e5875757ff3.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ro.rs:
+crates/baselines/src/thermal_channel.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-30d9df6a1ad2c48d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-30d9df6a1ad2c48d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

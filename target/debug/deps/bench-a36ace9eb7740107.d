@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-a36ace9eb7740107.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-a36ace9eb7740107.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-a36ace9eb7740107.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/covert_channel-61d2af7f0c7289ff.d: crates/bench/src/bin/covert_channel.rs
+
+/root/repo/target/debug/deps/covert_channel-61d2af7f0c7289ff: crates/bench/src/bin/covert_channel.rs
+
+crates/bench/src/bin/covert_channel.rs:

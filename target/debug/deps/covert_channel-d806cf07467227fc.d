@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/covert_channel-d806cf07467227fc.d: crates/bench/src/bin/covert_channel.rs
+
+/root/repo/target/debug/deps/covert_channel-d806cf07467227fc: crates/bench/src/bin/covert_channel.rs
+
+crates/bench/src/bin/covert_channel.rs:

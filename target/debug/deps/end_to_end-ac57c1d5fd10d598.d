@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ac57c1d5fd10d598.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ac57c1d5fd10d598: tests/end_to_end.rs
+
+tests/end_to_end.rs:

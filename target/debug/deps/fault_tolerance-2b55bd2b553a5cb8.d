@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-2b55bd2b553a5cb8.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-2b55bd2b553a5cb8: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

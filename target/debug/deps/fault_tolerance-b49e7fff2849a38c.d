@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-b49e7fff2849a38c.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-b49e7fff2849a38c: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_inverter-88fe8a852bbe78bf.d: crates/bench/src/bin/fig2_inverter.rs
+
+/root/repo/target/debug/deps/fig2_inverter-88fe8a852bbe78bf: crates/bench/src/bin/fig2_inverter.rs
+
+crates/bench/src/bin/fig2_inverter.rs:

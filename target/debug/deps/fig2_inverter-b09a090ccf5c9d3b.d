@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_inverter-b09a090ccf5c9d3b.d: crates/bench/src/bin/fig2_inverter.rs
+
+/root/repo/target/debug/deps/fig2_inverter-b09a090ccf5c9d3b: crates/bench/src/bin/fig2_inverter.rs
+
+crates/bench/src/bin/fig2_inverter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_traces-33bfd14f3d3c341c.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/debug/deps/fig3_traces-33bfd14f3d3c341c: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

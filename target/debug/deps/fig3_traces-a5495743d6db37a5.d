@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_traces-a5495743d6db37a5.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/debug/deps/fig3_traces-a5495743d6db37a5: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-040706a9ac06dc16.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-040706a9ac06dc16: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-e3ff6f8fcee88ea0.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-e3ff6f8fcee88ea0: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

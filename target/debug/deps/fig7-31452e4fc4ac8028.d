@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-31452e4fc4ac8028.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-31452e4fc4ac8028: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-d96bad18f248a3c4.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-d96bad18f248a3c4: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

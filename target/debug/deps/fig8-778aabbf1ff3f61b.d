@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-778aabbf1ff3f61b.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-778aabbf1ff3f61b: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-d5b89d45c2e8e3a3.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-d5b89d45c2e8e3a3: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

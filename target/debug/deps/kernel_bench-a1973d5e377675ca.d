@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_bench-a1973d5e377675ca.d: crates/bench/src/bin/kernel_bench.rs
+
+/root/repo/target/debug/deps/kernel_bench-a1973d5e377675ca: crates/bench/src/bin/kernel_bench.rs
+
+crates/bench/src/bin/kernel_bench.rs:

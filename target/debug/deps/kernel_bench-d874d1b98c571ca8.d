@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_bench-d874d1b98c571ca8.d: crates/bench/src/bin/kernel_bench.rs
+
+/root/repo/target/debug/deps/kernel_bench-d874d1b98c571ca8: crates/bench/src/bin/kernel_bench.rs
+
+crates/bench/src/bin/kernel_bench.rs:

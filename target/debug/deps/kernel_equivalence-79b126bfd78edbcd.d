@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_equivalence-79b126bfd78edbcd.d: tests/kernel_equivalence.rs
+
+/root/repo/target/debug/deps/kernel_equivalence-79b126bfd78edbcd: tests/kernel_equivalence.rs
+
+tests/kernel_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lut_comparison-19762e3935c0cea7.d: crates/bench/src/bin/lut_comparison.rs
+
+/root/repo/target/debug/deps/lut_comparison-19762e3935c0cea7: crates/bench/src/bin/lut_comparison.rs
+
+crates/bench/src/bin/lut_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lut_comparison-84d53fb80960f2bd.d: crates/bench/src/bin/lut_comparison.rs
+
+/root/repo/target/debug/deps/lut_comparison-84d53fb80960f2bd: crates/bench/src/bin/lut_comparison.rs
+
+crates/bench/src/bin/lut_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mitigations-2e2f5d92d69198b3.d: crates/bench/src/bin/mitigations.rs
+
+/root/repo/target/debug/deps/mitigations-2e2f5d92d69198b3: crates/bench/src/bin/mitigations.rs
+
+crates/bench/src/bin/mitigations.rs:

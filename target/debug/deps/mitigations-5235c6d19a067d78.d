@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mitigations-5235c6d19a067d78.d: crates/bench/src/bin/mitigations.rs
+
+/root/repo/target/debug/deps/mitigations-5235c6d19a067d78: crates/bench/src/bin/mitigations.rs
+
+crates/bench/src/bin/mitigations.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/obs-6bdd3081eaa67017.d: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/libobs-6bdd3081eaa67017.rlib: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/libobs-6bdd3081eaa67017.rmeta: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs-bd85d045b911b8a5.d: crates/obs/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs-bd85d045b911b8a5.rmeta: crates/obs/src/lib.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs-fdc011be34960d79.d: crates/obs/src/lib.rs
+
+/root/repo/target/debug/deps/obs-fdc011be34960d79: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

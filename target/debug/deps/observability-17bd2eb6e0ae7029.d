@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-17bd2eb6e0ae7029.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-17bd2eb6e0ae7029: tests/observability.rs
+
+tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-3f4d3ac81dbaa4f8.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-3f4d3ac81dbaa4f8: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_scaling-0599cf995ca4f2a9.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/debug/deps/parallel_scaling-0599cf995ca4f2a9: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

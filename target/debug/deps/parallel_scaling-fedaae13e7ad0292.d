@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_scaling-fedaae13e7ad0292.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/debug/deps/parallel_scaling-fedaae13e7ad0292: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/pentimento-340b7180e29a5a1f.d: crates/pentimento/src/lib.rs crates/pentimento/src/analysis.rs crates/pentimento/src/audit.rs crates/pentimento/src/campaign.rs crates/pentimento/src/classify.rs crates/pentimento/src/covert.rs crates/pentimento/src/designs.rs crates/pentimento/src/error.rs crates/pentimento/src/experiment.rs crates/pentimento/src/metrics.rs crates/pentimento/src/mitigations.rs crates/pentimento/src/report.rs crates/pentimento/src/series.rs crates/pentimento/src/skeleton.rs crates/pentimento/src/threat_model1.rs crates/pentimento/src/threat_model2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpentimento-340b7180e29a5a1f.rmeta: crates/pentimento/src/lib.rs crates/pentimento/src/analysis.rs crates/pentimento/src/audit.rs crates/pentimento/src/campaign.rs crates/pentimento/src/classify.rs crates/pentimento/src/covert.rs crates/pentimento/src/designs.rs crates/pentimento/src/error.rs crates/pentimento/src/experiment.rs crates/pentimento/src/metrics.rs crates/pentimento/src/mitigations.rs crates/pentimento/src/report.rs crates/pentimento/src/series.rs crates/pentimento/src/skeleton.rs crates/pentimento/src/threat_model1.rs crates/pentimento/src/threat_model2.rs Cargo.toml
+
+crates/pentimento/src/lib.rs:
+crates/pentimento/src/analysis.rs:
+crates/pentimento/src/audit.rs:
+crates/pentimento/src/campaign.rs:
+crates/pentimento/src/classify.rs:
+crates/pentimento/src/covert.rs:
+crates/pentimento/src/designs.rs:
+crates/pentimento/src/error.rs:
+crates/pentimento/src/experiment.rs:
+crates/pentimento/src/metrics.rs:
+crates/pentimento/src/mitigations.rs:
+crates/pentimento/src/report.rs:
+crates/pentimento/src/series.rs:
+crates/pentimento/src/skeleton.rs:
+crates/pentimento/src/threat_model1.rs:
+crates/pentimento/src/threat_model2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

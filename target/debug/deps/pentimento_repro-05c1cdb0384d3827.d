@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pentimento_repro-05c1cdb0384d3827.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpentimento_repro-05c1cdb0384d3827.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpentimento_repro-05c1cdb0384d3827.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pentimento_repro-6e04d7700f2b4978.d: src/lib.rs
+
+/root/repo/target/debug/deps/pentimento_repro-6e04d7700f2b4978: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pentimento_repro-e6a64eb33e51b6e0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpentimento_repro-e6a64eb33e51b6e0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

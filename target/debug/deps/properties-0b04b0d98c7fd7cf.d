@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0b04b0d98c7fd7cf.d: crates/obs/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0b04b0d98c7fd7cf: crates/obs/tests/properties.rs
+
+crates/obs/tests/properties.rs:

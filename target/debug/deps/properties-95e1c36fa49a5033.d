@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-95e1c36fa49a5033.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-95e1c36fa49a5033: tests/properties.rs
+
+tests/properties.rs:

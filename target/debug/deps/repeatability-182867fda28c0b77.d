@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repeatability-182867fda28c0b77.d: crates/bench/src/bin/repeatability.rs
+
+/root/repo/target/debug/deps/repeatability-182867fda28c0b77: crates/bench/src/bin/repeatability.rs
+
+crates/bench/src/bin/repeatability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repeatability-e54266801885b122.d: crates/bench/src/bin/repeatability.rs
+
+/root/repo/target/debug/deps/repeatability-e54266801885b122: crates/bench/src/bin/repeatability.rs
+
+crates/bench/src/bin/repeatability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience_properties-488d08c1b7f9ff5c.d: tests/resilience_properties.rs
+
+/root/repo/target/debug/deps/resilience_properties-488d08c1b7f9ff5c: tests/resilience_properties.rs
+
+tests/resilience_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ro_baseline-289569f659703d66.d: crates/bench/src/bin/ro_baseline.rs
+
+/root/repo/target/debug/deps/ro_baseline-289569f659703d66: crates/bench/src/bin/ro_baseline.rs
+
+crates/bench/src/bin/ro_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ro_baseline-4368d5877059f417.d: crates/bench/src/bin/ro_baseline.rs
+
+/root/repo/target/debug/deps/ro_baseline-4368d5877059f417: crates/bench/src/bin/ro_baseline.rs
+
+crates/bench/src/bin/ro_baseline.rs:

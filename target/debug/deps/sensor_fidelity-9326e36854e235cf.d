@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensor_fidelity-9326e36854e235cf.d: tests/sensor_fidelity.rs
+
+/root/repo/target/debug/deps/sensor_fidelity-9326e36854e235cf: tests/sensor_fidelity.rs
+
+tests/sensor_fidelity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-da712b7a48a41ec8.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-da712b7a48a41ec8.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

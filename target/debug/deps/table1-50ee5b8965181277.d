@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-50ee5b8965181277.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-50ee5b8965181277: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e092d7b2a4d64e0f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e092d7b2a4d64e0f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

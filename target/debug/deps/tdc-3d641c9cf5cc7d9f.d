@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tdc-3d641c9cf5cc7d9f.d: crates/tdc/src/lib.rs crates/tdc/src/array.rs crates/tdc/src/capture.rs crates/tdc/src/clock.rs crates/tdc/src/config.rs crates/tdc/src/error.rs crates/tdc/src/faults.rs crates/tdc/src/measurement.rs crates/tdc/src/sensor.rs crates/tdc/src/stream.rs
+
+/root/repo/target/debug/deps/libtdc-3d641c9cf5cc7d9f.rlib: crates/tdc/src/lib.rs crates/tdc/src/array.rs crates/tdc/src/capture.rs crates/tdc/src/clock.rs crates/tdc/src/config.rs crates/tdc/src/error.rs crates/tdc/src/faults.rs crates/tdc/src/measurement.rs crates/tdc/src/sensor.rs crates/tdc/src/stream.rs
+
+/root/repo/target/debug/deps/libtdc-3d641c9cf5cc7d9f.rmeta: crates/tdc/src/lib.rs crates/tdc/src/array.rs crates/tdc/src/capture.rs crates/tdc/src/clock.rs crates/tdc/src/config.rs crates/tdc/src/error.rs crates/tdc/src/faults.rs crates/tdc/src/measurement.rs crates/tdc/src/sensor.rs crates/tdc/src/stream.rs
+
+crates/tdc/src/lib.rs:
+crates/tdc/src/array.rs:
+crates/tdc/src/capture.rs:
+crates/tdc/src/clock.rs:
+crates/tdc/src/config.rs:
+crates/tdc/src/error.rs:
+crates/tdc/src/faults.rs:
+crates/tdc/src/measurement.rs:
+crates/tdc/src/sensor.rs:
+crates/tdc/src/stream.rs:

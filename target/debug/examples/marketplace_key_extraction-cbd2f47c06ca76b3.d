@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/marketplace_key_extraction-cbd2f47c06ca76b3.d: examples/marketplace_key_extraction.rs
+
+/root/repo/target/debug/examples/marketplace_key_extraction-cbd2f47c06ca76b3: examples/marketplace_key_extraction.rs
+
+examples/marketplace_key_extraction.rs:

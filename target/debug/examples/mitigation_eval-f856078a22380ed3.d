@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mitigation_eval-f856078a22380ed3.d: examples/mitigation_eval.rs
+
+/root/repo/target/debug/examples/mitigation_eval-f856078a22380ed3: examples/mitigation_eval.rs
+
+examples/mitigation_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/opentitan_audit-717ecce3cac8b368.d: examples/opentitan_audit.rs
+
+/root/repo/target/debug/examples/opentitan_audit-717ecce3cac8b368: examples/opentitan_audit.rs
+
+examples/opentitan_audit.rs:

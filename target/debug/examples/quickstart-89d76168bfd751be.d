@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-89d76168bfd751be.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-89d76168bfd751be: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilient_campaign-6551c88f34dcf9a2.d: examples/resilient_campaign.rs
+
+/root/repo/target/debug/examples/resilient_campaign-6551c88f34dcf9a2: examples/resilient_campaign.rs
+
+examples/resilient_campaign.rs:

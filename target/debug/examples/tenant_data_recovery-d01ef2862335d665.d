@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tenant_data_recovery-d01ef2862335d665.d: examples/tenant_data_recovery.rs
+
+/root/repo/target/debug/examples/tenant_data_recovery-d01ef2862335d665: examples/tenant_data_recovery.rs
+
+examples/tenant_data_recovery.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libcrossbeam.rlib: /root/repo/vendor/crossbeam/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libobs.rlib: /root/repo/crates/obs/src/lib.rs

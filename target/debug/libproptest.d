@@ -1,0 +1,1 @@
+/root/repo/target/debug/libproptest.rlib: /root/repo/vendor/proptest/src/lib.rs /root/repo/vendor/rand/src/lib.rs

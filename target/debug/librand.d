@@ -1,0 +1,1 @@
+/root/repo/target/debug/librand.rlib: /root/repo/vendor/rand/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/librayon.rlib: /root/repo/vendor/rayon/src/lib.rs

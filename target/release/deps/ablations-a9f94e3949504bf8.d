@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-a9f94e3949504bf8.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-a9f94e3949504bf8: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

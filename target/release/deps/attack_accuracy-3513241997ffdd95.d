@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attack_accuracy-3513241997ffdd95.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/release/deps/attack_accuracy-3513241997ffdd95: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/baselines-049acd181f3acc6c.d: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+/root/repo/target/release/deps/libbaselines-049acd181f3acc6c.rlib: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+/root/repo/target/release/deps/libbaselines-049acd181f3acc6c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ro.rs crates/baselines/src/thermal_channel.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ro.rs:
+crates/baselines/src/thermal_channel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-58f6ef91eb63232b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-58f6ef91eb63232b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-58f6ef91eb63232b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/covert_channel-bab92266b68e269d.d: crates/bench/src/bin/covert_channel.rs
+
+/root/repo/target/release/deps/covert_channel-bab92266b68e269d: crates/bench/src/bin/covert_channel.rs
+
+crates/bench/src/bin/covert_channel.rs:

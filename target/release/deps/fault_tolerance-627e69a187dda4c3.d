@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-627e69a187dda4c3.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-627e69a187dda4c3: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_inverter-a054bc295c218dba.d: crates/bench/src/bin/fig2_inverter.rs
+
+/root/repo/target/release/deps/fig2_inverter-a054bc295c218dba: crates/bench/src/bin/fig2_inverter.rs
+
+crates/bench/src/bin/fig2_inverter.rs:

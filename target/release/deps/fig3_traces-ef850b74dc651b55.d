@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_traces-ef850b74dc651b55.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/release/deps/fig3_traces-ef850b74dc651b55: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-0c67f0c74b416564.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-0c67f0c74b416564: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-a3d59dae84aec1aa.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-a3d59dae84aec1aa: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-ee54f3af7a31b6bc.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-ee54f3af7a31b6bc: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel_bench-6d7c399c3e7cf375.d: crates/bench/src/bin/kernel_bench.rs
+
+/root/repo/target/release/deps/kernel_bench-6d7c399c3e7cf375: crates/bench/src/bin/kernel_bench.rs
+
+crates/bench/src/bin/kernel_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lut_comparison-6792adb4d163b119.d: crates/bench/src/bin/lut_comparison.rs
+
+/root/repo/target/release/deps/lut_comparison-6792adb4d163b119: crates/bench/src/bin/lut_comparison.rs
+
+crates/bench/src/bin/lut_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mitigations-eea671fab702ffb1.d: crates/bench/src/bin/mitigations.rs
+
+/root/repo/target/release/deps/mitigations-eea671fab702ffb1: crates/bench/src/bin/mitigations.rs
+
+crates/bench/src/bin/mitigations.rs:

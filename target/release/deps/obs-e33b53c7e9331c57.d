@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/obs-e33b53c7e9331c57.d: crates/obs/src/lib.rs
+
+/root/repo/target/release/deps/libobs-e33b53c7e9331c57.rlib: crates/obs/src/lib.rs
+
+/root/repo/target/release/deps/libobs-e33b53c7e9331c57.rmeta: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_scaling-0e75bc9e2287a988.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/release/deps/parallel_scaling-0e75bc9e2287a988: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pentimento_repro-b21e8eb7a18038ac.d: src/lib.rs
+
+/root/repo/target/release/deps/pentimento_repro-b21e8eb7a18038ac: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pentimento_repro-fb860070863c5cdf.d: src/lib.rs
+
+/root/repo/target/release/deps/libpentimento_repro-fb860070863c5cdf.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpentimento_repro-fb860070863c5cdf.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repeatability-f5d122139ae599f7.d: crates/bench/src/bin/repeatability.rs
+
+/root/repo/target/release/deps/repeatability-f5d122139ae599f7: crates/bench/src/bin/repeatability.rs
+
+crates/bench/src/bin/repeatability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ro_baseline-8689ed4ac7478dc2.d: crates/bench/src/bin/ro_baseline.rs
+
+/root/repo/target/release/deps/ro_baseline-8689ed4ac7478dc2: crates/bench/src/bin/ro_baseline.rs
+
+crates/bench/src/bin/ro_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-2e7bf81b2d706727.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-2e7bf81b2d706727: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

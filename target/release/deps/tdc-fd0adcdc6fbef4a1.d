@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/tdc-fd0adcdc6fbef4a1.d: crates/tdc/src/lib.rs crates/tdc/src/array.rs crates/tdc/src/capture.rs crates/tdc/src/clock.rs crates/tdc/src/config.rs crates/tdc/src/error.rs crates/tdc/src/faults.rs crates/tdc/src/measurement.rs crates/tdc/src/sensor.rs crates/tdc/src/stream.rs
+
+/root/repo/target/release/deps/libtdc-fd0adcdc6fbef4a1.rlib: crates/tdc/src/lib.rs crates/tdc/src/array.rs crates/tdc/src/capture.rs crates/tdc/src/clock.rs crates/tdc/src/config.rs crates/tdc/src/error.rs crates/tdc/src/faults.rs crates/tdc/src/measurement.rs crates/tdc/src/sensor.rs crates/tdc/src/stream.rs
+
+/root/repo/target/release/deps/libtdc-fd0adcdc6fbef4a1.rmeta: crates/tdc/src/lib.rs crates/tdc/src/array.rs crates/tdc/src/capture.rs crates/tdc/src/clock.rs crates/tdc/src/config.rs crates/tdc/src/error.rs crates/tdc/src/faults.rs crates/tdc/src/measurement.rs crates/tdc/src/sensor.rs crates/tdc/src/stream.rs
+
+crates/tdc/src/lib.rs:
+crates/tdc/src/array.rs:
+crates/tdc/src/capture.rs:
+crates/tdc/src/clock.rs:
+crates/tdc/src/config.rs:
+crates/tdc/src/error.rs:
+crates/tdc/src/faults.rs:
+crates/tdc/src/measurement.rs:
+crates/tdc/src/sensor.rs:
+crates/tdc/src/stream.rs:

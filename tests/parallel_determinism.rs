@@ -138,6 +138,53 @@ fn hostile_campaign_is_identical_at_every_pool_width_including_stats() {
 }
 
 #[test]
+fn hostile_campaign_trace_is_identical_at_every_pool_width() {
+    use std::sync::Arc;
+
+    // One recorder per width; the campaign, its provider, and the sensor
+    // layer all drain into it. Equal result bytes are not enough here —
+    // the *telemetry* must be width-invariant too: every event is emitted
+    // from serial merge points keyed by simulation content, and the trace
+    // serializer sorts by that content key.
+    let run = |width: usize| {
+        at_width(width, || {
+            let recorder = Arc::new(obs::Recorder::new());
+            let mut campaign = hostile_tm1_campaign();
+            campaign.set_recorder(Some(Arc::clone(&recorder)));
+            let outcome = campaign.run().expect("completes");
+            (outcome, recorder.trace_jsonl(), recorder.counters())
+        })
+    };
+    let (serial_outcome, serial_trace, serial_counters) = run(1);
+    assert!(
+        !serial_trace.is_empty(),
+        "a hostile campaign must emit events"
+    );
+    for width in [2, 4] {
+        let (outcome, trace, counters) = run(width);
+        assert_eq!(
+            serial_outcome.series, outcome.series,
+            "series must stay byte-identical with a recorder attached at width {width}"
+        );
+        assert_eq!(serial_outcome.stats, outcome.stats);
+        assert_eq!(
+            serial_trace, trace,
+            "event trace must be byte-identical at width {width}"
+        );
+        assert_eq!(
+            serial_counters, counters,
+            "counters must agree at width {width}"
+        );
+    }
+
+    // Attaching the recorder must not perturb the simulation at all:
+    // the untraced run of the same campaign produces the same outcome.
+    let untraced = at_width(1, || hostile_tm1_campaign().run().expect("completes"));
+    assert_eq!(untraced.series, serial_outcome.series);
+    assert_eq!(untraced.stats, serial_outcome.stats);
+}
+
+#[test]
 fn checkpoint_under_one_width_resumes_identically_under_another() {
     let reference = at_width(1, || hostile_tm1_campaign().run().expect("completes"));
 

@@ -224,4 +224,78 @@ proptest! {
                 && w[0].true_positive_rate <= w[1].true_positive_rate
         }), "ROC curve must be monotone after the drop");
     }
+
+    /// Accuracy and bit-error rate are total over any same-length bit
+    /// vectors — including empty ones — and always complementary, bounded
+    /// probabilities. (Empty inputs used to assert-panic mid-campaign.)
+    #[test]
+    fn accuracy_is_total_and_bounded(
+        bits in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..64),
+    ) {
+        use pentimento::{accuracy, bit_error_rate};
+        let recovered: Vec<LogicLevel> =
+            bits.iter().map(|(r, _)| LogicLevel::from_bool(*r)).collect();
+        let truth: Vec<LogicLevel> =
+            bits.iter().map(|(_, t)| LogicLevel::from_bool(*t)).collect();
+        let acc = accuracy(&recovered, &truth);
+        let ber = bit_error_rate(&recovered, &truth);
+        prop_assert!((0.0..=1.0).contains(&acc), "accuracy out of range: {acc}");
+        prop_assert!((0.0..=1.0).contains(&ber), "BER out of range: {ber}");
+        if bits.is_empty() {
+            prop_assert_eq!(acc, 0.0, "empty truth scores the documented 0.0");
+            prop_assert_eq!(ber, 0.0, "no bits were recovered incorrectly");
+        } else {
+            prop_assert!((acc + ber - 1.0).abs() < 1e-12, "acc {acc} + ber {ber}");
+        }
+    }
+
+    /// The AUC of any ROC curve — single-class inputs, heavily tied
+    /// statistics, tiny samples — is a finite value in [0, 1]: duplicate
+    /// false-positive rates must never produce negative trapezoid area.
+    #[test]
+    fn roc_auc_is_always_a_bounded_probability(
+        samples in proptest::collection::vec(
+            ((-3i32..=3), any::<bool>()), 1..24),
+        positive_below in any::<bool>(),
+    ) {
+        use pentimento::{roc_auc, roc_curve, RouteSeries};
+        // i32 statistic values in a narrow range force many exact ties.
+        let series: Vec<RouteSeries> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, (v, bit))| RouteSeries::from_raw(
+                i, 5_000.0, LogicLevel::from_bool(*bit),
+                vec![0.0, 1.0], vec![0.0, f64::from(*v)],
+            ))
+            .collect();
+        let points = roc_curve(&series, |s| s.delta_ps[1], positive_below);
+        let auc = roc_auc(&points);
+        prop_assert!(auc.is_finite(), "auc must be finite: {auc}");
+        prop_assert!((0.0..=1.0).contains(&auc), "auc out of [0,1]: {auc}");
+    }
+
+    /// Silverman's rule yields a strictly positive, finite bandwidth for
+    /// any grid — constant, single-point, empty, or wildly scaled — so
+    /// `fit_auto` can never divide kernel weights by zero.
+    #[test]
+    fn silverman_bandwidth_is_always_positive_and_finite(
+        mut x in proptest::collection::vec(-1e9f64..1e9, 0..64),
+        collapse in any::<bool>(),
+    ) {
+        use pentimento::analysis::silverman_bandwidth;
+        if collapse {
+            // Degenerate variant: every sample identical.
+            let v = x.first().copied().unwrap_or(0.0);
+            for s in &mut x { *s = v; }
+        }
+        let h = silverman_bandwidth(&x);
+        prop_assert!(h.is_finite(), "bandwidth must be finite: {h}");
+        prop_assert!(h >= 1e-9, "bandwidth must clear the floor: {h}");
+        if collapse {
+            // Not exactly the floor: a constant grid at large magnitude
+            // keeps a ~|v|·ε rounding residue in its computed σ. The
+            // contract is only that the bandwidth stays tiny but usable.
+            prop_assert!(h < 1e-6, "constant grid bandwidth stays near the floor: {h}");
+        }
+    }
 }
