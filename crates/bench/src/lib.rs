@@ -227,15 +227,54 @@ impl ObsSink {
     /// summary table. Returns the first I/O error, after attempting both
     /// writes.
     ///
+    /// When a trace was requested, also drops the derived health
+    /// indicators next to it (`<trace>.indicators.json`, one line of
+    /// deterministic JSON) and prints the headline indicators — the
+    /// emitted trace is round-tripped through the `obs-analyze` strict
+    /// parser on the way, so every traced bench run doubles as a
+    /// producer/consumer contract check.
+    ///
     /// # Errors
     ///
-    /// Propagates filesystem failures writing either artifact.
+    /// Propagates filesystem failures writing any artifact.
     pub fn finish(&self) -> std::io::Result<()> {
         let mut first_err = None;
         if let Some(path) = &self.trace {
-            match fs::write(path, self.recorder.trace_jsonl()) {
+            let trace = self.recorder.trace_jsonl();
+            match fs::write(path, &trace) {
                 Ok(()) => println!("wrote {}", path.display()),
                 Err(e) => first_err = first_err.or(Some(e)),
+            }
+            match obs_analyze::parse_trace(&trace) {
+                Ok(events) => {
+                    let ind = obs_analyze::compute_indicators(
+                        &events,
+                        None,
+                        &obs_analyze::IndicatorConfig::default(),
+                    );
+                    let mut ind_path = path.as_os_str().to_owned();
+                    ind_path.push(".indicators.json");
+                    let ind_path = PathBuf::from(ind_path);
+                    match fs::write(&ind_path, ind.to_json() + "\n") {
+                        Ok(()) => println!("wrote {}", ind_path.display()),
+                        Err(e) => first_err = first_err.or(Some(e)),
+                    }
+                    println!(
+                        "indicators: {} events, retry storm: {}, cache hit ratio: {}",
+                        ind.events,
+                        if ind.has_retry_storm() { "YES" } else { "no" },
+                        ind.cache_hit_ratio
+                            .map_or_else(|| "n/a".to_owned(), obs::json_f64),
+                    );
+                }
+                Err(e) => {
+                    // A trace the consumer cannot parse is a contract
+                    // violation, not an I/O hiccup — surface it loudly.
+                    first_err = first_err.or(Some(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("emitted trace failed strict re-parse: {e}"),
+                    )));
+                }
             }
         }
         if let Some(path) = &self.metrics {

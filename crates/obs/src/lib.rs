@@ -35,6 +35,32 @@ use std::fmt::Write as _;
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// Schema version stamped into every [`Recorder::metrics_json`] snapshot.
+///
+/// Version history:
+///
+/// * **1** — the PR-4 shape: `counters`, `histograms`, `events`,
+///   `event_kinds` (no `schema_version` key; consumers must treat a
+///   missing key as version 1).
+/// * **2** — adds the explicit `schema_version` key itself.
+///
+/// The analysis layer (`obs-analyze`) accepts version N and N−1, so a
+/// schema bump here must keep one generation of old artifacts readable.
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
+
+/// Schema version of the JSONL trace line shape (the five-key
+/// `at`/`kind`/`route`/`value`/`detail` object emitted by
+/// [`CampaignEvent::json`]). Trace lines carry no version key — the shape
+/// itself is the contract, pinned by the strict parser in `obs-analyze` —
+/// so this constant exists for consumers to report what they implement.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// Counter incremented by [`Recorder::observe`] whenever a non-finite
+/// sample (NaN, ±∞) is dropped instead of being ingested into a
+/// histogram. Mirrors the `roc_curve_counted` convention: degenerate
+/// inputs are counted, never silently folded into totals.
+pub const NON_FINITE_DROPPED_COUNTER: &str = "histogram_non_finite_dropped";
+
 /// Every kind of structured event the campaign stack can emit.
 ///
 /// The discriminant order is part of the determinism contract: events that
@@ -102,6 +128,38 @@ impl EventKind {
             EventKind::CacheHit => "cache_hit",
             EventKind::CacheMiss => "cache_miss",
         }
+    }
+}
+
+/// Error returned when a string is not one of the 12 wire names in
+/// [`EventKind::as_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEventKindError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParseEventKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown event kind {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseEventKindError {}
+
+impl std::str::FromStr for EventKind {
+    type Err = ParseEventKindError;
+
+    /// Inverse of [`EventKind::as_str`]: the single source of truth for
+    /// the snake_case wire names, so trace consumers (`obs-analyze`)
+    /// cannot drift from the emitter.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EventKind::ALL
+            .into_iter()
+            .find(|kind| kind.as_str() == s)
+            .ok_or_else(|| ParseEventKindError {
+                input: s.to_owned(),
+            })
     }
 }
 
@@ -196,7 +254,10 @@ impl CampaignEvent {
 /// Formats an `f64` as a JSON value; non-finite values become `null`
 /// (JSON has no NaN/Inf). Rust's shortest-roundtrip `Display` is
 /// deterministic, so equal bit patterns always print identically.
-fn json_f64(v: f64) -> String {
+/// Public so the analysis layer emits numbers byte-identically to the
+/// recorder.
+#[must_use]
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -204,8 +265,14 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-/// Escapes a string for embedding in a JSON literal.
-fn escape_json(s: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal per RFC 8259:
+/// `"` and `\` get a backslash escape, the common control characters use
+/// their short forms, and every other control character (U+0000–U+001F)
+/// becomes a `\u00XX` escape. Everything else — including non-ASCII —
+/// passes through verbatim. Public so the analysis layer's reports quote
+/// details exactly the way the recorder does.
+#[must_use]
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -265,7 +332,14 @@ impl Histogram {
         exp.clamp(0, Self::BUCKETS as i32 - 1) as usize
     }
 
-    fn observe(&mut self, v: f64) {
+    /// Ingests one sample. Non-finite samples (NaN, ±∞) are dropped —
+    /// a single Inf would poison `sum` and `max` forever, and NaN would
+    /// make `min`/`max` order-dependent. Returns whether the sample was
+    /// ingested so callers can count the drops.
+    fn observe(&mut self, v: f64) -> bool {
+        if !v.is_finite() {
+            return false;
+        }
         self.count += 1;
         self.sum += v;
         if v < self.min {
@@ -275,6 +349,7 @@ impl Histogram {
             self.max = v;
         }
         self.buckets[Self::bucket_index(v)] += 1;
+        true
     }
 
     /// Non-empty buckets as `(index, count)` pairs, ascending.
@@ -380,14 +455,27 @@ impl Recorder {
             .collect()
     }
 
-    /// Records one observation into histogram `name`.
+    /// Records one observation into histogram `name`. Non-finite samples
+    /// are dropped and tallied in the
+    /// [`NON_FINITE_DROPPED_COUNTER`] counter instead of silently
+    /// polluting the bucket totals.
     pub fn observe(&self, name: &str, value: f64) {
         let mut inner = self.lock();
-        inner
+        if !value.is_finite() {
+            // Checked before the entry lookup so a stream of pure noise
+            // never materializes an empty histogram in the snapshot.
+            *inner
+                .counters
+                .entry(NON_FINITE_DROPPED_COUNTER.to_owned())
+                .or_insert(0) += 1;
+            return;
+        }
+        let ingested = inner
             .histograms
             .entry(name.to_owned())
             .or_default()
             .observe(value);
+        debug_assert!(ingested, "finite samples always ingest");
     }
 
     /// Snapshot of histogram `name`, if any value was ever observed.
@@ -461,12 +549,13 @@ impl Recorder {
         out
     }
 
-    /// The metrics snapshot as one JSON object with keys `counters`,
+    /// The metrics snapshot as one JSON object with keys
+    /// `schema_version` ([`METRICS_SCHEMA_VERSION`]), `counters`,
     /// `histograms`, `events`, and `event_kinds`.
     #[must_use]
     pub fn metrics_json(&self) -> String {
         let inner = self.lock();
-        let mut out = String::from("{\"counters\":{");
+        let mut out = format!("{{\"schema_version\":{METRICS_SCHEMA_VERSION},\"counters\":{{");
         for (n, (name, value)) in inner.counters.iter().enumerate() {
             if n > 0 {
                 out.push(',');
@@ -651,14 +740,47 @@ mod tests {
     #[test]
     fn histogram_buckets_cover_extremes() {
         let mut h = Histogram::new();
-        for v in [0.0, -3.0, 1e-30, 1e-6, 0.5, 1.0, 7.0, 1e12, f64::INFINITY] {
-            h.observe(v);
+        for v in [0.0, -3.0, 1e-30, 1e-6, 0.5, 1.0, 7.0, 1e12] {
+            assert!(h.observe(v));
         }
-        assert_eq!(h.count, 9);
-        assert_eq!(h.max, f64::INFINITY);
+        assert_eq!(h.count, 8);
+        assert_eq!(h.max, 1e12);
         assert_eq!(h.min, -3.0);
         let total: u64 = h.nonzero_buckets().iter().map(|&(_, c)| c).sum();
-        assert_eq!(total, 9, "every observation lands in exactly one bucket");
+        assert_eq!(total, 8, "every observation lands in exactly one bucket");
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped_and_counted() {
+        let r = Recorder::new();
+        r.observe("h", 1.0);
+        r.observe("h", f64::NAN);
+        r.observe("h", f64::INFINITY);
+        r.observe("h", f64::NEG_INFINITY);
+        r.observe("h", 2.0);
+        let hist = r.histogram("h").expect("finite samples ingested");
+        assert_eq!(hist.count, 2, "non-finite samples never reach the buckets");
+        assert_eq!(hist.sum, 3.0);
+        assert_eq!(hist.min, 1.0);
+        assert_eq!(hist.max, 2.0);
+        assert_eq!(r.counter(NON_FINITE_DROPPED_COUNTER), 3);
+    }
+
+    #[test]
+    fn event_kind_wire_names_round_trip() {
+        for kind in EventKind::ALL {
+            assert_eq!(kind.as_str().parse::<EventKind>(), Ok(kind));
+        }
+        assert!("phase-transition".parse::<EventKind>().is_err());
+        assert!("".parse::<EventKind>().is_err());
+    }
+
+    #[test]
+    fn metrics_json_carries_schema_version() {
+        let r = Recorder::new();
+        assert!(r
+            .metrics_json()
+            .starts_with(&format!("{{\"schema_version\":{METRICS_SCHEMA_VERSION},")));
     }
 
     #[test]

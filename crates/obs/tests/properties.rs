@@ -116,4 +116,66 @@ proptest! {
             );
         }
     }
+
+    /// `EventKind::as_str` / `FromStr` are exact inverses for every kind,
+    /// and no near-miss spelling parses: the 12 snake_case wire names have
+    /// a single source of truth that consumers cannot drift from.
+    #[test]
+    fn event_kind_names_round_trip(index in 0u8..12, mangle in 0u8..4) {
+        let kind = EventKind::ALL[index as usize];
+        let name = kind.as_str();
+        prop_assert_eq!(name.parse::<EventKind>(), Ok(kind));
+        let mangled = match mangle {
+            0 => name.to_uppercase(),
+            1 => format!("{name} "),
+            2 => name.replace('_', "-"),
+            _ => format!("x{name}"),
+        };
+        if mangled != name {
+            prop_assert!(mangled.parse::<EventKind>().is_err(),
+                "near-miss {:?} must not parse", mangled);
+        }
+    }
+
+    /// Histograms ingest any mix of finite and non-finite samples without
+    /// poisoning: count/sum/min/max reflect exactly the finite subset and
+    /// the drop counter tallies the rest.
+    #[test]
+    fn histogram_ingestion_is_total_over_non_finite(
+        raw in proptest::collection::vec((0u8..6, 0u8..200), 1..40),
+    ) {
+        let r = Recorder::new();
+        let mut finite = Vec::new();
+        let mut dropped = 0u64;
+        for (class, magnitude) in raw {
+            let v = match class {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => -f64::from(magnitude),
+                4 => f64::from(magnitude) * 1e-9,
+                _ => f64::from(magnitude) * 1e6,
+            };
+            r.observe("h", v);
+            if v.is_finite() {
+                finite.push(v);
+            } else {
+                dropped += 1;
+            }
+        }
+        prop_assert_eq!(r.counter(obs::NON_FINITE_DROPPED_COUNTER), dropped);
+        match r.histogram("h") {
+            None => prop_assert!(finite.is_empty(), "finite samples must create the histogram"),
+            Some(h) => {
+                prop_assert_eq!(h.count, finite.len() as u64);
+                prop_assert!(h.sum.is_finite());
+                if !finite.is_empty() {
+                    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+                    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    prop_assert_eq!(h.min, min);
+                    prop_assert_eq!(h.max, max);
+                }
+            }
+        }
+    }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-0ec8d3ef099beec1.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-0ec8d3ef099beec1: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-1eba0911b2fff9e2.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-1eba0911b2fff9e2: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_accuracy-2868e28fb2c443b7.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/debug/deps/attack_accuracy-2868e28fb2c443b7: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

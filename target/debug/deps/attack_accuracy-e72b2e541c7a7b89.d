@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_accuracy-e72b2e541c7a7b89.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/debug/deps/attack_accuracy-e72b2e541c7a7b89: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_and_covert-5cfcbecfb14f511f.d: tests/audit_and_covert.rs
+
+/root/repo/target/debug/deps/audit_and_covert-5cfcbecfb14f511f: tests/audit_and_covert.rs
+
+tests/audit_and_covert.rs:

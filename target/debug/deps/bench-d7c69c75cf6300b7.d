@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-d7c69c75cf6300b7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-d7c69c75cf6300b7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-e53789bfb2485c37.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-e53789bfb2485c37.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-e53789bfb2485c37.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/covert_channel-09d46cd5684b4870.d: crates/bench/src/bin/covert_channel.rs
+
+/root/repo/target/debug/deps/covert_channel-09d46cd5684b4870: crates/bench/src/bin/covert_channel.rs
+
+crates/bench/src/bin/covert_channel.rs:

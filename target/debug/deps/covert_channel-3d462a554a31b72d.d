@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/covert_channel-3d462a554a31b72d.d: crates/bench/src/bin/covert_channel.rs
+
+/root/repo/target/debug/deps/covert_channel-3d462a554a31b72d: crates/bench/src/bin/covert_channel.rs
+
+crates/bench/src/bin/covert_channel.rs:

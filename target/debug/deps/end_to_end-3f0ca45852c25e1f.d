@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3f0ca45852c25e1f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3f0ca45852c25e1f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-46976d653be443e1.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-46976d653be443e1: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-e41fd71b4480a899.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-e41fd71b4480a899: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_inverter-0b700d2393fc4174.d: crates/bench/src/bin/fig2_inverter.rs
+
+/root/repo/target/debug/deps/fig2_inverter-0b700d2393fc4174: crates/bench/src/bin/fig2_inverter.rs
+
+crates/bench/src/bin/fig2_inverter.rs:

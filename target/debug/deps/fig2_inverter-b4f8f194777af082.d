@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_inverter-b4f8f194777af082.d: crates/bench/src/bin/fig2_inverter.rs
+
+/root/repo/target/debug/deps/fig2_inverter-b4f8f194777af082: crates/bench/src/bin/fig2_inverter.rs
+
+crates/bench/src/bin/fig2_inverter.rs:

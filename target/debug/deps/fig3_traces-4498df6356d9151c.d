@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_traces-4498df6356d9151c.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/debug/deps/fig3_traces-4498df6356d9151c: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_traces-cd2199b6fde97ff2.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/debug/deps/fig3_traces-cd2199b6fde97ff2: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-6c0a298717ab1e6d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-6c0a298717ab1e6d: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

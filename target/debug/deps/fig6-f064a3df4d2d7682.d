@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-f064a3df4d2d7682.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-f064a3df4d2d7682: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

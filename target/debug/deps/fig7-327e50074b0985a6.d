@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-327e50074b0985a6.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-327e50074b0985a6: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

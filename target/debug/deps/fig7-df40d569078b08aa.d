@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-df40d569078b08aa.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-df40d569078b08aa: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-475bcc7475ff1f22.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-475bcc7475ff1f22: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

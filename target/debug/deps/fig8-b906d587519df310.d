@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-b906d587519df310.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-b906d587519df310: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

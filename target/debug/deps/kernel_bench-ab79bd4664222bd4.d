@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_bench-ab79bd4664222bd4.d: crates/bench/src/bin/kernel_bench.rs
+
+/root/repo/target/debug/deps/kernel_bench-ab79bd4664222bd4: crates/bench/src/bin/kernel_bench.rs
+
+crates/bench/src/bin/kernel_bench.rs:

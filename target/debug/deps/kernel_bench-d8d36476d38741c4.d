@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_bench-d8d36476d38741c4.d: crates/bench/src/bin/kernel_bench.rs
+
+/root/repo/target/debug/deps/kernel_bench-d8d36476d38741c4: crates/bench/src/bin/kernel_bench.rs
+
+crates/bench/src/bin/kernel_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_equivalence-06afdaafa32fd206.d: tests/kernel_equivalence.rs
+
+/root/repo/target/debug/deps/kernel_equivalence-06afdaafa32fd206: tests/kernel_equivalence.rs
+
+tests/kernel_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lut_comparison-6988fec019d71d76.d: crates/bench/src/bin/lut_comparison.rs
+
+/root/repo/target/debug/deps/lut_comparison-6988fec019d71d76: crates/bench/src/bin/lut_comparison.rs
+
+crates/bench/src/bin/lut_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lut_comparison-95f990a1bc50f576.d: crates/bench/src/bin/lut_comparison.rs
+
+/root/repo/target/debug/deps/lut_comparison-95f990a1bc50f576: crates/bench/src/bin/lut_comparison.rs
+
+crates/bench/src/bin/lut_comparison.rs:

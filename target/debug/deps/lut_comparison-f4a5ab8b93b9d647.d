@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lut_comparison-f4a5ab8b93b9d647.d: crates/bench/src/bin/lut_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblut_comparison-f4a5ab8b93b9d647.rmeta: crates/bench/src/bin/lut_comparison.rs Cargo.toml
+
+crates/bench/src/bin/lut_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mitigations-3b4329bb358ee9ec.d: crates/bench/src/bin/mitigations.rs
+
+/root/repo/target/debug/deps/mitigations-3b4329bb358ee9ec: crates/bench/src/bin/mitigations.rs
+
+crates/bench/src/bin/mitigations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mitigations-401a9c1c7b699058.d: crates/bench/src/bin/mitigations.rs
+
+/root/repo/target/debug/deps/mitigations-401a9c1c7b699058: crates/bench/src/bin/mitigations.rs
+
+crates/bench/src/bin/mitigations.rs:

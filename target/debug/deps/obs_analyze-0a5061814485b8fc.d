@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/obs_analyze-0a5061814485b8fc.d: crates/obs-analyze/src/lib.rs crates/obs-analyze/src/diff.rs crates/obs-analyze/src/indicators.rs crates/obs-analyze/src/json.rs crates/obs-analyze/src/parse.rs crates/obs-analyze/src/sentinel.rs
+
+/root/repo/target/debug/deps/libobs_analyze-0a5061814485b8fc.rlib: crates/obs-analyze/src/lib.rs crates/obs-analyze/src/diff.rs crates/obs-analyze/src/indicators.rs crates/obs-analyze/src/json.rs crates/obs-analyze/src/parse.rs crates/obs-analyze/src/sentinel.rs
+
+/root/repo/target/debug/deps/libobs_analyze-0a5061814485b8fc.rmeta: crates/obs-analyze/src/lib.rs crates/obs-analyze/src/diff.rs crates/obs-analyze/src/indicators.rs crates/obs-analyze/src/json.rs crates/obs-analyze/src/parse.rs crates/obs-analyze/src/sentinel.rs
+
+crates/obs-analyze/src/lib.rs:
+crates/obs-analyze/src/diff.rs:
+crates/obs-analyze/src/indicators.rs:
+crates/obs-analyze/src/json.rs:
+crates/obs-analyze/src/parse.rs:
+crates/obs-analyze/src/sentinel.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/obs_analyze-4424976c15e01f77.d: crates/obs-analyze/src/lib.rs crates/obs-analyze/src/diff.rs crates/obs-analyze/src/indicators.rs crates/obs-analyze/src/json.rs crates/obs-analyze/src/parse.rs crates/obs-analyze/src/sentinel.rs
+
+/root/repo/target/debug/deps/obs_analyze-4424976c15e01f77: crates/obs-analyze/src/lib.rs crates/obs-analyze/src/diff.rs crates/obs-analyze/src/indicators.rs crates/obs-analyze/src/json.rs crates/obs-analyze/src/parse.rs crates/obs-analyze/src/sentinel.rs
+
+crates/obs-analyze/src/lib.rs:
+crates/obs-analyze/src/diff.rs:
+crates/obs-analyze/src/indicators.rs:
+crates/obs-analyze/src/json.rs:
+crates/obs-analyze/src/parse.rs:
+crates/obs-analyze/src/sentinel.rs:

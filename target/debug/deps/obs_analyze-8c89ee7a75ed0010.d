@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/obs_analyze-8c89ee7a75ed0010.d: crates/obs-analyze/src/lib.rs crates/obs-analyze/src/diff.rs crates/obs-analyze/src/indicators.rs crates/obs-analyze/src/json.rs crates/obs-analyze/src/parse.rs crates/obs-analyze/src/sentinel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_analyze-8c89ee7a75ed0010.rmeta: crates/obs-analyze/src/lib.rs crates/obs-analyze/src/diff.rs crates/obs-analyze/src/indicators.rs crates/obs-analyze/src/json.rs crates/obs-analyze/src/parse.rs crates/obs-analyze/src/sentinel.rs Cargo.toml
+
+crates/obs-analyze/src/lib.rs:
+crates/obs-analyze/src/diff.rs:
+crates/obs-analyze/src/indicators.rs:
+crates/obs-analyze/src/json.rs:
+crates/obs-analyze/src/parse.rs:
+crates/obs-analyze/src/sentinel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_report-18239b4ac90f7a9c.d: crates/bench/src/bin/obs_report.rs
+
+/root/repo/target/debug/deps/obs_report-18239b4ac90f7a9c: crates/bench/src/bin/obs_report.rs
+
+crates/bench/src/bin/obs_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_report-fcf45f3e3827dad0.d: crates/bench/src/bin/obs_report.rs
+
+/root/repo/target/debug/deps/obs_report-fcf45f3e3827dad0: crates/bench/src/bin/obs_report.rs
+
+crates/bench/src/bin/obs_report.rs:

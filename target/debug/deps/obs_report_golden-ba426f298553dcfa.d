@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/obs_report_golden-ba426f298553dcfa.d: tests/obs_report_golden.rs
+
+/root/repo/target/debug/deps/obs_report_golden-ba426f298553dcfa: tests/obs_report_golden.rs
+
+tests/obs_report_golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

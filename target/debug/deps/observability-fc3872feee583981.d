@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-fc3872feee583981.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-fc3872feee583981: tests/observability.rs
+
+tests/observability.rs:

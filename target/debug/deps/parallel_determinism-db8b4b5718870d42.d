@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-db8b4b5718870d42.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-db8b4b5718870d42: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

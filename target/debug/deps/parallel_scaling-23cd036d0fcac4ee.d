@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_scaling-23cd036d0fcac4ee.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/debug/deps/parallel_scaling-23cd036d0fcac4ee: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

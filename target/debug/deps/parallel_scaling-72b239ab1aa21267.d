@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_scaling-72b239ab1aa21267.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/debug/deps/parallel_scaling-72b239ab1aa21267: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pentimento_repro-3a1275dc61453afc.d: src/lib.rs
+
+/root/repo/target/debug/deps/pentimento_repro-3a1275dc61453afc: src/lib.rs
+
+src/lib.rs:

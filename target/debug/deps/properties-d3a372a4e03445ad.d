@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d3a372a4e03445ad.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d3a372a4e03445ad: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repeatability-4161b0368938d3d3.d: crates/bench/src/bin/repeatability.rs
+
+/root/repo/target/debug/deps/repeatability-4161b0368938d3d3: crates/bench/src/bin/repeatability.rs
+
+crates/bench/src/bin/repeatability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repeatability-5d60b16acd59208b.d: crates/bench/src/bin/repeatability.rs
+
+/root/repo/target/debug/deps/repeatability-5d60b16acd59208b: crates/bench/src/bin/repeatability.rs
+
+crates/bench/src/bin/repeatability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience_properties-98e4349db7334129.d: tests/resilience_properties.rs
+
+/root/repo/target/debug/deps/resilience_properties-98e4349db7334129: tests/resilience_properties.rs
+
+tests/resilience_properties.rs:

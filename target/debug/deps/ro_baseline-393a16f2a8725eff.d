@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ro_baseline-393a16f2a8725eff.d: crates/bench/src/bin/ro_baseline.rs
+
+/root/repo/target/debug/deps/ro_baseline-393a16f2a8725eff: crates/bench/src/bin/ro_baseline.rs
+
+crates/bench/src/bin/ro_baseline.rs:

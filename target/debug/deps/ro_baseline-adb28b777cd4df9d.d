@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ro_baseline-adb28b777cd4df9d.d: crates/bench/src/bin/ro_baseline.rs
+
+/root/repo/target/debug/deps/ro_baseline-adb28b777cd4df9d: crates/bench/src/bin/ro_baseline.rs
+
+crates/bench/src/bin/ro_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-b499f47e708f9c82.d: crates/obs-analyze/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-b499f47e708f9c82: crates/obs-analyze/tests/roundtrip.rs
+
+crates/obs-analyze/tests/roundtrip.rs:

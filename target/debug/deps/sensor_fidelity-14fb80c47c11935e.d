@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensor_fidelity-14fb80c47c11935e.d: tests/sensor_fidelity.rs
+
+/root/repo/target/debug/deps/sensor_fidelity-14fb80c47c11935e: tests/sensor_fidelity.rs
+
+tests/sensor_fidelity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a96699d7efb448cc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a96699d7efb448cc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f0aff763acecefed.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f0aff763acecefed: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/examples/gen_fixtures-8156c7f51011e943.d: crates/obs-analyze/examples/gen_fixtures.rs
+
+/root/repo/target/debug/examples/gen_fixtures-8156c7f51011e943: crates/obs-analyze/examples/gen_fixtures.rs
+
+crates/obs-analyze/examples/gen_fixtures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/obs-analyze

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/marketplace_key_extraction-9a7266b07b68228d.d: examples/marketplace_key_extraction.rs
+
+/root/repo/target/debug/examples/marketplace_key_extraction-9a7266b07b68228d: examples/marketplace_key_extraction.rs
+
+examples/marketplace_key_extraction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mitigation_eval-64228ea4566b11f2.d: examples/mitigation_eval.rs
+
+/root/repo/target/debug/examples/mitigation_eval-64228ea4566b11f2: examples/mitigation_eval.rs
+
+examples/mitigation_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/opentitan_audit-3163e3ca1541585c.d: examples/opentitan_audit.rs
+
+/root/repo/target/debug/examples/opentitan_audit-3163e3ca1541585c: examples/opentitan_audit.rs
+
+examples/opentitan_audit.rs:

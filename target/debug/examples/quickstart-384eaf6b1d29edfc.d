@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-384eaf6b1d29edfc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-384eaf6b1d29edfc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilient_campaign-ea033b8508aa6433.d: examples/resilient_campaign.rs
+
+/root/repo/target/debug/examples/resilient_campaign-ea033b8508aa6433: examples/resilient_campaign.rs
+
+examples/resilient_campaign.rs:

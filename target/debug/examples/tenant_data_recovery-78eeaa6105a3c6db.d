@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tenant_data_recovery-78eeaa6105a3c6db.d: examples/tenant_data_recovery.rs
+
+/root/repo/target/debug/examples/tenant_data_recovery-78eeaa6105a3c6db: examples/tenant_data_recovery.rs
+
+examples/tenant_data_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attack_accuracy-9c3155337b9fda2f.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/release/deps/attack_accuracy-9c3155337b9fda2f: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

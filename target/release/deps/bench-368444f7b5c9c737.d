@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-368444f7b5c9c737.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-368444f7b5c9c737.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-368444f7b5c9c737.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel_bench-71bd4fc83b6e2e45.d: crates/bench/src/bin/kernel_bench.rs
+
+/root/repo/target/release/deps/kernel_bench-71bd4fc83b6e2e45: crates/bench/src/bin/kernel_bench.rs
+
+crates/bench/src/bin/kernel_bench.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/obs_analyze-51e674b5eb3edd3a.d: crates/obs-analyze/src/lib.rs crates/obs-analyze/src/diff.rs crates/obs-analyze/src/indicators.rs crates/obs-analyze/src/json.rs crates/obs-analyze/src/parse.rs crates/obs-analyze/src/sentinel.rs
+
+/root/repo/target/release/deps/libobs_analyze-51e674b5eb3edd3a.rlib: crates/obs-analyze/src/lib.rs crates/obs-analyze/src/diff.rs crates/obs-analyze/src/indicators.rs crates/obs-analyze/src/json.rs crates/obs-analyze/src/parse.rs crates/obs-analyze/src/sentinel.rs
+
+/root/repo/target/release/deps/libobs_analyze-51e674b5eb3edd3a.rmeta: crates/obs-analyze/src/lib.rs crates/obs-analyze/src/diff.rs crates/obs-analyze/src/indicators.rs crates/obs-analyze/src/json.rs crates/obs-analyze/src/parse.rs crates/obs-analyze/src/sentinel.rs
+
+crates/obs-analyze/src/lib.rs:
+crates/obs-analyze/src/diff.rs:
+crates/obs-analyze/src/indicators.rs:
+crates/obs-analyze/src/json.rs:
+crates/obs-analyze/src/parse.rs:
+crates/obs-analyze/src/sentinel.rs:

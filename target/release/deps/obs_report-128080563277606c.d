@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_report-128080563277606c.d: crates/bench/src/bin/obs_report.rs
+
+/root/repo/target/release/deps/obs_report-128080563277606c: crates/bench/src/bin/obs_report.rs
+
+crates/bench/src/bin/obs_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_scaling-8070039681388881.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/release/deps/parallel_scaling-8070039681388881: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pentimento_repro-f10b35df34ea4ce6.d: src/lib.rs
+
+/root/repo/target/release/deps/pentimento_repro-f10b35df34ea4ce6: src/lib.rs
+
+src/lib.rs:

@@ -185,6 +185,37 @@ fn hostile_campaign_trace_is_identical_at_every_pool_width() {
 }
 
 #[test]
+fn hostile_campaign_trace_diffs_empty_across_pool_widths() {
+    use std::sync::Arc;
+
+    // Stronger than byte equality of the files: the semantic diff layer
+    // compares the runs as event multisets under the Recorder's content
+    // order, so this also proves the *consumption* path (strict parse →
+    // diff) sees serial and parallel runs as the same campaign.
+    let traced = |width: usize| {
+        at_width(width, || {
+            let recorder = Arc::new(obs::Recorder::new());
+            let mut campaign = hostile_tm1_campaign();
+            campaign.set_recorder(Some(Arc::clone(&recorder)));
+            campaign.run().expect("completes");
+            recorder.trace_jsonl()
+        })
+    };
+    let serial = obs_analyze::parse_trace(&traced(1)).expect("serial trace parses");
+    assert!(!serial.is_empty(), "hostile campaign must emit events");
+    for width in [1, 2, 4] {
+        let parallel = obs_analyze::parse_trace(&traced(width)).expect("parallel trace parses");
+        let d = obs_analyze::diff(&serial, &parallel, None, None);
+        assert!(
+            d.is_empty(),
+            "serial vs width-{width} trace must diff empty, got {}",
+            d.to_json()
+        );
+        assert_eq!(d.added.len() + d.removed.len(), 0);
+    }
+}
+
+#[test]
 fn checkpoint_under_one_width_resumes_identically_under_another() {
     let reference = at_width(1, || hostile_tm1_campaign().run().expect("completes"));
 
