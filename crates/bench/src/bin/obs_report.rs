@@ -31,8 +31,11 @@ use obs_analyze::sentinel::{
 };
 
 /// BENCH artifacts the sentinel tracks when no `--current` is given.
-const DEFAULT_BENCH_SOURCES: [&str; 2] =
-    ["results/BENCH_parallel.json", "results/BENCH_kernels.json"];
+const DEFAULT_BENCH_SOURCES: [&str; 3] = [
+    "results/BENCH_parallel.json",
+    "results/BENCH_kernels.json",
+    "results/BENCH_chaos.json",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

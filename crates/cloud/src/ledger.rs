@@ -175,26 +175,27 @@ impl FaultFunnel {
         Self::default()
     }
 
-    /// Records a fault from any thread.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a previous holder of the internal lock panicked.
-    pub fn record(&self, record: FaultRecord) {
+    /// Locks the record buffer, recovering from poison. A poisoned mutex
+    /// means some worker panicked mid-record; the buffered records are
+    /// plain data that are never left half-written (a `Vec::push` either
+    /// happened or did not), so the audit trail keeps accepting and
+    /// serving records instead of cascading the panic — the same policy
+    /// as `obs::Recorder`.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<FaultRecord>> {
         self.records
             .lock()
-            .expect("fault funnel poisoned")
-            .push(record);
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records a fault from any thread.
+    pub fn record(&self, record: FaultRecord) {
+        self.lock().push(record);
     }
 
     /// Number of records waiting to be drained.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a previous holder of the internal lock panicked.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.records.lock().expect("fault funnel poisoned").len()
+        self.lock().len()
     }
 
     /// Whether the funnel holds no records.
@@ -205,12 +206,8 @@ impl FaultFunnel {
 
     /// Moves every buffered record into `ledger`, in a deterministic
     /// order independent of which thread recorded first.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a previous holder of the internal lock panicked.
     pub fn drain_into(&self, ledger: &mut RentalLedger) {
-        let mut pending = std::mem::take(&mut *self.records.lock().expect("fault funnel poisoned"));
+        let mut pending = std::mem::take(&mut *self.lock());
         pending.sort_by(|a, b| {
             a.at.value()
                 .total_cmp(&b.at.value())
@@ -360,5 +357,24 @@ mod tests {
         assert_eq!(l.device_history(DeviceId(0)).count(), 2);
         assert_eq!(l.device_history(DeviceId(1)).count(), 1);
         assert_eq!(l.records().len(), 3);
+    }
+
+    #[test]
+    fn funnel_survives_a_poisoned_lock() {
+        // A worker that panics while holding the funnel lock poisons the
+        // mutex; the audit trail must keep accepting and draining records
+        // afterwards instead of cascading the panic into the supervisor.
+        let funnel = FaultFunnel::new();
+        funnel.record(fault_at(1.0, FaultKind::Preemption, 0));
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = funnel.lock();
+            panic!("worker died mid-record");
+        }));
+        assert!(poison.is_err(), "the panic must have fired");
+        funnel.record(fault_at(2.0, FaultKind::RentFailure, 1));
+        assert_eq!(funnel.len(), 2);
+        let mut ledger = RentalLedger::new();
+        funnel.drain_into(&mut ledger);
+        assert_eq!(ledger.faults().len(), 2);
     }
 }

@@ -127,14 +127,37 @@ impl Provider {
     ///
     /// # Panics
     ///
-    /// Panics if `pool_size` is zero or the age range is inverted.
+    /// Panics if `pool_size` is zero or the age range is inverted. Code
+    /// that takes configuration from the outside (the fleet supervisor,
+    /// sweep bins) should prefer [`Provider::try_new`], which surfaces
+    /// the same validation as [`CloudError::InvalidConfig`].
     #[must_use]
     pub fn new(config: ProviderConfig) -> Self {
-        assert!(config.pool_size > 0, "fleet must contain devices");
-        assert!(
-            config.min_device_age_hours <= config.max_device_age_hours,
-            "device age range inverted"
-        );
+        match Self::try_new(config) {
+            Ok(provider) => provider,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Provider::new`]: validates `config` and returns
+    /// [`CloudError::InvalidConfig`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidConfig` when `pool_size` is zero or the device age range
+    /// is inverted.
+    pub fn try_new(config: ProviderConfig) -> Result<Self, CloudError> {
+        if config.pool_size == 0 {
+            return Err(CloudError::InvalidConfig(
+                "fleet must contain devices".to_owned(),
+            ));
+        }
+        if config.min_device_age_hours > config.max_device_age_hours {
+            return Err(CloudError::InvalidConfig(format!(
+                "device age range inverted ({} > {})",
+                config.min_device_age_hours, config.max_device_age_hours
+            )));
+        }
         let mut rng = StdRng::seed_from_u64(config.seed);
         let slots = (0..config.pool_size)
             .map(|i| {
@@ -156,7 +179,7 @@ impl Provider {
                 )
             })
             .collect();
-        Self {
+        Ok(Self {
             config,
             slots,
             marketplace: Marketplace::new(),
@@ -168,7 +191,7 @@ impl Provider {
             pending_rent_faults: Vec::new(),
             recorder: None,
             cache_seen: CacheStats::default(),
-        }
+        })
     }
 
     /// Attaches (or detaches) a telemetry recorder. Pure observability:
@@ -1067,6 +1090,39 @@ mod tests {
         assert!(ages.windows(2).any(|w| (w[0] - w[1]).abs() > 1.0));
         for &a in &ages {
             assert!((2.0 * 8760.0..=4.0 * 8760.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_configs_with_typed_errors() {
+        let empty = ProviderConfig::aws_f1_like(0, 1);
+        match Provider::try_new(empty) {
+            Err(CloudError::InvalidConfig(msg)) => {
+                assert!(msg.contains("devices"), "{msg:?}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        let mut inverted = ProviderConfig::aws_f1_like(2, 1);
+        inverted.min_device_age_hours = 100.0;
+        inverted.max_device_age_hours = 50.0;
+        match Provider::try_new(inverted) {
+            Err(CloudError::InvalidConfig(msg)) => {
+                assert!(msg.contains("inverted"), "{msg:?}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_new_builds_the_same_fleet_as_new() {
+        let config = ProviderConfig::aws_f1_like(3, 77);
+        let a = Provider::new(config.clone());
+        let b = Provider::try_new(config).expect("valid config");
+        for i in 0..3 {
+            assert_eq!(
+                a.device_by_id(DeviceId(i)).unwrap().service_age(),
+                b.device_by_id(DeviceId(i)).unwrap().service_age()
+            );
         }
     }
 }

@@ -1,0 +1,327 @@
+//! Deterministic process-level chaos.
+//!
+//! The chaos harness perturbs a supervised fleet the way an unreliable
+//! host would — killing campaigns mid-phase, corrupting or truncating
+//! checkpoint files, souring a campaign's session weather — but every
+//! perturbation is drawn from **counter-based RNG streams** keyed by
+//! `(seed, campaign, action)`, the same discipline the cloud fault
+//! injector and the per-route measurement streams use. Two runs with the
+//! same plan make identical draws in an identical order regardless of
+//! wall-clock, thread width, or how often anything is logged, so a chaos
+//! schedule is a *replayable artifact*: the suite can run a cell twice
+//! and demand byte-identical reports.
+
+use cloud::FaultPlan;
+
+/// SplitMix64-style counter hash onto `[0, 1)` — the same mixer the
+/// campaign layer uses for its deterministic jitter.
+fn uniform01(seed: u64, counter: u64) -> f64 {
+    let mut z = seed ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The chaos actions the supervisor consults the schedule about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosAction {
+    /// Kill the campaign's in-flight process image after this hour: the
+    /// live [`pentimento::Campaign`] is dropped, and only what the
+    /// checkpoint tiers preserved survives.
+    Kill,
+    /// Flip one byte of the newest committed checkpoint envelope.
+    Corrupt,
+    /// Truncate the newest committed checkpoint envelope.
+    Truncate,
+}
+
+impl ChaosAction {
+    /// Stream-separation constant folded into the per-action seed.
+    fn salt(self) -> u64 {
+        match self {
+            Self::Kill => 0x4B49_4C4C,
+            Self::Corrupt => 0x4352_5054,
+            Self::Truncate => 0x5452_4E43,
+        }
+    }
+}
+
+/// A deterministic chaos schedule for one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Master seed; all per-campaign, per-action streams derive from it.
+    pub seed: u64,
+    /// Per-hour probability a campaign's process is killed after the
+    /// hour completes.
+    pub kill_rate_per_hour: f64,
+    /// Per-commit probability the newest envelope gets one byte flipped.
+    pub corrupt_rate_per_checkpoint: f64,
+    /// Per-commit probability the newest envelope is truncated.
+    pub truncate_rate_per_checkpoint: f64,
+    /// Session weather: transient rent-failure probability woven into
+    /// each campaign's cloud fault plan (delayed sessions).
+    pub rent_failure_rate: f64,
+    /// Session weather: per-hour preemption probability woven into each
+    /// campaign's cloud fault plan (stolen sessions).
+    pub preemption_rate_per_hour: f64,
+    /// Guaranteed kills: `(campaign_index, hour)` pairs fired exactly
+    /// once, on top of the random stream.
+    pub scheduled_kills: Vec<(usize, usize)>,
+}
+
+impl ChaosPlan {
+    /// No chaos at all: the supervisor degenerates to running each
+    /// campaign to completion.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            kill_rate_per_hour: 0.0,
+            corrupt_rate_per_checkpoint: 0.0,
+            truncate_rate_per_checkpoint: 0.0,
+            rent_failure_rate: 0.0,
+            preemption_rate_per_hour: 0.0,
+            scheduled_kills: Vec::new(),
+        }
+    }
+
+    /// Whether this plan perturbs anything.
+    #[must_use]
+    pub fn is_benign(&self) -> bool {
+        self.kill_rate_per_hour == 0.0
+            && self.corrupt_rate_per_checkpoint == 0.0
+            && self.truncate_rate_per_checkpoint == 0.0
+            && self.rent_failure_rate == 0.0
+            && self.preemption_rate_per_hour == 0.0
+            && self.scheduled_kills.is_empty()
+    }
+
+    /// The cloud-level fault weather this plan imposes on campaign
+    /// `index`: the session delays (transient rent failures) and steals
+    /// (preemptions) ride the existing trajectory-preserving fault
+    /// machinery, seeded per campaign so fleets don't share streams.
+    ///
+    /// This is *weather*, not process chaos: a chaos-free reference run
+    /// of the same campaign under the same weather plan produces the
+    /// byte-identical outcome the suite compares against.
+    #[must_use]
+    pub fn session_weather(&self, index: usize) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        plan.seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(index as u64)
+            ^ 0x5745_4154;
+        plan.rent_failure_rate = self.rent_failure_rate;
+        plan.preemption_rate_per_hour = self.preemption_rate_per_hour;
+        plan
+    }
+}
+
+/// Replayable draw state: per-`(campaign, action)` counters over the
+/// plan's streams. The supervisor owns exactly one per run; consulting
+/// it is the only source of chaos randomness.
+#[derive(Debug, Clone)]
+pub struct ChaosState {
+    plan: ChaosPlan,
+    /// Draw counters, keyed by campaign index and action. Dense vectors
+    /// (not a hash map) so state clones are cheap and iteration order
+    /// can never leak into behaviour.
+    counters: Vec<[u64; 3]>,
+    /// Scheduled kills not yet fired.
+    pending_kills: Vec<(usize, usize)>,
+}
+
+impl ChaosState {
+    /// Fresh draw state over `plan` for a fleet of `campaigns` members.
+    #[must_use]
+    pub fn new(plan: ChaosPlan, campaigns: usize) -> Self {
+        let mut pending_kills = plan.scheduled_kills.clone();
+        // Deterministic firing order regardless of how the plan listed them.
+        pending_kills.sort_unstable();
+        Self {
+            plan,
+            counters: vec![[0; 3]; campaigns],
+            pending_kills,
+        }
+    }
+
+    /// The plan this state draws from.
+    #[must_use]
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    fn stream_seed(&self, campaign: usize, action: ChaosAction) -> u64 {
+        self.plan
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((campaign as u64) << 8)
+            ^ action.salt()
+    }
+
+    fn draw(&mut self, campaign: usize, action: ChaosAction, rate: f64) -> bool {
+        let slot = match action {
+            ChaosAction::Kill => 0,
+            ChaosAction::Corrupt => 1,
+            ChaosAction::Truncate => 2,
+        };
+        let counter = self.counters[campaign][slot];
+        self.counters[campaign][slot] += 1;
+        rate > 0.0 && uniform01(self.stream_seed(campaign, action), counter) < rate
+    }
+
+    /// Draws consumed so far for `(campaign, action)` — checkpointable
+    /// position, and the regression tests' replay witness.
+    #[must_use]
+    pub fn draws_consumed(&self, campaign: usize, action: ChaosAction) -> u64 {
+        let slot = match action {
+            ChaosAction::Kill => 0,
+            ChaosAction::Corrupt => 1,
+            ChaosAction::Truncate => 2,
+        };
+        self.counters[campaign][slot]
+    }
+
+    /// Whether campaign `index` is killed after completing `hour`.
+    /// Scheduled kills fire exactly once and do not consume a random
+    /// draw; the random stream advances one draw per call either way.
+    pub fn kill_now(&mut self, index: usize, hour: usize) -> bool {
+        let drawn = self.draw(index, ChaosAction::Kill, self.plan.kill_rate_per_hour);
+        if let Some(at) = self
+            .pending_kills
+            .iter()
+            .position(|&(campaign, at_hour)| campaign == index && at_hour == hour)
+        {
+            self.pending_kills.remove(at);
+            return true;
+        }
+        drawn
+    }
+
+    /// Whether the checkpoint just committed for campaign `index` gets
+    /// corrupted, and how. Truncation is consulted first so a plan with
+    /// both rates still makes one deterministic choice per commit.
+    pub fn corrupt_commit(&mut self, index: usize) -> Option<ChaosAction> {
+        if self.draw(
+            index,
+            ChaosAction::Truncate,
+            self.plan.truncate_rate_per_checkpoint,
+        ) {
+            return Some(ChaosAction::Truncate);
+        }
+        if self.draw(
+            index,
+            ChaosAction::Corrupt,
+            self.plan.corrupt_rate_per_checkpoint,
+        ) {
+            return Some(ChaosAction::Corrupt);
+        }
+        None
+    }
+
+    /// A deterministic byte offset for a corruption injected into
+    /// campaign `index` (the store reduces it modulo the file length).
+    pub fn corruption_offset(&mut self, index: usize) -> u64 {
+        let counter = self.counters[index][1];
+        self.counters[index][1] += 1;
+        // Re-hash the corrupt stream at a shifted counter to pick bytes.
+        (uniform01(self.stream_seed(index, ChaosAction::Corrupt), counter) * 4096.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hostile_plan() -> ChaosPlan {
+        ChaosPlan {
+            seed: 99,
+            kill_rate_per_hour: 0.25,
+            corrupt_rate_per_checkpoint: 0.5,
+            truncate_rate_per_checkpoint: 0.1,
+            rent_failure_rate: 0.2,
+            preemption_rate_per_hour: 0.05,
+            scheduled_kills: vec![(1, 6), (0, 3)],
+        }
+    }
+
+    #[test]
+    fn identical_plans_replay_identical_chaos() {
+        let mut a = ChaosState::new(hostile_plan(), 3);
+        let mut b = ChaosState::new(hostile_plan(), 3);
+        for hour in 0..50 {
+            for campaign in 0..3 {
+                assert_eq!(a.kill_now(campaign, hour), b.kill_now(campaign, hour));
+                assert_eq!(a.corrupt_commit(campaign), b.corrupt_commit(campaign));
+            }
+        }
+        for campaign in 0..3 {
+            for action in [
+                ChaosAction::Kill,
+                ChaosAction::Corrupt,
+                ChaosAction::Truncate,
+            ] {
+                assert_eq!(
+                    a.draws_consumed(campaign, action),
+                    b.draws_consumed(campaign, action)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_kills_fire_exactly_once_each() {
+        let mut plan = ChaosPlan::none();
+        plan.scheduled_kills = vec![(0, 3), (1, 6)];
+        let mut state = ChaosState::new(plan, 2);
+        let mut fired = Vec::new();
+        for hour in 0..10 {
+            for campaign in 0..2 {
+                if state.kill_now(campaign, hour) {
+                    fired.push((campaign, hour));
+                }
+            }
+        }
+        assert_eq!(fired, vec![(0, 3), (1, 6)]);
+    }
+
+    #[test]
+    fn campaigns_draw_from_independent_streams() {
+        let mut plan = ChaosPlan::none();
+        plan.seed = 7;
+        plan.kill_rate_per_hour = 0.5;
+        let mut state = ChaosState::new(plan, 2);
+        let a: Vec<bool> = (0..64).map(|h| state.kill_now(0, h)).collect();
+        let b: Vec<bool> = (0..64).map(|h| state.kill_now(1, h)).collect();
+        assert_ne!(a, b, "two campaigns must not share a kill stream");
+    }
+
+    #[test]
+    fn benign_plan_draws_nothing_but_still_advances_counters() {
+        let mut state = ChaosState::new(ChaosPlan::none(), 1);
+        assert!(ChaosPlan::none().is_benign());
+        assert!(!hostile_plan().is_benign());
+        for hour in 0..20 {
+            assert!(!state.kill_now(0, hour));
+            assert!(state.corrupt_commit(0).is_none());
+        }
+        assert_eq!(state.draws_consumed(0, ChaosAction::Kill), 20);
+    }
+
+    #[test]
+    fn session_weather_is_per_campaign_and_trajectory_preserving_in_shape() {
+        let plan = hostile_plan();
+        let w0 = plan.session_weather(0);
+        let w1 = plan.session_weather(1);
+        assert_ne!(w0.seed, w1.seed, "weather streams must not collide");
+        assert_eq!(w0.rent_failure_rate, plan.rent_failure_rate);
+        assert_eq!(w0.preemption_rate_per_hour, plan.preemption_rate_per_hour);
+        // Weather never includes the non-trajectory-preserving kinds.
+        assert_eq!(w0.device_swap_rate, 0.0);
+        assert_eq!(w0.spurious_scrub_rate_per_hour, 0.0);
+        assert_eq!(w0.thermal_transient_rate_per_hour, 0.0);
+    }
+}

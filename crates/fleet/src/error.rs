@@ -1,0 +1,265 @@
+//! Error types for the fleet supervisor and its checkpoint store.
+//!
+//! Everything here is `Clone + PartialEq` so supervision reports can be
+//! compared byte-for-byte across chaos replays; raw `std::io::Error`
+//! values (neither `Clone` nor `PartialEq`) are flattened to their
+//! [`std::io::ErrorKind`] plus message at the boundary.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use cloud::DeviceId;
+use pentimento::PentimentoError;
+
+/// Failures of the durable checkpoint store.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io {
+        /// What the store was doing (`"create"`, `"write"`, `"rename"`, ...).
+        op: &'static str,
+        /// The path it was doing it to.
+        path: String,
+        /// Flattened [`io::Error`] kind.
+        kind: io::ErrorKind,
+        /// Flattened [`io::Error`] message.
+        message: String,
+    },
+    /// An envelope file failed validation: bad magic, version skew, torn
+    /// payload, or CRC mismatch. Recovery treats the generation as lost
+    /// and rolls back; the variant carries why for the quarantine ledger.
+    CorruptEnvelope {
+        /// The offending file.
+        path: String,
+        /// What check failed.
+        reason: String,
+    },
+    /// The recovery scan found no generation that passes validation for
+    /// this campaign — every checkpoint is torn or missing.
+    NoValidGeneration {
+        /// The campaign whose history is unrecoverable.
+        campaign: String,
+    },
+    /// The in-memory snapshot vault has no entry for a generation whose
+    /// on-disk envelope validated — the snapshot did not survive the
+    /// crash, so the generation is unusable.
+    SnapshotMissing {
+        /// The campaign being recovered.
+        campaign: String,
+        /// The generation whose snapshot is gone.
+        generation: u64,
+    },
+    /// A vault snapshot no longer matches the sealed envelope it was
+    /// filed under (checksum or manifest drift).
+    SnapshotMismatch {
+        /// The campaign being recovered.
+        campaign: String,
+        /// The generation that failed cross-validation.
+        generation: u64,
+        /// What disagreed.
+        reason: String,
+    },
+}
+
+impl StoreError {
+    pub(crate) fn io(op: &'static str, path: &std::path::Path, e: &io::Error) -> Self {
+        Self::Io {
+            op,
+            path: path.display().to_string(),
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io {
+                op, path, message, ..
+            } => write!(f, "checkpoint store {op} on {path} failed: {message}"),
+            Self::CorruptEnvelope { path, reason } => {
+                write!(f, "checkpoint envelope {path} is corrupt: {reason}")
+            }
+            Self::NoValidGeneration { campaign } => {
+                write!(
+                    f,
+                    "no valid checkpoint generation survives for campaign {campaign}"
+                )
+            }
+            Self::SnapshotMissing {
+                campaign,
+                generation,
+            } => write!(
+                f,
+                "snapshot vault holds no generation {generation} for campaign {campaign}"
+            ),
+            Self::SnapshotMismatch {
+                campaign,
+                generation,
+                reason,
+            } => write!(
+                f,
+                "snapshot for campaign {campaign} generation {generation} \
+                 disagrees with its sealed envelope: {reason}"
+            ),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+/// Failures of the fleet supervisor. Every terminal campaign failure is
+/// one of these — the chaos suite asserts a campaign either completes
+/// bit-identically or fails with a typed `FleetError` plus a quarantine
+/// record, never anything untyped.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// A campaign died with a fatal (non-transient) error the supervisor
+    /// does not retry.
+    Campaign {
+        /// The campaign that failed.
+        id: String,
+        /// The underlying typed error.
+        source: PentimentoError,
+    },
+    /// A campaign exhausted its supervisor-level restart budget.
+    RestartBudgetExhausted {
+        /// The campaign that failed.
+        id: String,
+        /// Restarts consumed (equals the configured budget).
+        restarts: u32,
+        /// The error that triggered the final restart attempt.
+        last: PentimentoError,
+    },
+    /// A campaign exceeded its deadline budget in supervisor ticks
+    /// without completing — stuck in a crash/recover loop.
+    DeadlineExceeded {
+        /// The campaign that failed.
+        id: String,
+        /// Ticks consumed (equals the configured budget).
+        ticks: usize,
+    },
+    /// The checkpoint store failed while serving a campaign.
+    Store {
+        /// The campaign being served.
+        id: String,
+        /// The underlying store error.
+        source: StoreError,
+    },
+    /// The per-device circuit breaker opened: repeated failures on this
+    /// device tripped it, and the device was quarantined.
+    CircuitOpen {
+        /// The campaign that tripped the breaker.
+        id: String,
+        /// The quarantined device.
+        device: DeviceId,
+        /// Consecutive failures at the moment of the trip.
+        consecutive_failures: u32,
+    },
+}
+
+impl FleetError {
+    /// The campaign id the failure is attributed to.
+    #[must_use]
+    pub fn campaign_id(&self) -> &str {
+        match self {
+            Self::Campaign { id, .. }
+            | Self::RestartBudgetExhausted { id, .. }
+            | Self::DeadlineExceeded { id, .. }
+            | Self::Store { id, .. }
+            | Self::CircuitOpen { id, .. } => id,
+        }
+    }
+
+    /// A stable snake_case tag for reports and BENCH artifacts.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::Campaign { .. } => "campaign_fatal",
+            Self::RestartBudgetExhausted { .. } => "restart_budget_exhausted",
+            Self::DeadlineExceeded { .. } => "deadline_exceeded",
+            Self::Store { .. } => "store",
+            Self::CircuitOpen { .. } => "circuit_open",
+        }
+    }
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Campaign { id, source } => {
+                write!(f, "campaign {id} failed fatally: {source}")
+            }
+            Self::RestartBudgetExhausted { id, restarts, last } => write!(
+                f,
+                "campaign {id} exhausted its restart budget after {restarts} restarts \
+                 (last error: {last})"
+            ),
+            Self::DeadlineExceeded { id, ticks } => {
+                write!(
+                    f,
+                    "campaign {id} exceeded its deadline budget of {ticks} ticks"
+                )
+            }
+            Self::Store { id, source } => {
+                write!(f, "checkpoint store failed for campaign {id}: {source}")
+            }
+            Self::CircuitOpen {
+                id,
+                device,
+                consecutive_failures,
+            } => write!(
+                f,
+                "circuit breaker for {device} opened after {consecutive_failures} \
+                 consecutive failures; campaign {id} quarantined"
+            ),
+        }
+    }
+}
+
+impl Error for FleetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Campaign { source, .. } | Self::RestartBudgetExhausted { last: source, .. } => {
+                Some(source)
+            }
+            Self::Store { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_comparable() {
+        fn assert_traits<T: Error + Send + Sync + Clone + PartialEq + 'static>() {}
+        assert_traits::<StoreError>();
+        assert_traits::<FleetError>();
+    }
+
+    #[test]
+    fn fleet_errors_carry_campaign_attribution_and_stable_tags() {
+        let e = FleetError::DeadlineExceeded {
+            id: "c3".to_owned(),
+            ticks: 500,
+        };
+        assert_eq!(e.campaign_id(), "c3");
+        assert_eq!(e.tag(), "deadline_exceeded");
+        assert!(e.to_string().contains("c3"), "{e}");
+
+        let e = FleetError::CircuitOpen {
+            id: "c1".to_owned(),
+            device: DeviceId(4),
+            consecutive_failures: 3,
+        };
+        assert_eq!(e.tag(), "circuit_open");
+        assert!(e.to_string().contains("quarantined"), "{e}");
+    }
+}

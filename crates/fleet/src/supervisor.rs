@@ -1,0 +1,658 @@
+//! The crash-safe fleet supervisor.
+//!
+//! A [`Supervisor`] drives N concurrent [`Campaign`]s to completion
+//! under injected process-level chaos, deterministically. The scheduler
+//! is a **serial round-robin**: each tick steps every live campaign one
+//! attack-window hour, in fleet order. Parallelism lives *inside* a
+//! campaign step (the per-route rayon fan-out, already bit-identical at
+//! every thread width), so the fleet inherits the workspace's
+//! serial-equals-parallel contract without a scheduler race surface.
+//!
+//! Per tick and per campaign the supervisor:
+//!
+//! 1. steps the campaign one hour (or finalizes it when complete);
+//! 2. commits a CRC-sealed checkpoint generation on the configured
+//!    cadence (write-temp → fsync → rename, via [`CheckpointStore`]);
+//! 3. consults the [`ChaosState`] — the campaign may be killed (its
+//!    process image dropped on the floor) and its newest envelope may be
+//!    corrupted or truncated;
+//! 4. recovers dead campaigns through a per-device [`CircuitBreaker`]
+//!    and a restart budget with deterministic exponential backoff,
+//!    resuming from the newest checkpoint generation that survives full
+//!    validation (rolling back over torn ones).
+//!
+//! Every terminal failure is a typed [`FleetError`] paired with a
+//! [`QuarantineRecord`]; the chaos suite asserts there is no third
+//! outcome. Supervisor telemetry (`circuit_open`, `circuit_close`,
+//! `quarantine`, `recovery_scan`) rides the shared [`Recorder`] on the
+//! **tick axis** — the trace artifact is content-sorted, so tick-stamped
+//! fleet events coexist with hour-stamped campaign events
+//! deterministically.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use obs::{CampaignEvent, EventKind, Recorder};
+use pentimento::{Campaign, CampaignOutcome, PentimentoError};
+
+use crate::breaker::{
+    BreakerConfig, CircuitBreaker, QuarantineLedger, QuarantineReason, QuarantineRecord,
+};
+use crate::chaos::{ChaosAction, ChaosPlan, ChaosState};
+use crate::error::{FleetError, StoreError};
+use crate::store::{CheckpointStore, SnapshotVault};
+
+/// Supervisor tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Commit a checkpoint generation every this many completed
+    /// attack-window hours (clamped to at least 1).
+    pub checkpoint_every_hours: usize,
+    /// Supervisor-level restarts per campaign before
+    /// [`FleetError::RestartBudgetExhausted`].
+    pub max_restarts: u32,
+    /// Supervisor ticks per campaign before
+    /// [`FleetError::DeadlineExceeded`] — the live-lock backstop.
+    pub deadline_ticks: u64,
+    /// Checkpoint generations retained per campaign (older ones are
+    /// pruned from store and vault alike; clamped to at least 1).
+    pub retain_generations: usize,
+    /// Per-device circuit breaker tuning.
+    pub breaker: BreakerConfig,
+    /// First-restart backoff, in accounted (never slept) seconds.
+    pub backoff_base_s: f64,
+    /// Ceiling on any single restart backoff, in seconds.
+    pub backoff_max_s: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_every_hours: 8,
+            max_restarts: 6,
+            deadline_ticks: 10_000,
+            retain_generations: 3,
+            breaker: BreakerConfig::default(),
+            backoff_base_s: 1.0,
+            backoff_max_s: 60.0,
+        }
+    }
+}
+
+/// One campaign entry in a fleet: a stable id (the checkpoint store
+/// directory name) plus the freshly built campaign.
+///
+/// Session-weather chaos (delayed and stolen sessions) is configured at
+/// build time: construct the campaign with
+/// `CampaignConfig::fault_plan = plan.session_weather(index)` so the
+/// chaos-free reference run can impose the identical weather.
+#[derive(Debug)]
+pub struct CampaignSpec {
+    /// Store-directory-safe identifier, unique within the fleet.
+    pub id: String,
+    /// The campaign to supervise.
+    pub campaign: Campaign,
+}
+
+/// How one campaign ended.
+#[derive(Debug, Clone)]
+pub enum CampaignResult {
+    /// Ran to completion; the outcome is bit-identical to an
+    /// unsupervised run of the same campaign under the same weather.
+    Completed(Box<CampaignOutcome>),
+    /// Failed terminally with a typed error; a matching quarantine
+    /// record exists in the report's ledger.
+    Failed(FleetError),
+}
+
+impl CampaignResult {
+    /// The outcome, when completed.
+    #[must_use]
+    pub fn outcome(&self) -> Option<&CampaignOutcome> {
+        match self {
+            Self::Completed(outcome) => Some(outcome),
+            Self::Failed(_) => None,
+        }
+    }
+
+    /// The typed error, when failed.
+    #[must_use]
+    pub fn error(&self) -> Option<&FleetError> {
+        match self {
+            Self::Completed(_) => None,
+            Self::Failed(error) => Some(error),
+        }
+    }
+}
+
+/// What a fleet run did, campaign by campaign plus chaos accounting.
+#[derive(Debug, Clone, Default)]
+pub struct FleetReport {
+    /// Per-campaign results, in spec order.
+    pub results: Vec<(String, CampaignResult)>,
+    /// The quarantine audit trail.
+    pub quarantine: QuarantineLedger,
+    /// Process kills the chaos schedule injected.
+    pub kills_injected: u64,
+    /// Envelope byte-flips the chaos schedule injected.
+    pub corruptions_injected: u64,
+    /// Envelope truncations the chaos schedule injected.
+    pub truncations_injected: u64,
+    /// Supervisor-level restarts performed.
+    pub restarts: u64,
+    /// Torn generations rolled past during recoveries.
+    pub rollbacks: u64,
+    /// Deterministic backoff accounted across restarts, in seconds
+    /// (never slept: bookkeeping only, like the campaign layer).
+    pub backoff_seconds: f64,
+    /// Supervisor ticks the run took.
+    pub ticks: u64,
+}
+
+impl FleetReport {
+    /// Campaigns that completed.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|(_, r)| matches!(r, CampaignResult::Completed(_)))
+            .count()
+    }
+
+    /// Campaigns that failed terminally.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.results.len() - self.completed()
+    }
+
+    /// Whether every failed campaign has at least one quarantine record
+    /// naming it — the invariant the chaos suite asserts.
+    #[must_use]
+    pub fn failures_all_quarantined(&self) -> bool {
+        self.results.iter().all(|(id, result)| {
+            result.error().is_none() || self.quarantine.for_campaign(id).next().is_some()
+        })
+    }
+}
+
+/// Per-campaign supervision state.
+struct Slot {
+    id: String,
+    /// The live "process image"; `None` while dead awaiting recovery.
+    campaign: Option<Campaign>,
+    /// Next generation number to commit.
+    generation: u64,
+    restarts: u32,
+    ticks: u64,
+    breaker: CircuitBreaker,
+    device: cloud::DeviceId,
+    result: Option<CampaignResult>,
+    last_error: Option<PentimentoError>,
+}
+
+/// The fleet supervisor. See the module docs for the control loop.
+#[derive(Debug)]
+pub struct Supervisor {
+    config: FleetConfig,
+    store: CheckpointStore,
+    vault: SnapshotVault,
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl Supervisor {
+    /// Opens a supervisor over a (possibly pre-existing) checkpoint
+    /// store rooted at `store_root`, with an empty snapshot vault.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the store root cannot be created.
+    pub fn new(store_root: impl AsRef<Path>, config: FleetConfig) -> Result<Self, StoreError> {
+        Ok(Self {
+            config,
+            store: CheckpointStore::open(store_root.as_ref().to_path_buf())?,
+            vault: SnapshotVault::new(),
+            recorder: None,
+        })
+    }
+
+    /// Like [`new`](Self::new), but seeded with a surviving snapshot
+    /// vault — the restarted-supervisor path the crash-recovery tests
+    /// drive (a real store would deserialize snapshots; the vendored
+    /// serde is a stub, so the vault models that durable tier in
+    /// memory).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the store root cannot be created.
+    pub fn with_vault(
+        store_root: impl AsRef<Path>,
+        config: FleetConfig,
+        vault: SnapshotVault,
+    ) -> Result<Self, StoreError> {
+        let mut supervisor = Self::new(store_root, config)?;
+        supervisor.vault = vault;
+        Ok(supervisor)
+    }
+
+    /// Surrenders the snapshot vault (to seed a successor supervisor).
+    #[must_use]
+    pub fn into_vault(self) -> SnapshotVault {
+        self.vault
+    }
+
+    /// The durable store.
+    #[must_use]
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// Attaches (or detaches) the shared telemetry recorder.
+    pub fn set_recorder(&mut self, recorder: Option<Arc<Recorder>>) {
+        self.recorder = recorder;
+    }
+
+    fn emit(&self, kind: EventKind, at: f64, value: f64, detail: &str) {
+        if let Some(r) = &self.recorder {
+            r.event(CampaignEvent::new(kind, at).value(value).detail(detail));
+        }
+    }
+
+    fn incr(&self, counter: &'static str) {
+        if let Some(r) = &self.recorder {
+            r.incr(counter, 1);
+        }
+    }
+
+    /// Commits the next checkpoint generation for `slot`, then lets the
+    /// chaos schedule corrupt the fresh envelope, then prunes.
+    fn commit_generation(
+        &mut self,
+        slot: &mut Slot,
+        index: usize,
+        chaos: &mut ChaosState,
+        report: &mut FleetReport,
+    ) -> Result<(), StoreError> {
+        let campaign = slot
+            .campaign
+            .as_ref()
+            .expect("commit_generation requires a live campaign");
+        let checkpoint = campaign.checkpoint();
+        let generation = slot.generation;
+        self.store.commit(&slot.id, generation, &checkpoint)?;
+        self.vault.insert(&slot.id, generation, checkpoint);
+        slot.generation += 1;
+        match chaos.corrupt_commit(index) {
+            Some(ChaosAction::Truncate) => {
+                self.store.truncate(&slot.id, generation, 0.5)?;
+                report.truncations_injected += 1;
+                self.incr("fleet.chaos.truncations");
+            }
+            Some(ChaosAction::Corrupt) => {
+                let offset = chaos.corruption_offset(index);
+                self.store.corrupt_byte(&slot.id, generation, offset)?;
+                report.corruptions_injected += 1;
+                self.incr("fleet.chaos.corruptions");
+            }
+            Some(ChaosAction::Kill) | None => {}
+        }
+        for pruned in self.store.prune(&slot.id, self.config.retain_generations)? {
+            self.vault.remove(&slot.id, pruned);
+        }
+        Ok(())
+    }
+
+    /// Restores `slot`'s campaign from the newest checkpoint generation
+    /// that survives full validation: CRC-sealed envelope, vault
+    /// cross-check, and the checkpoint's own dual seals.
+    fn restore(&self, slot: &Slot) -> Result<(Campaign, u64, u64), StoreError> {
+        let (envelope, skipped) = self.store.latest_good(&slot.id)?;
+        let snapshot =
+            self.vault
+                .get(&slot.id, envelope.generation)
+                .ok_or(StoreError::SnapshotMissing {
+                    campaign: slot.id.clone(),
+                    generation: envelope.generation,
+                })?;
+        if snapshot.state_checksum() != envelope.state_checksum {
+            return Err(StoreError::SnapshotMismatch {
+                campaign: slot.id.clone(),
+                generation: envelope.generation,
+                reason: format!(
+                    "vault checksum {:#018x} vs sealed {:#018x}",
+                    snapshot.state_checksum(),
+                    envelope.state_checksum
+                ),
+            });
+        }
+        if snapshot.manifest() != envelope.manifest {
+            return Err(StoreError::SnapshotMismatch {
+                campaign: slot.id.clone(),
+                generation: envelope.generation,
+                reason: "vault manifest disagrees with the sealed envelope".to_owned(),
+            });
+        }
+        let campaign =
+            Campaign::resume(snapshot.clone()).map_err(|e| StoreError::SnapshotMismatch {
+                campaign: slot.id.clone(),
+                generation: envelope.generation,
+                reason: e.to_string(),
+            })?;
+        Ok((campaign, envelope.generation, skipped as u64))
+    }
+
+    fn quarantine(&mut self, slot: &Slot, reason: QuarantineReason, report: &mut FleetReport) {
+        let record = QuarantineRecord {
+            campaign: slot.id.clone(),
+            device: slot.device,
+            at_tick: slot.ticks,
+            reason,
+            consecutive_failures: slot.breaker.consecutive_failures(),
+        };
+        self.emit(
+            EventKind::Quarantine,
+            slot.ticks as f64,
+            f64::from(slot.device.0),
+            record.reason.tag(),
+        );
+        self.incr("fleet.quarantines");
+        report.quarantine.push(record);
+    }
+
+    fn fail(
+        &mut self,
+        slot: &mut Slot,
+        error: FleetError,
+        reason: QuarantineReason,
+        report: &mut FleetReport,
+    ) {
+        self.quarantine(slot, reason, report);
+        slot.campaign = None;
+        slot.result = Some(CampaignResult::Failed(error));
+    }
+
+    /// One recovery attempt for a dead slot: breaker gate, restart
+    /// budget, backoff accounting, then restore-from-store.
+    fn recover_slot(&mut self, slot: &mut Slot, report: &mut FleetReport) {
+        // An open breaker blocks recovery until its cooldown elapses;
+        // when `tick` flips it half-open, fall through as the probe.
+        if !slot.breaker.allows() && !slot.breaker.tick() {
+            return; // still cooling down; try again next tick
+        }
+        if slot.restarts >= self.config.max_restarts {
+            let error = FleetError::RestartBudgetExhausted {
+                id: slot.id.clone(),
+                restarts: slot.restarts,
+                last: slot
+                    .last_error
+                    .clone()
+                    .unwrap_or(PentimentoError::VictimDeviceLost),
+            };
+            self.fail(
+                slot,
+                error,
+                QuarantineReason::RestartBudgetExhausted,
+                report,
+            );
+            return;
+        }
+        slot.restarts += 1;
+        report.restarts += 1;
+        self.incr("fleet.restarts");
+        let backoff = (self.config.backoff_base_s
+            * 2f64.powi(slot.restarts.saturating_sub(1).min(30) as i32))
+        .min(self.config.backoff_max_s);
+        report.backoff_seconds += backoff;
+        self.emit(EventKind::Backoff, slot.ticks as f64, backoff, &slot.id);
+
+        match self.restore(slot) {
+            Ok((campaign, generation, rollbacks)) => {
+                report.rollbacks += rollbacks;
+                if rollbacks > 0 {
+                    self.incr("fleet.rollbacks");
+                }
+                self.emit(
+                    EventKind::RecoveryScan,
+                    slot.ticks as f64,
+                    generation as f64,
+                    &slot.id,
+                );
+                self.incr("fleet.recovery_scans");
+                slot.generation = generation + 1;
+                if slot.breaker.on_success() {
+                    self.emit(
+                        EventKind::CircuitClose,
+                        slot.ticks as f64,
+                        f64::from(slot.device.0),
+                        &slot.id,
+                    );
+                    self.incr("fleet.circuit_close");
+                }
+                slot.campaign = Some(campaign);
+            }
+            Err(error @ StoreError::NoValidGeneration { .. }) => {
+                // Nothing left to roll back to: terminal, regardless of
+                // budgets.
+                let error = FleetError::Store {
+                    id: slot.id.clone(),
+                    source: error,
+                };
+                self.fail(slot, error, QuarantineReason::StoreUnrecoverable, report);
+            }
+            Err(source) => {
+                slot.last_error = Some(PentimentoError::CheckpointCorrupt(source.to_string()));
+                if slot.breaker.on_failure() {
+                    self.trip(slot, report);
+                }
+            }
+        }
+    }
+
+    /// The breaker just tripped open: emit, quarantine, and fail the
+    /// campaign with the typed circuit error.
+    fn trip(&mut self, slot: &mut Slot, report: &mut FleetReport) {
+        self.emit(
+            EventKind::CircuitOpen,
+            slot.ticks as f64,
+            f64::from(slot.device.0),
+            &slot.id,
+        );
+        self.incr("fleet.circuit_open");
+        let error = FleetError::CircuitOpen {
+            id: slot.id.clone(),
+            device: slot.device,
+            consecutive_failures: slot.breaker.consecutive_failures(),
+        };
+        self.fail(slot, error, QuarantineReason::BreakerTripped, report);
+    }
+
+    /// Steps a live slot one hour, checkpointing and consulting chaos.
+    fn step_slot(
+        &mut self,
+        slot: &mut Slot,
+        index: usize,
+        chaos: &mut ChaosState,
+        report: &mut FleetReport,
+    ) {
+        let campaign = slot
+            .campaign
+            .as_mut()
+            .expect("step_slot requires a live campaign");
+        if campaign.is_complete() {
+            // `run` on a complete campaign skips straight to finalize.
+            match campaign.run() {
+                Ok(outcome) => {
+                    slot.breaker.on_success();
+                    slot.result = Some(CampaignResult::Completed(Box::new(outcome)));
+                    slot.campaign = None;
+                }
+                Err(e)
+                    if e.is_transient()
+                        || matches!(e, PentimentoError::RetriesExhausted { .. }) =>
+                {
+                    slot.last_error = Some(e);
+                    slot.campaign = None; // recover and re-finalize
+                    if slot.breaker.on_failure() {
+                        self.trip(slot, report);
+                    }
+                }
+                Err(e) => {
+                    let error = FleetError::Campaign {
+                        id: slot.id.clone(),
+                        source: e,
+                    };
+                    self.fail(slot, error, QuarantineReason::FatalError, report);
+                }
+            }
+            return;
+        }
+        match campaign.step() {
+            Ok(_) => {
+                slot.breaker.on_success();
+                let hour = campaign.hour();
+                let cadence = self.config.checkpoint_every_hours.max(1);
+                if hour.is_multiple_of(cadence) || campaign.is_complete() {
+                    if let Err(source) = self.commit_generation(slot, index, chaos, report) {
+                        let error = FleetError::Store {
+                            id: slot.id.clone(),
+                            source,
+                        };
+                        self.fail(slot, error, QuarantineReason::StoreUnrecoverable, report);
+                        return;
+                    }
+                }
+                if chaos.kill_now(index, hour) {
+                    report.kills_injected += 1;
+                    self.incr("fleet.chaos.kills");
+                    slot.campaign = None; // the process image dies here
+                }
+            }
+            Err(e) if e.is_transient() || matches!(e, PentimentoError::RetriesExhausted { .. }) => {
+                slot.last_error = Some(e);
+                slot.campaign = None;
+                if slot.breaker.on_failure() {
+                    self.trip(slot, report);
+                }
+            }
+            Err(e) => {
+                let error = FleetError::Campaign {
+                    id: slot.id.clone(),
+                    source: e,
+                };
+                self.fail(slot, error, QuarantineReason::FatalError, report);
+            }
+        }
+    }
+
+    /// Runs a fleet to completion under `chaos`. Deterministic: the same
+    /// specs and plan produce the same report, quarantine ledger, and
+    /// telemetry at every thread width.
+    pub fn run(&mut self, specs: Vec<CampaignSpec>, chaos: ChaosPlan) -> FleetReport {
+        let mut chaos = ChaosState::new(chaos, specs.len());
+        let mut report = FleetReport::default();
+
+        // Startup crash-recovery scan: every campaign directory already
+        // in the store is a survivor of a previous incarnation.
+        let survivors = self.store.campaigns();
+        self.emit(
+            EventKind::RecoveryScan,
+            0.0,
+            survivors.len() as f64,
+            "fleet startup",
+        );
+        self.incr("fleet.recovery_scans");
+
+        let mut slots: Vec<Slot> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let device = spec.campaign.victim_device();
+            let mut slot = Slot {
+                id: spec.id,
+                campaign: None,
+                generation: 0,
+                restarts: 0,
+                ticks: 0,
+                breaker: CircuitBreaker::new(self.config.breaker),
+                device,
+                result: None,
+                last_error: None,
+            };
+            if survivors.contains(&slot.id) {
+                // Resume the survivor from its newest good generation;
+                // the fresh spec campaign is discarded.
+                match self.restore(&slot) {
+                    Ok((campaign, generation, rollbacks)) => {
+                        report.rollbacks += rollbacks;
+                        self.emit(EventKind::RecoveryScan, 0.0, generation as f64, &slot.id);
+                        self.incr("fleet.recovery_scans");
+                        slot.generation = generation + 1;
+                        slot.campaign = Some(campaign);
+                    }
+                    Err(source) => {
+                        let error = FleetError::Store {
+                            id: slot.id.clone(),
+                            source,
+                        };
+                        self.fail(
+                            &mut slot,
+                            error,
+                            QuarantineReason::StoreUnrecoverable,
+                            &mut report,
+                        );
+                    }
+                }
+            } else {
+                // Fresh campaign: seal generation 0 before the first
+                // step so a kill at any hour has a recovery point.
+                slot.campaign = Some(spec.campaign);
+                let index = slots.len();
+                if let Err(source) =
+                    self.commit_generation(&mut slot, index, &mut chaos, &mut report)
+                {
+                    let error = FleetError::Store {
+                        id: slot.id.clone(),
+                        source,
+                    };
+                    self.fail(
+                        &mut slot,
+                        error,
+                        QuarantineReason::StoreUnrecoverable,
+                        &mut report,
+                    );
+                }
+            }
+            slots.push(slot);
+        }
+
+        // Serial round-robin until every slot has a result.
+        while slots.iter().any(|slot| slot.result.is_none()) {
+            report.ticks += 1;
+            for (index, slot) in slots.iter_mut().enumerate() {
+                if slot.result.is_some() {
+                    continue;
+                }
+                slot.ticks += 1;
+                if slot.ticks > self.config.deadline_ticks {
+                    let error = FleetError::DeadlineExceeded {
+                        id: slot.id.clone(),
+                        ticks: slot.ticks as usize,
+                    };
+                    self.fail(slot, error, QuarantineReason::DeadlineExceeded, &mut report);
+                } else if slot.campaign.is_none() {
+                    self.recover_slot(slot, &mut report);
+                } else {
+                    self.step_slot(slot, index, &mut chaos, &mut report);
+                }
+            }
+        }
+
+        report.results = slots
+            .into_iter()
+            .map(|slot| {
+                let result = slot
+                    .result
+                    .expect("loop exits only when every slot resolved");
+                (slot.id, result)
+            })
+            .collect();
+        report
+    }
+}

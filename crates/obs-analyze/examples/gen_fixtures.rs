@@ -4,8 +4,9 @@
 //! * `mini_trace.jsonl` — a small hand-designed campaign trace emitted
 //!   through the real `obs::Recorder` (so ordering and float formatting
 //!   are exactly what production produces), exercising phases, a retry
-//!   storm, backoff, cache traffic, a quorum failure, an abstain, and an
-//!   escaped-quote detail string.
+//!   storm, backoff, cache traffic, a quorum failure, an abstain, the
+//!   fleet-supervisor kinds (circuit open/close, quarantine, recovery
+//!   scan), and an escaped-quote detail string.
 //! * `mini_metrics.json` — the matching metrics snapshot, with two
 //!   deterministic `span_seconds.*` histograms.
 //! * `mini_trace.indicators.md` — the golden Markdown indicator report
@@ -81,6 +82,30 @@ fn main() {
             .route(0)
             .value(1.0)
             .detail("measure"),
+    );
+
+    // A supervised-fleet interlude: device 2's breaker trips and the
+    // device is quarantined, then a probe succeeds and the breaker
+    // closes again after a recovery scan found one good generation.
+    r.event(
+        CampaignEvent::new(EventKind::CircuitOpen, 2.5)
+            .value(2.0)
+            .detail("device 2"),
+    );
+    r.event(
+        CampaignEvent::new(EventKind::Quarantine, 2.5)
+            .value(2.0)
+            .detail("breaker open"),
+    );
+    r.event(
+        CampaignEvent::new(EventKind::RecoveryScan, 2.75)
+            .value(1.0)
+            .detail("fleet startup"),
+    );
+    r.event(
+        CampaignEvent::new(EventKind::CircuitClose, 2.75)
+            .value(2.0)
+            .detail("device 2"),
     );
 
     // Wrap-up: a checkpoint whose label needs JSON escaping, and one

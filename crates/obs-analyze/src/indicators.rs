@@ -73,7 +73,7 @@ pub struct SpanStats {
 pub struct Indicators {
     /// Total events in the trace.
     pub events: u64,
-    /// Event count per kind — all 12 kinds, zeros included, rank order.
+    /// Event count per kind — every kind, zeros included, rank order.
     pub kind_counts: BTreeMap<EventKind, u64>,
     /// Distinct route indices observed anywhere in the trace.
     pub routes_observed: u64,
@@ -499,7 +499,7 @@ mod tests {
         assert!(ind.to_markdown().contains("- hit ratio: n/a"));
         assert_eq!(
             ind.kind_counts.len(),
-            12,
+            EventKind::ALL.len(),
             "all kinds listed, zeros included"
         );
     }

@@ -85,7 +85,7 @@ fn f64_or_null(v: &Value, m: &Member) -> Result<f64, ParseError> {
 ///
 /// Strictness: the object must contain exactly the five schema keys
 /// (`at`, `kind`, `route`, `value`, `detail`) — any order, no extras, no
-/// omissions — with `kind` one of the 12 wire names and `route` a
+/// omissions — with `kind` one of the 16 wire names and `route` a
 /// non-negative integer or null.
 ///
 /// # Errors
@@ -444,7 +444,11 @@ pub fn parse_metrics(src: &str) -> Result<MetricsSnapshot, ParseError> {
             }
         }
     }
-    let schema_version = schema_version.unwrap_or(METRICS_SCHEMA_VERSION - 1);
+    // A missing key *is* version 1 (the PR-4 artifacts predate the key),
+    // not version N−1: once N reaches 3, key-less artifacts fall out of
+    // the support window and must be rejected like any other stale
+    // version.
+    let schema_version = schema_version.unwrap_or(1);
     if schema_version != METRICS_SCHEMA_VERSION && schema_version != METRICS_SCHEMA_VERSION - 1 {
         return Err(ParseError::at(
             1,
@@ -571,36 +575,82 @@ mod tests {
 
     #[test]
     fn metrics_schema_version_rule_accepts_n_and_n_minus_1() {
+        // A missing key is literal version 1, which left the N/N−1
+        // support window when N reached 3: key-less PR-4 artifacts must
+        // now be rejected loudly, not silently misread.
         let v1 = r#"{"counters":{},"histograms":{},"events":0,"event_kinds":{}}"#;
-        assert_eq!(parse_metrics(v1).expect("v1 accepted").schema_version, 1);
-        let v2 = format!(
-            "{{\"schema_version\":{METRICS_SCHEMA_VERSION},\"counters\":{{}},\"histograms\":{{}},\"events\":0,\"event_kinds\":{{}}}}"
+        assert!(parse_metrics(v1)
+            .unwrap_err()
+            .message
+            .contains("unsupported"));
+        let versioned = |v: u32| {
+            format!(
+                "{{\"schema_version\":{v},\"counters\":{{}},\"histograms\":{{}},\"events\":0,\"event_kinds\":{{}}}}"
+            )
+        };
+        assert_eq!(
+            parse_metrics(&versioned(METRICS_SCHEMA_VERSION - 1))
+                .expect("N-1 accepted")
+                .schema_version,
+            METRICS_SCHEMA_VERSION - 1
         );
         assert_eq!(
-            parse_metrics(&v2).expect("v2 accepted").schema_version,
+            parse_metrics(&versioned(METRICS_SCHEMA_VERSION))
+                .expect("N accepted")
+                .schema_version,
             METRICS_SCHEMA_VERSION
         );
-        let future = format!(
-            "{{\"schema_version\":{},\"counters\":{{}},\"histograms\":{{}},\"events\":0,\"event_kinds\":{{}}}}",
-            METRICS_SCHEMA_VERSION + 1
-        );
-        assert!(parse_metrics(&future)
+        assert!(parse_metrics(&versioned(METRICS_SCHEMA_VERSION + 1))
             .unwrap_err()
             .message
             .contains("unsupported"));
     }
 
     #[test]
+    fn supervisor_event_kinds_parse_in_traces_and_metrics() {
+        // The four fleet-supervisor kinds introduced with metrics schema
+        // version 3 must round-trip through both artifact parsers.
+        for kind in [
+            EventKind::CircuitOpen,
+            EventKind::CircuitClose,
+            EventKind::Quarantine,
+            EventKind::RecoveryScan,
+        ] {
+            let line = CampaignEvent::new(kind, 4.0)
+                .value(1.0)
+                .detail("dev")
+                .json();
+            let parsed = parse_trace_line(&line).expect("supervisor kind parses");
+            assert_eq!(parsed.kind, kind);
+        }
+        let src = format!(
+            "{{\"schema_version\":{METRICS_SCHEMA_VERSION},\"counters\":{{}},\"histograms\":{{}},\
+             \"events\":2,\"event_kinds\":{{\"circuit_open\":1,\"recovery_scan\":1}}}}"
+        );
+        let metrics = parse_metrics(&src).expect("supervisor kinds accepted");
+        assert_eq!(metrics.event_kinds[&EventKind::CircuitOpen], 1);
+        assert_eq!(metrics.event_kinds[&EventKind::RecoveryScan], 1);
+    }
+
+    #[test]
     fn histogram_bucket_sums_are_validated_and_quantiles_deterministic() {
-        let src = r#"{"counters":{},"histograms":{"h":{"count":4,"sum":2.0,"min":0.1,"max":1.0,"buckets":{"21":2,"24":2}}},"events":0,"event_kinds":{}}"#;
-        let m = parse_metrics(src).expect("parses");
+        let src = format!(
+            "{{\"schema_version\":{METRICS_SCHEMA_VERSION},\"counters\":{{}},\"histograms\":\
+             {{\"h\":{{\"count\":4,\"sum\":2.0,\"min\":0.1,\"max\":1.0,\
+             \"buckets\":{{\"21\":2,\"24\":2}}}}}},\"events\":0,\"event_kinds\":{{}}}}"
+        );
+        let m = parse_metrics(&src).expect("parses");
         let h = &m.histograms["h"];
         // Bucket 21 upper bound 2^-3, bucket 24 upper bound 1.0.
         assert_eq!(h.quantile(0.5), Some(0.125));
         assert_eq!(h.quantile(0.99), Some(1.0));
         assert_eq!(h.quantile(0.0), None);
 
-        let bad = r#"{"counters":{},"histograms":{"h":{"count":3,"sum":2.0,"buckets":{"21":2}}},"events":0,"event_kinds":{}}"#;
-        assert!(parse_metrics(bad).unwrap_err().message.contains("sum to"));
+        let bad = format!(
+            "{{\"schema_version\":{METRICS_SCHEMA_VERSION},\"counters\":{{}},\"histograms\":\
+             {{\"h\":{{\"count\":3,\"sum\":2.0,\"buckets\":{{\"21\":2}}}}}},\
+             \"events\":0,\"event_kinds\":{{}}}}"
+        );
+        assert!(parse_metrics(&bad).unwrap_err().message.contains("sum to"));
     }
 }

@@ -72,7 +72,7 @@ proptest! {
     #[test]
     fn every_emitted_trace_line_round_trips(
         raw in proptest::collection::vec(
-            (0u8..100, 0u8..12, 0u8..5, 0u8..7, 0u8..250,
+            (0u8..100, 0u8..16, 0u8..5, 0u8..7, 0u8..250,
              proptest::collection::vec(0u16..80, 0..12)),
             0..40,
         ),
@@ -98,7 +98,7 @@ proptest! {
     #[test]
     fn same_multiset_always_diffs_empty(
         raw in proptest::collection::vec(
-            (0u8..100, 0u8..12, 0u8..5, 0u8..7, 0u8..250,
+            (0u8..100, 0u8..16, 0u8..5, 0u8..7, 0u8..250,
              proptest::collection::vec(0u16..80, 0..8)),
             0..30,
         ),

@@ -43,10 +43,14 @@ use std::time::Instant;
 ///   `event_kinds` (no `schema_version` key; consumers must treat a
 ///   missing key as version 1).
 /// * **2** — adds the explicit `schema_version` key itself.
+/// * **3** — the fleet-supervisor kinds (`circuit_open`, `circuit_close`,
+///   `quarantine`, `recovery_scan`) may now appear in `event_kinds`;
+///   version-2 parsers would reject them as unknown, so their arrival is
+///   a schema bump even though the object shape is unchanged.
 ///
 /// The analysis layer (`obs-analyze`) accepts version N and N−1, so a
 /// schema bump here must keep one generation of old artifacts readable.
-pub const METRICS_SCHEMA_VERSION: u32 = 2;
+pub const METRICS_SCHEMA_VERSION: u32 = 3;
 
 /// Schema version of the JSONL trace line shape (the five-key
 /// `at`/`kind`/`route`/`value`/`detail` object emitted by
@@ -92,11 +96,19 @@ pub enum EventKind {
     CacheHit,
     /// Decay-cache lookups that had to derive a fresh kernel.
     CacheMiss,
+    /// A fleet supervisor's per-device circuit breaker tripped open.
+    CircuitOpen,
+    /// A previously open circuit breaker closed after a successful probe.
+    CircuitClose,
+    /// A device (or campaign) was quarantined by the fleet supervisor.
+    Quarantine,
+    /// The fleet supervisor scanned its checkpoint store on startup.
+    RecoveryScan,
 }
 
 impl EventKind {
     /// All kinds, in rank order.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::PhaseTransition,
         EventKind::SessionAcquired,
         EventKind::SessionReleased,
@@ -109,6 +121,10 @@ impl EventKind {
         EventKind::CheckpointWrite,
         EventKind::CacheHit,
         EventKind::CacheMiss,
+        EventKind::CircuitOpen,
+        EventKind::CircuitClose,
+        EventKind::Quarantine,
+        EventKind::RecoveryScan,
     ];
 
     /// Stable wire name used in JSONL traces and the summary table.
@@ -127,11 +143,15 @@ impl EventKind {
             EventKind::CheckpointWrite => "checkpoint_write",
             EventKind::CacheHit => "cache_hit",
             EventKind::CacheMiss => "cache_miss",
+            EventKind::CircuitOpen => "circuit_open",
+            EventKind::CircuitClose => "circuit_close",
+            EventKind::Quarantine => "quarantine",
+            EventKind::RecoveryScan => "recovery_scan",
         }
     }
 }
 
-/// Error returned when a string is not one of the 12 wire names in
+/// Error returned when a string is not one of the 16 wire names in
 /// [`EventKind::as_str`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseEventKindError {

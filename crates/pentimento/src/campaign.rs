@@ -44,7 +44,7 @@
 use std::sync::Arc;
 
 use bti_physics::{Hours, LogicLevel};
-use cloud::{CloudError, DeviceId, FaultPlan, Provider, Session, TenantId};
+use cloud::{CloudError, DeviceId, FaultKind, FaultPlan, Provider, Session, TenantId};
 use fpga_fabric::FpgaDevice;
 use obs::{CampaignEvent, EventKind, Recorder};
 use rand::rngs::StdRng;
@@ -114,6 +114,41 @@ fn uniform01(seed: u64, counter: u64) -> f64 {
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
     (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Rolling FNV-1a accumulator used to seal checkpoints. Every value is
+/// folded in as little-endian bytes; variable-length sequences are
+/// length-prefixed so `[a, b] ++ [c]` and `[a] ++ [b, c]` hash apart.
+struct StateDigest {
+    hash: u64,
+}
+
+impl StateDigest {
+    fn new() -> Self {
+        Self {
+            hash: 0xCBF2_9CE4_8422_2325,
+        }
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.hash ^= u64::from(byte);
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
 }
 
 /// Which attack the campaign drives.
@@ -364,17 +399,21 @@ pub struct Campaign {
     recorder: Option<Arc<Recorder>>,
 }
 
-/// A point-in-time snapshot of a campaign plus an integrity manifest.
+/// A point-in-time snapshot of a campaign plus two integrity seals.
 ///
-/// The snapshot is clone-based (the simulation lives in memory); the
-/// manifest is the hand-rolled JSON summary [`Campaign::manifest_json`]
-/// produces, and [`Campaign::resume`] rejects a checkpoint whose manifest
-/// no longer describes its state with
+/// The snapshot is clone-based (the simulation lives in memory). It is
+/// sealed twice: a dense FNV-1a checksum over the serialized state
+/// ([`Campaign::state_checksum`]) that any single-field mutation
+/// invalidates, and a human-readable JSON manifest
+/// ([`Campaign::manifest_json`]) summarizing the headline fields.
+/// [`Campaign::resume`] recomputes both and rejects any checkpoint whose
+/// seals no longer describe its state with
 /// [`PentimentoError::CheckpointCorrupt`].
 #[derive(Debug, Clone)]
 pub struct CampaignCheckpoint {
     campaign: Campaign,
     manifest: String,
+    checksum: u64,
 }
 
 impl CampaignCheckpoint {
@@ -382,6 +421,22 @@ impl CampaignCheckpoint {
     #[must_use]
     pub fn manifest(&self) -> &str {
         &self.manifest
+    }
+
+    /// The state checksum this checkpoint was sealed with. Durable
+    /// stores persist this alongside the manifest so a recovery scan can
+    /// verify a restored snapshot against the envelope it was filed
+    /// under.
+    #[must_use]
+    pub fn state_checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Completed attack-window hours at the instant the snapshot was
+    /// taken (store bookkeeping: generation pruning, progress reports).
+    #[must_use]
+    pub fn hour(&self) -> usize {
+        self.campaign.hour()
     }
 }
 
@@ -717,6 +772,13 @@ impl Campaign {
         &self.provider
     }
 
+    /// The device the victim's secret is imprinted on — the identity a
+    /// fleet supervisor keys its per-device circuit breakers by.
+    #[must_use]
+    pub fn victim_device(&self) -> DeviceId {
+        self.run.victim_device
+    }
+
     /// Advances one attack-window hour: step the world, repair whatever
     /// the hostile cloud broke, and take the hour's measurements.
     ///
@@ -871,6 +933,96 @@ impl Campaign {
         )
     }
 
+    /// A checksum over the serialized campaign state: every field that
+    /// determines future behaviour — measurements, truth, RNG stream
+    /// position, fault-draw counters, provider clock — folded through
+    /// FNV-1a in a fixed canonical order.
+    ///
+    /// Unlike [`manifest_json`](Self::manifest_json) (a human-readable
+    /// summary of a handful of headline fields), the checksum covers the
+    /// state densely: flipping a single reading bit, rewinding the RNG,
+    /// or dropping one recorded hour all change it. [`resume`](Self::resume)
+    /// recomputes it and rejects any checkpoint whose sealed value no
+    /// longer matches.
+    #[must_use]
+    pub fn state_checksum(&self) -> u64 {
+        let mut d = StateDigest::new();
+        // Mission identity and position.
+        d.str(self.mission.tag());
+        d.u64(self.mission.seed());
+        d.u64(self.mission.attack_hours() as u64);
+        d.u64(self.run.hour as u64);
+        // Recorded evidence: hours log and the gap-tolerant readings.
+        d.u64(self.run.hours_log.len() as u64);
+        for &h in &self.run.hours_log {
+            d.f64(h);
+        }
+        d.u64(self.run.readings.len() as u64);
+        for route in &self.run.readings {
+            d.u64(route.len() as u64);
+            for reading in route {
+                match reading {
+                    Some(v) => {
+                        d.u64(1);
+                        d.f64(*v);
+                    }
+                    None => d.u64(0),
+                }
+            }
+        }
+        // Ground truth and physical identity.
+        d.u64(self.run.truth.len() as u64);
+        for &bit in &self.run.truth {
+            d.u64(match bit {
+                LogicLevel::One => 1,
+                LogicLevel::Zero => 0,
+            });
+        }
+        d.u64(u64::from(self.run.victim_device.0));
+        d.u64(self.run.fingerprint.digest());
+        match self.run.attack_design {
+            AttackDesign::Afi(id) => {
+                d.u64(1);
+                d.u64(id.0);
+            }
+            AttackDesign::Condition(level) => {
+                d.u64(2);
+                d.u64(match level {
+                    LogicLevel::One => 1,
+                    LogicLevel::Zero => 0,
+                });
+            }
+        }
+        d.u64(u64::from(self.run.session.is_some()));
+        // Resilience counters.
+        d.u64(u64::from(self.stats.rent_retries));
+        d.u64(u64::from(self.stats.measurement_retries));
+        d.u64(u64::from(self.stats.reacquisitions));
+        d.u64(u64::from(self.stats.impostors_rejected));
+        d.u64(u64::from(self.stats.scrub_reloads));
+        d.u64(self.stats.degraded_points as u64);
+        d.u64(self.stats.dropped_points as u64);
+        d.f64(self.stats.backoff_seconds);
+        d.u64(self.stats.abstained as u64);
+        d.u64(self.stats.non_finite_statistics as u64);
+        d.u64(self.stats.faults_injected as u64);
+        // Randomness and fault-injection position: the exact RNG state
+        // and per-kind draw counters that make resume bit-identical.
+        for word in self.rng.state() {
+            d.u64(word);
+        }
+        d.u64(self.backoff_draws);
+        d.u64(u64::from(self.armed));
+        d.f64(self.provider.now().value());
+        let faults = self.provider.fault_state();
+        for kind in FaultKind::ALL {
+            d.u64(faults.draws_consumed(kind));
+        }
+        d.u64(faults.schedule_fired() as u64);
+        d.u64(self.provider.ledger().faults().len() as u64);
+        d.hash
+    }
+
     /// Snapshots the whole campaign — provider, RNG stream, fault
     /// counters, readings — sealed with [`manifest_json`](Self::manifest_json).
     #[must_use]
@@ -886,11 +1038,13 @@ impl Campaign {
         CampaignCheckpoint {
             campaign: self.clone(),
             manifest: self.manifest_json(),
+            checksum: self.state_checksum(),
         }
     }
 
-    /// Rebuilds a campaign from a checkpoint, validating the manifest
-    /// against the snapshotted state first.
+    /// Rebuilds a campaign from a checkpoint, validating both seals
+    /// against the snapshotted state first: the dense state checksum,
+    /// then the headline manifest.
     ///
     /// A resumed campaign continues **bit-identically**: stepping it
     /// produces the same fault stream, the same measurements, and the
@@ -898,9 +1052,16 @@ impl Campaign {
     ///
     /// # Errors
     ///
-    /// [`PentimentoError::CheckpointCorrupt`] when the manifest no longer
+    /// [`PentimentoError::CheckpointCorrupt`] when either seal no longer
     /// matches the state (tampering, truncation, version skew).
     pub fn resume(checkpoint: CampaignCheckpoint) -> Result<Self, PentimentoError> {
+        let actual = checkpoint.campaign.state_checksum();
+        if checkpoint.checksum != actual {
+            return Err(PentimentoError::CheckpointCorrupt(format!(
+                "state checksum mismatch: sealed {:#018x} but state hashes to {actual:#018x}",
+                checkpoint.checksum
+            )));
+        }
         let expected = checkpoint.campaign.manifest_json();
         if checkpoint.manifest != expected {
             return Err(PentimentoError::CheckpointCorrupt(format!(
@@ -1483,6 +1644,90 @@ mod tests {
             "{err}"
         );
         assert!(!err.is_transient());
+    }
+
+    /// A checkpoint whose *state* was mutated after sealing — a flipped
+    /// reading, a rewound RNG — fails the dense checksum even though the
+    /// headline manifest (mission, hour, counts) still matches.
+    #[test]
+    fn tampered_checkpoint_state_is_rejected_by_the_checksum() {
+        let provider = Provider::new(ProviderConfig::aws_f1_like(2, 1));
+        let mut campaign = Campaign::new(
+            provider,
+            Mission::ThreatModel1(tm1_config()),
+            CampaignConfig::default(),
+        )
+        .unwrap();
+        for _ in 0..3 {
+            campaign.step().unwrap();
+        }
+        let mut checkpoint = campaign.checkpoint();
+
+        // Flip one recorded reading: invisible to the manifest (the
+        // measurement *count* is unchanged) but fatal to the checksum.
+        let tampered = checkpoint.campaign.run.readings[0][0].map(|v| v + 0.25);
+        checkpoint.campaign.run.readings[0][0] = tampered;
+        assert_eq!(
+            checkpoint.manifest,
+            checkpoint.campaign.manifest_json(),
+            "the tamper must be invisible to the manifest for this test \
+             to prove the checksum adds protection"
+        );
+        let err = Campaign::resume(checkpoint.clone()).unwrap_err();
+        assert!(
+            matches!(err, PentimentoError::CheckpointCorrupt(ref m) if m.contains("checksum")),
+            "{err}"
+        );
+        assert!(!err.is_transient());
+
+        // Rewinding the RNG stream is equally invisible to the manifest
+        // and equally fatal: replaying stale randomness would silently
+        // fork the campaign from its fault-free twin.
+        let mut rewound = campaign.checkpoint();
+        rewound.campaign.rng = StdRng::seed_from_u64(0);
+        let err = Campaign::resume(rewound).unwrap_err();
+        assert!(
+            matches!(err, PentimentoError::CheckpointCorrupt(ref m) if m.contains("checksum")),
+            "{err}"
+        );
+    }
+
+    /// A checkpoint truncated mid-flight — recorded hours lost — fails
+    /// both seals; the checksum catches it even when the manifest is
+    /// regenerated to match the truncated state.
+    #[test]
+    fn truncated_checkpoint_state_is_rejected() {
+        let provider = Provider::new(ProviderConfig::aws_f1_like(2, 1));
+        let mut campaign = Campaign::new(
+            provider,
+            Mission::ThreatModel1(tm1_config()),
+            CampaignConfig::default(),
+        )
+        .unwrap();
+        for _ in 0..6 {
+            campaign.step().unwrap();
+        }
+        let mut checkpoint = campaign.checkpoint();
+
+        // Drop the newest recorded hour, as a torn write would.
+        checkpoint.campaign.run.hours_log.pop();
+        for route in &mut checkpoint.campaign.run.readings {
+            route.pop();
+        }
+        let err = Campaign::resume(checkpoint.clone()).unwrap_err();
+        assert!(
+            matches!(err, PentimentoError::CheckpointCorrupt(_)),
+            "{err}"
+        );
+
+        // Even an attacker who regenerates the manifest to describe the
+        // truncated state cannot clear the sealed checksum.
+        checkpoint.manifest = checkpoint.campaign.manifest_json();
+        let err = Campaign::resume(checkpoint).unwrap_err();
+        assert!(
+            matches!(err, PentimentoError::CheckpointCorrupt(ref m) if m.contains("checksum")),
+            "{err}"
+        );
     }
 
     #[test]

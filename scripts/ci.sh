@@ -66,6 +66,18 @@ else
     echo "(${hw_threads} hardware thread(s): overhead gate informational)"
 fi
 
+echo "== chaos_suite smoke (crash-safe fleet supervision) =="
+# Sweeps the smoke chaos matrix — scheduled kills, torn envelopes, the
+# kill-9 torn-store cell, a doomed campaign — asserting every supervised
+# campaign completes bit-identically to its unsupervised reference or
+# fails typed + quarantined, deterministically across pool widths. The
+# combined supervisor + campaign trace must validate through the strict
+# obs-analyze parser (fleet events ride the tick axis, content-sorted).
+cargo run --release -q -p bench --bin chaos_suite -- --smoke \
+    --trace /tmp/ci_chaos_trace.jsonl --metrics /tmp/ci_chaos_metrics.json
+cargo run --release -q -p bench --bin obs_report -- \
+    validate /tmp/ci_chaos_trace.jsonl /tmp/ci_chaos_metrics.json
+
 echo "== regression sentinel (BENCH lineage vs checked-in baseline) =="
 # The parallel_scaling and kernel_bench smoke steps above regenerated
 # results/BENCH_*.json on this host, so the sentinel compares fresh

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-22fbcafb691f3691.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-22fbcafb691f3691: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

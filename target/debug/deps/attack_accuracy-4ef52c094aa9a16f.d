@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_accuracy-4ef52c094aa9a16f.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/debug/deps/attack_accuracy-4ef52c094aa9a16f: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_and_covert-5ee179f286cc8d0d.d: tests/audit_and_covert.rs
+
+/root/repo/target/debug/deps/audit_and_covert-5ee179f286cc8d0d: tests/audit_and_covert.rs
+
+tests/audit_and_covert.rs:

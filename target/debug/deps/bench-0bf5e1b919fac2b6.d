@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-0bf5e1b919fac2b6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-0bf5e1b919fac2b6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

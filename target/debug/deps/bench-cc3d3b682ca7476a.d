@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-cc3d3b682ca7476a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-cc3d3b682ca7476a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-cc3d3b682ca7476a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

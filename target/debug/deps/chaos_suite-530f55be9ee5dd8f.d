@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_suite-530f55be9ee5dd8f.d: crates/bench/src/bin/chaos_suite.rs
+
+/root/repo/target/debug/deps/chaos_suite-530f55be9ee5dd8f: crates/bench/src/bin/chaos_suite.rs
+
+crates/bench/src/bin/chaos_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/covert_channel-e6baa608700537c6.d: crates/bench/src/bin/covert_channel.rs
+
+/root/repo/target/debug/deps/covert_channel-e6baa608700537c6: crates/bench/src/bin/covert_channel.rs
+
+crates/bench/src/bin/covert_channel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7c9781cacf5b10c1.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7c9781cacf5b10c1: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-6627547637beae49.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-6627547637beae49: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance-db49977c204b5350.d: crates/bench/src/bin/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-db49977c204b5350.rmeta: crates/bench/src/bin/fault_tolerance.rs Cargo.toml
+
+crates/bench/src/bin/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

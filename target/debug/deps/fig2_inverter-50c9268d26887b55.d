@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_inverter-50c9268d26887b55.d: crates/bench/src/bin/fig2_inverter.rs
+
+/root/repo/target/debug/deps/fig2_inverter-50c9268d26887b55: crates/bench/src/bin/fig2_inverter.rs
+
+crates/bench/src/bin/fig2_inverter.rs:

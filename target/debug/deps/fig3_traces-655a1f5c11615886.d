@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_traces-655a1f5c11615886.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/debug/deps/fig3_traces-655a1f5c11615886: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-c573a91aa030a1af.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-c573a91aa030a1af: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

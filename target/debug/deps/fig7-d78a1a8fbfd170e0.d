@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-d78a1a8fbfd170e0.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-d78a1a8fbfd170e0: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

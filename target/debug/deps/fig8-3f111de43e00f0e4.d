@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-3f111de43e00f0e4.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-3f111de43e00f0e4: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fleet-d5310e43ec52ee58.d: crates/fleet/src/lib.rs crates/fleet/src/breaker.rs crates/fleet/src/chaos.rs crates/fleet/src/error.rs crates/fleet/src/store.rs crates/fleet/src/supervisor.rs
+
+/root/repo/target/debug/deps/fleet-d5310e43ec52ee58: crates/fleet/src/lib.rs crates/fleet/src/breaker.rs crates/fleet/src/chaos.rs crates/fleet/src/error.rs crates/fleet/src/store.rs crates/fleet/src/supervisor.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/breaker.rs:
+crates/fleet/src/chaos.rs:
+crates/fleet/src/error.rs:
+crates/fleet/src/store.rs:
+crates/fleet/src/supervisor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_bench-30074e7fea5a9170.d: crates/bench/src/bin/kernel_bench.rs
+
+/root/repo/target/debug/deps/kernel_bench-30074e7fea5a9170: crates/bench/src/bin/kernel_bench.rs
+
+crates/bench/src/bin/kernel_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_equivalence-5371d73c909466ef.d: tests/kernel_equivalence.rs
+
+/root/repo/target/debug/deps/kernel_equivalence-5371d73c909466ef: tests/kernel_equivalence.rs
+
+tests/kernel_equivalence.rs:

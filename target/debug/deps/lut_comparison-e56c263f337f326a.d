@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lut_comparison-e56c263f337f326a.d: crates/bench/src/bin/lut_comparison.rs
+
+/root/repo/target/debug/deps/lut_comparison-e56c263f337f326a: crates/bench/src/bin/lut_comparison.rs
+
+crates/bench/src/bin/lut_comparison.rs:

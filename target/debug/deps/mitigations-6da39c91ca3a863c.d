@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mitigations-6da39c91ca3a863c.d: crates/bench/src/bin/mitigations.rs
+
+/root/repo/target/debug/deps/mitigations-6da39c91ca3a863c: crates/bench/src/bin/mitigations.rs
+
+crates/bench/src/bin/mitigations.rs:

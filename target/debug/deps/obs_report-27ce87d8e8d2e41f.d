@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_report-27ce87d8e8d2e41f.d: crates/bench/src/bin/obs_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_report-27ce87d8e8d2e41f.rmeta: crates/bench/src/bin/obs_report.rs Cargo.toml
+
+crates/bench/src/bin/obs_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_report-a9918ddbe8e4f737.d: crates/bench/src/bin/obs_report.rs
+
+/root/repo/target/debug/deps/obs_report-a9918ddbe8e4f737: crates/bench/src/bin/obs_report.rs
+
+crates/bench/src/bin/obs_report.rs:

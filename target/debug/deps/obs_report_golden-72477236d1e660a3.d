@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/obs_report_golden-72477236d1e660a3.d: tests/obs_report_golden.rs
+
+/root/repo/target/debug/deps/obs_report_golden-72477236d1e660a3: tests/obs_report_golden.rs
+
+tests/obs_report_golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-5f3ca37aaeae7018.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-5f3ca37aaeae7018: tests/observability.rs
+
+tests/observability.rs:

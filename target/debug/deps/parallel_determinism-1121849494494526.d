@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-1121849494494526.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-1121849494494526: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_scaling-484f2f785917f4e2.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/debug/deps/parallel_scaling-484f2f785917f4e2: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

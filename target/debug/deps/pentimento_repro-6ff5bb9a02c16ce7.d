@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pentimento_repro-6ff5bb9a02c16ce7.d: src/lib.rs
+
+/root/repo/target/debug/deps/pentimento_repro-6ff5bb9a02c16ce7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-22a4d639d11f1ded.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-22a4d639d11f1ded: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repeatability-4d852da01086f090.d: crates/bench/src/bin/repeatability.rs
+
+/root/repo/target/debug/deps/repeatability-4d852da01086f090: crates/bench/src/bin/repeatability.rs
+
+crates/bench/src/bin/repeatability.rs:

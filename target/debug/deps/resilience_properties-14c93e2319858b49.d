@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience_properties-14c93e2319858b49.d: tests/resilience_properties.rs
+
+/root/repo/target/debug/deps/resilience_properties-14c93e2319858b49: tests/resilience_properties.rs
+
+tests/resilience_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ro_baseline-a77659eb6561f04e.d: crates/bench/src/bin/ro_baseline.rs
+
+/root/repo/target/debug/deps/ro_baseline-a77659eb6561f04e: crates/bench/src/bin/ro_baseline.rs
+
+crates/bench/src/bin/ro_baseline.rs:

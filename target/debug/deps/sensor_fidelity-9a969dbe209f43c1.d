@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensor_fidelity-9a969dbe209f43c1.d: tests/sensor_fidelity.rs
+
+/root/repo/target/debug/deps/sensor_fidelity-9a969dbe209f43c1: tests/sensor_fidelity.rs
+
+tests/sensor_fidelity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a6d8fe4f65a041f2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a6d8fe4f65a041f2: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/marketplace_key_extraction-08ca706ccb049312.d: examples/marketplace_key_extraction.rs
+
+/root/repo/target/debug/examples/marketplace_key_extraction-08ca706ccb049312: examples/marketplace_key_extraction.rs
+
+examples/marketplace_key_extraction.rs:

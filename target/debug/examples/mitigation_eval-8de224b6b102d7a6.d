@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mitigation_eval-8de224b6b102d7a6.d: examples/mitigation_eval.rs
+
+/root/repo/target/debug/examples/mitigation_eval-8de224b6b102d7a6: examples/mitigation_eval.rs
+
+examples/mitigation_eval.rs:

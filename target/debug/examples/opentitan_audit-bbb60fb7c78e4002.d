@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/opentitan_audit-bbb60fb7c78e4002.d: examples/opentitan_audit.rs
+
+/root/repo/target/debug/examples/opentitan_audit-bbb60fb7c78e4002: examples/opentitan_audit.rs
+
+examples/opentitan_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-aba0b02a274092ee.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-aba0b02a274092ee: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilient_campaign-039a37b6368a8c4b.d: examples/resilient_campaign.rs
+
+/root/repo/target/debug/examples/resilient_campaign-039a37b6368a8c4b: examples/resilient_campaign.rs
+
+examples/resilient_campaign.rs:

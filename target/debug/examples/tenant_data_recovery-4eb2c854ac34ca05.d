@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tenant_data_recovery-4eb2c854ac34ca05.d: examples/tenant_data_recovery.rs
+
+/root/repo/target/debug/examples/tenant_data_recovery-4eb2c854ac34ca05: examples/tenant_data_recovery.rs
+
+examples/tenant_data_recovery.rs:

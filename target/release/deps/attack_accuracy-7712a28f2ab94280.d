@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attack_accuracy-7712a28f2ab94280.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/release/deps/attack_accuracy-7712a28f2ab94280: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

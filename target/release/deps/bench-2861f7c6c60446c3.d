@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-2861f7c6c60446c3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-2861f7c6c60446c3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-2861f7c6c60446c3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_suite-40608b79c0314a40.d: crates/bench/src/bin/chaos_suite.rs
+
+/root/repo/target/release/deps/chaos_suite-40608b79c0314a40: crates/bench/src/bin/chaos_suite.rs
+
+crates/bench/src/bin/chaos_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-f1e7a16bb1743c66.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-f1e7a16bb1743c66: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

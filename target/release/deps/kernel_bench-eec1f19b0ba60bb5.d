@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel_bench-eec1f19b0ba60bb5.d: crates/bench/src/bin/kernel_bench.rs
+
+/root/repo/target/release/deps/kernel_bench-eec1f19b0ba60bb5: crates/bench/src/bin/kernel_bench.rs
+
+crates/bench/src/bin/kernel_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_report-3e82a43820af4c03.d: crates/bench/src/bin/obs_report.rs
+
+/root/repo/target/release/deps/obs_report-3e82a43820af4c03: crates/bench/src/bin/obs_report.rs
+
+crates/bench/src/bin/obs_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-90677ec8683e19c8.d: tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-90677ec8683e19c8: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_scaling-dc1c0bb1f82e6210.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/release/deps/parallel_scaling-dc1c0bb1f82e6210: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pentimento_repro-4843bcae2174d4fd.d: src/lib.rs
+
+/root/repo/target/release/deps/pentimento_repro-4843bcae2174d4fd: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience_properties-1c78457cf43d9270.d: tests/resilience_properties.rs
+
+/root/repo/target/release/deps/resilience_properties-1c78457cf43d9270: tests/resilience_properties.rs
+
+tests/resilience_properties.rs:

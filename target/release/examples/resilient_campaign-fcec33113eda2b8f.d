@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resilient_campaign-fcec33113eda2b8f.d: examples/resilient_campaign.rs
+
+/root/repo/target/release/examples/resilient_campaign-fcec33113eda2b8f: examples/resilient_campaign.rs
+
+examples/resilient_campaign.rs:

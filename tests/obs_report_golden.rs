@@ -26,7 +26,7 @@ fn fixture(name: &str) -> String {
 fn mini_trace_fixture_round_trips_and_validates() {
     let trace = fixture("mini_trace.jsonl");
     let events = parse_trace(&trace).expect("fixture trace parses strictly");
-    assert_eq!(events.len(), 13);
+    assert_eq!(events.len(), 17);
     assert_eq!(
         first_order_violation(&events),
         None,
@@ -65,8 +65,10 @@ fn sentinel_accepts_checked_in_baseline_against_itself() {
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", bundle_path.display()));
     let docs = parse_baseline(&bundle).expect("checked-in baseline parses");
     assert!(
-        docs.contains_key("BENCH_parallel.json") && docs.contains_key("BENCH_kernels.json"),
-        "baseline must track both BENCH artifacts"
+        docs.contains_key("BENCH_parallel.json")
+            && docs.contains_key("BENCH_kernels.json")
+            && docs.contains_key("BENCH_chaos.json"),
+        "baseline must track all three BENCH artifacts"
     );
     let snaps = docs
         .iter()

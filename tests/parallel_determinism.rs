@@ -216,6 +216,114 @@ fn hostile_campaign_trace_diffs_empty_across_pool_widths() {
 }
 
 #[test]
+fn supervised_fleet_trace_is_identical_at_every_pool_width() {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use fleet::{CampaignSpec, ChaosPlan, FleetConfig, Supervisor};
+
+    struct Scratch(PathBuf);
+    impl Scratch {
+        fn new() -> Self {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "parallel-fleet-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            Self(dir)
+        }
+    }
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    // A supervised fleet under process chaos — kills mid-phase, bit-rot
+    // on every third envelope — with one shared recorder draining both
+    // the supervisor events (tick axis) and the campaign events (hour
+    // axis). The whole bundle must be byte-identical at every width:
+    // outcome bytes, chaos accounting, quarantine ledger, and the trace.
+    let mut plan = ChaosPlan::none();
+    plan.seed = 81;
+    plan.scheduled_kills = vec![(0, 7), (1, 13)];
+    plan.corrupt_rate_per_checkpoint = 0.33;
+    let fleet_campaign = |index: usize| {
+        let config = ThreatModel1Config {
+            route_lengths_ps: vec![5_000.0],
+            routes_per_length: 2,
+            burn_hours: 20,
+            measure_every: 4,
+            mode: MeasurementMode::Oracle,
+            seed: 81 + index as u64,
+            measurement_repeats: 1,
+        };
+        let mut campaign_config = CampaignConfig::default();
+        campaign_config.fault_plan = plan.session_weather(index);
+        Campaign::new(
+            Provider::new(ProviderConfig::aws_f1_like(2, 81 + index as u64)),
+            Mission::ThreatModel1(config),
+            campaign_config,
+        )
+        .expect("campaign builds")
+    };
+    let run = |width: usize| {
+        at_width(width, || {
+            let scratch = Scratch::new();
+            let recorder = Arc::new(obs::Recorder::new());
+            let config = FleetConfig {
+                checkpoint_every_hours: 4,
+                ..FleetConfig::default()
+            };
+            let mut supervisor = Supervisor::new(&scratch.0, config).expect("store opens");
+            supervisor.set_recorder(Some(Arc::clone(&recorder)));
+            let specs = (0..2)
+                .map(|i| {
+                    let mut campaign = fleet_campaign(i);
+                    campaign.set_recorder(Some(Arc::clone(&recorder)));
+                    CampaignSpec {
+                        id: format!("c{i}"),
+                        campaign,
+                    }
+                })
+                .collect();
+            let report = supervisor.run(specs, plan.clone());
+            let digest = report
+                .results
+                .iter()
+                .map(|(id, result)| match result.outcome() {
+                    Some(outcome) => (id.clone(), Some(outcome.series.clone()), None),
+                    None => (id.clone(), None, result.error().map(fleet::FleetError::tag)),
+                })
+                .collect::<Vec<_>>();
+            (
+                digest,
+                report.kills_injected,
+                report.corruptions_injected,
+                report.restarts,
+                report.rollbacks,
+                format!("{:?}", report.quarantine),
+                recorder.trace_jsonl(),
+                recorder.counters(),
+            )
+        })
+    };
+    let serial = run(1);
+    assert!(serial.1 >= 2, "both scheduled kills must fire");
+    assert!(!serial.6.is_empty(), "a supervised fleet must emit events");
+    for width in [2, 4] {
+        let parallel = run(width);
+        assert_eq!(
+            serial, parallel,
+            "supervised fleet must be observable-identical at width {width}"
+        );
+    }
+}
+
+#[test]
 fn checkpoint_under_one_width_resumes_identically_under_another() {
     let reference = at_width(1, || hostile_tm1_campaign().run().expect("completes"));
 

@@ -13,8 +13,16 @@
 //!    and resuming the snapshot reproduces the uninterrupted run
 //!    bit-for-bit, even with probabilistic faults and sensor glitches
 //!    still scheduled ahead of the checkpoint.
+//! 3. **Supervised crash-transparency** (ISSUE 6) — a fleet supervisor
+//!    killing campaigns at arbitrary hours and resuming them from the
+//!    checkpoint store reproduces the unsupervised outcomes bit-for-bit,
+//!    at every worker-pool width.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use cloud::{FaultPlan, Provider, ProviderConfig};
+use fleet::{CampaignSpec, ChaosPlan, FleetConfig, Supervisor};
 use pentimento::threat_model1::{self, ThreatModel1Config};
 use pentimento::threat_model2::{self, ThreatModel2Config};
 use pentimento::{Campaign, CampaignConfig, Mission};
@@ -54,6 +62,60 @@ fn generous_config(fault_plan: FaultPlan) -> CampaignConfig {
     config.retry.max_attempts = 12;
     config.fault_plan = fault_plan;
     config
+}
+
+/// A unique scratch directory for one fleet store, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "resilience-fleet-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs `f` on a worker pool of exactly `n` threads.
+fn at_width<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("pool builds")
+        .install(f)
+}
+
+/// A short campaign for the fleet property: small enough that each
+/// proptest case runs four full fleets, hostile enough (session weather
+/// from the chaos plan) that recovery is non-trivial.
+fn fleet_campaign(seed: u64, weather: &ChaosPlan, index: usize) -> Campaign {
+    let tm1 = ThreatModel1Config {
+        route_lengths_ps: vec![5_000.0],
+        routes_per_length: 4,
+        burn_hours: 20,
+        measure_every: 4,
+        mode: pentimento::MeasurementMode::Oracle,
+        seed,
+        measurement_repeats: 1,
+    };
+    let mut config = CampaignConfig::default();
+    config.fault_plan = weather.session_weather(index);
+    Campaign::new(
+        Provider::new(ProviderConfig::aws_f1_like(2, seed)),
+        Mission::ThreatModel1(tm1),
+        config,
+    )
+    .expect("campaign builds")
 }
 
 proptest! {
@@ -145,6 +207,70 @@ proptest! {
                     "one run failed, the other did not: uninterrupted {reference:?}, \
                      resumed {resumed:?}"
                 );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property (3): a supervised fleet whose campaigns are killed at
+    /// arbitrary hours — with mild random session weather on top —
+    /// completes every campaign bit-identically to its unsupervised
+    /// reference, and does so at every worker-pool width.
+    #[test]
+    fn fleet_kills_at_arbitrary_hours_resume_bit_identically(
+        seed in 0u64..20,
+        kill_a in 1usize..19,
+        kill_b in 1usize..19,
+        rent_failure_rate in 0.0f64..0.1,
+    ) {
+        let mut plan = ChaosPlan::none();
+        plan.seed = seed ^ 0xF1EE7;
+        plan.scheduled_kills = vec![(0, kill_a), (1, kill_b)];
+        plan.rent_failure_rate = rent_failure_rate;
+
+        let references: Vec<_> = (0..2)
+            .map(|i| {
+                fleet_campaign(seed + i as u64, &plan, i)
+                    .run()
+                    .expect("reference completes")
+            })
+            .collect();
+
+        for width in [1usize, 2, 4] {
+            let report = at_width(width, || {
+                let scratch = Scratch::new();
+                let config = FleetConfig {
+                    checkpoint_every_hours: 4,
+                    ..FleetConfig::default()
+                };
+                let mut supervisor =
+                    Supervisor::new(&scratch.0, config).expect("store opens");
+                let specs = (0..2)
+                    .map(|i| CampaignSpec {
+                        id: format!("c{i}"),
+                        campaign: fleet_campaign(seed + i as u64, &plan, i),
+                    })
+                    .collect();
+                supervisor.run(specs, plan.clone())
+            });
+
+            prop_assert_eq!(
+                report.completed(),
+                2,
+                "kills at hours {}/{} must not lose campaigns (width {})",
+                kill_a,
+                kill_b,
+                width
+            );
+            prop_assert_eq!(report.kills_injected, 2);
+            for ((_, result), reference) in report.results.iter().zip(&references) {
+                let outcome = result.outcome().expect("completed");
+                prop_assert_eq!(&outcome.series, &reference.series);
+                prop_assert_eq!(&outcome.recovered, &reference.recovered);
+                prop_assert_eq!(&outcome.truth, &reference.truth);
             }
         }
     }
