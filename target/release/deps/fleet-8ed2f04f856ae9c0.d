@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fleet-8ed2f04f856ae9c0.d: crates/fleet/src/lib.rs crates/fleet/src/breaker.rs crates/fleet/src/chaos.rs crates/fleet/src/error.rs crates/fleet/src/store.rs crates/fleet/src/supervisor.rs
+
+/root/repo/target/release/deps/fleet-8ed2f04f856ae9c0: crates/fleet/src/lib.rs crates/fleet/src/breaker.rs crates/fleet/src/chaos.rs crates/fleet/src/error.rs crates/fleet/src/store.rs crates/fleet/src/supervisor.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/breaker.rs:
+crates/fleet/src/chaos.rs:
+crates/fleet/src/error.rs:
+crates/fleet/src/store.rs:
+crates/fleet/src/supervisor.rs:

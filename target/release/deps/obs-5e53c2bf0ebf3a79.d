@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs-5e53c2bf0ebf3a79.d: crates/obs/src/lib.rs
+
+/root/repo/target/release/deps/obs-5e53c2bf0ebf3a79: crates/obs/src/lib.rs
+
+crates/obs/src/lib.rs:

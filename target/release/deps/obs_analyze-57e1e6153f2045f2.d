@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/obs_analyze-57e1e6153f2045f2.d: crates/obs-analyze/src/lib.rs crates/obs-analyze/src/diff.rs crates/obs-analyze/src/indicators.rs crates/obs-analyze/src/json.rs crates/obs-analyze/src/parse.rs crates/obs-analyze/src/sentinel.rs
+
+/root/repo/target/release/deps/obs_analyze-57e1e6153f2045f2: crates/obs-analyze/src/lib.rs crates/obs-analyze/src/diff.rs crates/obs-analyze/src/indicators.rs crates/obs-analyze/src/json.rs crates/obs-analyze/src/parse.rs crates/obs-analyze/src/sentinel.rs
+
+crates/obs-analyze/src/lib.rs:
+crates/obs-analyze/src/diff.rs:
+crates/obs-analyze/src/indicators.rs:
+crates/obs-analyze/src/json.rs:
+crates/obs-analyze/src/parse.rs:
+crates/obs-analyze/src/sentinel.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/pentimento-0e31400bd031c1e2.d: crates/pentimento/src/lib.rs crates/pentimento/src/analysis.rs crates/pentimento/src/audit.rs crates/pentimento/src/campaign.rs crates/pentimento/src/classify.rs crates/pentimento/src/covert.rs crates/pentimento/src/designs.rs crates/pentimento/src/error.rs crates/pentimento/src/experiment.rs crates/pentimento/src/metrics.rs crates/pentimento/src/mitigations.rs crates/pentimento/src/report.rs crates/pentimento/src/series.rs crates/pentimento/src/skeleton.rs crates/pentimento/src/threat_model1.rs crates/pentimento/src/threat_model2.rs
+
+/root/repo/target/release/deps/pentimento-0e31400bd031c1e2: crates/pentimento/src/lib.rs crates/pentimento/src/analysis.rs crates/pentimento/src/audit.rs crates/pentimento/src/campaign.rs crates/pentimento/src/classify.rs crates/pentimento/src/covert.rs crates/pentimento/src/designs.rs crates/pentimento/src/error.rs crates/pentimento/src/experiment.rs crates/pentimento/src/metrics.rs crates/pentimento/src/mitigations.rs crates/pentimento/src/report.rs crates/pentimento/src/series.rs crates/pentimento/src/skeleton.rs crates/pentimento/src/threat_model1.rs crates/pentimento/src/threat_model2.rs
+
+crates/pentimento/src/lib.rs:
+crates/pentimento/src/analysis.rs:
+crates/pentimento/src/audit.rs:
+crates/pentimento/src/campaign.rs:
+crates/pentimento/src/classify.rs:
+crates/pentimento/src/covert.rs:
+crates/pentimento/src/designs.rs:
+crates/pentimento/src/error.rs:
+crates/pentimento/src/experiment.rs:
+crates/pentimento/src/metrics.rs:
+crates/pentimento/src/mitigations.rs:
+crates/pentimento/src/report.rs:
+crates/pentimento/src/series.rs:
+crates/pentimento/src/skeleton.rs:
+crates/pentimento/src/threat_model1.rs:
+crates/pentimento/src/threat_model2.rs:

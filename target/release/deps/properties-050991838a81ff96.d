@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-050991838a81ff96.d: crates/obs/tests/properties.rs
+
+/root/repo/target/release/deps/properties-050991838a81ff96: crates/obs/tests/properties.rs
+
+crates/obs/tests/properties.rs:

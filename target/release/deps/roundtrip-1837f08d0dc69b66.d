@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roundtrip-1837f08d0dc69b66.d: crates/obs-analyze/tests/roundtrip.rs
+
+/root/repo/target/release/deps/roundtrip-1837f08d0dc69b66: crates/obs-analyze/tests/roundtrip.rs
+
+crates/obs-analyze/tests/roundtrip.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/examples/gen_fixtures-1de240e8adf30fe8.d: crates/obs-analyze/examples/gen_fixtures.rs
+
+/root/repo/target/release/examples/gen_fixtures-1de240e8adf30fe8: crates/obs-analyze/examples/gen_fixtures.rs
+
+crates/obs-analyze/examples/gen_fixtures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/obs-analyze
