@@ -1,0 +1,391 @@
+//! Scaling sweep for the sharded parallel fleet scheduler.
+//!
+//! Runs one ≥64-campaign fleet over a sharded device pool at increasing
+//! rayon lane widths and proves the scheduler's two headline claims:
+//!
+//! * **serial ≡ sharded-parallel** — outcomes, telemetry traces, and
+//!   quarantine ledgers are byte-identical at every width swept (width 1
+//!   *is* the serial scheduler: lanes run inline in slot order);
+//! * **contention is deterministic** — a two-tenant flash-attack race
+//!   submitted from concurrently racing workers resolves to the same
+//!   device assignments at every width, via the broker's
+//!   priority/sequence/tenant tie-break rule.
+//!
+//! Throughput (campaigns/sec) and p99 supervisor-tick latency are
+//! reported per width; they are the one deliberately nondeterministic
+//! output and the sentinel gates them only on ≥4-thread hardware.
+//!
+//! Flags: `--smoke` trims the width sweep for CI (the fleet stays at
+//! full size); `--threads N` caps the widest lane pool (default 4);
+//! `--trace/--metrics PATH` drain one run's telemetry into artifacts.
+//!
+//! Artifact: `BENCH_fleet.json` (`identical` is sentinel-gated
+//! unconditionally; `campaigns_per_sec` is hardware-gated).
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::{exit_by, save_artifact, threads_from_args, ObsSink, ShapeReport};
+use cloud::{
+    Assignment, DevicePool, Provider, ProviderConfig, RentRequest, SessionBroker, TenantId,
+};
+use fleet::{CampaignSpec, ChaosPlan, FleetConfig, FleetReport, Supervisor};
+use obs::Recorder;
+use pentimento::threat_model1::ThreatModel1Config;
+use pentimento::{Campaign, CampaignConfig, MeasurementMode, Mission};
+
+/// Fleet size: fixed at the acceptance floor even under `--smoke`, so CI
+/// always proves the claim at scale.
+const FLEET_SIZE: usize = 64;
+
+/// A unique scratch store root, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "fleet-scaling-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The two-tenant flash-attack race: `attacker` and `rival` each submit
+/// `FLEET_SIZE` equal-priority requests from `width` genuinely racing
+/// worker threads, then the barrier resolves them against a shared pool.
+/// The result is a pure function of the request set — the sweep asserts
+/// it never varies with `width`.
+fn contention_assignments(width: usize) -> Vec<Assignment> {
+    let broker = SessionBroker::new();
+    let requests: Vec<RentRequest> = (0..FLEET_SIZE as u64)
+        .flat_map(|sequence| {
+            ["attacker", "rival"].map(|tenant| RentRequest {
+                tenant: TenantId::new(tenant),
+                priority: 7,
+                sequence,
+            })
+        })
+        .collect();
+    let lanes = width.max(1);
+    std::thread::scope(|scope| {
+        for lane in 0..lanes {
+            let broker = &broker;
+            let requests = &requests;
+            scope.spawn(move || {
+                for request in requests.iter().skip(lane).step_by(lanes) {
+                    broker.submit(request.clone());
+                }
+            });
+        }
+    });
+    let mut pool = DevicePool::from_size(FLEET_SIZE as u32);
+    broker.resolve(&mut pool)
+}
+
+/// Scheduled kills on every fourth campaign, at staggered hours — chaos
+/// that is always survivable (no envelope damage), so completion itself
+/// is part of the gate.
+fn chaos_plan() -> ChaosPlan {
+    let mut plan = ChaosPlan::none();
+    plan.seed = 7;
+    plan.scheduled_kills = (0..FLEET_SIZE)
+        .filter(|index| index % 4 == 0)
+        .map(|index| (index, 3 + (index / 4) % 5))
+        .collect();
+    plan
+}
+
+/// Builds the fleet from the contention winners: campaign seeds derive
+/// from the *device the broker granted*, so the contention phase feeds
+/// the scheduling phase and any tie-break drift would show up as a
+/// different fleet digest.
+fn specs(
+    winners: &[Assignment],
+    plan: &ChaosPlan,
+    recorder: Option<&Arc<Recorder>>,
+) -> Vec<CampaignSpec> {
+    winners
+        .iter()
+        .enumerate()
+        .map(|(index, assignment)| {
+            let device = assignment.device.expect("winners hold devices");
+            let seed = 900 + u64::from(device.0);
+            let tm1 = ThreatModel1Config {
+                route_lengths_ps: vec![600.0],
+                routes_per_length: 2,
+                burn_hours: 10,
+                measure_every: 5,
+                mode: MeasurementMode::Oracle,
+                seed,
+                measurement_repeats: 1,
+            };
+            let config = CampaignConfig {
+                fault_plan: plan.session_weather(index),
+                ..CampaignConfig::default()
+            };
+            let mut campaign = Campaign::new(
+                Provider::new(ProviderConfig::aws_f1_like(2, seed)),
+                Mission::ThreatModel1(tm1),
+                config,
+            )
+            .expect("campaign builds");
+            campaign.set_recorder(recorder.map(Arc::clone));
+            CampaignSpec {
+                id: format!("c{index:02}"),
+                campaign,
+            }
+        })
+        .collect()
+}
+
+/// A compact, comparable digest of everything a fleet run observed.
+fn run_digest(report: &FleetReport, trace: &str) -> String {
+    let results: Vec<String> = report
+        .results
+        .iter()
+        .map(|(id, result)| match result.outcome() {
+            Some(outcome) => format!("{id}:ok:{}", outcome.metrics.accuracy),
+            None => format!("{id}:err:{}", result.error().expect("failed").tag()),
+        })
+        .collect();
+    format!(
+        "results=[{}] kills={} corruptions={} truncations={} restarts={} rollbacks={} \
+         quarantine={:?} ticks={} trace_bytes={}",
+        results.join(","),
+        report.kills_injected,
+        report.corruptions_injected,
+        report.truncations_injected,
+        report.restarts,
+        report.rollbacks,
+        report
+            .quarantine
+            .records()
+            .iter()
+            .map(|q| format!("{}/{}", q.campaign, q.reason.tag()))
+            .collect::<Vec<_>>(),
+        report.ticks,
+        trace.len()
+    )
+}
+
+struct RunResult {
+    report: FleetReport,
+    trace: String,
+    elapsed_s: f64,
+    p99_tick_ms: f64,
+}
+
+fn p99_ms(latencies_s: &[f64]) -> f64 {
+    if latencies_s.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = latencies_s.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let index = ((sorted.len() as f64 * 0.99).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[index] * 1_000.0
+}
+
+fn run_once(
+    winners: &[Assignment],
+    plan: &ChaosPlan,
+    recorder: Option<&Arc<Recorder>>,
+) -> RunResult {
+    let scratch = Scratch::new();
+    let config = FleetConfig {
+        checkpoint_every_hours: 4,
+        ..FleetConfig::default()
+    };
+    let mut supervisor = Supervisor::new(&scratch.0, config).expect("store opens");
+    let effective = recorder
+        .cloned()
+        .unwrap_or_else(|| Arc::new(Recorder::new()));
+    supervisor.set_recorder(Some(Arc::clone(&effective)));
+    let started = Instant::now();
+    let report = supervisor.run(specs(winners, plan, Some(&effective)), plan.clone());
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let p99_tick_ms = p99_ms(supervisor.last_tick_latencies_s());
+    RunResult {
+        report,
+        trace: effective.trace_jsonl(),
+        elapsed_s,
+        p99_tick_ms,
+    }
+}
+
+fn run_at_width(winners: &[Assignment], plan: &ChaosPlan, width: usize) -> RunResult {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(width)
+        .build()
+        .expect("thread pool")
+        .install(|| run_once(winners, plan, None))
+}
+
+struct Row {
+    threads: usize,
+    identical: bool,
+    contention_identical: bool,
+    completed: usize,
+    failed: usize,
+    campaigns_per_sec: f64,
+    p99_tick_ms: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let max_threads = threads_from_args().unwrap_or(4).max(1);
+    let hardware_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut widths = vec![1usize];
+    let mut w = 2;
+    while w <= max_threads && (!smoke || widths.len() < 2) {
+        widths.push(w);
+        w *= 2;
+    }
+
+    let sink = ObsSink::from_args();
+    let sink_recorder = sink.as_ref().map(ObsSink::recorder);
+    println!(
+        "Fleet scaling: {FLEET_SIZE} campaigns over a sharded device pool, widths {widths:?}, \
+         {hardware_threads} hardware thread(s)"
+    );
+
+    let plan = chaos_plan();
+    let expected_kills = plan.scheduled_kills.len() as u64;
+    let reference_assignments = contention_assignments(1);
+    let winners: Vec<Assignment> = reference_assignments
+        .iter()
+        .filter(|a| a.device.is_some())
+        .cloned()
+        .collect();
+    assert_eq!(winners.len(), FLEET_SIZE, "pool grants exactly one fleet");
+
+    let mut report = ShapeReport::new();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut base: Option<(String, String)> = None; // (digest, trace) at width 1
+    let mut all_identical = true;
+    let mut all_contention_identical = true;
+    let mut all_complete = true;
+
+    for &width in &widths {
+        // Contention phase: the flash-attack race at this lane width must
+        // resolve exactly as the serial submission did.
+        let contention_identical = contention_assignments(width) == reference_assignments;
+
+        // Scheduling phase: the sharded fleet at this width.
+        let run = run_at_width(&winners, &plan, width);
+        let digest = run_digest(&run.report, &run.trace);
+        let identical = match &base {
+            None => {
+                base = Some((digest, run.trace.clone()));
+                true
+            }
+            Some((base_digest, base_trace)) => digest == *base_digest && run.trace == *base_trace,
+        };
+
+        let completed = run.report.completed();
+        let failed = run.report.failed();
+        let campaigns_per_sec = if run.elapsed_s > 0.0 {
+            completed as f64 / run.elapsed_s
+        } else {
+            0.0
+        };
+        all_identical &= identical;
+        all_contention_identical &= contention_identical;
+        all_complete &= completed == FLEET_SIZE && run.report.kills_injected == expected_kills;
+
+        println!(
+            "  threads {width}: {completed} completed / {failed} failed, kills {}, \
+             {campaigns_per_sec:.1} campaigns/sec, p99 tick {:.3} ms, identical {identical}, \
+             contention identical {contention_identical}",
+            run.report.kills_injected, run.p99_tick_ms
+        );
+        rows.push(Row {
+            threads: width,
+            identical,
+            contention_identical,
+            completed,
+            failed,
+            campaigns_per_sec,
+            p99_tick_ms: run.p99_tick_ms,
+        });
+    }
+
+    report.check(
+        "flash-attack contention resolves identically at every lane width",
+        all_contention_identical,
+        format!("widths {widths:?}"),
+    );
+    report.check(
+        "fleet outcomes, traces, and quarantine ledgers are bit-identical across widths",
+        all_identical,
+        format!("widths {widths:?}"),
+    );
+    report.check(
+        format!("all {FLEET_SIZE} campaigns complete under {expected_kills} scheduled kills"),
+        all_complete,
+        format!(
+            "completed {:?}",
+            rows.iter().map(|r| r.completed).collect::<Vec<_>>()
+        ),
+    );
+
+    // One more run feeding the shared obs sink, so the emitted trace
+    // carries the scheduler_tick/commit_batch event stream CI validates.
+    if let Some(rec) = &sink_recorder {
+        let _ = run_once(&winners, &plan, Some(rec));
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "{{\"threads\":{},\"identical\":{},\"contention_identical\":{},",
+                    "\"campaigns\":{},\"completed\":{},\"failed\":{},",
+                    "\"campaigns_per_sec\":{},\"p99_tick_ms\":{}}}"
+                ),
+                r.threads,
+                r.identical,
+                r.contention_identical,
+                FLEET_SIZE,
+                r.completed,
+                r.failed,
+                obs::json_f64(r.campaigns_per_sec),
+                obs::json_f64(r.p99_tick_ms)
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"workload\":\"fleet_scaling\",\"smoke\":{},\"fleet_size\":{},",
+            "\"hardware_threads\":{},\"rows\":[{}]}}"
+        ),
+        smoke,
+        FLEET_SIZE,
+        hardware_threads,
+        json_rows.join(",")
+    );
+    if let Ok(path) = save_artifact("BENCH_fleet.json", &json) {
+        println!("wrote {}", path.display());
+    }
+    if let Some(sink) = &sink {
+        report.check(
+            "observability artifacts written",
+            sink.finish().is_ok(),
+            "trace/metrics flags",
+        );
+    }
+    exit_by(report.finish());
+}

@@ -31,10 +31,11 @@ use obs_analyze::sentinel::{
 };
 
 /// BENCH artifacts the sentinel tracks when no `--current` is given.
-const DEFAULT_BENCH_SOURCES: [&str; 3] = [
+const DEFAULT_BENCH_SOURCES: [&str; 4] = [
     "results/BENCH_parallel.json",
     "results/BENCH_kernels.json",
     "results/BENCH_chaos.json",
+    "results/BENCH_fleet.json",
 ];
 
 fn main() -> ExitCode {

@@ -1,0 +1,307 @@
+//! Concurrent session brokering over a shared device pool.
+//!
+//! The paper's flash attack (Assumption 2) is, operationally, a **race**:
+//! the attacker floods the provider with rent requests the instant the
+//! victim's board frees up, competing with every other tenant doing the
+//! same. The sharded fleet scheduler reproduces that contention with
+//! worker lanes submitting requests concurrently — which threatens the
+//! determinism contract, because whichever lane wins the lock would
+//! otherwise win the device.
+//!
+//! The broker restores determinism by splitting allocation in two:
+//!
+//! 1. **Submission** (`&self`, any thread): requests land in lock
+//!    stripes, tagged with a caller-supplied `sequence` number that is a
+//!    pure function of campaign state — never of thread identity.
+//! 2. **Resolution** (serial barrier): all pending requests are merged,
+//!    sorted by the deterministic **tie-break rule** — higher priority
+//!    first, then lower sequence, then lexicographic tenant id — and
+//!    matched against the free pool in that order, lowest free
+//!    [`DeviceId`] first.
+//!
+//! Two racing flash attacks therefore resolve identically no matter how
+//! their submissions interleaved: serial ≡ parallel, the same contract
+//! the fleet scheduler proves for its campaign outcomes.
+//!
+//! The broker is deliberately **not** wired into [`crate::Provider`] or
+//! the campaign layer — each `Campaign` owns its provider, and its
+//! rental sequence is part of the bit-identity contract with
+//! unsupervised reference runs. The broker models the *fleet-level*
+//! contention layer above those per-campaign providers.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+use crate::{DeviceId, TenantId};
+
+/// Default stripe count for [`SessionBroker`], matching the fault
+/// funnel's sizing logic: above expected lane widths.
+const DEFAULT_BROKER_STRIPES: usize = 8;
+
+/// The free half of a fleet's device inventory.
+///
+/// A plain ordered set: resolution always hands out the lowest free id,
+/// mirroring [`crate::Provider::rent`]'s sorted-ids policy, so pool
+/// behaviour is predictable in tests and identical across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DevicePool {
+    free: BTreeSet<DeviceId>,
+}
+
+impl DevicePool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A pool holding devices `0..count`.
+    #[must_use]
+    pub fn from_size(count: u32) -> Self {
+        Self {
+            free: (0..count).map(DeviceId).collect(),
+        }
+    }
+
+    /// Returns a device to the pool.
+    pub fn release(&mut self, device: DeviceId) {
+        self.free.insert(device);
+    }
+
+    /// Number of free devices.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether no device is free.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Removes and returns the lowest free device, if any.
+    fn take_lowest(&mut self) -> Option<DeviceId> {
+        let lowest = self.free.iter().next().copied()?;
+        self.free.remove(&lowest);
+        Some(lowest)
+    }
+}
+
+/// One tenant's claim on a device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RentRequest {
+    /// Who is asking.
+    pub tenant: TenantId,
+    /// Scheduling priority; higher wins. A flash attack submits at high
+    /// priority; background churn at low.
+    pub priority: u32,
+    /// Caller-supplied submission sequence — a pure function of
+    /// campaign state (e.g. `campaign_index * ticks + attempt`), never
+    /// of thread identity. The second leg of the tie-break.
+    pub sequence: u64,
+}
+
+/// The outcome of one request after [`SessionBroker::resolve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// The request, as submitted.
+    pub request: RentRequest,
+    /// The device granted, or `None` when the pool ran dry before this
+    /// request's turn.
+    pub device: Option<DeviceId>,
+}
+
+/// A lock-striped intake for concurrent rent requests with deterministic
+/// contention resolution. See the module docs for the two-phase model.
+#[derive(Debug)]
+pub struct SessionBroker {
+    stripes: Vec<Mutex<Vec<RentRequest>>>,
+}
+
+impl Default for SessionBroker {
+    fn default() -> Self {
+        Self::with_stripes(DEFAULT_BROKER_STRIPES)
+    }
+}
+
+impl SessionBroker {
+    /// An empty broker with the default stripe count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty broker with `stripes` independent locks (clamped to at
+    /// least 1). Stripe count never affects resolution — only intake
+    /// contention.
+    #[must_use]
+    pub fn with_stripes(stripes: usize) -> Self {
+        Self {
+            stripes: (0..stripes.max(1))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        }
+    }
+
+    /// The stripe a request lands on: a pure content hash of
+    /// `(sequence, tenant)`, so intake placement replays identically —
+    /// though resolution re-sorts globally and never observes it.
+    fn stripe_for(&self, request: &RentRequest) -> usize {
+        let mut x = request.sequence ^ (u64::from(request.priority) << 32);
+        for byte in request.tenant.as_str().bytes() {
+            x = x.rotate_left(7) ^ u64::from(byte);
+        }
+        // SplitMix64 finalizer.
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x % self.stripes.len() as u64) as usize
+    }
+
+    /// Locks one stripe, recovering from poison (same policy as
+    /// [`crate::FaultFunnel`]: requests are plain data, never left
+    /// half-written, so a dead worker must not wedge the intake).
+    fn lock(&self, stripe: usize) -> std::sync::MutexGuard<'_, Vec<RentRequest>> {
+        self.stripes[stripe]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Submits a request from any thread.
+    pub fn submit(&self, request: RentRequest) {
+        let stripe = self.stripe_for(&request);
+        self.lock(stripe).push(request);
+    }
+
+    /// Requests waiting for resolution, across all stripes.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        (0..self.stripes.len()).map(|s| self.lock(s).len()).sum()
+    }
+
+    /// Drains every pending request and matches them against `pool`
+    /// under the deterministic tie-break rule:
+    ///
+    /// 1. higher `priority` first;
+    /// 2. then lower `sequence` (earlier submission in campaign time);
+    /// 3. then lexicographic `tenant` id.
+    ///
+    /// Winners take the lowest free device ids in that order; once the
+    /// pool runs dry, the remaining requests resolve to `device: None`.
+    /// The returned assignments are in tie-break order, and are a pure
+    /// function of the submitted set — never of submission interleaving.
+    pub fn resolve(&self, pool: &mut DevicePool) -> Vec<Assignment> {
+        let mut requests = Vec::new();
+        for stripe in 0..self.stripes.len() {
+            requests.append(&mut std::mem::take(&mut *self.lock(stripe)));
+        }
+        requests.sort_by(|a, b| {
+            b.priority
+                .cmp(&a.priority)
+                .then_with(|| a.sequence.cmp(&b.sequence))
+                .then_with(|| a.tenant.cmp(&b.tenant))
+        });
+        requests
+            .into_iter()
+            .map(|request| {
+                let device = pool.take_lowest();
+                Assignment { request, device }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(tenant: &str, priority: u32, sequence: u64) -> RentRequest {
+        RentRequest {
+            tenant: TenantId::new(tenant),
+            priority,
+            sequence,
+        }
+    }
+
+    #[test]
+    fn tie_break_orders_priority_then_sequence_then_tenant() {
+        let broker = SessionBroker::with_stripes(1);
+        broker.submit(request("zoe", 1, 5));
+        broker.submit(request("amy", 1, 5));
+        broker.submit(request("bob", 2, 9));
+        broker.submit(request("cam", 1, 2));
+        let mut pool = DevicePool::from_size(3);
+        let assignments = broker.resolve(&mut pool);
+
+        let order: Vec<&str> = assignments
+            .iter()
+            .map(|a| a.request.tenant.as_str())
+            .collect();
+        assert_eq!(order, vec!["bob", "cam", "amy", "zoe"]);
+        assert_eq!(assignments[0].device, Some(DeviceId(0)));
+        assert_eq!(assignments[1].device, Some(DeviceId(1)));
+        assert_eq!(assignments[2].device, Some(DeviceId(2)));
+        assert_eq!(assignments[3].device, None, "pool ran dry");
+        assert_eq!(pool.free_count(), 0);
+        assert_eq!(broker.pending(), 0, "resolve drains the intake");
+    }
+
+    #[test]
+    fn released_devices_return_to_the_low_end_of_the_pool() {
+        let mut pool = DevicePool::from_size(2);
+        assert_eq!(pool.take_lowest(), Some(DeviceId(0)));
+        assert_eq!(pool.take_lowest(), Some(DeviceId(1)));
+        assert!(pool.is_empty());
+        pool.release(DeviceId(1));
+        pool.release(DeviceId(0));
+        assert_eq!(pool.take_lowest(), Some(DeviceId(0)), "lowest id first");
+    }
+
+    #[test]
+    fn flash_attack_race_resolves_identically_at_any_interleaving() {
+        // Two tenants flash-attack the same pool from racing threads.
+        // Whatever the interleaving (and stripe width), the resolved
+        // assignment list must be byte-identical to the serial run.
+        let submit_all = |broker: &SessionBroker, threaded: bool| {
+            let attacker: Vec<RentRequest> = (0..16).map(|i| request("attacker", 7, i)).collect();
+            let rival: Vec<RentRequest> = (0..16).map(|i| request("rival", 7, i)).collect();
+            if threaded {
+                std::thread::scope(|scope| {
+                    for requests in [&attacker, &rival] {
+                        scope.spawn(move || {
+                            for r in requests {
+                                broker.submit(r.clone());
+                            }
+                        });
+                    }
+                });
+            } else {
+                for r in attacker.iter().chain(&rival) {
+                    broker.submit(r.clone());
+                }
+            }
+        };
+
+        let serial_broker = SessionBroker::with_stripes(1);
+        submit_all(&serial_broker, false);
+        let mut serial_pool = DevicePool::from_size(24);
+        let reference = serial_broker.resolve(&mut serial_pool);
+
+        for stripes in [1, 4, 8] {
+            let broker = SessionBroker::with_stripes(stripes);
+            submit_all(&broker, true);
+            let mut pool = DevicePool::from_size(24);
+            assert_eq!(broker.resolve(&mut pool), reference, "stripes={stripes}");
+            assert_eq!(pool, serial_pool);
+        }
+
+        // The tie-break itself: equal priority and sequence falls to the
+        // tenant name, so "attacker" beats "rival" for every low id.
+        assert_eq!(reference[0].request.tenant.as_str(), "attacker");
+        assert_eq!(reference[1].request.tenant.as_str(), "rival");
+        assert_eq!(reference[0].device, Some(DeviceId(0)));
+        assert_eq!(reference[1].device, Some(DeviceId(1)));
+    }
+}

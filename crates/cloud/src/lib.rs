@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod afi;
+mod broker;
 mod error;
 mod faults;
 mod fingerprint;
@@ -58,6 +59,7 @@ mod session;
 mod tenant;
 
 pub use afi::{Afi, AfiId, Marketplace};
+pub use broker::{Assignment, DevicePool, RentRequest, SessionBroker};
 pub use error::CloudError;
 pub use faults::{FaultKind, FaultPlan, FaultState, ScheduledFault};
 pub use fingerprint::{fingerprint_device, Fingerprint};

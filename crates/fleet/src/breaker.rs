@@ -143,6 +143,9 @@ pub enum QuarantineReason {
     StoreUnrecoverable,
     /// The campaign died with a fatal, non-retryable error.
     FatalError,
+    /// The scheduler violated one of its own invariants serving this
+    /// slot; the slot was isolated instead of panicking the fleet.
+    SchedulerInvariant,
 }
 
 impl QuarantineReason {
@@ -155,6 +158,7 @@ impl QuarantineReason {
             Self::DeadlineExceeded => "deadline_exceeded",
             Self::StoreUnrecoverable => "store_unrecoverable",
             Self::FatalError => "fatal_error",
+            Self::SchedulerInvariant => "scheduler_invariant",
         }
     }
 }

@@ -232,6 +232,113 @@ impl ChaosState {
     }
 }
 
+/// One campaign's slice of a chaos schedule: the same counter-based
+/// streams as [`ChaosState`], but owning only the `(seed, index)` draw
+/// position for a single campaign.
+///
+/// This is what makes the sharded scheduler possible: every worker lane
+/// owns its slot's cursor outright, so lanes draw chaos concurrently
+/// without sharing mutable state — and because the streams were already
+/// keyed by `(seed, campaign, action)`, a fleet of cursors makes
+/// *exactly* the draws one central [`ChaosState`] would have made, in
+/// the same per-campaign order (the equivalence the tests below pin).
+#[derive(Debug, Clone)]
+pub struct ChaosCursor {
+    seed: u64,
+    index: usize,
+    kill_rate: f64,
+    corrupt_rate: f64,
+    truncate_rate: f64,
+    counters: [u64; 3],
+    /// This campaign's scheduled kill hours, ascending, not yet fired.
+    pending_kill_hours: Vec<usize>,
+}
+
+impl ChaosCursor {
+    /// Campaign `index`'s cursor over `plan`.
+    #[must_use]
+    pub fn new(plan: &ChaosPlan, index: usize) -> Self {
+        let mut pending_kill_hours: Vec<usize> = plan
+            .scheduled_kills
+            .iter()
+            .filter(|&&(campaign, _)| campaign == index)
+            .map(|&(_, hour)| hour)
+            .collect();
+        pending_kill_hours.sort_unstable();
+        Self {
+            seed: plan.seed,
+            index,
+            kill_rate: plan.kill_rate_per_hour,
+            corrupt_rate: plan.corrupt_rate_per_checkpoint,
+            truncate_rate: plan.truncate_rate_per_checkpoint,
+            counters: [0; 3],
+            pending_kill_hours,
+        }
+    }
+
+    fn stream_seed(&self, action: ChaosAction) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((self.index as u64) << 8)
+            ^ action.salt()
+    }
+
+    fn draw(&mut self, action: ChaosAction, rate: f64) -> bool {
+        let slot = match action {
+            ChaosAction::Kill => 0,
+            ChaosAction::Corrupt => 1,
+            ChaosAction::Truncate => 2,
+        };
+        let counter = self.counters[slot];
+        self.counters[slot] += 1;
+        rate > 0.0 && uniform01(self.stream_seed(action), counter) < rate
+    }
+
+    /// Draws consumed so far for `action` — mirrors
+    /// [`ChaosState::draws_consumed`] for this cursor's campaign.
+    #[must_use]
+    pub fn draws_consumed(&self, action: ChaosAction) -> u64 {
+        match action {
+            ChaosAction::Kill => self.counters[0],
+            ChaosAction::Corrupt => self.counters[1],
+            ChaosAction::Truncate => self.counters[2],
+        }
+    }
+
+    /// Whether this campaign is killed after completing `hour`. Same
+    /// contract as [`ChaosState::kill_now`]: the random stream advances
+    /// one draw per call; scheduled kills fire exactly once on top.
+    pub fn kill_now(&mut self, hour: usize) -> bool {
+        let drawn = self.draw(ChaosAction::Kill, self.kill_rate);
+        if let Some(at) = self.pending_kill_hours.iter().position(|&h| h == hour) {
+            self.pending_kill_hours.remove(at);
+            return true;
+        }
+        drawn
+    }
+
+    /// Whether the checkpoint just committed for this campaign gets
+    /// corrupted, and how — truncation consulted first, exactly as
+    /// [`ChaosState::corrupt_commit`].
+    pub fn corrupt_commit(&mut self) -> Option<ChaosAction> {
+        if self.draw(ChaosAction::Truncate, self.truncate_rate) {
+            return Some(ChaosAction::Truncate);
+        }
+        if self.draw(ChaosAction::Corrupt, self.corrupt_rate) {
+            return Some(ChaosAction::Corrupt);
+        }
+        None
+    }
+
+    /// A deterministic byte offset for an injected corruption — mirrors
+    /// [`ChaosState::corruption_offset`].
+    pub fn corruption_offset(&mut self) -> u64 {
+        let counter = self.counters[1];
+        self.counters[1] += 1;
+        (uniform01(self.stream_seed(ChaosAction::Corrupt), counter) * 4096.0) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +416,68 @@ mod tests {
             assert!(state.corrupt_commit(0).is_none());
         }
         assert_eq!(state.draws_consumed(0, ChaosAction::Kill), 20);
+    }
+
+    #[test]
+    fn cursors_replay_the_central_state_draw_for_draw() {
+        let plan = hostile_plan();
+        let mut state = ChaosState::new(plan.clone(), 3);
+        let mut cursors: Vec<ChaosCursor> =
+            (0..3).map(|index| ChaosCursor::new(&plan, index)).collect();
+
+        // Interleave every kind of draw across campaigns; the sharded
+        // cursors must agree with the central state on every single one.
+        for hour in 0..40 {
+            for campaign in 0..3 {
+                assert_eq!(
+                    state.kill_now(campaign, hour),
+                    cursors[campaign].kill_now(hour),
+                    "kill draw diverged at campaign {campaign} hour {hour}"
+                );
+                let central = state.corrupt_commit(campaign);
+                assert_eq!(
+                    central,
+                    cursors[campaign].corrupt_commit(),
+                    "commit sabotage diverged at campaign {campaign} hour {hour}"
+                );
+                if central == Some(ChaosAction::Corrupt) {
+                    assert_eq!(
+                        state.corruption_offset(campaign),
+                        cursors[campaign].corruption_offset(),
+                        "corruption offset diverged at campaign {campaign} hour {hour}"
+                    );
+                }
+            }
+        }
+        for campaign in 0..3 {
+            for action in [
+                ChaosAction::Kill,
+                ChaosAction::Corrupt,
+                ChaosAction::Truncate,
+            ] {
+                assert_eq!(
+                    state.draws_consumed(campaign, action),
+                    cursors[campaign].draws_consumed(action),
+                    "counter drift at campaign {campaign} for {action:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_scheduled_kills_fire_exactly_once_each() {
+        let mut plan = ChaosPlan::none();
+        plan.scheduled_kills = vec![(0, 3), (1, 6), (0, 8)];
+        let mut fired = Vec::new();
+        for campaign in 0..2 {
+            let mut cursor = ChaosCursor::new(&plan, campaign);
+            for hour in 0..10 {
+                if cursor.kill_now(hour) {
+                    fired.push((campaign, hour));
+                }
+            }
+        }
+        assert_eq!(fired, vec![(0, 3), (0, 8), (1, 6)]);
     }
 
     #[test]

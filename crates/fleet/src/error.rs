@@ -61,6 +61,15 @@ pub enum StoreError {
         /// What disagreed.
         reason: String,
     },
+    /// A caller asked [`crate::CheckpointStore::prune`] to retain zero
+    /// generations. Pruning everything would erase the rollback chain a
+    /// live campaign depends on, so the store refuses outright instead
+    /// of silently clamping — callers that want "keep as few as
+    /// possible" must say `retain = 1` explicitly.
+    InvalidRetention {
+        /// The rejected retention count (always `0` today).
+        retain: usize,
+    },
 }
 
 impl StoreError {
@@ -104,6 +113,11 @@ impl fmt::Display for StoreError {
                 f,
                 "snapshot for campaign {campaign} generation {generation} \
                  disagrees with its sealed envelope: {reason}"
+            ),
+            Self::InvalidRetention { retain } => write!(
+                f,
+                "prune retention of {retain} is invalid: at least one \
+                 checkpoint generation must be retained"
             ),
         }
     }
@@ -160,6 +174,17 @@ pub enum FleetError {
         /// Consecutive failures at the moment of the trip.
         consecutive_failures: u32,
     },
+    /// The scheduler violated one of its own invariants while serving
+    /// this slot — e.g. a step dispatched to a slot with no live
+    /// campaign, or a slot left unresolved at fleet drain. The slot is
+    /// quarantined with this typed error instead of panicking the whole
+    /// fleet: one poisoned slot must never take down the other N−1.
+    SchedulerInvariant {
+        /// The campaign whose slot hit the violation.
+        id: String,
+        /// Which invariant was violated.
+        invariant: &'static str,
+    },
 }
 
 impl FleetError {
@@ -171,7 +196,8 @@ impl FleetError {
             | Self::RestartBudgetExhausted { id, .. }
             | Self::DeadlineExceeded { id, .. }
             | Self::Store { id, .. }
-            | Self::CircuitOpen { id, .. } => id,
+            | Self::CircuitOpen { id, .. }
+            | Self::SchedulerInvariant { id, .. } => id,
         }
     }
 
@@ -184,6 +210,7 @@ impl FleetError {
             Self::DeadlineExceeded { .. } => "deadline_exceeded",
             Self::Store { .. } => "store",
             Self::CircuitOpen { .. } => "circuit_open",
+            Self::SchedulerInvariant { .. } => "scheduler_invariant",
         }
     }
 }
@@ -216,6 +243,11 @@ impl fmt::Display for FleetError {
                 f,
                 "circuit breaker for {device} opened after {consecutive_failures} \
                  consecutive failures; campaign {id} quarantined"
+            ),
+            Self::SchedulerInvariant { id, invariant } => write!(
+                f,
+                "scheduler invariant violated for campaign {id}: {invariant}; \
+                 slot quarantined"
             ),
         }
     }
@@ -261,5 +293,20 @@ mod tests {
         };
         assert_eq!(e.tag(), "circuit_open");
         assert!(e.to_string().contains("quarantined"), "{e}");
+
+        let e = FleetError::SchedulerInvariant {
+            id: "c7".to_owned(),
+            invariant: "step dispatched without a live campaign",
+        };
+        assert_eq!(e.campaign_id(), "c7");
+        assert_eq!(e.tag(), "scheduler_invariant");
+        assert!(e.to_string().contains("slot quarantined"), "{e}");
+    }
+
+    #[test]
+    fn invalid_retention_is_typed_and_self_describing() {
+        let e = StoreError::InvalidRetention { retain: 0 };
+        assert!(e.to_string().contains("at least one"), "{e}");
+        assert_eq!(e, StoreError::InvalidRetention { retain: 0 });
     }
 }

@@ -20,8 +20,11 @@
 //!   per-campaign session weather, all replayable draw-for-draw.
 //! * [`breaker`] — per-device circuit breakers
 //!   (closed → open → half-open) and the append-only quarantine ledger.
-//! * [`supervisor`] — the serial round-robin control loop tying the
-//!   layers together with restart and deadline budgets.
+//! * [`supervisor`] — the sharded lane/barrier control loop tying the
+//!   layers together with restart and deadline budgets: worker lanes
+//!   advance every slot in parallel off per-slot
+//!   [`chaos::ChaosCursor`]s, and a serial barrier merges effects and
+//!   lands one batched checkpoint commit per tick in slot-index order.
 //!
 //! The headline invariant, enforced end to end by `bench`'s
 //! `chaos_suite`: **every supervised campaign either completes with an
@@ -42,7 +45,7 @@ pub use breaker::{
     BreakerConfig, BreakerState, CircuitBreaker, QuarantineLedger, QuarantineReason,
     QuarantineRecord,
 };
-pub use chaos::{ChaosAction, ChaosPlan, ChaosState};
+pub use chaos::{ChaosAction, ChaosCursor, ChaosPlan, ChaosState};
 pub use error::{FleetError, StoreError};
 pub use store::{CheckpointStore, Envelope, SnapshotVault};
 pub use supervisor::{CampaignResult, CampaignSpec, FleetConfig, FleetReport, Supervisor};

@@ -267,6 +267,53 @@ impl CheckpointStore {
         Ok(path)
     }
 
+    /// Durably commits one checkpoint per campaign as a single batch —
+    /// the sharded scheduler's once-per-tick commit point, replacing N
+    /// interleaved per-campaign `commit` calls.
+    ///
+    /// The batch runs in two phases over all items: first every envelope
+    /// is written and `fsync`ed to its `.tmp` sibling, then every `.tmp`
+    /// is renamed into place. Failures are attributed per item (input
+    /// order), and an item that failed its write phase is never renamed;
+    /// items are independent, so one campaign's failure cannot disturb
+    /// another's commit or any previously committed generation.
+    pub fn commit_batch(
+        &self,
+        items: &[(&str, u64, &CampaignCheckpoint)],
+    ) -> Vec<Result<PathBuf, StoreError>> {
+        // Phase 1: write + fsync every temp file. The intermediate
+        // collect is the phase barrier — fusing the iterators would
+        // interleave renames with writes and lose the all-staged-first
+        // durability ordering.
+        #[allow(clippy::needless_collect)]
+        let staged: Vec<Result<(PathBuf, PathBuf), StoreError>> = items
+            .iter()
+            .map(|&(campaign, generation, checkpoint)| {
+                let dir = self.campaign_dir(campaign);
+                fs::create_dir_all(&dir).map_err(|e| StoreError::io("create", &dir, &e))?;
+                let bytes = Self::encode(generation, checkpoint);
+                let path = self.generation_path(campaign, generation);
+                let tmp = path.with_extension("ckpt.tmp");
+                let mut file =
+                    fs::File::create(&tmp).map_err(|e| StoreError::io("create", &tmp, &e))?;
+                file.write_all(&bytes)
+                    .map_err(|e| StoreError::io("write", &tmp, &e))?;
+                file.sync_all()
+                    .map_err(|e| StoreError::io("fsync", &tmp, &e))?;
+                Ok((tmp, path))
+            })
+            .collect();
+        // Phase 2: rename the survivors into place.
+        staged
+            .into_iter()
+            .map(|staged| {
+                let (tmp, path) = staged?;
+                fs::rename(&tmp, &path).map_err(|e| StoreError::io("rename", &path, &e))?;
+                Ok(path)
+            })
+            .collect()
+    }
+
     /// Reads and fully validates one generation's envelope.
     ///
     /// # Errors
@@ -347,10 +394,17 @@ impl CheckpointStore {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] when a deletion fails.
+    /// [`StoreError::InvalidRetention`] when `retain` is zero — pruning
+    /// *everything* would erase the rollback chain, so the store refuses
+    /// instead of silently clamping (callers that want the minimum must
+    /// pass `retain = 1` explicitly). [`StoreError::Io`] when a deletion
+    /// fails.
     pub fn prune(&self, campaign: &str, retain: usize) -> Result<Vec<u64>, StoreError> {
+        if retain == 0 {
+            return Err(StoreError::InvalidRetention { retain });
+        }
         let generations = self.generations(campaign);
-        let cut = generations.len().saturating_sub(retain.max(1));
+        let cut = generations.len().saturating_sub(retain);
         let mut pruned = Vec::new();
         for &generation in &generations[..cut] {
             let path = self.generation_path(campaign, generation);
@@ -367,6 +421,12 @@ impl CheckpointStore {
     /// XORs one byte of a committed envelope at `offset % len` — the
     /// chaos harness's bit-rot injection.
     ///
+    /// A zero-length target (a generation already truncated to nothing)
+    /// cannot take the modulo; instead of skipping the injection — which
+    /// would leave the chaos accounting claiming a corruption that never
+    /// touched disk — the poison byte is appended, so every injection
+    /// leaves an observable mark and the file still fails validation.
+    ///
     /// # Errors
     ///
     /// [`StoreError::Io`] when the file cannot be rewritten.
@@ -379,10 +439,11 @@ impl CheckpointStore {
         let path = self.generation_path(campaign, generation);
         let mut bytes = fs::read(&path).map_err(|e| StoreError::io("read", &path, &e))?;
         if bytes.is_empty() {
-            return Ok(());
+            bytes.push(0xA5);
+        } else {
+            let at = (offset % bytes.len() as u64) as usize;
+            bytes[at] ^= 0xA5;
         }
-        let at = (offset % bytes.len() as u64) as usize;
-        bytes[at] ^= 0xA5;
         fs::write(&path, &bytes).map_err(|e| StoreError::io("write", &path, &e))
     }
 
@@ -616,10 +677,98 @@ mod tests {
         let pruned = store.prune("c0", 2).unwrap();
         assert_eq!(pruned, vec![0, 1, 2]);
         assert_eq!(store.generations("c0"), vec![3, 4]);
-        // retain=0 is clamped to keep at least one generation.
-        let pruned = store.prune("c0", 0).unwrap();
+        // retain=0 is refused with a typed error, not silently clamped:
+        // a caller asking to delete the whole rollback chain must never
+        // believe it succeeded.
+        assert_eq!(
+            store.prune("c0", 0),
+            Err(StoreError::InvalidRetention { retain: 0 })
+        );
+        assert_eq!(store.generations("c0"), vec![3, 4], "nothing deleted");
+        let pruned = store.prune("c0", 1).unwrap();
         assert_eq!(pruned, vec![3]);
         assert_eq!(store.generations("c0"), vec![4]);
+    }
+
+    #[test]
+    fn commit_batch_commits_every_campaign_atomically_per_item() {
+        let scratch = Scratch::new();
+        let store = CheckpointStore::open(&scratch.0).unwrap();
+        let checkpoints: Vec<_> = (0..3)
+            .map(|i| small_campaign(10 + i).checkpoint())
+            .collect();
+        let ids = ["c0", "c1", "c2"];
+        let items: Vec<(&str, u64, &CampaignCheckpoint)> = ids
+            .iter()
+            .zip(&checkpoints)
+            .map(|(&id, checkpoint)| (id, 0u64, checkpoint))
+            .collect();
+
+        let results = store.commit_batch(&items);
+        assert_eq!(results.len(), 3);
+        for ((id, checkpoint), result) in ids.iter().zip(&checkpoints).zip(&results) {
+            assert!(result.is_ok(), "{id}: {result:?}");
+            let envelope = store.read(id, 0).unwrap();
+            assert_eq!(envelope.state_checksum, checkpoint.state_checksum());
+            assert_eq!(envelope.manifest, checkpoint.manifest());
+        }
+        // Batch commit bytes are identical to a lone commit's.
+        let lone = Scratch::new();
+        let lone_store = CheckpointStore::open(&lone.0).unwrap();
+        let path = lone_store.commit("c0", 0, &checkpoints[0]).unwrap();
+        assert_eq!(
+            fs::read(path).unwrap(),
+            fs::read(store.root().join("c0/gen-00000000.ckpt")).unwrap()
+        );
+    }
+
+    #[test]
+    fn commit_batch_attributes_failures_without_disturbing_siblings() {
+        let scratch = Scratch::new();
+        let store = CheckpointStore::open(&scratch.0).unwrap();
+        // Occupy "bad"'s campaign directory name with a plain file so its
+        // create_dir_all fails while its siblings proceed.
+        fs::write(store.root().join("bad"), b"not a directory").unwrap();
+        let good = small_campaign(11).checkpoint();
+        let poisoned = small_campaign(12).checkpoint();
+        let items: Vec<(&str, u64, &CampaignCheckpoint)> =
+            vec![("c0", 0, &good), ("bad", 0, &poisoned), ("c1", 0, &good)];
+
+        let results = store.commit_batch(&items);
+        assert!(results[0].is_ok());
+        assert!(
+            matches!(results[1], Err(StoreError::Io { .. })),
+            "{:?}",
+            results[1]
+        );
+        assert!(results[2].is_ok());
+        store.read("c0", 0).unwrap();
+        store.read("c1", 0).unwrap();
+    }
+
+    #[test]
+    fn truncate_then_corrupt_same_generation_recovers_via_latest_good() {
+        let scratch = Scratch::new();
+        let store = CheckpointStore::open(&scratch.0).unwrap();
+        let mut campaign = small_campaign(13);
+        store.commit("c0", 0, &campaign.checkpoint()).unwrap();
+        campaign.step().unwrap();
+        store.commit("c0", 1, &campaign.checkpoint()).unwrap();
+
+        // Chaos tears generation 1 down to nothing, then bit-rot hits the
+        // same (now zero-length) file: historically a `offset % 0` hazard.
+        store.truncate("c0", 1, 0.0).unwrap();
+        store.corrupt_byte("c0", 1, 17).unwrap();
+        assert!(
+            !fs::read(store.root().join("c0/gen-00000001.ckpt"))
+                .unwrap()
+                .is_empty(),
+            "the injection must leave an observable mark even on an empty file"
+        );
+
+        // Recovery rolls past the doubly-damaged generation to gen 0.
+        let (envelope, skipped) = store.latest_good("c0").unwrap();
+        assert_eq!((envelope.generation, skipped), (0, 1));
     }
 
     #[test]

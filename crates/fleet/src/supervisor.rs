@@ -1,44 +1,68 @@
-//! The crash-safe fleet supervisor.
+//! The crash-safe **sharded** fleet supervisor.
 //!
 //! A [`Supervisor`] drives N concurrent [`Campaign`]s to completion
-//! under injected process-level chaos, deterministically. The scheduler
-//! is a **serial round-robin**: each tick steps every live campaign one
-//! attack-window hour, in fleet order. Parallelism lives *inside* a
-//! campaign step (the per-route rayon fan-out, already bit-identical at
-//! every thread width), so the fleet inherits the workspace's
-//! serial-equals-parallel contract without a scheduler race surface.
+//! under injected process-level chaos, deterministically. Since PR 7 the
+//! scheduler is a **lane/barrier design**: each tick, every unresolved
+//! slot is advanced by a worker lane (the vendored rayon fan-out shards
+//! the slot vector into contiguous chunks), and the lanes' effects are
+//! merged at a serial barrier in slot-index order. Determinism survives
+//! the parallelism because every source of scheduling state is
+//! per-slot:
 //!
-//! Per tick and per campaign the supervisor:
+//! * chaos draws come from the slot's own [`ChaosCursor`] — the same
+//!   counter-based `(seed, campaign, action)` streams the serial
+//!   scheduler consulted, so the draw sequence per campaign is
+//!   bit-identical at every thread width;
+//! * telemetry rides the shared [`Recorder`], whose trace is
+//!   content-sorted and whose counters merge as sums, so emission order
+//!   cannot leak into artifacts;
+//! * everything order-sensitive — report counter accumulation (float
+//!   summation!), quarantine-ledger appends, checkpoint commits, vault
+//!   updates — happens at the barrier, in slot-index order.
 //!
-//! 1. steps the campaign one hour (or finalizes it when complete);
-//! 2. commits a CRC-sealed checkpoint generation on the configured
-//!    cadence (write-temp → fsync → rename, via [`CheckpointStore`]);
-//! 3. consults the [`ChaosState`] — the campaign may be killed (its
-//!    process image dropped on the floor) and its newest envelope may be
-//!    corrupted or truncated;
+//! Per tick and per live slot the supervisor:
+//!
+//! 1. steps the campaign one hour in its lane (or finalizes it when
+//!    complete);
+//! 2. captures a CRC-sealed checkpoint *intent* on the configured
+//!    cadence; the barrier lands all intents as **one batched commit**
+//!    per tick ([`CheckpointStore::commit_batch`]: write + fsync every
+//!    temp, then rename them all) instead of a per-campaign fsync;
+//! 3. consults the slot's [`ChaosCursor`] — the campaign may be killed
+//!    (its process image dropped on the floor) and its newest envelope
+//!    may be corrupted or truncated at the barrier;
 //! 4. recovers dead campaigns through a per-device [`CircuitBreaker`]
 //!    and a restart budget with deterministic exponential backoff,
 //!    resuming from the newest checkpoint generation that survives full
-//!    validation (rolling back over torn ones).
+//!    validation (rolling back over torn ones). Recovery reads the
+//!    store and vault only, so it is safe inside a lane.
 //!
 //! Every terminal failure is a typed [`FleetError`] paired with a
 //! [`QuarantineRecord`]; the chaos suite asserts there is no third
-//! outcome. Supervisor telemetry (`circuit_open`, `circuit_close`,
-//! `quarantine`, `recovery_scan`) rides the shared [`Recorder`] on the
-//! **tick axis** — the trace artifact is content-sorted, so tick-stamped
-//! fleet events coexist with hour-stamped campaign events
-//! deterministically.
+//! outcome. A scheduler invariant violation (a step dispatched to a
+//! dead slot, a slot unresolved at drain) quarantines that slot with
+//! [`FleetError::SchedulerInvariant`] instead of panicking the fleet —
+//! the supervisor's steady-state paths contain no `expect`/`unwrap`.
+//!
+//! One deliberate divergence from the serial scheduler: commit *intents*
+//! consume their chaos draws in the lane, so a real filesystem failure
+//! at the barrier no longer rewinds the draw the serial code had not yet
+//! made. Chaos-injected damage is unaffected (sabotage applies after a
+//! successful commit in both designs), and the draw sequence is a pure
+//! function of the plan, so width-determinism is preserved.
 
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 use obs::{CampaignEvent, EventKind, Recorder};
-use pentimento::{Campaign, CampaignOutcome, PentimentoError};
+use pentimento::{Campaign, CampaignCheckpoint, CampaignOutcome, PentimentoError};
+use rayon::prelude::*;
 
 use crate::breaker::{
     BreakerConfig, CircuitBreaker, QuarantineLedger, QuarantineReason, QuarantineRecord,
 };
-use crate::chaos::{ChaosAction, ChaosPlan, ChaosState};
+use crate::chaos::{ChaosAction, ChaosCursor, ChaosPlan};
 use crate::error::{FleetError, StoreError};
 use crate::store::{CheckpointStore, SnapshotVault};
 
@@ -55,7 +79,9 @@ pub struct FleetConfig {
     /// [`FleetError::DeadlineExceeded`] — the live-lock backstop.
     pub deadline_ticks: u64,
     /// Checkpoint generations retained per campaign (older ones are
-    /// pruned from store and vault alike; clamped to at least 1).
+    /// pruned from store and vault alike; clamped to at least 1 — the
+    /// store itself refuses `retain = 0` with
+    /// [`StoreError::InvalidRetention`]).
     pub retain_generations: usize,
     /// Per-device circuit breaker tuning.
     pub breaker: BreakerConfig,
@@ -175,7 +201,9 @@ impl FleetReport {
     }
 }
 
-/// Per-campaign supervision state.
+/// Per-campaign supervision state. Each slot owns everything its lane
+/// mutates — campaign image, chaos cursor, breaker — so lanes never
+/// share mutable state.
 struct Slot {
     id: String,
     /// The live "process image"; `None` while dead awaiting recovery.
@@ -186,8 +214,334 @@ struct Slot {
     ticks: u64,
     breaker: CircuitBreaker,
     device: cloud::DeviceId,
+    /// This slot's slice of the chaos schedule.
+    chaos: ChaosCursor,
     result: Option<CampaignResult>,
     last_error: Option<PentimentoError>,
+}
+
+/// A checkpoint the lane captured for the barrier to land: the batch
+/// commit writes the envelope, then applies any chaos sabotage the
+/// lane's cursor drew against it.
+struct CommitIntent {
+    generation: u64,
+    checkpoint: CampaignCheckpoint,
+    /// Chaos damage to inflict on the freshly committed envelope:
+    /// `(action, corruption byte offset)` — the offset is meaningful
+    /// only for [`ChaosAction::Corrupt`].
+    sabotage: Option<(ChaosAction, u64)>,
+}
+
+/// Everything a lane did to its slot in one tick, merged into the
+/// [`FleetReport`] at the barrier in slot-index order (float sums and
+/// ledger appends are order-sensitive; lanes must not race them).
+#[derive(Default)]
+struct LaneEffect {
+    kills: u64,
+    restarts: u64,
+    rollbacks: u64,
+    backoff_seconds: f64,
+    commit: Option<CommitIntent>,
+    quarantine: Option<QuarantineRecord>,
+}
+
+/// The read-only context a worker lane operates under: configuration,
+/// the store and vault (reads only — all writes happen at the barrier),
+/// and the shared recorder (thread-safe; its artifacts are
+/// order-insensitive by construction).
+#[derive(Clone, Copy)]
+struct LaneCtx<'a> {
+    config: &'a FleetConfig,
+    store: &'a CheckpointStore,
+    vault: &'a SnapshotVault,
+    recorder: Option<&'a Arc<Recorder>>,
+}
+
+impl LaneCtx<'_> {
+    fn emit(&self, kind: EventKind, at: f64, value: f64, detail: &str) {
+        if let Some(r) = self.recorder {
+            r.event(CampaignEvent::new(kind, at).value(value).detail(detail));
+        }
+    }
+
+    fn incr(&self, counter: &'static str) {
+        if let Some(r) = self.recorder {
+            r.incr(counter, 1);
+        }
+    }
+
+    fn quarantine(&self, slot: &Slot, reason: QuarantineReason, effect: &mut LaneEffect) {
+        let record = QuarantineRecord {
+            campaign: slot.id.clone(),
+            device: slot.device,
+            at_tick: slot.ticks,
+            reason,
+            consecutive_failures: slot.breaker.consecutive_failures(),
+        };
+        self.emit(
+            EventKind::Quarantine,
+            slot.ticks as f64,
+            f64::from(slot.device.0),
+            record.reason.tag(),
+        );
+        self.incr("fleet.quarantines");
+        effect.quarantine = Some(record);
+    }
+
+    fn fail(
+        &self,
+        slot: &mut Slot,
+        error: FleetError,
+        reason: QuarantineReason,
+        effect: &mut LaneEffect,
+    ) {
+        self.quarantine(slot, reason, effect);
+        slot.campaign = None;
+        slot.result = Some(CampaignResult::Failed(error));
+    }
+
+    /// A scheduler invariant was violated serving this slot: isolate the
+    /// slot with a typed error instead of panicking the fleet.
+    fn invariant_violation(
+        &self,
+        slot: &mut Slot,
+        invariant: &'static str,
+        effect: &mut LaneEffect,
+    ) {
+        let error = FleetError::SchedulerInvariant {
+            id: slot.id.clone(),
+            invariant,
+        };
+        self.fail(slot, error, QuarantineReason::SchedulerInvariant, effect);
+    }
+
+    /// The breaker just tripped open: emit, quarantine, and fail the
+    /// campaign with the typed circuit error.
+    fn trip(&self, slot: &mut Slot, effect: &mut LaneEffect) {
+        self.emit(
+            EventKind::CircuitOpen,
+            slot.ticks as f64,
+            f64::from(slot.device.0),
+            &slot.id,
+        );
+        self.incr("fleet.circuit_open");
+        let error = FleetError::CircuitOpen {
+            id: slot.id.clone(),
+            device: slot.device,
+            consecutive_failures: slot.breaker.consecutive_failures(),
+        };
+        self.fail(slot, error, QuarantineReason::BreakerTripped, effect);
+    }
+
+    /// Restores `slot`'s campaign from the newest checkpoint generation
+    /// that survives full validation: CRC-sealed envelope, vault
+    /// cross-check, and the checkpoint's own dual seals. Pure reads —
+    /// lane-safe.
+    fn restore(&self, slot: &Slot) -> Result<(Campaign, u64, u64), StoreError> {
+        let (envelope, skipped) = self.store.latest_good(&slot.id)?;
+        let snapshot =
+            self.vault
+                .get(&slot.id, envelope.generation)
+                .ok_or(StoreError::SnapshotMissing {
+                    campaign: slot.id.clone(),
+                    generation: envelope.generation,
+                })?;
+        if snapshot.state_checksum() != envelope.state_checksum {
+            return Err(StoreError::SnapshotMismatch {
+                campaign: slot.id.clone(),
+                generation: envelope.generation,
+                reason: format!(
+                    "vault checksum {:#018x} vs sealed {:#018x}",
+                    snapshot.state_checksum(),
+                    envelope.state_checksum
+                ),
+            });
+        }
+        if snapshot.manifest() != envelope.manifest {
+            return Err(StoreError::SnapshotMismatch {
+                campaign: slot.id.clone(),
+                generation: envelope.generation,
+                reason: "vault manifest disagrees with the sealed envelope".to_owned(),
+            });
+        }
+        let campaign =
+            Campaign::resume(snapshot.clone()).map_err(|e| StoreError::SnapshotMismatch {
+                campaign: slot.id.clone(),
+                generation: envelope.generation,
+                reason: e.to_string(),
+            })?;
+        Ok((campaign, envelope.generation, skipped as u64))
+    }
+
+    /// One recovery attempt for a dead slot: breaker gate, restart
+    /// budget, backoff accounting, then restore-from-store.
+    fn recover_slot(&self, slot: &mut Slot, effect: &mut LaneEffect) {
+        // An open breaker blocks recovery until its cooldown elapses;
+        // when `tick` flips it half-open, fall through as the probe.
+        if !slot.breaker.allows() && !slot.breaker.tick() {
+            return; // still cooling down; try again next tick
+        }
+        if slot.restarts >= self.config.max_restarts {
+            let error = FleetError::RestartBudgetExhausted {
+                id: slot.id.clone(),
+                restarts: slot.restarts,
+                last: slot
+                    .last_error
+                    .clone()
+                    .unwrap_or(PentimentoError::VictimDeviceLost),
+            };
+            self.fail(
+                slot,
+                error,
+                QuarantineReason::RestartBudgetExhausted,
+                effect,
+            );
+            return;
+        }
+        slot.restarts += 1;
+        effect.restarts += 1;
+        self.incr("fleet.restarts");
+        let backoff = (self.config.backoff_base_s
+            * 2f64.powi(slot.restarts.saturating_sub(1).min(30) as i32))
+        .min(self.config.backoff_max_s);
+        effect.backoff_seconds += backoff;
+        self.emit(EventKind::Backoff, slot.ticks as f64, backoff, &slot.id);
+
+        match self.restore(slot) {
+            Ok((campaign, generation, rollbacks)) => {
+                effect.rollbacks += rollbacks;
+                if rollbacks > 0 {
+                    self.incr("fleet.rollbacks");
+                }
+                self.emit(
+                    EventKind::RecoveryScan,
+                    slot.ticks as f64,
+                    generation as f64,
+                    &slot.id,
+                );
+                self.incr("fleet.recovery_scans");
+                slot.generation = generation + 1;
+                if slot.breaker.on_success() {
+                    self.emit(
+                        EventKind::CircuitClose,
+                        slot.ticks as f64,
+                        f64::from(slot.device.0),
+                        &slot.id,
+                    );
+                    self.incr("fleet.circuit_close");
+                }
+                slot.campaign = Some(campaign);
+            }
+            Err(error @ StoreError::NoValidGeneration { .. }) => {
+                // Nothing left to roll back to: terminal, regardless of
+                // budgets.
+                let error = FleetError::Store {
+                    id: slot.id.clone(),
+                    source: error,
+                };
+                self.fail(slot, error, QuarantineReason::StoreUnrecoverable, effect);
+            }
+            Err(source) => {
+                slot.last_error = Some(PentimentoError::CheckpointCorrupt(source.to_string()));
+                if slot.breaker.on_failure() {
+                    self.trip(slot, effect);
+                }
+            }
+        }
+    }
+
+    /// Steps a live slot one hour, capturing a checkpoint intent on the
+    /// cadence and consulting the slot's chaos cursor.
+    fn step_slot(&self, slot: &mut Slot, effect: &mut LaneEffect) {
+        let Some(campaign) = slot.campaign.as_mut() else {
+            self.invariant_violation(
+                slot,
+                "step dispatched to a slot with no live campaign",
+                effect,
+            );
+            return;
+        };
+        if campaign.is_complete() {
+            // `run` on a complete campaign skips straight to finalize.
+            match campaign.run() {
+                Ok(outcome) => {
+                    slot.breaker.on_success();
+                    slot.result = Some(CampaignResult::Completed(Box::new(outcome)));
+                    slot.campaign = None;
+                }
+                Err(e)
+                    if e.is_transient()
+                        || matches!(e, PentimentoError::RetriesExhausted { .. }) =>
+                {
+                    slot.last_error = Some(e);
+                    slot.campaign = None; // recover and re-finalize
+                    if slot.breaker.on_failure() {
+                        self.trip(slot, effect);
+                    }
+                }
+                Err(e) => {
+                    let error = FleetError::Campaign {
+                        id: slot.id.clone(),
+                        source: e,
+                    };
+                    self.fail(slot, error, QuarantineReason::FatalError, effect);
+                }
+            }
+            return;
+        }
+        match campaign.step() {
+            Ok(_) => {
+                slot.breaker.on_success();
+                let hour = campaign.hour();
+                let cadence = self.config.checkpoint_every_hours.max(1);
+                if hour.is_multiple_of(cadence) || campaign.is_complete() {
+                    effect.commit = Some(Supervisor::capture_intent(
+                        campaign,
+                        slot.generation,
+                        &mut slot.chaos,
+                    ));
+                    slot.generation += 1;
+                }
+                if slot.chaos.kill_now(hour) {
+                    effect.kills += 1;
+                    self.incr("fleet.chaos.kills");
+                    slot.campaign = None; // the process image dies here
+                }
+            }
+            Err(e) if e.is_transient() || matches!(e, PentimentoError::RetriesExhausted { .. }) => {
+                slot.last_error = Some(e);
+                slot.campaign = None;
+                if slot.breaker.on_failure() {
+                    self.trip(slot, effect);
+                }
+            }
+            Err(e) => {
+                let error = FleetError::Campaign {
+                    id: slot.id.clone(),
+                    source: e,
+                };
+                self.fail(slot, error, QuarantineReason::FatalError, effect);
+            }
+        }
+    }
+
+    /// Advances one unresolved slot by one tick; the lane entry point.
+    fn tick_slot(&self, slot: &mut Slot) -> LaneEffect {
+        let mut effect = LaneEffect::default();
+        slot.ticks += 1;
+        if slot.ticks > self.config.deadline_ticks {
+            let error = FleetError::DeadlineExceeded {
+                id: slot.id.clone(),
+                ticks: slot.ticks as usize,
+            };
+            self.fail(slot, error, QuarantineReason::DeadlineExceeded, &mut effect);
+        } else if slot.campaign.is_none() {
+            self.recover_slot(slot, &mut effect);
+        } else {
+            self.step_slot(slot, &mut effect);
+        }
+        effect
+    }
 }
 
 /// The fleet supervisor. See the module docs for the control loop.
@@ -197,6 +551,10 @@ pub struct Supervisor {
     store: CheckpointStore,
     vault: SnapshotVault,
     recorder: Option<Arc<Recorder>>,
+    /// Wall-clock tick durations of the most recent [`run`](Self::run),
+    /// in seconds. Diagnostics only — never part of any report or
+    /// determinism comparison.
+    tick_latencies_s: Vec<f64>,
 }
 
 impl Supervisor {
@@ -212,6 +570,7 @@ impl Supervisor {
             store: CheckpointStore::open(store_root.as_ref().to_path_buf())?,
             vault: SnapshotVault::new(),
             recorder: None,
+            tick_latencies_s: Vec::new(),
         })
     }
 
@@ -251,6 +610,24 @@ impl Supervisor {
         self.recorder = recorder;
     }
 
+    /// Wall-clock duration of every supervisor tick in the most recent
+    /// [`run`](Self::run), in seconds — the `fleet_scaling` bench's p99
+    /// source. Nondeterministic by nature; kept out of [`FleetReport`]
+    /// so identity comparisons never see it.
+    #[must_use]
+    pub fn last_tick_latencies_s(&self) -> &[f64] {
+        &self.tick_latencies_s
+    }
+
+    fn lane_ctx(&self) -> LaneCtx<'_> {
+        LaneCtx {
+            config: &self.config,
+            store: &self.store,
+            vault: &self.vault,
+            recorder: self.recorder.as_ref(),
+        }
+    }
+
     fn emit(&self, kind: EventKind, at: f64, value: f64, detail: &str) {
         if let Some(r) = &self.recorder {
             r.event(CampaignEvent::new(kind, at).value(value).detail(detail));
@@ -263,81 +640,61 @@ impl Supervisor {
         }
     }
 
-    /// Commits the next checkpoint generation for `slot`, then lets the
-    /// chaos schedule corrupt the fresh envelope, then prunes.
-    fn commit_generation(
+    /// Captures a commit intent: the sealed checkpoint plus whatever
+    /// sabotage the slot's chaos cursor drew against it. Draw order per
+    /// campaign (truncate → corrupt → offset) matches the serial
+    /// scheduler exactly.
+    fn capture_intent(
+        campaign: &Campaign,
+        generation: u64,
+        chaos: &mut ChaosCursor,
+    ) -> CommitIntent {
+        let checkpoint = campaign.checkpoint();
+        let sabotage = match chaos.corrupt_commit() {
+            Some(ChaosAction::Truncate) => Some((ChaosAction::Truncate, 0)),
+            Some(ChaosAction::Corrupt) => {
+                let offset = chaos.corruption_offset();
+                Some((ChaosAction::Corrupt, offset))
+            }
+            Some(ChaosAction::Kill) | None => None,
+        };
+        CommitIntent {
+            generation,
+            checkpoint,
+            sabotage,
+        }
+    }
+
+    /// Lands everything that follows a successful envelope commit:
+    /// vault insert, chaos sabotage against the fresh envelope, and
+    /// generation pruning. Barrier-side (store and vault writes).
+    fn commit_aftermath(
         &mut self,
-        slot: &mut Slot,
-        index: usize,
-        chaos: &mut ChaosState,
+        id: &str,
+        intent: CommitIntent,
         report: &mut FleetReport,
     ) -> Result<(), StoreError> {
-        let campaign = slot
-            .campaign
-            .as_ref()
-            .expect("commit_generation requires a live campaign");
-        let checkpoint = campaign.checkpoint();
-        let generation = slot.generation;
-        self.store.commit(&slot.id, generation, &checkpoint)?;
-        self.vault.insert(&slot.id, generation, checkpoint);
-        slot.generation += 1;
-        match chaos.corrupt_commit(index) {
-            Some(ChaosAction::Truncate) => {
-                self.store.truncate(&slot.id, generation, 0.5)?;
+        self.vault.insert(id, intent.generation, intent.checkpoint);
+        match intent.sabotage {
+            Some((ChaosAction::Truncate, _)) => {
+                self.store.truncate(id, intent.generation, 0.5)?;
                 report.truncations_injected += 1;
                 self.incr("fleet.chaos.truncations");
             }
-            Some(ChaosAction::Corrupt) => {
-                let offset = chaos.corruption_offset(index);
-                self.store.corrupt_byte(&slot.id, generation, offset)?;
+            Some((ChaosAction::Corrupt, offset)) => {
+                self.store.corrupt_byte(id, intent.generation, offset)?;
                 report.corruptions_injected += 1;
                 self.incr("fleet.chaos.corruptions");
             }
-            Some(ChaosAction::Kill) | None => {}
+            Some((ChaosAction::Kill, _)) | None => {}
         }
-        for pruned in self.store.prune(&slot.id, self.config.retain_generations)? {
-            self.vault.remove(&slot.id, pruned);
+        for pruned in self
+            .store
+            .prune(id, self.config.retain_generations.max(1))?
+        {
+            self.vault.remove(id, pruned);
         }
         Ok(())
-    }
-
-    /// Restores `slot`'s campaign from the newest checkpoint generation
-    /// that survives full validation: CRC-sealed envelope, vault
-    /// cross-check, and the checkpoint's own dual seals.
-    fn restore(&self, slot: &Slot) -> Result<(Campaign, u64, u64), StoreError> {
-        let (envelope, skipped) = self.store.latest_good(&slot.id)?;
-        let snapshot =
-            self.vault
-                .get(&slot.id, envelope.generation)
-                .ok_or(StoreError::SnapshotMissing {
-                    campaign: slot.id.clone(),
-                    generation: envelope.generation,
-                })?;
-        if snapshot.state_checksum() != envelope.state_checksum {
-            return Err(StoreError::SnapshotMismatch {
-                campaign: slot.id.clone(),
-                generation: envelope.generation,
-                reason: format!(
-                    "vault checksum {:#018x} vs sealed {:#018x}",
-                    snapshot.state_checksum(),
-                    envelope.state_checksum
-                ),
-            });
-        }
-        if snapshot.manifest() != envelope.manifest {
-            return Err(StoreError::SnapshotMismatch {
-                campaign: slot.id.clone(),
-                generation: envelope.generation,
-                reason: "vault manifest disagrees with the sealed envelope".to_owned(),
-            });
-        }
-        let campaign =
-            Campaign::resume(snapshot.clone()).map_err(|e| StoreError::SnapshotMismatch {
-                campaign: slot.id.clone(),
-                generation: envelope.generation,
-                reason: e.to_string(),
-            })?;
-        Ok((campaign, envelope.generation, skipped as u64))
     }
 
     fn quarantine(&mut self, slot: &Slot, reason: QuarantineReason, report: &mut FleetReport) {
@@ -370,176 +727,25 @@ impl Supervisor {
         slot.result = Some(CampaignResult::Failed(error));
     }
 
-    /// One recovery attempt for a dead slot: breaker gate, restart
-    /// budget, backoff accounting, then restore-from-store.
-    fn recover_slot(&mut self, slot: &mut Slot, report: &mut FleetReport) {
-        // An open breaker blocks recovery until its cooldown elapses;
-        // when `tick` flips it half-open, fall through as the probe.
-        if !slot.breaker.allows() && !slot.breaker.tick() {
-            return; // still cooling down; try again next tick
-        }
-        if slot.restarts >= self.config.max_restarts {
-            let error = FleetError::RestartBudgetExhausted {
-                id: slot.id.clone(),
-                restarts: slot.restarts,
-                last: slot
-                    .last_error
-                    .clone()
-                    .unwrap_or(PentimentoError::VictimDeviceLost),
-            };
-            self.fail(
-                slot,
-                error,
-                QuarantineReason::RestartBudgetExhausted,
-                report,
-            );
-            return;
-        }
-        slot.restarts += 1;
-        report.restarts += 1;
-        self.incr("fleet.restarts");
-        let backoff = (self.config.backoff_base_s
-            * 2f64.powi(slot.restarts.saturating_sub(1).min(30) as i32))
-        .min(self.config.backoff_max_s);
-        report.backoff_seconds += backoff;
-        self.emit(EventKind::Backoff, slot.ticks as f64, backoff, &slot.id);
-
-        match self.restore(slot) {
-            Ok((campaign, generation, rollbacks)) => {
-                report.rollbacks += rollbacks;
-                if rollbacks > 0 {
-                    self.incr("fleet.rollbacks");
-                }
-                self.emit(
-                    EventKind::RecoveryScan,
-                    slot.ticks as f64,
-                    generation as f64,
-                    &slot.id,
-                );
-                self.incr("fleet.recovery_scans");
-                slot.generation = generation + 1;
-                if slot.breaker.on_success() {
-                    self.emit(
-                        EventKind::CircuitClose,
-                        slot.ticks as f64,
-                        f64::from(slot.device.0),
-                        &slot.id,
-                    );
-                    self.incr("fleet.circuit_close");
-                }
-                slot.campaign = Some(campaign);
-            }
-            Err(error @ StoreError::NoValidGeneration { .. }) => {
-                // Nothing left to roll back to: terminal, regardless of
-                // budgets.
-                let error = FleetError::Store {
-                    id: slot.id.clone(),
-                    source: error,
-                };
-                self.fail(slot, error, QuarantineReason::StoreUnrecoverable, report);
-            }
-            Err(source) => {
-                slot.last_error = Some(PentimentoError::CheckpointCorrupt(source.to_string()));
-                if slot.breaker.on_failure() {
-                    self.trip(slot, report);
-                }
-            }
-        }
-    }
-
-    /// The breaker just tripped open: emit, quarantine, and fail the
-    /// campaign with the typed circuit error.
-    fn trip(&mut self, slot: &mut Slot, report: &mut FleetReport) {
-        self.emit(
-            EventKind::CircuitOpen,
-            slot.ticks as f64,
-            f64::from(slot.device.0),
-            &slot.id,
-        );
-        self.incr("fleet.circuit_open");
-        let error = FleetError::CircuitOpen {
-            id: slot.id.clone(),
-            device: slot.device,
-            consecutive_failures: slot.breaker.consecutive_failures(),
-        };
-        self.fail(slot, error, QuarantineReason::BreakerTripped, report);
-    }
-
-    /// Steps a live slot one hour, checkpointing and consulting chaos.
-    fn step_slot(
-        &mut self,
-        slot: &mut Slot,
-        index: usize,
-        chaos: &mut ChaosState,
-        report: &mut FleetReport,
-    ) {
-        let campaign = slot
-            .campaign
-            .as_mut()
-            .expect("step_slot requires a live campaign");
-        if campaign.is_complete() {
-            // `run` on a complete campaign skips straight to finalize.
-            match campaign.run() {
-                Ok(outcome) => {
-                    slot.breaker.on_success();
-                    slot.result = Some(CampaignResult::Completed(Box::new(outcome)));
-                    slot.campaign = None;
-                }
-                Err(e)
-                    if e.is_transient()
-                        || matches!(e, PentimentoError::RetriesExhausted { .. }) =>
-                {
-                    slot.last_error = Some(e);
-                    slot.campaign = None; // recover and re-finalize
-                    if slot.breaker.on_failure() {
-                        self.trip(slot, report);
-                    }
-                }
-                Err(e) => {
-                    let error = FleetError::Campaign {
+    /// Converts drained slots into the report's result rows. A slot
+    /// without a result cannot happen (the tick loop only exits when
+    /// every slot resolved) — but a drain must never panic, so an
+    /// unresolved slot is quarantined with a typed invariant error.
+    fn drain_slots(&mut self, slots: Vec<Slot>, report: &mut FleetReport) {
+        report.results.reserve(slots.len());
+        for mut slot in slots {
+            let result = match slot.result.take() {
+                Some(result) => result,
+                None => {
+                    let error = FleetError::SchedulerInvariant {
                         id: slot.id.clone(),
-                        source: e,
+                        invariant: "slot left unresolved at fleet drain",
                     };
-                    self.fail(slot, error, QuarantineReason::FatalError, report);
+                    self.quarantine(&slot, QuarantineReason::SchedulerInvariant, report);
+                    CampaignResult::Failed(error)
                 }
-            }
-            return;
-        }
-        match campaign.step() {
-            Ok(_) => {
-                slot.breaker.on_success();
-                let hour = campaign.hour();
-                let cadence = self.config.checkpoint_every_hours.max(1);
-                if hour.is_multiple_of(cadence) || campaign.is_complete() {
-                    if let Err(source) = self.commit_generation(slot, index, chaos, report) {
-                        let error = FleetError::Store {
-                            id: slot.id.clone(),
-                            source,
-                        };
-                        self.fail(slot, error, QuarantineReason::StoreUnrecoverable, report);
-                        return;
-                    }
-                }
-                if chaos.kill_now(index, hour) {
-                    report.kills_injected += 1;
-                    self.incr("fleet.chaos.kills");
-                    slot.campaign = None; // the process image dies here
-                }
-            }
-            Err(e) if e.is_transient() || matches!(e, PentimentoError::RetriesExhausted { .. }) => {
-                slot.last_error = Some(e);
-                slot.campaign = None;
-                if slot.breaker.on_failure() {
-                    self.trip(slot, report);
-                }
-            }
-            Err(e) => {
-                let error = FleetError::Campaign {
-                    id: slot.id.clone(),
-                    source: e,
-                };
-                self.fail(slot, error, QuarantineReason::FatalError, report);
-            }
+            };
+            report.results.push((slot.id, result));
         }
     }
 
@@ -547,8 +753,8 @@ impl Supervisor {
     /// specs and plan produce the same report, quarantine ledger, and
     /// telemetry at every thread width.
     pub fn run(&mut self, specs: Vec<CampaignSpec>, chaos: ChaosPlan) -> FleetReport {
-        let mut chaos = ChaosState::new(chaos, specs.len());
         let mut report = FleetReport::default();
+        self.tick_latencies_s.clear();
 
         // Startup crash-recovery scan: every campaign directory already
         // in the store is a survivor of a previous incarnation.
@@ -562,7 +768,7 @@ impl Supervisor {
         self.incr("fleet.recovery_scans");
 
         let mut slots: Vec<Slot> = Vec::with_capacity(specs.len());
-        for spec in specs {
+        for (index, spec) in specs.into_iter().enumerate() {
             let device = spec.campaign.victim_device();
             let mut slot = Slot {
                 id: spec.id,
@@ -572,13 +778,14 @@ impl Supervisor {
                 ticks: 0,
                 breaker: CircuitBreaker::new(self.config.breaker),
                 device,
+                chaos: ChaosCursor::new(&chaos, index),
                 result: None,
                 last_error: None,
             };
             if survivors.contains(&slot.id) {
                 // Resume the survivor from its newest good generation;
                 // the fresh spec campaign is discarded.
-                match self.restore(&slot) {
+                match self.lane_ctx().restore(&slot) {
                     Ok((campaign, generation, rollbacks)) => {
                         report.rollbacks += rollbacks;
                         self.emit(EventKind::RecoveryScan, 0.0, generation as f64, &slot.id);
@@ -601,58 +808,220 @@ impl Supervisor {
                 }
             } else {
                 // Fresh campaign: seal generation 0 before the first
-                // step so a kill at any hour has a recovery point.
+                // tick so a kill at any hour has a recovery point. Setup
+                // is serial, so commits land immediately in spec order.
                 slot.campaign = Some(spec.campaign);
-                let index = slots.len();
-                if let Err(source) =
-                    self.commit_generation(&mut slot, index, &mut chaos, &mut report)
-                {
-                    let error = FleetError::Store {
-                        id: slot.id.clone(),
-                        source,
-                    };
-                    self.fail(
-                        &mut slot,
-                        error,
-                        QuarantineReason::StoreUnrecoverable,
-                        &mut report,
-                    );
+                let intent = slot.campaign.as_ref().map(|campaign| {
+                    Self::capture_intent(campaign, slot.generation, &mut slot.chaos)
+                });
+                if let Some(intent) = intent {
+                    slot.generation += 1;
+                    let landed = self
+                        .store
+                        .commit(&slot.id, intent.generation, &intent.checkpoint)
+                        .and_then(|_| {
+                            let id = slot.id.clone();
+                            self.commit_aftermath(&id, intent, &mut report)
+                        });
+                    if let Err(source) = landed {
+                        let error = FleetError::Store {
+                            id: slot.id.clone(),
+                            source,
+                        };
+                        self.fail(
+                            &mut slot,
+                            error,
+                            QuarantineReason::StoreUnrecoverable,
+                            &mut report,
+                        );
+                    }
                 }
             }
             slots.push(slot);
         }
 
-        // Serial round-robin until every slot has a result.
+        // The sharded tick loop: lanes advance every unresolved slot in
+        // parallel, then the barrier merges effects in slot-index order.
         while slots.iter().any(|slot| slot.result.is_none()) {
             report.ticks += 1;
-            for (index, slot) in slots.iter_mut().enumerate() {
-                if slot.result.is_some() {
-                    continue;
+            let live = slots.iter().filter(|slot| slot.result.is_none()).count();
+            self.emit(
+                EventKind::SchedulerTick,
+                report.ticks as f64,
+                live as f64,
+                "fleet",
+            );
+            self.incr("fleet.scheduler_ticks");
+            let tick_started = Instant::now();
+
+            // Lane phase: read-only context, per-slot mutable state.
+            let effects: Vec<Option<LaneEffect>> = {
+                let ctx = self.lane_ctx();
+                slots
+                    .par_iter_mut()
+                    .map(|slot| slot.result.is_none().then(|| ctx.tick_slot(slot)))
+                    .collect()
+            };
+
+            // Barrier phase 1: merge accounting and quarantines in
+            // slot-index order, and collect the tick's commit batch.
+            let mut intents: Vec<(usize, CommitIntent)> = Vec::new();
+            for (index, effect) in effects.into_iter().enumerate() {
+                let Some(mut effect) = effect else { continue };
+                report.kills_injected += effect.kills;
+                report.restarts += effect.restarts;
+                report.rollbacks += effect.rollbacks;
+                report.backoff_seconds += effect.backoff_seconds;
+                if let Some(record) = effect.quarantine.take() {
+                    report.quarantine.push(record);
                 }
-                slot.ticks += 1;
-                if slot.ticks > self.config.deadline_ticks {
-                    let error = FleetError::DeadlineExceeded {
-                        id: slot.id.clone(),
-                        ticks: slot.ticks as usize,
-                    };
-                    self.fail(slot, error, QuarantineReason::DeadlineExceeded, &mut report);
-                } else if slot.campaign.is_none() {
-                    self.recover_slot(slot, &mut report);
-                } else {
-                    self.step_slot(slot, index, &mut chaos, &mut report);
+                if let Some(intent) = effect.commit.take() {
+                    intents.push((index, intent));
                 }
             }
+
+            // Barrier phase 2: land the whole batch — one two-phase
+            // write+fsync/rename pass — then apply sabotage and pruning
+            // per campaign, still in slot-index order.
+            if !intents.is_empty() {
+                self.emit(
+                    EventKind::CommitBatch,
+                    report.ticks as f64,
+                    intents.len() as f64,
+                    "fleet",
+                );
+                self.incr("fleet.commit_batches");
+                let outcomes = {
+                    let items: Vec<(&str, u64, &CampaignCheckpoint)> = intents
+                        .iter()
+                        .map(|(index, intent)| {
+                            (
+                                slots[*index].id.as_str(),
+                                intent.generation,
+                                &intent.checkpoint,
+                            )
+                        })
+                        .collect();
+                    self.store.commit_batch(&items)
+                };
+                for ((index, intent), outcome) in intents.into_iter().zip(outcomes) {
+                    let id = slots[index].id.clone();
+                    let landed =
+                        outcome.and_then(|_| self.commit_aftermath(&id, intent, &mut report));
+                    if let Err(source) = landed {
+                        let error = FleetError::Store { id, source };
+                        self.fail(
+                            &mut slots[index],
+                            error,
+                            QuarantineReason::StoreUnrecoverable,
+                            &mut report,
+                        );
+                    }
+                }
+            }
+            self.tick_latencies_s
+                .push(tick_started.elapsed().as_secs_f64());
         }
 
-        report.results = slots
-            .into_iter()
-            .map(|slot| {
-                let result = slot
-                    .result
-                    .expect("loop exits only when every slot resolved");
-                (slot.id, result)
-            })
-            .collect();
+        self.drain_slots(slots, &mut report);
         report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::fs;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use super::*;
+
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new() -> Self {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "fleet-sched-test-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = fs::remove_dir_all(&dir);
+            Self(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// A slot whose invariants are already violated: scheduled as live
+    /// but holding no campaign image.
+    fn poisoned_slot(id: &str) -> Slot {
+        Slot {
+            id: id.to_owned(),
+            campaign: None,
+            generation: 0,
+            restarts: 0,
+            ticks: 0,
+            breaker: CircuitBreaker::new(BreakerConfig::default()),
+            device: cloud::DeviceId(0),
+            chaos: ChaosCursor::new(&ChaosPlan::none(), 0),
+            result: None,
+            last_error: None,
+        }
+    }
+
+    #[test]
+    fn step_on_a_poisoned_slot_quarantines_typed_instead_of_panicking() {
+        let scratch = Scratch::new();
+        let store = CheckpointStore::open(&scratch.0).unwrap();
+        let vault = SnapshotVault::new();
+        let config = FleetConfig::default();
+        let ctx = LaneCtx {
+            config: &config,
+            store: &store,
+            vault: &vault,
+            recorder: None,
+        };
+        let mut slot = poisoned_slot("c0");
+        let mut effect = LaneEffect::default();
+
+        // The pre-PR-7 scheduler panicked here ("step_slot requires a
+        // live campaign"); the sharded one must isolate the slot.
+        ctx.step_slot(&mut slot, &mut effect);
+
+        assert!(matches!(
+            slot.result,
+            Some(CampaignResult::Failed(
+                FleetError::SchedulerInvariant { .. }
+            ))
+        ));
+        let record = effect.quarantine.expect("quarantined");
+        assert_eq!(record.reason, QuarantineReason::SchedulerInvariant);
+        assert_eq!(record.campaign, "c0");
+    }
+
+    #[test]
+    fn draining_an_unresolved_slot_quarantines_typed_instead_of_panicking() {
+        let scratch = Scratch::new();
+        let mut supervisor = Supervisor::new(&scratch.0, FleetConfig::default()).unwrap();
+        let mut report = FleetReport::default();
+
+        // The pre-PR-7 drain panicked ("loop exits only when every slot
+        // resolved"); the sharded one must resolve it typed.
+        supervisor.drain_slots(vec![poisoned_slot("c9")], &mut report);
+
+        assert_eq!(report.failed(), 1);
+        let error = report.results[0].1.error().expect("typed failure");
+        assert!(matches!(error, FleetError::SchedulerInvariant { .. }));
+        assert_eq!(error.tag(), "scheduler_invariant");
+        assert!(report.failures_all_quarantined());
+        assert_eq!(
+            report.quarantine.records()[0].reason,
+            QuarantineReason::SchedulerInvariant
+        );
     }
 }

@@ -8,7 +8,8 @@
 //!   `gate_passed`, ...) gate *unconditionally* — they encode
 //!   determinism and numerical-equivalence claims that hold on any
 //!   hardware, so a `true → false` flip is always a regression.
-//! * **Timing fields** (`speedup`, `routes_per_sec`) gate only when both
+//! * **Timing fields** (`speedup`, `routes_per_sec`, `campaigns_per_sec`)
+//!   gate only when both
 //!   snapshots were taken on real parallel hardware (≥ 4 hardware
 //!   threads) with matching smoke flags; elsewhere they are reported as
 //!   informational, exactly like the generation-time gates print
@@ -229,7 +230,7 @@ enum FieldClass {
 fn classify(field: &str) -> FieldClass {
     match field {
         "identical" | "bit_identical" | "gate_passed" | "equivalent" => FieldClass::Identity,
-        "speedup" | "routes_per_sec" => FieldClass::Timing,
+        "speedup" | "routes_per_sec" | "campaigns_per_sec" => FieldClass::Timing,
         "max_rel_error" => FieldClass::ErrorBand,
         _ => FieldClass::Info,
     }

@@ -47,10 +47,13 @@ use std::time::Instant;
 ///   `quarantine`, `recovery_scan`) may now appear in `event_kinds`;
 ///   version-2 parsers would reject them as unknown, so their arrival is
 ///   a schema bump even though the object shape is unchanged.
+/// * **4** — the sharded-scheduler kinds (`scheduler_tick`,
+///   `commit_batch`) may now appear in `event_kinds`; same reasoning as
+///   the version-3 bump.
 ///
 /// The analysis layer (`obs-analyze`) accepts version N and N−1, so a
 /// schema bump here must keep one generation of old artifacts readable.
-pub const METRICS_SCHEMA_VERSION: u32 = 3;
+pub const METRICS_SCHEMA_VERSION: u32 = 4;
 
 /// Schema version of the JSONL trace line shape (the five-key
 /// `at`/`kind`/`route`/`value`/`detail` object emitted by
@@ -104,11 +107,16 @@ pub enum EventKind {
     Quarantine,
     /// The fleet supervisor scanned its checkpoint store on startup.
     RecoveryScan,
+    /// The sharded fleet scheduler started a tick (value = live slots).
+    SchedulerTick,
+    /// The scheduler barrier landed a batched checkpoint commit
+    /// (value = checkpoints in the batch).
+    CommitBatch,
 }
 
 impl EventKind {
     /// All kinds, in rank order.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::PhaseTransition,
         EventKind::SessionAcquired,
         EventKind::SessionReleased,
@@ -125,6 +133,8 @@ impl EventKind {
         EventKind::CircuitClose,
         EventKind::Quarantine,
         EventKind::RecoveryScan,
+        EventKind::SchedulerTick,
+        EventKind::CommitBatch,
     ];
 
     /// Stable wire name used in JSONL traces and the summary table.
@@ -147,11 +157,13 @@ impl EventKind {
             EventKind::CircuitClose => "circuit_close",
             EventKind::Quarantine => "quarantine",
             EventKind::RecoveryScan => "recovery_scan",
+            EventKind::SchedulerTick => "scheduler_tick",
+            EventKind::CommitBatch => "commit_batch",
         }
     }
 }
 
-/// Error returned when a string is not one of the 16 wire names in
+/// Error returned when a string is not one of the 18 wire names in
 /// [`EventKind::as_str`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseEventKindError {

@@ -78,10 +78,23 @@ cargo run --release -q -p bench --bin chaos_suite -- --smoke \
 cargo run --release -q -p bench --bin obs_report -- \
     validate /tmp/ci_chaos_trace.jsonl /tmp/ci_chaos_metrics.json
 
+echo "== fleet_scaling smoke (sharded scheduler, 2 worker lanes) =="
+# Drives the full 64-campaign fleet through the sharded lane/barrier
+# scheduler at pool widths 1 and 2, racing a broker flash-attack for the
+# device pool first. Exits non-zero if any width's outcomes, trace, or
+# quarantine ledger diverge from the serial reference, or if the broker
+# resolution is interleaving-dependent. The drained telemetry must
+# validate through the strict obs-analyze parser (scheduler_tick /
+# commit_batch events ride the tick axis, content-sorted).
+cargo run --release -q -p bench --bin fleet_scaling -- --smoke --threads 2 \
+    --trace /tmp/ci_fleet_trace.jsonl --metrics /tmp/ci_fleet_metrics.json
+cargo run --release -q -p bench --bin obs_report -- \
+    validate /tmp/ci_fleet_trace.jsonl /tmp/ci_fleet_metrics.json
+
 echo "== regression sentinel (BENCH lineage vs checked-in baseline) =="
-# The parallel_scaling and kernel_bench smoke steps above regenerated
-# results/BENCH_*.json on this host, so the sentinel compares fresh
-# artifacts against the checked-in baseline bundle. First run (no
+# The parallel_scaling, kernel_bench, chaos_suite, and fleet_scaling
+# smoke steps above regenerated results/BENCH_*.json on this host, so
+# the sentinel compares fresh artifacts against the checked-in bundle. First run (no
 # baseline yet) writes the bundle and exits 0; afterwards any lost
 # identity/equivalence claim fails the build, while timing gates stay
 # informational on hosts with < 4 hardware threads.

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-acf04bc0d96241fa.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-acf04bc0d96241fa: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

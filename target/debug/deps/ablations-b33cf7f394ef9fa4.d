@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-b33cf7f394ef9fa4.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-b33cf7f394ef9fa4: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

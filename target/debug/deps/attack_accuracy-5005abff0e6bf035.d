@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_accuracy-5005abff0e6bf035.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/debug/deps/attack_accuracy-5005abff0e6bf035: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack_accuracy-721a85b231b151d9.d: crates/bench/src/bin/attack_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack_accuracy-721a85b231b151d9.rmeta: crates/bench/src/bin/attack_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/attack_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_accuracy-a050a2223301382f.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/debug/deps/attack_accuracy-a050a2223301382f: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

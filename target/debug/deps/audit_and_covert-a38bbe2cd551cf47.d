@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_and_covert-a38bbe2cd551cf47.d: tests/audit_and_covert.rs
+
+/root/repo/target/debug/deps/audit_and_covert-a38bbe2cd551cf47: tests/audit_and_covert.rs
+
+tests/audit_and_covert.rs:

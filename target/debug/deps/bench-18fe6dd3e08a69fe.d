@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-18fe6dd3e08a69fe.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-18fe6dd3e08a69fe: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-3db48cf35f52594a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-3db48cf35f52594a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-3db48cf35f52594a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

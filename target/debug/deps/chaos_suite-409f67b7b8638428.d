@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_suite-409f67b7b8638428.d: crates/bench/src/bin/chaos_suite.rs
+
+/root/repo/target/debug/deps/chaos_suite-409f67b7b8638428: crates/bench/src/bin/chaos_suite.rs
+
+crates/bench/src/bin/chaos_suite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_suite-8663d5fc7eca4943.d: crates/bench/src/bin/chaos_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_suite-8663d5fc7eca4943.rmeta: crates/bench/src/bin/chaos_suite.rs Cargo.toml
+
+crates/bench/src/bin/chaos_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

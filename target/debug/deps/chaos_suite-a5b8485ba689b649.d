@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_suite-a5b8485ba689b649.d: crates/bench/src/bin/chaos_suite.rs
+
+/root/repo/target/debug/deps/chaos_suite-a5b8485ba689b649: crates/bench/src/bin/chaos_suite.rs
+
+crates/bench/src/bin/chaos_suite.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/cloud-138bb1946a2f28a3.d: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs Cargo.toml
+/root/repo/target/debug/deps/cloud-138bb1946a2f28a3.d: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/broker.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcloud-138bb1946a2f28a3.rmeta: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs Cargo.toml
+/root/repo/target/debug/deps/libcloud-138bb1946a2f28a3.rmeta: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/broker.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs Cargo.toml
 
 crates/cloud/src/lib.rs:
 crates/cloud/src/afi.rs:
+crates/cloud/src/broker.rs:
 crates/cloud/src/error.rs:
 crates/cloud/src/faults.rs:
 crates/cloud/src/fingerprint.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/cloud-e6a61a1baccd6963.d: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
+/root/repo/target/debug/deps/cloud-e6a61a1baccd6963.d: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/broker.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
 
-/root/repo/target/debug/deps/libcloud-e6a61a1baccd6963.rlib: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
+/root/repo/target/debug/deps/libcloud-e6a61a1baccd6963.rlib: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/broker.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
 
-/root/repo/target/debug/deps/libcloud-e6a61a1baccd6963.rmeta: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
+/root/repo/target/debug/deps/libcloud-e6a61a1baccd6963.rmeta: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/broker.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
 
 crates/cloud/src/lib.rs:
 crates/cloud/src/afi.rs:
+crates/cloud/src/broker.rs:
 crates/cloud/src/error.rs:
 crates/cloud/src/faults.rs:
 crates/cloud/src/fingerprint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/covert_channel-11339ebfc9878d43.d: crates/bench/src/bin/covert_channel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcovert_channel-11339ebfc9878d43.rmeta: crates/bench/src/bin/covert_channel.rs Cargo.toml
+
+crates/bench/src/bin/covert_channel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

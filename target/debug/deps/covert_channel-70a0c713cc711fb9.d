@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/covert_channel-70a0c713cc711fb9.d: crates/bench/src/bin/covert_channel.rs
+
+/root/repo/target/debug/deps/covert_channel-70a0c713cc711fb9: crates/bench/src/bin/covert_channel.rs
+
+crates/bench/src/bin/covert_channel.rs:

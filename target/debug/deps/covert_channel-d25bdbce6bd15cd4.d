@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/covert_channel-d25bdbce6bd15cd4.d: crates/bench/src/bin/covert_channel.rs
+
+/root/repo/target/debug/deps/covert_channel-d25bdbce6bd15cd4: crates/bench/src/bin/covert_channel.rs
+
+crates/bench/src/bin/covert_channel.rs:

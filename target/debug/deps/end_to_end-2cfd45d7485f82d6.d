@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2cfd45d7485f82d6.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2cfd45d7485f82d6: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-40d4c62bd39014d4.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-40d4c62bd39014d4: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

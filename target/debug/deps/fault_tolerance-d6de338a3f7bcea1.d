@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-d6de338a3f7bcea1.d: crates/bench/src/bin/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-d6de338a3f7bcea1: crates/bench/src/bin/fault_tolerance.rs
+
+crates/bench/src/bin/fault_tolerance.rs:

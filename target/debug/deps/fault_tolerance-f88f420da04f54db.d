@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance-f88f420da04f54db.d: crates/bench/src/bin/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-f88f420da04f54db.rmeta: crates/bench/src/bin/fault_tolerance.rs Cargo.toml
+
+crates/bench/src/bin/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

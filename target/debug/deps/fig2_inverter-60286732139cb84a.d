@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_inverter-60286732139cb84a.d: crates/bench/src/bin/fig2_inverter.rs
+
+/root/repo/target/debug/deps/fig2_inverter-60286732139cb84a: crates/bench/src/bin/fig2_inverter.rs
+
+crates/bench/src/bin/fig2_inverter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_inverter-6d855af927146f77.d: crates/bench/src/bin/fig2_inverter.rs
+
+/root/repo/target/debug/deps/fig2_inverter-6d855af927146f77: crates/bench/src/bin/fig2_inverter.rs
+
+crates/bench/src/bin/fig2_inverter.rs:

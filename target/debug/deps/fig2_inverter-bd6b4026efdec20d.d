@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_inverter-bd6b4026efdec20d.d: crates/bench/src/bin/fig2_inverter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_inverter-bd6b4026efdec20d.rmeta: crates/bench/src/bin/fig2_inverter.rs Cargo.toml
+
+crates/bench/src/bin/fig2_inverter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

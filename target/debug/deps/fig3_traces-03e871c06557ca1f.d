@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_traces-03e871c06557ca1f.d: crates/bench/src/bin/fig3_traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_traces-03e871c06557ca1f.rmeta: crates/bench/src/bin/fig3_traces.rs Cargo.toml
+
+crates/bench/src/bin/fig3_traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_traces-31cef4a3b50431d2.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/debug/deps/fig3_traces-31cef4a3b50431d2: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_traces-725c95ab52ec2e50.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/debug/deps/fig3_traces-725c95ab52ec2e50: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-3f661e97b7365750.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-3f661e97b7365750: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

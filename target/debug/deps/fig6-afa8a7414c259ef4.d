@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-afa8a7414c259ef4.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-afa8a7414c259ef4: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-0004e7b89d7a5601.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-0004e7b89d7a5601: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-3135a24859600c4f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-3135a24859600c4f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-4d07c42b56dd58cb.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-4d07c42b56dd58cb: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-5680895281776655.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-5680895281776655: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

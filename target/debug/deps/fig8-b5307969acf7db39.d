@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8-b5307969acf7db39.d: crates/bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-b5307969acf7db39.rmeta: crates/bench/src/bin/fig8.rs Cargo.toml
+
+crates/bench/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fleet-08bc1b64c164305d.d: crates/fleet/src/lib.rs crates/fleet/src/breaker.rs crates/fleet/src/chaos.rs crates/fleet/src/error.rs crates/fleet/src/store.rs crates/fleet/src/supervisor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet-08bc1b64c164305d.rmeta: crates/fleet/src/lib.rs crates/fleet/src/breaker.rs crates/fleet/src/chaos.rs crates/fleet/src/error.rs crates/fleet/src/store.rs crates/fleet/src/supervisor.rs Cargo.toml
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/breaker.rs:
+crates/fleet/src/chaos.rs:
+crates/fleet/src/error.rs:
+crates/fleet/src/store.rs:
+crates/fleet/src/supervisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

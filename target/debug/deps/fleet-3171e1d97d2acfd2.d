@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fleet-3171e1d97d2acfd2.d: crates/fleet/src/lib.rs crates/fleet/src/breaker.rs crates/fleet/src/chaos.rs crates/fleet/src/error.rs crates/fleet/src/store.rs crates/fleet/src/supervisor.rs
+
+/root/repo/target/debug/deps/libfleet-3171e1d97d2acfd2.rlib: crates/fleet/src/lib.rs crates/fleet/src/breaker.rs crates/fleet/src/chaos.rs crates/fleet/src/error.rs crates/fleet/src/store.rs crates/fleet/src/supervisor.rs
+
+/root/repo/target/debug/deps/libfleet-3171e1d97d2acfd2.rmeta: crates/fleet/src/lib.rs crates/fleet/src/breaker.rs crates/fleet/src/chaos.rs crates/fleet/src/error.rs crates/fleet/src/store.rs crates/fleet/src/supervisor.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/breaker.rs:
+crates/fleet/src/chaos.rs:
+crates/fleet/src/error.rs:
+crates/fleet/src/store.rs:
+crates/fleet/src/supervisor.rs:

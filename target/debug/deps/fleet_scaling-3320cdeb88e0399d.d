@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_scaling-3320cdeb88e0399d.d: crates/bench/src/bin/fleet_scaling.rs
+
+/root/repo/target/debug/deps/fleet_scaling-3320cdeb88e0399d: crates/bench/src/bin/fleet_scaling.rs
+
+crates/bench/src/bin/fleet_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_scaling-3816b57229ec9747.d: crates/bench/src/bin/fleet_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_scaling-3816b57229ec9747.rmeta: crates/bench/src/bin/fleet_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fleet_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

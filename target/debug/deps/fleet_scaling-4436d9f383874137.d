@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_scaling-4436d9f383874137.d: crates/bench/src/bin/fleet_scaling.rs
+
+/root/repo/target/debug/deps/fleet_scaling-4436d9f383874137: crates/bench/src/bin/fleet_scaling.rs
+
+crates/bench/src/bin/fleet_scaling.rs:

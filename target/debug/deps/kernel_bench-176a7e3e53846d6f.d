@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_bench-176a7e3e53846d6f.d: crates/bench/src/bin/kernel_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_bench-176a7e3e53846d6f.rmeta: crates/bench/src/bin/kernel_bench.rs Cargo.toml
+
+crates/bench/src/bin/kernel_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

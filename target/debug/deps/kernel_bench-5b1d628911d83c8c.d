@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_bench-5b1d628911d83c8c.d: crates/bench/src/bin/kernel_bench.rs
+
+/root/repo/target/debug/deps/kernel_bench-5b1d628911d83c8c: crates/bench/src/bin/kernel_bench.rs
+
+crates/bench/src/bin/kernel_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_bench-df89c0a4cab6d40e.d: crates/bench/src/bin/kernel_bench.rs
+
+/root/repo/target/debug/deps/kernel_bench-df89c0a4cab6d40e: crates/bench/src/bin/kernel_bench.rs
+
+crates/bench/src/bin/kernel_bench.rs:

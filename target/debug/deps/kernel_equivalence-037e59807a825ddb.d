@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_equivalence-037e59807a825ddb.d: tests/kernel_equivalence.rs
+
+/root/repo/target/debug/deps/kernel_equivalence-037e59807a825ddb: tests/kernel_equivalence.rs
+
+tests/kernel_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lut_comparison-0959db59ce47386f.d: crates/bench/src/bin/lut_comparison.rs
+
+/root/repo/target/debug/deps/lut_comparison-0959db59ce47386f: crates/bench/src/bin/lut_comparison.rs
+
+crates/bench/src/bin/lut_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lut_comparison-7d5b00c584813e48.d: crates/bench/src/bin/lut_comparison.rs
+
+/root/repo/target/debug/deps/lut_comparison-7d5b00c584813e48: crates/bench/src/bin/lut_comparison.rs
+
+crates/bench/src/bin/lut_comparison.rs:

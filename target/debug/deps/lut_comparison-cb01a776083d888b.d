@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lut_comparison-cb01a776083d888b.d: crates/bench/src/bin/lut_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblut_comparison-cb01a776083d888b.rmeta: crates/bench/src/bin/lut_comparison.rs Cargo.toml
+
+crates/bench/src/bin/lut_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mitigations-7227c1d741cc1495.d: crates/bench/src/bin/mitigations.rs
+
+/root/repo/target/debug/deps/mitigations-7227c1d741cc1495: crates/bench/src/bin/mitigations.rs
+
+crates/bench/src/bin/mitigations.rs:

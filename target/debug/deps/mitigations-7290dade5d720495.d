@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mitigations-7290dade5d720495.d: crates/bench/src/bin/mitigations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmitigations-7290dade5d720495.rmeta: crates/bench/src/bin/mitigations.rs Cargo.toml
+
+crates/bench/src/bin/mitigations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mitigations-897f4e9494305424.d: crates/bench/src/bin/mitigations.rs
+
+/root/repo/target/debug/deps/mitigations-897f4e9494305424: crates/bench/src/bin/mitigations.rs
+
+crates/bench/src/bin/mitigations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_report-07169b0043cefbf2.d: crates/bench/src/bin/obs_report.rs
+
+/root/repo/target/debug/deps/obs_report-07169b0043cefbf2: crates/bench/src/bin/obs_report.rs
+
+crates/bench/src/bin/obs_report.rs:

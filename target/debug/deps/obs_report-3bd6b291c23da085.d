@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_report-3bd6b291c23da085.d: crates/bench/src/bin/obs_report.rs
+
+/root/repo/target/debug/deps/obs_report-3bd6b291c23da085: crates/bench/src/bin/obs_report.rs
+
+crates/bench/src/bin/obs_report.rs:

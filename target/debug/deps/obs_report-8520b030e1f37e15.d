@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_report-8520b030e1f37e15.d: crates/bench/src/bin/obs_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_report-8520b030e1f37e15.rmeta: crates/bench/src/bin/obs_report.rs Cargo.toml
+
+crates/bench/src/bin/obs_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/obs_report_golden-1d562b215900aa9f.d: tests/obs_report_golden.rs
+
+/root/repo/target/debug/deps/obs_report_golden-1d562b215900aa9f: tests/obs_report_golden.rs
+
+tests/obs_report_golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-93563fe68866848b.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-93563fe68866848b: tests/observability.rs
+
+tests/observability.rs:

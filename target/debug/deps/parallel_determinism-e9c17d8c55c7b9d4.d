@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-e9c17d8c55c7b9d4.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-e9c17d8c55c7b9d4: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_scaling-07b0895cd3f152a9.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/debug/deps/parallel_scaling-07b0895cd3f152a9: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

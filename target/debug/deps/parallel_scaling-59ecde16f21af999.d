@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_scaling-59ecde16f21af999.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/debug/deps/parallel_scaling-59ecde16f21af999: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_scaling-86610948db6cb8d4.d: crates/bench/src/bin/parallel_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_scaling-86610948db6cb8d4.rmeta: crates/bench/src/bin/parallel_scaling.rs Cargo.toml
+
+crates/bench/src/bin/parallel_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pentimento_repro-b905a0e8f5b52f52.d: src/lib.rs
+
+/root/repo/target/debug/deps/pentimento_repro-b905a0e8f5b52f52: src/lib.rs
+
+src/lib.rs:

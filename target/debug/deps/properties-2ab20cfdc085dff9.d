@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2ab20cfdc085dff9.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2ab20cfdc085dff9: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repeatability-0e20afc35348a6e4.d: crates/bench/src/bin/repeatability.rs
+
+/root/repo/target/debug/deps/repeatability-0e20afc35348a6e4: crates/bench/src/bin/repeatability.rs
+
+crates/bench/src/bin/repeatability.rs:

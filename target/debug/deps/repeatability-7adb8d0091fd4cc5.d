@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repeatability-7adb8d0091fd4cc5.d: crates/bench/src/bin/repeatability.rs
+
+/root/repo/target/debug/deps/repeatability-7adb8d0091fd4cc5: crates/bench/src/bin/repeatability.rs
+
+crates/bench/src/bin/repeatability.rs:

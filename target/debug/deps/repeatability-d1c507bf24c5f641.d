@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repeatability-d1c507bf24c5f641.d: crates/bench/src/bin/repeatability.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepeatability-d1c507bf24c5f641.rmeta: crates/bench/src/bin/repeatability.rs Cargo.toml
+
+crates/bench/src/bin/repeatability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience_properties-a2d8948e7aaa4401.d: tests/resilience_properties.rs
+
+/root/repo/target/debug/deps/resilience_properties-a2d8948e7aaa4401: tests/resilience_properties.rs
+
+tests/resilience_properties.rs:

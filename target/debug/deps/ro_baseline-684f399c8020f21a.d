@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ro_baseline-684f399c8020f21a.d: crates/bench/src/bin/ro_baseline.rs
+
+/root/repo/target/debug/deps/ro_baseline-684f399c8020f21a: crates/bench/src/bin/ro_baseline.rs
+
+crates/bench/src/bin/ro_baseline.rs:

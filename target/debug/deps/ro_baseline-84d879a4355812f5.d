@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ro_baseline-84d879a4355812f5.d: crates/bench/src/bin/ro_baseline.rs
+
+/root/repo/target/debug/deps/ro_baseline-84d879a4355812f5: crates/bench/src/bin/ro_baseline.rs
+
+crates/bench/src/bin/ro_baseline.rs:

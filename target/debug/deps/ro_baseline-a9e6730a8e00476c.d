@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ro_baseline-a9e6730a8e00476c.d: crates/bench/src/bin/ro_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libro_baseline-a9e6730a8e00476c.rmeta: crates/bench/src/bin/ro_baseline.rs Cargo.toml
+
+crates/bench/src/bin/ro_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensor_fidelity-dacf6bf728601229.d: tests/sensor_fidelity.rs
+
+/root/repo/target/debug/deps/sensor_fidelity-dacf6bf728601229: tests/sensor_fidelity.rs
+
+tests/sensor_fidelity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-47707d46bc40990a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-47707d46bc40990a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-8c8f9efbb9fbe9c8.d: crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-8c8f9efbb9fbe9c8.rmeta: crates/bench/src/bin/table1.rs Cargo.toml
+
+crates/bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::needless_collect__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-af1b965046e886dc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-af1b965046e886dc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/marketplace_key_extraction-2faaf1ede7bde9f2.d: examples/marketplace_key_extraction.rs
+
+/root/repo/target/debug/examples/marketplace_key_extraction-2faaf1ede7bde9f2: examples/marketplace_key_extraction.rs
+
+examples/marketplace_key_extraction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mitigation_eval-4802b20423b64161.d: examples/mitigation_eval.rs
+
+/root/repo/target/debug/examples/mitigation_eval-4802b20423b64161: examples/mitigation_eval.rs
+
+examples/mitigation_eval.rs:

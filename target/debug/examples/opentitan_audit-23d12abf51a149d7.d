@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/opentitan_audit-23d12abf51a149d7.d: examples/opentitan_audit.rs
+
+/root/repo/target/debug/examples/opentitan_audit-23d12abf51a149d7: examples/opentitan_audit.rs
+
+examples/opentitan_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3bfbb2c8afe12428.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3bfbb2c8afe12428: examples/quickstart.rs
+
+examples/quickstart.rs:

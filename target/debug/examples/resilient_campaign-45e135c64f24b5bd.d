@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilient_campaign-45e135c64f24b5bd.d: examples/resilient_campaign.rs
+
+/root/repo/target/debug/examples/resilient_campaign-45e135c64f24b5bd: examples/resilient_campaign.rs
+
+examples/resilient_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tenant_data_recovery-dec21b4da8542909.d: examples/tenant_data_recovery.rs
+
+/root/repo/target/debug/examples/tenant_data_recovery-dec21b4da8542909: examples/tenant_data_recovery.rs
+
+examples/tenant_data_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attack_accuracy-8dcd5ce972cdaa0d.d: crates/bench/src/bin/attack_accuracy.rs
+
+/root/repo/target/release/deps/attack_accuracy-8dcd5ce972cdaa0d: crates/bench/src/bin/attack_accuracy.rs
+
+crates/bench/src/bin/attack_accuracy.rs:

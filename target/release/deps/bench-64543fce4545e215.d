@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-64543fce4545e215.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-64543fce4545e215.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-64543fce4545e215.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

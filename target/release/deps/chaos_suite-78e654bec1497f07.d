@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_suite-78e654bec1497f07.d: crates/bench/src/bin/chaos_suite.rs
+
+/root/repo/target/release/deps/chaos_suite-78e654bec1497f07: crates/bench/src/bin/chaos_suite.rs
+
+crates/bench/src/bin/chaos_suite.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/cloud-84cc49d2ba4ec95e.d: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
+/root/repo/target/release/deps/cloud-84cc49d2ba4ec95e.d: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/broker.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
 
-/root/repo/target/release/deps/libcloud-84cc49d2ba4ec95e.rlib: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
+/root/repo/target/release/deps/libcloud-84cc49d2ba4ec95e.rlib: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/broker.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
 
-/root/repo/target/release/deps/libcloud-84cc49d2ba4ec95e.rmeta: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
+/root/repo/target/release/deps/libcloud-84cc49d2ba4ec95e.rmeta: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/broker.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
 
 crates/cloud/src/lib.rs:
 crates/cloud/src/afi.rs:
+crates/cloud/src/broker.rs:
 crates/cloud/src/error.rs:
 crates/cloud/src/faults.rs:
 crates/cloud/src/fingerprint.rs:

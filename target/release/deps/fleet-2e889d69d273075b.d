@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fleet-2e889d69d273075b.d: crates/fleet/src/lib.rs crates/fleet/src/breaker.rs crates/fleet/src/chaos.rs crates/fleet/src/error.rs crates/fleet/src/store.rs crates/fleet/src/supervisor.rs
+
+/root/repo/target/release/deps/libfleet-2e889d69d273075b.rlib: crates/fleet/src/lib.rs crates/fleet/src/breaker.rs crates/fleet/src/chaos.rs crates/fleet/src/error.rs crates/fleet/src/store.rs crates/fleet/src/supervisor.rs
+
+/root/repo/target/release/deps/libfleet-2e889d69d273075b.rmeta: crates/fleet/src/lib.rs crates/fleet/src/breaker.rs crates/fleet/src/chaos.rs crates/fleet/src/error.rs crates/fleet/src/store.rs crates/fleet/src/supervisor.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/breaker.rs:
+crates/fleet/src/chaos.rs:
+crates/fleet/src/error.rs:
+crates/fleet/src/store.rs:
+crates/fleet/src/supervisor.rs:

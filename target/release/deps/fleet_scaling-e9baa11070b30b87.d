@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_scaling-e9baa11070b30b87.d: crates/bench/src/bin/fleet_scaling.rs
+
+/root/repo/target/release/deps/fleet_scaling-e9baa11070b30b87: crates/bench/src/bin/fleet_scaling.rs
+
+crates/bench/src/bin/fleet_scaling.rs:

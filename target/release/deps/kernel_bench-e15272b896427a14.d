@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel_bench-e15272b896427a14.d: crates/bench/src/bin/kernel_bench.rs
+
+/root/repo/target/release/deps/kernel_bench-e15272b896427a14: crates/bench/src/bin/kernel_bench.rs
+
+crates/bench/src/bin/kernel_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_report-39e5122e7ea4e39e.d: crates/bench/src/bin/obs_report.rs
+
+/root/repo/target/release/deps/obs_report-39e5122e7ea4e39e: crates/bench/src/bin/obs_report.rs
+
+crates/bench/src/bin/obs_report.rs:

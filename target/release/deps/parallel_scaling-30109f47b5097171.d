@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_scaling-30109f47b5097171.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/release/deps/parallel_scaling-30109f47b5097171: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

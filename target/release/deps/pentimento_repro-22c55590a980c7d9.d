@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pentimento_repro-22c55590a980c7d9.d: src/lib.rs
+
+/root/repo/target/release/deps/pentimento_repro-22c55590a980c7d9: src/lib.rs
+
+src/lib.rs:

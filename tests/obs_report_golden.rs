@@ -67,8 +67,9 @@ fn sentinel_accepts_checked_in_baseline_against_itself() {
     assert!(
         docs.contains_key("BENCH_parallel.json")
             && docs.contains_key("BENCH_kernels.json")
-            && docs.contains_key("BENCH_chaos.json"),
-        "baseline must track all three BENCH artifacts"
+            && docs.contains_key("BENCH_chaos.json")
+            && docs.contains_key("BENCH_fleet.json"),
+        "baseline must track all four BENCH artifacts"
     );
     let snaps = docs
         .iter()

@@ -324,6 +324,159 @@ fn supervised_fleet_trace_is_identical_at_every_pool_width() {
 }
 
 #[test]
+fn sharded_fleet_with_broker_contention_is_identical_at_every_pool_width() {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use cloud::{Assignment, DevicePool, RentRequest, SessionBroker, TenantId};
+    use fleet::{CampaignSpec, ChaosPlan, FleetConfig, Supervisor};
+
+    struct Scratch(PathBuf);
+    impl Scratch {
+        fn new() -> Self {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "sharded-fleet-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            Self(dir)
+        }
+    }
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    // Contention phase: two tenants flash-attack a 4-device pool from
+    // `width` racing threads. The broker's tie-break (priority, then
+    // sequence, then tenant) makes the winner set a pure function of the
+    // requests, so every width must resolve identically.
+    let contend = |width: usize| -> Vec<Assignment> {
+        let broker = SessionBroker::new();
+        let requests: Vec<RentRequest> = (0..4u64)
+            .flat_map(|sequence| {
+                ["attacker", "rival"].map(|tenant| RentRequest {
+                    tenant: TenantId::new(tenant),
+                    priority: 5,
+                    sequence,
+                })
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for lane in 0..width {
+                let broker = &broker;
+                let requests = &requests;
+                scope.spawn(move || {
+                    for request in requests.iter().skip(lane).step_by(width) {
+                        broker.submit(request.clone());
+                    }
+                });
+            }
+        });
+        let mut pool = DevicePool::from_size(4);
+        broker.resolve(&mut pool)
+    };
+    let reference_assignments = contend(1);
+    for width in [2, 4] {
+        assert_eq!(
+            contend(width),
+            reference_assignments,
+            "flash-attack contention must resolve identically at width {width}"
+        );
+    }
+
+    // Scheduling phase: the contention winners seed a 4-campaign sharded
+    // fleet. Kills land on campaigns 1 and 2 — opposite sides of the
+    // width-2 chunk boundary (lanes get contiguous chunks [0,1] / [2,3]),
+    // so a mid-tick kill and its later resume each cross a shard edge.
+    let mut plan = ChaosPlan::none();
+    plan.seed = 83;
+    plan.scheduled_kills = vec![(1, 5), (2, 9), (1, 13)];
+    let winners: Vec<Assignment> = reference_assignments
+        .iter()
+        .filter(|a| a.device.is_some())
+        .cloned()
+        .collect();
+    assert_eq!(winners.len(), 4, "the pool grants exactly the fleet");
+
+    let run = |width: usize| {
+        at_width(width, || {
+            let scratch = Scratch::new();
+            let recorder = Arc::new(obs::Recorder::new());
+            let config = FleetConfig {
+                checkpoint_every_hours: 4,
+                ..FleetConfig::default()
+            };
+            let mut supervisor = Supervisor::new(&scratch.0, config).expect("store opens");
+            supervisor.set_recorder(Some(Arc::clone(&recorder)));
+            let specs = winners
+                .iter()
+                .enumerate()
+                .map(|(i, assignment)| {
+                    let device = assignment.device.expect("winner holds a device");
+                    let seed = 83 + u64::from(device.0);
+                    let tm1 = ThreatModel1Config {
+                        route_lengths_ps: vec![5_000.0],
+                        routes_per_length: 2,
+                        burn_hours: 16,
+                        measure_every: 4,
+                        mode: MeasurementMode::Oracle,
+                        seed,
+                        measurement_repeats: 1,
+                    };
+                    let mut campaign_config = CampaignConfig::default();
+                    campaign_config.fault_plan = plan.session_weather(i);
+                    let mut campaign = Campaign::new(
+                        Provider::new(ProviderConfig::aws_f1_like(2, seed)),
+                        Mission::ThreatModel1(tm1),
+                        campaign_config,
+                    )
+                    .expect("campaign builds");
+                    campaign.set_recorder(Some(Arc::clone(&recorder)));
+                    CampaignSpec {
+                        id: format!("c{i}"),
+                        campaign,
+                    }
+                })
+                .collect();
+            let report = supervisor.run(specs, plan.clone());
+            let digest = report
+                .results
+                .iter()
+                .map(|(id, result)| match result.outcome() {
+                    Some(outcome) => (id.clone(), Some(outcome.series.clone()), None),
+                    None => (id.clone(), None, result.error().map(fleet::FleetError::tag)),
+                })
+                .collect::<Vec<_>>();
+            (
+                digest,
+                report.completed(),
+                report.kills_injected,
+                report.restarts,
+                report.rollbacks,
+                format!("{:?}", report.quarantine),
+                recorder.trace_jsonl(),
+                recorder.counters(),
+            )
+        })
+    };
+    let serial = run(1);
+    assert_eq!(serial.1, 4, "all campaigns must survive the kills");
+    assert_eq!(serial.2, 3, "all three scheduled kills must fire");
+    for width in [2, 4] {
+        let parallel = run(width);
+        assert_eq!(
+            serial, parallel,
+            "sharded fleet must be observable-identical at width {width}"
+        );
+    }
+}
+
+#[test]
 fn checkpoint_under_one_width_resumes_identically_under_another() {
     let reference = at_width(1, || hostile_tm1_campaign().run().expect("completes"));
 

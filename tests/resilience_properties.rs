@@ -17,6 +17,12 @@
 //!    killing campaigns at arbitrary hours and resuming them from the
 //!    checkpoint store reproduces the unsupervised outcomes bit-for-bit,
 //!    at every worker-pool width.
+//! 4. **Sharded-scheduler width-invariance** (ISSUE 7) — a sharded
+//!    fleet under arbitrary chaos weather (random kill hours crossing
+//!    shard boundaries, random kill/corruption/rent-failure rates) plus
+//!    flash-attack contention produces bit-identical outcomes, traces,
+//!    and quarantine ledgers at widths 1, 2, and 4 — even when the
+//!    chaos makes campaigns fail, the *failures* replay identically.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -272,6 +278,148 @@ proptest! {
                 prop_assert_eq!(&outcome.recovered, &reference.recovered);
                 prop_assert_eq!(&outcome.truth, &reference.truth);
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property (4): under *arbitrary* chaos weather — scheduled kills at
+    /// random hours on campaigns in different width-2 shard chunks (so a
+    /// mid-tick kill and its resume cross a shard boundary), plus random
+    /// stochastic kill, envelope-corruption, and rent-failure rates —
+    /// and with the fleet's device assignments produced by a racing
+    /// flash-attack contention, every observable of the sharded
+    /// scheduler is bit-identical at widths 1, 2, and 4: per-campaign
+    /// outcomes *or typed failures*, the full telemetry trace, the
+    /// counters, and the quarantine ledger.
+    #[test]
+    fn sharded_fleet_under_random_chaos_is_width_invariant(
+        seed in 0u64..20,
+        kill_a in 1usize..19,
+        kill_b in 1usize..19,
+        kill_rate in 0.0f64..0.04,
+        corrupt_rate in 0.0f64..0.4,
+        rent_failure_rate in 0.0f64..0.1,
+    ) {
+        use std::sync::Arc;
+
+        use cloud::{Assignment, DevicePool, RentRequest, SessionBroker, TenantId};
+
+        let mut plan = ChaosPlan::none();
+        plan.seed = seed ^ 0x5AAD;
+        // Campaigns 1 and 2 sit in different width-2 chunks ([0,1] vs
+        // [2,3]): the kills and their resumes cross the shard boundary.
+        plan.scheduled_kills = vec![(1, kill_a), (2, kill_b)];
+        plan.kill_rate_per_hour = kill_rate;
+        plan.corrupt_rate_per_checkpoint = corrupt_rate;
+        plan.rent_failure_rate = rent_failure_rate;
+
+        // Contention phase, raced on two submitter threads: the broker's
+        // deterministic tie-break must hand the same devices to the same
+        // requests no matter the interleaving.
+        let contend = |threaded: bool| -> Vec<Assignment> {
+            let broker = SessionBroker::new();
+            let requests: Vec<RentRequest> = (0..4u64)
+                .flat_map(|sequence| {
+                    ["attacker", "rival"].map(|tenant| RentRequest {
+                        tenant: TenantId::new(tenant),
+                        priority: 3,
+                        sequence: sequence ^ seed, // weather-dependent order
+                    })
+                })
+                .collect();
+            if threaded {
+                std::thread::scope(|scope| {
+                    for lane in 0..2 {
+                        let broker = &broker;
+                        let requests = &requests;
+                        scope.spawn(move || {
+                            for request in requests.iter().skip(lane).step_by(2) {
+                                broker.submit(request.clone());
+                            }
+                        });
+                    }
+                });
+            } else {
+                for request in &requests {
+                    broker.submit(request.clone());
+                }
+            }
+            let mut pool = DevicePool::from_size(4);
+            broker.resolve(&mut pool)
+        };
+        let assignments = contend(false);
+        prop_assert_eq!(&contend(true), &assignments, "contention must be race-free");
+        let winners: Vec<Assignment> = assignments
+            .iter()
+            .filter(|a| a.device.is_some())
+            .cloned()
+            .collect();
+        prop_assert_eq!(winners.len(), 4);
+
+        let run = |width: usize| {
+            at_width(width, || {
+                let scratch = Scratch::new();
+                let config = FleetConfig {
+                    checkpoint_every_hours: 4,
+                    ..FleetConfig::default()
+                };
+                let recorder = Arc::new(obs::Recorder::new());
+                let mut supervisor =
+                    Supervisor::new(&scratch.0, config).expect("store opens");
+                supervisor.set_recorder(Some(Arc::clone(&recorder)));
+                let specs = winners
+                    .iter()
+                    .enumerate()
+                    .map(|(i, assignment)| {
+                        let device = assignment.device.expect("winner holds a device");
+                        let mut campaign =
+                            fleet_campaign(seed + u64::from(device.0), &plan, i);
+                        campaign.set_recorder(Some(Arc::clone(&recorder)));
+                        CampaignSpec {
+                            id: format!("c{i}"),
+                            campaign,
+                        }
+                    })
+                    .collect();
+                let report = supervisor.run(specs, plan.clone());
+                let digest = report
+                    .results
+                    .iter()
+                    .map(|(id, result)| match result.outcome() {
+                        Some(outcome) => (id.clone(), Some(outcome.series.clone()), None),
+                        None => {
+                            (id.clone(), None, result.error().map(fleet::FleetError::tag))
+                        }
+                    })
+                    .collect::<Vec<_>>();
+                (
+                    digest,
+                    report.kills_injected,
+                    report.corruptions_injected,
+                    report.truncations_injected,
+                    report.restarts,
+                    report.rollbacks,
+                    report.ticks,
+                    format!("{:?}", report.quarantine),
+                    recorder.trace_jsonl(),
+                    recorder.counters(),
+                )
+            })
+        };
+
+        let serial = run(1);
+        prop_assert!(serial.1 >= 2, "both scheduled kills must fire");
+        for width in [2usize, 4] {
+            let parallel = run(width);
+            prop_assert_eq!(
+                &serial,
+                &parallel,
+                "sharded fleet must be observable-identical at width {}",
+                width
+            );
         }
     }
 }
