@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/cloud-571fec2de85eed02.d: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
+/root/repo/target/release/deps/cloud-571fec2de85eed02.d: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/broker.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
 
-/root/repo/target/release/deps/cloud-571fec2de85eed02: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
+/root/repo/target/release/deps/cloud-571fec2de85eed02: crates/cloud/src/lib.rs crates/cloud/src/afi.rs crates/cloud/src/broker.rs crates/cloud/src/error.rs crates/cloud/src/faults.rs crates/cloud/src/fingerprint.rs crates/cloud/src/ledger.rs crates/cloud/src/provider.rs crates/cloud/src/session.rs crates/cloud/src/tenant.rs
 
 crates/cloud/src/lib.rs:
 crates/cloud/src/afi.rs:
+crates/cloud/src/broker.rs:
 crates/cloud/src/error.rs:
 crates/cloud/src/faults.rs:
 crates/cloud/src/fingerprint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-db16e303db1dc3d7.d: tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-db16e303db1dc3d7: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience_properties-9bea966640b43503.d: tests/resilience_properties.rs
+
+/root/repo/target/release/deps/resilience_properties-9bea966640b43503: tests/resilience_properties.rs
+
+tests/resilience_properties.rs:
