@@ -241,6 +241,7 @@ struct Row {
     failed: usize,
     campaigns_per_sec: f64,
     p99_tick_ms: f64,
+    arena_bytes_per_device: usize,
 }
 
 fn main() {
@@ -307,9 +308,11 @@ fn main() {
 
         println!(
             "  threads {width}: {completed} completed / {failed} failed, kills {}, \
-             {campaigns_per_sec:.1} campaigns/sec, p99 tick {:.3} ms, identical {identical}, \
-             contention identical {contention_identical}",
-            run.report.kills_injected, run.p99_tick_ms
+             {campaigns_per_sec:.1} campaigns/sec, p99 tick {:.3} ms, arena {} KiB/device, \
+             identical {identical}, contention identical {contention_identical}",
+            run.report.kills_injected,
+            run.p99_tick_ms,
+            run.report.arena_bytes_per_device / 1024
         );
         rows.push(Row {
             threads: width,
@@ -319,6 +322,7 @@ fn main() {
             failed,
             campaigns_per_sec,
             p99_tick_ms: run.p99_tick_ms,
+            arena_bytes_per_device: run.report.arena_bytes_per_device,
         });
     }
 
@@ -340,6 +344,24 @@ fn main() {
             rows.iter().map(|r| r.completed).collect::<Vec<_>>()
         ),
     );
+    // The SoA aging arena is append-only, so the completion-time read is
+    // each campaign's peak; the figure must be nonzero and width-invariant
+    // (arena growth is per-campaign work, untouched by lane scheduling).
+    report.check(
+        "peak arena bytes-per-device is nonzero and identical across widths",
+        rows.first().is_some_and(|first| {
+            first.arena_bytes_per_device > 0
+                && rows
+                    .iter()
+                    .all(|r| r.arena_bytes_per_device == first.arena_bytes_per_device)
+        }),
+        format!(
+            "bytes {:?}",
+            rows.iter()
+                .map(|r| r.arena_bytes_per_device)
+                .collect::<Vec<_>>()
+        ),
+    );
 
     // One more run feeding the shared obs sink, so the emitted trace
     // carries the scheduler_tick/commit_batch event stream CI validates.
@@ -354,7 +376,8 @@ fn main() {
                 concat!(
                     "{{\"threads\":{},\"identical\":{},\"contention_identical\":{},",
                     "\"campaigns\":{},\"completed\":{},\"failed\":{},",
-                    "\"campaigns_per_sec\":{},\"p99_tick_ms\":{}}}"
+                    "\"campaigns_per_sec\":{},\"p99_tick_ms\":{},",
+                    "\"arena_bytes_per_device\":{}}}"
                 ),
                 r.threads,
                 r.identical,
@@ -363,7 +386,8 @@ fn main() {
                 r.completed,
                 r.failed,
                 obs::json_f64(r.campaigns_per_sec),
-                obs::json_f64(r.p99_tick_ms)
+                obs::json_f64(r.p99_tick_ms),
+                r.arena_bytes_per_device
             )
         })
         .collect();

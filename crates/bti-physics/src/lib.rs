@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod bank;
 mod bin;
 mod error;
@@ -77,6 +78,7 @@ mod temperature;
 mod units;
 mod wear;
 
+pub use arena::{AgingArena, PhasePlan, WireAging};
 pub use bank::TrapBank;
 pub use bin::TrapBin;
 pub use error::BtiError;

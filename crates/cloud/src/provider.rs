@@ -216,6 +216,19 @@ impl Provider {
             })
     }
 
+    /// Heap footprint of the largest per-device aging arena in the
+    /// region, in bytes. The arena only ever grows (slots are
+    /// append-only), so the end-of-campaign maximum is the campaign's
+    /// peak resident aging memory per device.
+    #[must_use]
+    pub fn peak_aging_memory_bytes(&self) -> usize {
+        self.slots
+            .values()
+            .map(|slot| slot.device.aging_memory_bytes())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Reports the decay-cache activity since the last report as
     /// `CacheHit`/`CacheMiss` events keyed at the current sim time.
     fn note_cache_activity(&mut self) {

@@ -173,6 +173,11 @@ pub struct FleetReport {
     pub backoff_seconds: f64,
     /// Supervisor ticks the run took.
     pub ticks: u64,
+    /// Peak per-device aging-arena footprint observed across completed
+    /// campaigns, in bytes. Arenas are append-only, so the value read at
+    /// campaign completion is that campaign's peak; the report keeps the
+    /// fleet-wide maximum. Deterministic at every thread width.
+    pub arena_bytes_per_device: usize,
 }
 
 impl FleetReport {
@@ -218,6 +223,9 @@ struct Slot {
     chaos: ChaosCursor,
     result: Option<CampaignResult>,
     last_error: Option<PentimentoError>,
+    /// Peak per-device aging-arena bytes, read from the provider at
+    /// campaign completion (arenas are append-only, so that is the peak).
+    arena_bytes: usize,
 }
 
 /// A checkpoint the lane captured for the barrier to land: the batch
@@ -465,6 +473,7 @@ impl LaneCtx<'_> {
             // `run` on a complete campaign skips straight to finalize.
             match campaign.run() {
                 Ok(outcome) => {
+                    slot.arena_bytes = campaign.provider().peak_aging_memory_bytes();
                     slot.breaker.on_success();
                     slot.result = Some(CampaignResult::Completed(Box::new(outcome)));
                     slot.campaign = None;
@@ -734,6 +743,7 @@ impl Supervisor {
     fn drain_slots(&mut self, slots: Vec<Slot>, report: &mut FleetReport) {
         report.results.reserve(slots.len());
         for mut slot in slots {
+            report.arena_bytes_per_device = report.arena_bytes_per_device.max(slot.arena_bytes);
             let result = match slot.result.take() {
                 Some(result) => result,
                 None => {
@@ -781,6 +791,7 @@ impl Supervisor {
                 chaos: ChaosCursor::new(&chaos, index),
                 result: None,
                 last_error: None,
+                arena_bytes: 0,
             };
             if survivors.contains(&slot.id) {
                 // Resume the survivor from its newest good generation;
@@ -971,6 +982,7 @@ mod tests {
             chaos: ChaosCursor::new(&ChaosPlan::none(), 0),
             result: None,
             last_error: None,
+            arena_bytes: 0,
         }
     }
 

@@ -1,8 +1,10 @@
 //! The FPGA device: silicon identity, analog aging, and loaded designs.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-use bti_physics::{AgingState, BtiModel, Celsius, DecayCache, DutyCycle, Hours, WearModel};
+use bti_physics::{
+    AgingArena, BtiModel, Celsius, DecayCache, DutyCycle, Hours, PhasePlan, WearModel, WireAging,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::router::{route_direct, route_serpentine, Topology};
@@ -38,9 +40,14 @@ impl DeviceProfile {
 /// most one loaded design.
 ///
 /// The central property (the paper's thesis): [`FpgaDevice::wipe`] clears
-/// the loaded design — all *digital* state — while every
-/// [`AgingState`] keyed by [`WireId`] survives. Whoever routes through the
-/// same wires next can read the imprint.
+/// the loaded design — all *digital* state — while the per-wire aging in
+/// the device's [`AgingArena`] survives. Whoever routes through the same
+/// wires next can read the imprint.
+///
+/// Aging is stored structure-of-arrays: one contiguous [`AgingArena`]
+/// holds every bin of every aged wire, indexed by [`WireId`], so a
+/// whole-device phase advance is a handful of batched kernel sweeps
+/// instead of a pointer-chasing loop over per-wire heap objects.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FpgaDevice {
     profile: DeviceProfile,
@@ -52,7 +59,7 @@ pub struct FpgaDevice {
     die_temp: Celsius,
     service_age: Hours,
     clock: Hours,
-    aging: HashMap<WireId, AgingState>,
+    aging: AgingArena,
     loaded: Option<Design>,
     /// Memoized phase kernels shared by every wire at the same
     /// conditions. Pure derived values — never serialized, and a resumed
@@ -60,12 +67,28 @@ pub struct FpgaDevice {
     #[serde(skip)]
     decay_cache: DecayCache,
     /// When set, aging integrates through the original per-wire
-    /// `AgingState::advance`/`relax` path instead of the cached kernels.
+    /// reference arithmetic instead of the cached kernels.
     /// The two are bit-identical (`kernel_bench` and the property suite
     /// enforce it); the switch exists so benches can time one against the
     /// other.
     #[serde(skip)]
     reference_kernels: bool,
+    /// Memoized sweep inputs for the loaded design: the `(arena slot,
+    /// duty)` conditioning list plus its pre-grouped [`PhasePlan`].
+    /// Rebuilding them costs one arena lookup per routed segment per
+    /// step, which would dominate the batched sweep; the design's nets
+    /// and routes are immutable while loaded, so both are pure derived
+    /// data — cleared on any design change, re-planned when new wires
+    /// enter the arena, never serialized.
+    #[serde(skip)]
+    driven_cache: Option<SweepCache>,
+}
+
+/// See [`FpgaDevice::driven_cache`].
+#[derive(Debug, Clone)]
+struct SweepCache {
+    driven: Vec<(usize, DutyCycle)>,
+    plan: PhasePlan,
 }
 
 impl FpgaDevice {
@@ -83,6 +106,7 @@ impl FpgaDevice {
             profile,
             topo: Topology::new(cols, rows),
             decay_cache: DecayCache::new(&model),
+            aging: AgingArena::new(&model),
             model,
             wear: WearModel::default(),
             variation: VariationModel::new(seed, 0.03),
@@ -90,9 +114,9 @@ impl FpgaDevice {
             thermal,
             service_age,
             clock: Hours::ZERO,
-            aging: HashMap::new(),
             loaded: None,
             reference_kernels: false,
+            driven_cache: None,
         }
     }
 
@@ -280,12 +304,14 @@ impl FpgaDevice {
         }
         design.validate()?;
         self.loaded = Some(design);
+        self.driven_cache = None;
         Ok(())
     }
 
     /// Removes the loaded design and returns it (the tenant keeps their
     /// bitstream).
     pub fn unload_design(&mut self) -> Option<Design> {
+        self.driven_cache = None;
         self.loaded.take()
     }
 
@@ -298,6 +324,9 @@ impl FpgaDevice {
     /// Mutable access to the loaded design (a running tenant changing the
     /// values it holds at runtime).
     pub fn loaded_design_mut(&mut self) -> Option<&mut Design> {
+        // The caller may change net activities or routes through this
+        // borrow, so the memoized conditioning list is stale.
+        self.driven_cache = None;
         self.loaded.as_mut()
     }
 
@@ -308,6 +337,7 @@ impl FpgaDevice {
     /// is intentionally the same as unloading and discarding the design.
     pub fn wipe(&mut self) {
         self.loaded = None;
+        self.driven_cache = None;
     }
 
     /// Runs the device for `dt` of wall-clock time.
@@ -327,33 +357,50 @@ impl FpgaDevice {
             .thermal
             .average_over_step(self.die_temp, watts, dt.value());
         self.die_temp = self.thermal.step(self.die_temp, watts, dt.value());
-        let driven: HashSet<WireId> = self
-            .loaded
-            .as_ref()
-            .map(|d| d.used_wires().collect())
-            .unwrap_or_default();
-        if let Some(design) = self.loaded.take() {
-            for net in design.nets() {
-                if let Some(route) = &net.route {
-                    self.condition_route_at(route, net.activity.duty(), dt, temperature);
+        // One batched arena sweep covers the whole device: the loaded
+        // design's routed nets condition their wires at the net's duty,
+        // every other aged wire relaxes. A validated design never routes
+        // two nets over one wire, so each slot appears at most once.
+        let cache = match self.driven_cache.take() {
+            // Wires that entered the arena since the plan was built (a
+            // harness conditioning routes between steps) belong on its
+            // relax list: re-plan over the cached driven list.
+            Some(mut cached) => {
+                if !cached.plan.is_current(&self.aging) {
+                    cached.plan = self.aging.plan_phase(&cached.driven);
                 }
+                cached
             }
-            self.loaded = Some(design);
-        }
+            None => {
+                let mut driven: Vec<(usize, DutyCycle)> = Vec::new();
+                if let Some(design) = &self.loaded {
+                    for net in design.nets() {
+                        if let Some(route) = &net.route {
+                            let duty = net.activity.duty();
+                            for seg in route.segments() {
+                                let slot = self.aging.ensure(u64::from(seg.id.0));
+                                driven.push((slot, duty));
+                            }
+                        }
+                    }
+                }
+                let plan = self.aging.plan_phase(&driven);
+                SweepCache { driven, plan }
+            }
+        };
         if self.reference_kernels {
-            for (id, state) in &mut self.aging {
-                if !driven.contains(id) {
-                    state.relax(&self.model, dt, temperature);
-                }
-            }
+            self.aging
+                .advance_phase_all_reference(&self.model, dt, temperature, &cache.driven);
         } else {
-            let kernel = self.decay_cache.relaxed(&self.model, dt, temperature);
-            for (id, state) in &mut self.aging {
-                if !driven.contains(id) {
-                    state.apply_phase_kernel(kernel, dt);
-                }
-            }
+            self.aging.advance_phase_planned(
+                &self.model,
+                &mut self.decay_cache,
+                dt,
+                temperature,
+                &cache.plan,
+            );
         }
+        self.driven_cache = Some(cache);
         self.clock += dt;
         self.service_age += dt;
     }
@@ -375,22 +422,19 @@ impl FpgaDevice {
     ) {
         if self.reference_kernels {
             for seg in route.segments() {
-                let state = self
-                    .aging
-                    .entry(seg.id)
-                    .or_insert_with(|| AgingState::new(&self.model));
-                state.advance(&self.model, dt, duty, temperature);
+                let slot = self.aging.ensure(u64::from(seg.id.0));
+                self.aging
+                    .advance_slot_reference(slot, &self.model, dt, duty, temperature);
             }
             return;
         }
-        let model = &self.model;
-        let kernel = self.decay_cache.conditioned(model, dt, duty, temperature);
+        let kernel = self
+            .decay_cache
+            .conditioned(&self.model, dt, duty, temperature)
+            .clone();
         for seg in route.segments() {
-            let state = self
-                .aging
-                .entry(seg.id)
-                .or_insert_with(|| AgingState::new(model));
-            state.apply_phase_kernel(kernel, dt);
+            let slot = self.aging.ensure(u64::from(seg.id.0));
+            self.aging.apply_kernel(slot, &kernel, dt);
         }
     }
 
@@ -425,10 +469,10 @@ impl FpgaDevice {
     pub fn wire_delay(&self, seg: &WireSegment) -> RouteDelay {
         let base = seg.nominal_delay_ps() * self.variation.factor(u64::from(seg.id.0));
         let wear = self.wear_factor();
-        let (rise_shift, fall_shift) = match self.aging.get(&seg.id) {
-            Some(state) => (
-                state.rise_shift_ps_scaled(&self.model, seg.nominal_delay_ps(), wear),
-                state.fall_shift_ps_scaled(&self.model, seg.nominal_delay_ps(), wear),
+        let (rise_shift, fall_shift) = match self.aging.wire(u64::from(seg.id.0)) {
+            Some(view) => (
+                view.rise_shift_ps_scaled(&self.model, seg.nominal_delay_ps(), wear),
+                view.fall_shift_ps_scaled(&self.model, seg.nominal_delay_ps(), wear),
             ),
             None => (0.0, 0.0),
         };
@@ -459,16 +503,43 @@ impl FpgaDevice {
         self.route_delay(route).delta_ps()
     }
 
-    /// Inspects the aging state of one wire, if it was ever stressed.
+    /// Inspects the aging of one wire, if it was ever stressed.
+    ///
+    /// Returns a borrowed arena view — readout paths are hot loops, and
+    /// copying a full per-wire state out per query would reintroduce the
+    /// allocations the arena removes.
     #[must_use]
-    pub fn wire_aging(&self, id: WireId) -> Option<&AgingState> {
-        self.aging.get(&id)
+    pub fn wire_aging(&self, id: WireId) -> Option<WireAging<'_>> {
+        self.aging.wire(u64::from(id.0))
     }
 
     /// Number of wires carrying any aging state.
     #[must_use]
     pub fn aged_wire_count(&self) -> usize {
         self.aging.len()
+    }
+
+    /// All aged wires in ascending [`WireId`] order — the one sanctioned
+    /// iteration order over aging state, so digests and dumps built on it
+    /// are deterministic regardless of stress history.
+    pub fn aged_wires(&self) -> impl Iterator<Item = (WireId, WireAging<'_>)> + '_ {
+        self.aging
+            .iter_sorted()
+            .map(|(key, view)| (WireId(key as u32), view))
+    }
+
+    /// Order-stable FNV digest of the device's full aging state (keys,
+    /// odometers, occupancy bit patterns, in [`WireId`] order).
+    #[must_use]
+    pub fn aging_digest(&self) -> u64 {
+        self.aging.digest()
+    }
+
+    /// Logical bytes held by this device's aging arena (array lengths,
+    /// not allocator capacities, so the number is deterministic).
+    #[must_use]
+    pub fn aging_memory_bytes(&self) -> usize {
+        self.aging.memory_bytes()
     }
 }
 

@@ -10,8 +10,10 @@
 //!
 //! The attack works because the victim's design and the attacker's
 //! measurement design are *different bitstreams that route through the same
-//! physical transistors*. A [`FpgaDevice`] therefore keys
-//! [`bti_physics::AgingState`] by [`WireId`]. Loading a design, wiping the
+//! physical transistors*. A [`FpgaDevice`] therefore keeps one
+//! [`bti_physics::AgingArena`] — a structure-of-arrays store indexed by
+//! [`WireId`], swept in batched whole-device phases and iterated in stable
+//! sorted order. Loading a design, wiping the
 //! device, and loading another design all leave wire aging untouched —
 //! exactly the data remanence the paper demonstrates. A wipe
 //! ([`FpgaDevice::wipe`]) clears every *digital* artifact (configuration,

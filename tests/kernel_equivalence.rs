@@ -19,8 +19,18 @@
 //!    truncates on both sides.
 //! 3. **Selection median** — `median_in_place` is *bit-identical* to
 //!    the sort-based `median_sorted` on NaN-free input, both parities.
+//!
+//! ISSUE 8 adds a fourth family: the structure-of-arrays
+//! [`AgingArena`] batched sweep (`advance_phase_all`) must be
+//! *bit-identical* to advancing every wire's banks one at a time with
+//! the per-bank closed form (`TrapBank::advance_phase`, via
+//! `AgingState`), across random wire counts, mixed duties, saturating
+//! occupancies and interleaved relax phases — and the TM1 attack rows
+//! must come out byte-identical through either device path.
 
-use bti_physics::{AgingState, BtiModel, Celsius, DutyCycle, Hours, Polarity};
+use bti_physics::{
+    AgingArena, AgingState, BtiModel, Celsius, DecayCache, DutyCycle, Hours, Polarity,
+};
 use pentimento::analysis::{median_in_place, median_sorted, KernelEstimator, KernelRegression};
 use proptest::prelude::*;
 
@@ -33,6 +43,30 @@ fn duty_fraction() -> impl Strategy<Value = f64> {
 /// A random piecewise-constant schedule: 1–4 phases of 1–60 h each.
 fn phase_schedule() -> impl Strategy<Value = Vec<(usize, f64)>> {
     proptest::collection::vec((1usize..60, duty_fraction()), 1..4)
+}
+
+/// A random whole-device history: a wire count plus 1–4 phases, each
+/// carrying a duration (zero-length phases exercise the `Δt = 0`
+/// early-return path; long ones saturate occupancies onto the clamp
+/// boundary) and a per-wire assignment — `Some(duty)` driven,
+/// `None` relaxing.
+fn device_history() -> impl Strategy<Value = (usize, Vec<(f64, Vec<Option<f64>>)>)> {
+    (1usize..16).prop_flat_map(|wires| {
+        (
+            Just(wires),
+            proptest::collection::vec(
+                (
+                    prop_oneof![Just(0.0), 0.5f64..48.0, Just(400.0)],
+                    proptest::collection::vec(
+                        (any::<bool>(), duty_fraction())
+                            .prop_map(|(driven, f)| driven.then_some(f)),
+                        wires..wires + 1,
+                    ),
+                ),
+                1..5,
+            ),
+        )
+    })
 }
 
 /// Max relative disagreement between two occupancy levels.
@@ -180,4 +214,132 @@ proptest! {
             median_sorted(&values[1..]).to_bits()
         );
     }
+
+    /// (4) Whole-device arena sweep: across random populations, mixed
+    /// duties (including the saturating 0/1 endpoints that park
+    /// occupancies on the clamp boundary), zero-length phases and
+    /// interleaved relax phases, the batched `advance_phase_all` and
+    /// its uncached reference twin must match per-wire
+    /// `TrapBank::advance_phase` / `relax` stepping bit for bit — every
+    /// occupancy, every odometer, every level read-out, and the sorted
+    /// digest.
+    #[test]
+    fn arena_sweep_is_bit_identical_to_per_bank_advance(
+        (wires, phases) in device_history(),
+        temp_c in 40.0f64..80.0,
+    ) {
+        let model = BtiModel::ultrascale_plus();
+        let temp = Celsius::new(temp_c);
+        let mut cache = DecayCache::new(&model);
+        let mut arena = AgingArena::new(&model);
+        let mut twin = AgingArena::new(&model);
+        // Descending keys: sorted order must not depend on insertion
+        // order for the digest comparison to mean anything.
+        let keys: Vec<u64> = (0..wires as u64).rev().map(|i| i * 7 + 3).collect();
+        for &k in &keys {
+            arena.ensure(k);
+            twin.ensure(k);
+        }
+        let mut shadow: Vec<AgingState> =
+            (0..wires).map(|_| AgingState::new(&model)).collect();
+        for (dt_hours, assignment) in &phases {
+            let dt = Hours::new(*dt_hours);
+            let driven: Vec<(usize, DutyCycle)> = assignment
+                .iter()
+                .enumerate()
+                .filter_map(|(i, frac)| {
+                    frac.map(|f| {
+                        let slot = arena.slot_of(keys[i]).expect("wire inserted");
+                        (slot, DutyCycle::new(f).expect("fraction in [0, 1]"))
+                    })
+                })
+                .collect();
+            arena.advance_phase_all(&model, &mut cache, dt, temp, &driven);
+            twin.advance_phase_all_reference(&model, dt, temp, &driven);
+            for (state, frac) in shadow.iter_mut().zip(assignment) {
+                match frac {
+                    Some(f) => state.advance_phase(
+                        &model,
+                        dt,
+                        DutyCycle::new(*f).expect("fraction in [0, 1]"),
+                        temp,
+                    ),
+                    None => state.relax(&model, dt, temp),
+                }
+            }
+        }
+        prop_assert_eq!(arena.digest(), twin.digest());
+        for (i, &k) in keys.iter().enumerate() {
+            let view = arena.wire(k).expect("wire inserted");
+            prop_assert_eq!(
+                view.stress_hours().value().to_bits(),
+                shadow[i].stress_hours().value().to_bits()
+            );
+            for polarity in [Polarity::Nbti, Polarity::Pbti] {
+                let bank = match polarity {
+                    Polarity::Nbti => shadow[i].nbti_bank(),
+                    Polarity::Pbti => shadow[i].pbti_bank(),
+                };
+                let occ = view.occupancy(polarity);
+                prop_assert_eq!(occ.len(), bank.bins().len());
+                for (a, b) in occ.iter().zip(bank.bins()) {
+                    prop_assert_eq!(a.to_bits(), b.occupancy.to_bits());
+                }
+                prop_assert_eq!(
+                    view.level(polarity).to_bits(),
+                    bank.level().to_bits()
+                );
+            }
+        }
+    }
+}
+
+/// (4b) End-to-end byte-identity: the `attack_accuracy --smoke` TM1
+/// sweep point produces the exact same CSV rows whether the devices age
+/// through the batched arena sweep or the per-wire reference kernels —
+/// the `results/attack_accuracy.csv` artifact cannot move under this
+/// refactor.
+#[test]
+fn tm1_attack_rows_are_byte_identical_across_device_paths() {
+    use cloud::{Provider, ProviderConfig};
+    use pentimento::threat_model1::{self, ThreatModel1Config};
+    use pentimento::MeasurementMode;
+
+    let lengths = [1_000.0, 2_000.0, 5_000.0, 10_000.0];
+    let run = |reference: bool| -> String {
+        let seed = 550;
+        let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, seed));
+        provider.set_reference_kernels(reference);
+        let config = ThreatModel1Config {
+            route_lengths_ps: lengths.to_vec(),
+            routes_per_length: 4,
+            burn_hours: 50,
+            measure_every: 1,
+            mode: MeasurementMode::Tdc,
+            seed,
+            measurement_repeats: 2,
+        };
+        let outcome = threat_model1::run(&mut provider, &config).expect("attack completes");
+        // The exact row format `attack_accuracy` writes.
+        let mut csv = String::new();
+        for target in lengths {
+            let mut correct = 0;
+            let mut total = 0;
+            for (s, r) in outcome.series.iter().zip(&outcome.recovered) {
+                if s.target_ps == target {
+                    total += 1;
+                    if s.burn_value == *r {
+                        correct += 1;
+                    }
+                }
+            }
+            csv.push_str(&format!(
+                "tm1,50,{target},{correct},{total},{:.4}\n",
+                f64::from(correct) / f64::from(total)
+            ));
+        }
+        csv
+    };
+
+    assert_eq!(run(true), run(false), "CSV rows must match byte for byte");
 }
