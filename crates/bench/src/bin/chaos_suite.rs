@@ -30,7 +30,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bench::{exit_by, save_artifact, threads_from_args, ObsSink, ShapeReport};
+use bench::{
+    cache_bench_row, exit_by, save_artifact, threads_from_args, ObsSink, ShapeReport, SweepCache,
+};
 use cloud::{Provider, ProviderConfig};
 use fleet::{CampaignSpec, ChaosPlan, FleetConfig, FleetReport, Supervisor};
 use obs::Recorder;
@@ -293,13 +295,74 @@ struct CellRow {
     quarantined: usize,
 }
 
-fn run_cell(
-    cell: &Cell,
-    burn_hours: usize,
-    widths: &[usize],
-    report: &mut ShapeReport,
-    sink_recorder: Option<&Arc<Recorder>>,
-) -> CellRow {
+// A chaos cell's cached artifact is the row plus the claim's observed
+// string: deterministic k=v lines, so a verified hit is byte-identical
+// and a replayed cell reproduces the exact same shape check.
+
+fn encode_cell(value: &(CellRow, String)) -> String {
+    let (r, observed) = value;
+    format!(
+        "bit_identical={}\ngate_passed={}\ncompleted={}\nfailed={}\nkills={}\nrestarts={}\n\
+         rollbacks={}\ncorruptions={}\ntruncations={}\nquarantined={}\nobserved={}\n",
+        r.bit_identical,
+        r.gate_passed,
+        r.completed,
+        r.failed,
+        r.kills,
+        r.restarts,
+        r.rollbacks,
+        r.corruptions,
+        r.truncations,
+        r.quarantined,
+        observed.replace('\n', " "),
+    )
+}
+
+fn decode_cell(name: &'static str, s: &str) -> Option<(CellRow, String)> {
+    let mut fields = std::collections::BTreeMap::new();
+    for line in s.lines() {
+        let (k, v) = line.split_once('=')?;
+        fields.insert(k, v);
+    }
+    Some((
+        CellRow {
+            name,
+            bit_identical: fields.get("bit_identical")?.parse().ok()?,
+            gate_passed: fields.get("gate_passed")?.parse().ok()?,
+            completed: fields.get("completed")?.parse().ok()?,
+            failed: fields.get("failed")?.parse().ok()?,
+            kills: fields.get("kills")?.parse().ok()?,
+            restarts: fields.get("restarts")?.parse().ok()?,
+            rollbacks: fields.get("rollbacks")?.parse().ok()?,
+            corruptions: fields.get("corruptions")?.parse().ok()?,
+            truncations: fields.get("truncations")?.parse().ok()?,
+            quarantined: fields.get("quarantined")?.parse().ok()?,
+        },
+        (*fields.get("observed")?).to_owned(),
+    ))
+}
+
+fn claim_for(name: &str) -> &str {
+    match name {
+        "benign" => "benign fleet completes bit-identically at every width",
+        "scheduled_kills" => "scheduled mid-phase kills recover bit-identically",
+        "random_kills" => "random kills recover bit-identically",
+        "kills_bitrot" => "envelope bit-rot rolls back or fails typed+quarantined",
+        "hostile_weather" => "kills under hostile session weather stay bit-identical",
+        "kills_torn" => "torn envelopes roll back or fail typed+quarantined",
+        "doomed" => "unrecoverable store fails typed with a quarantine record",
+        "torn_store_kill9" => {
+            "kill-9 mid-commit recovers from the last good generation bit-identically"
+        }
+        other => other,
+    }
+}
+
+/// Computes one matrix cell end to end — references, width sweep,
+/// determinism replay, invariant evaluation — and returns the row plus
+/// the shape check's observed string. Pure with respect to the cell's
+/// inputs, which is what makes it cacheable.
+fn compute_cell(cell: &Cell, burn_hours: usize, widths: &[usize]) -> (CellRow, String) {
     let refs = references(cell, burn_hours);
 
     // Width sweep: the whole fleet run must be observable-identical at
@@ -347,51 +410,82 @@ fn run_cell(
         gate &= failed > 0;
     }
 
-    report.check(
-        match cell.name {
-            "benign" => "benign fleet completes bit-identically at every width",
-            "scheduled_kills" => "scheduled mid-phase kills recover bit-identically",
-            "random_kills" => "random kills recover bit-identically",
-            "kills_bitrot" => "envelope bit-rot rolls back or fails typed+quarantined",
-            "hostile_weather" => "kills under hostile session weather stay bit-identical",
-            "kills_torn" => "torn envelopes roll back or fail typed+quarantined",
-            "doomed" => "unrecoverable store fails typed with a quarantine record",
-            other => other,
-        },
-        gate,
-        format!(
-            "{completed} completed / {failed} failed, kills {}, rollbacks {}, \
-             deterministic {deterministic}, widths {widths:?} identical {width_identical}",
-            base_report.kills_injected, base_report.rollbacks
-        ),
+    let observed = format!(
+        "{completed} completed / {failed} failed, kills {}, rollbacks {}, \
+         deterministic {deterministic}, widths {widths:?} identical {width_identical}",
+        base_report.kills_injected, base_report.rollbacks
     );
+
+    (
+        CellRow {
+            name: cell.name,
+            bit_identical,
+            gate_passed: gate,
+            completed,
+            failed,
+            kills: base_report.kills_injected,
+            restarts: base_report.restarts,
+            rollbacks: base_report.rollbacks,
+            corruptions: base_report.corruptions_injected,
+            truncations: base_report.truncations_injected,
+            quarantined: base_report.quarantine.len(),
+        },
+        observed,
+    )
+}
+
+/// Runs one matrix cell, through the result cache when one is active.
+/// The shape check and the sink-feeding run happen out here: a cached
+/// cell replays the same check verdict, and the obs trace artifact is
+/// regenerated live whenever `--trace`/`--metrics` asks for it.
+fn run_cell(
+    cell: &Cell,
+    burn_hours: usize,
+    widths: &[usize],
+    report: &mut ShapeReport,
+    sink_recorder: Option<&Arc<Recorder>>,
+    cache: Option<&SweepCache>,
+) -> CellRow {
+    let (row, observed) = match cache {
+        Some(cache) => {
+            let plan_dbg = format!("{:?}", cell.plan);
+            let config_dbg = format!("{:?}", cell.config);
+            let fleet_size = cell.fleet_size.to_string();
+            let burn = burn_hours.to_string();
+            let widths_s = format!("{widths:?}");
+            cache.cell(
+                &format!("chaos_{}", cell.name),
+                &[
+                    ("bin", "chaos_suite"),
+                    ("cell", cell.name),
+                    ("plan", &plan_dbg),
+                    ("fleet_config", &config_dbg),
+                    ("fleet_size", &fleet_size),
+                    ("burn_hours", &burn),
+                    ("widths", &widths_s),
+                ],
+                || compute_cell(cell, burn_hours, widths),
+                encode_cell,
+                |s| decode_cell(cell.name, s),
+            )
+        }
+        None => compute_cell(cell, burn_hours, widths),
+    };
+    report.check(claim_for(cell.name), row.gate_passed, observed);
 
     // One more run feeding the shared obs sink, so the emitted trace
     // artifact carries every cell's supervisor events.
     if let Some(rec) = sink_recorder {
         let _ = run_once(cell, burn_hours, Some(rec));
     }
-
-    CellRow {
-        name: cell.name,
-        bit_identical,
-        gate_passed: gate,
-        completed,
-        failed,
-        kills: base_report.kills_injected,
-        restarts: base_report.restarts,
-        rollbacks: base_report.rollbacks,
-        corruptions: base_report.corruptions_injected,
-        truncations: base_report.truncations_injected,
-        quarantined: base_report.quarantine.len(),
-    }
+    row
 }
 
 /// The kill-9 torn-store scenario: a supervisor dies *during* a commit
 /// (leftover `.tmp`) having also torn its newest committed generation;
 /// the next incarnation's recovery scan must roll back to the last good
 /// generation and still finish bit-identically.
-fn run_torn_store_kill9(burn_hours: usize, report: &mut ShapeReport) -> CellRow {
+fn compute_torn_store_kill9(burn_hours: usize) -> (CellRow, String) {
     let scratch = Scratch::new();
     let plan = ChaosPlan::none();
     let reference = references(
@@ -446,28 +540,53 @@ fn run_torn_store_kill9(burn_hours: usize, report: &mut ShapeReport) -> CellRow 
         outcome.is_some_and(|o| o.series == reference.series && o.recovered == reference.recovered);
     let rolled_back = fleet_report.rollbacks >= 1;
     let gate = identical && rolled_back && fleet_report.completed() == 1;
-    report.check(
-        "kill-9 mid-commit recovers from the last good generation bit-identically",
-        gate,
-        format!(
-            "rollbacks {}, completed {}",
-            fleet_report.rollbacks,
-            fleet_report.completed()
-        ),
+    let observed = format!(
+        "rollbacks {}, completed {}",
+        fleet_report.rollbacks,
+        fleet_report.completed()
     );
-    CellRow {
-        name: "torn_store_kill9",
-        bit_identical: identical,
-        gate_passed: gate,
-        completed: fleet_report.completed(),
-        failed: fleet_report.failed(),
-        kills: 1,
-        restarts: fleet_report.restarts,
-        rollbacks: fleet_report.rollbacks,
-        corruptions: 0,
-        truncations: 1,
-        quarantined: fleet_report.quarantine.len(),
-    }
+    (
+        CellRow {
+            name: "torn_store_kill9",
+            bit_identical: identical,
+            gate_passed: gate,
+            completed: fleet_report.completed(),
+            failed: fleet_report.failed(),
+            kills: 1,
+            restarts: fleet_report.restarts,
+            rollbacks: fleet_report.rollbacks,
+            corruptions: 0,
+            truncations: 1,
+            quarantined: fleet_report.quarantine.len(),
+        },
+        observed,
+    )
+}
+
+fn run_torn_store_kill9(
+    burn_hours: usize,
+    report: &mut ShapeReport,
+    cache: Option<&SweepCache>,
+) -> CellRow {
+    let (row, observed) = match cache {
+        Some(cache) => {
+            let burn = burn_hours.to_string();
+            cache.cell(
+                "chaos_torn_store_kill9",
+                &[
+                    ("bin", "chaos_suite"),
+                    ("cell", "torn_store_kill9"),
+                    ("burn_hours", &burn),
+                ],
+                || compute_torn_store_kill9(burn_hours),
+                encode_cell,
+                |s| decode_cell("torn_store_kill9", s),
+            )
+        }
+        None => compute_torn_store_kill9(burn_hours),
+    };
+    report.check(claim_for("torn_store_kill9"), row.gate_passed, observed);
+    row
 }
 
 fn main() {
@@ -484,6 +603,13 @@ fn main() {
 
     let sink = ObsSink::from_args();
     let sink_recorder = sink.as_ref().map(ObsSink::recorder);
+    let cache = match SweepCache::from_args(sink_recorder.clone()) {
+        Ok(cache) => cache,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     let cells = matrix(smoke);
     println!(
         "Chaos suite: {} matrix cell(s) + torn-store kill-9, {burn_hours}h campaigns, \
@@ -500,6 +626,7 @@ fn main() {
             &widths,
             &mut report,
             sink_recorder.as_ref(),
+            cache.as_ref(),
         );
         println!(
             "  {:<16} completed {} / failed {}, kills {}, restarts {}, rollbacks {}, \
@@ -516,7 +643,7 @@ fn main() {
         );
         rows.push(row);
     }
-    let row = run_torn_store_kill9(burn_hours, &mut report);
+    let row = run_torn_store_kill9(burn_hours, &mut report, cache.as_ref());
     println!(
         "  {:<16} completed {} / failed {}, rollbacks {}, bit_identical {}, gate {}",
         row.name, row.completed, row.failed, row.rollbacks, row.bit_identical, row.gate_passed
@@ -546,18 +673,25 @@ fn main() {
             )
         })
         .collect();
+    // The result_cache row carries only identity facts (cell count,
+    // byte-identity verdict), never hit counts — so the cold and warm
+    // BENCH files compare byte-identical in the CI cache smoke.
     let json = format!(
         concat!(
             "{{\"workload\":\"fleet_chaos_matrix\",\"smoke\":{},",
-            "\"burn_hours\":{},\"hardware_threads\":{},\"rows\":[{}]}}"
+            "\"burn_hours\":{},\"hardware_threads\":{},\"rows\":[{},{}]}}"
         ),
         smoke,
         burn_hours,
         hardware_threads,
-        json_rows.join(",")
+        json_rows.join(","),
+        cache_bench_row(cache.as_ref())
     );
     if let Ok(path) = save_artifact("BENCH_chaos.json", &json) {
         println!("wrote {}", path.display());
+    }
+    if let Some(cache) = &cache {
+        cache.finish(&mut report);
     }
     if let Some(sink) = &sink {
         report.check(

@@ -18,9 +18,11 @@
 //!
 //! Artifacts: `fault_tolerance.csv` and `fault_tolerance.json`.
 
-use bench::{exit_by, run_with_thread_arg, save_artifact, ObsSink, ShapeReport};
+use bench::{exit_by, run_with_thread_arg, save_artifact, ObsSink, ShapeReport, SweepCache};
 use bti_physics::{Hours, LogicLevel};
 use cloud::{FaultKind, FaultPlan, Provider, ProviderConfig};
+use obs::json_f64;
+use obs_analyze::fnv1a;
 use pentimento::threat_model1::{self, ThreatModel1Config};
 use pentimento::threat_model2::{self, ThreatModel2Config};
 use pentimento::{Campaign, CampaignConfig, CampaignOutcome, MeasurementMode, Mission};
@@ -69,49 +71,161 @@ fn campaign_config(rate: f64) -> CampaignConfig {
     config
 }
 
-struct SweepRow {
-    tm: &'static str,
-    rate: f64,
-    outcome: CampaignOutcome,
+/// Exact content digest of a campaign's behavioural outcome: FNV-1a
+/// over the `Debug` rendering of (series, recovered, truth). `Debug`
+/// prints floats shortest-roundtrip, so equal digests mean bit-equal
+/// outcomes — cross-cell identity claims (benign equivalence) survive
+/// caching without storing the full series.
+fn outcome_digest(series: &[pentimento::RouteSeries], recovered: &[LogicLevel]) -> u64 {
+    fnv1a(format!("{:?}", (series, recovered)).as_bytes())
 }
 
-impl SweepRow {
-    fn accuracy(&self) -> f64 {
-        self.outcome.metrics.accuracy
+/// Everything one sweep cell contributes downstream (table line, CSV and
+/// JSON rows, the three claims) — the unit the result cache stores. A
+/// campaign failure is carried in `error` so a cached cell replays the
+/// same attributed check failure a live run would produce.
+struct CellOut {
+    tm: String,
+    rate: f64,
+    error: Option<String>,
+    bits: u64,
+    dprime: f64,
+    accuracy: f64,
+    mean_confidence: f64,
+    abstained: u64,
+    reacquisitions: u64,
+    rent_retries: u64,
+    scrub_reloads: u64,
+    dropped_points: u64,
+    degraded_points: u64,
+    faults_injected: u64,
+    truth_bits: u64,
+    digest: u64,
+}
+
+impl CellOut {
+    fn from_outcome(tm: &str, rate: f64, outcome: &CampaignOutcome) -> Self {
+        let s = &outcome.stats;
+        let n = outcome.scored.len().max(1);
+        Self {
+            tm: tm.to_owned(),
+            rate,
+            error: None,
+            bits: outcome.metrics.bits as u64,
+            dprime: outcome.metrics.dprime,
+            accuracy: outcome.metrics.accuracy,
+            mean_confidence: outcome.scored.iter().map(|c| c.confidence).sum::<f64>() / n as f64,
+            abstained: s.abstained as u64,
+            reacquisitions: u64::from(s.reacquisitions),
+            rent_retries: u64::from(s.rent_retries),
+            scrub_reloads: u64::from(s.scrub_reloads),
+            dropped_points: s.dropped_points as u64,
+            degraded_points: s.degraded_points as u64,
+            faults_injected: s.faults_injected as u64,
+            truth_bits: outcome.truth.len() as u64,
+            digest: outcome_digest(&outcome.series, &outcome.recovered),
+        }
     }
 
-    fn mean_confidence(&self) -> f64 {
-        let n = self.outcome.scored.len().max(1);
-        self.outcome
-            .scored
-            .iter()
-            .map(|c| c.confidence)
-            .sum::<f64>()
-            / n as f64
+    fn failed(tm: &str, rate: f64, error: String) -> Self {
+        Self {
+            tm: tm.to_owned(),
+            rate,
+            error: Some(error.replace('\n', " ")),
+            bits: 0,
+            dprime: 0.0,
+            accuracy: 0.0,
+            mean_confidence: 0.0,
+            abstained: 0,
+            reacquisitions: 0,
+            rent_retries: 0,
+            scrub_reloads: 0,
+            dropped_points: 0,
+            degraded_points: 0,
+            faults_injected: 0,
+            truth_bits: 0,
+            digest: 0,
+        }
+    }
+
+    fn encode(&self) -> String {
+        let mut out = format!("tm={}\nrate={}\n", self.tm, json_f64(self.rate));
+        if let Some(error) = &self.error {
+            out.push_str(&format!("error={error}\n"));
+            return out;
+        }
+        out.push_str(&format!(
+            "bits={}\ndprime={}\naccuracy={}\nmean_confidence={}\nabstained={}\n\
+             reacquisitions={}\nrent_retries={}\nscrub_reloads={}\ndropped_points={}\n\
+             degraded_points={}\nfaults_injected={}\ntruth_bits={}\ndigest={:016x}\n",
+            self.bits,
+            json_f64(self.dprime),
+            json_f64(self.accuracy),
+            json_f64(self.mean_confidence),
+            self.abstained,
+            self.reacquisitions,
+            self.rent_retries,
+            self.scrub_reloads,
+            self.dropped_points,
+            self.degraded_points,
+            self.faults_injected,
+            self.truth_bits,
+            self.digest,
+        ));
+        out
+    }
+
+    fn decode(s: &str) -> Option<Self> {
+        let mut fields = std::collections::BTreeMap::new();
+        for line in s.lines() {
+            let (name, value) = line.split_once('=')?;
+            fields.insert(name, value);
+        }
+        let tm = (*fields.get("tm")?).to_owned();
+        let rate: f64 = fields.get("rate")?.parse().ok()?;
+        if let Some(error) = fields.get("error") {
+            return Some(Self::failed(&tm, rate, (*error).to_owned()));
+        }
+        Some(Self {
+            tm,
+            rate,
+            error: None,
+            bits: fields.get("bits")?.parse().ok()?,
+            dprime: fields.get("dprime")?.parse().ok()?,
+            accuracy: fields.get("accuracy")?.parse().ok()?,
+            mean_confidence: fields.get("mean_confidence")?.parse().ok()?,
+            abstained: fields.get("abstained")?.parse().ok()?,
+            reacquisitions: fields.get("reacquisitions")?.parse().ok()?,
+            rent_retries: fields.get("rent_retries")?.parse().ok()?,
+            scrub_reloads: fields.get("scrub_reloads")?.parse().ok()?,
+            dropped_points: fields.get("dropped_points")?.parse().ok()?,
+            degraded_points: fields.get("degraded_points")?.parse().ok()?,
+            faults_injected: fields.get("faults_injected")?.parse().ok()?,
+            truth_bits: fields.get("truth_bits")?.parse().ok()?,
+            digest: u64::from_str_radix(fields.get("digest")?, 16).ok()?,
+        })
     }
 
     fn csv(&self) -> String {
-        let s = &self.outcome.stats;
         format!(
             "{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{}",
             self.tm,
             self.rate,
-            self.outcome.metrics.bits,
-            self.outcome.metrics.dprime,
-            self.accuracy(),
-            self.mean_confidence(),
-            s.abstained,
-            s.reacquisitions,
-            s.rent_retries,
-            s.scrub_reloads,
-            s.dropped_points,
-            s.degraded_points,
-            s.faults_injected,
+            self.bits,
+            self.dprime,
+            self.accuracy,
+            self.mean_confidence,
+            self.abstained,
+            self.reacquisitions,
+            self.rent_retries,
+            self.scrub_reloads,
+            self.dropped_points,
+            self.degraded_points,
+            self.faults_injected,
         )
     }
 
     fn json(&self) -> String {
-        let s = &self.outcome.stats;
         format!(
             concat!(
                 "{{\"tm\":\"{}\",\"rate\":{},\"bits\":{},\"dprime\":{:.3},",
@@ -121,19 +235,91 @@ impl SweepRow {
             ),
             self.tm,
             self.rate,
-            self.outcome.metrics.bits,
-            self.outcome.metrics.dprime,
-            self.accuracy(),
-            self.mean_confidence(),
-            s.abstained,
-            s.reacquisitions,
-            s.rent_retries,
-            s.scrub_reloads,
-            s.dropped_points,
-            s.degraded_points,
-            s.faults_injected,
+            self.bits,
+            self.dprime,
+            self.accuracy,
+            self.mean_confidence,
+            self.abstained,
+            self.reacquisitions,
+            self.rent_retries,
+            self.scrub_reloads,
+            self.dropped_points,
+            self.degraded_points,
+            self.faults_injected,
         )
     }
+}
+
+/// Cached form of the plain-driver reference runs claim 1 compares
+/// against.
+struct DriverOut {
+    accuracy: f64,
+    digest: u64,
+}
+
+fn encode_driver(d: &DriverOut) -> String {
+    format!(
+        "accuracy={}\ndigest={:016x}\n",
+        json_f64(d.accuracy),
+        d.digest
+    )
+}
+
+fn decode_driver(s: &str) -> Option<DriverOut> {
+    let mut accuracy = None;
+    let mut digest = None;
+    for line in s.lines() {
+        let (name, value) = line.split_once('=')?;
+        match name {
+            "accuracy" => accuracy = Some(value.parse().ok()?),
+            "digest" => digest = Some(u64::from_str_radix(value, 16).ok()?),
+            _ => return None,
+        }
+    }
+    Some(DriverOut {
+        accuracy: accuracy?,
+        digest: digest?,
+    })
+}
+
+/// Cached form of the checkpoint/resume scenario (claim 3): the
+/// identity verdict plus the numbers the check's observed string prints.
+struct ResumeOut {
+    completed: bool,
+    identical: bool,
+    resumed_accuracy: f64,
+    reference_accuracy: f64,
+    reacquisitions: u64,
+    note: String,
+}
+
+fn encode_resume(r: &ResumeOut) -> String {
+    format!(
+        "completed={}\nidentical={}\nresumed_accuracy={}\nreference_accuracy={}\n\
+         reacquisitions={}\nnote={}\n",
+        r.completed,
+        r.identical,
+        json_f64(r.resumed_accuracy),
+        json_f64(r.reference_accuracy),
+        r.reacquisitions,
+        r.note.replace('\n', " "),
+    )
+}
+
+fn decode_resume(s: &str) -> Option<ResumeOut> {
+    let mut fields = std::collections::BTreeMap::new();
+    for line in s.lines() {
+        let (name, value) = line.split_once('=')?;
+        fields.insert(name, value);
+    }
+    Some(ResumeOut {
+        completed: fields.get("completed")?.parse().ok()?,
+        identical: fields.get("identical")?.parse().ok()?,
+        resumed_accuracy: fields.get("resumed_accuracy")?.parse().ok()?,
+        reference_accuracy: fields.get("reference_accuracy")?.parse().ok()?,
+        reacquisitions: fields.get("reacquisitions")?.parse().ok()?,
+        note: (*fields.get("note")?).to_owned(),
+    })
 }
 
 fn run_campaign(
@@ -152,11 +338,19 @@ fn run() {
     let mut report = ShapeReport::new();
     let sink = ObsSink::from_args();
     let rec = sink.as_ref().map(ObsSink::recorder);
-    let mut rows: Vec<SweepRow> = Vec::new();
+    let cache = match SweepCache::from_args(rec.clone()) {
+        Ok(cache) => cache,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
 
     // ----- Sweep both threat models over the fault-rate grid. -----------
     // The six (rate, model) campaigns are independent simulations; fan
-    // them out and merge the results back in grid order.
+    // them out and merge the results back in grid order. With `--cache`,
+    // each cell is keyed by its full mission + campaign config and a hit
+    // replays the stored cell instead of simulating.
     println!("Fault-tolerance sweep: rates {RATES:?}, TM1 and TM2, TDC sensing");
     let grid: Vec<(f64, &'static str, Mission)> = RATES
         .iter()
@@ -167,30 +361,58 @@ fn run() {
             ]
         })
         .collect();
-    let sweep: Vec<_> = grid
+    let cells: Vec<CellOut> = grid
         .into_par_iter()
-        .map(|(rate, tm, mission)| (rate, tm, run_campaign(mission, rate, rec.clone())))
-        .collect();
-    for (rate, tm, result) in sweep {
-        match result {
-            Ok(outcome) => {
-                println!(
-                    "  {tm} rate {rate}: accuracy {:.3}, mean confidence {:.3}, \
-                     {} abstained, {} reacquisitions, {} faults injected",
-                    outcome.metrics.accuracy,
-                    {
-                        let n = outcome.scored.len().max(1);
-                        outcome.scored.iter().map(|c| c.confidence).sum::<f64>() / n as f64
-                    },
-                    outcome.stats.abstained,
-                    outcome.stats.reacquisitions,
-                    outcome.stats.faults_injected,
-                );
-                rows.push(SweepRow { tm, rate, outcome });
+        .map(|(rate, tm, mission)| {
+            let compute = || match run_campaign(mission.clone(), rate, rec.clone()) {
+                Ok(outcome) => CellOut::from_outcome(tm, rate, &outcome),
+                Err(e) => CellOut::failed(tm, rate, e.to_string()),
+            };
+            match cache.as_ref() {
+                Some(cache) => {
+                    let mission_dbg = format!("{mission:?}");
+                    let campaign_dbg = format!("{:?}", campaign_config(rate));
+                    let rate_s = json_f64(rate);
+                    let seed_s = SWEEP_SEED.to_string();
+                    cache.cell(
+                        &format!("fault_{tm}_rate{rate_s}"),
+                        &[
+                            ("bin", "fault_tolerance"),
+                            ("tm", tm),
+                            ("rate", &rate_s),
+                            ("mission", &mission_dbg),
+                            ("campaign_config", &campaign_dbg),
+                            ("seed", &seed_s),
+                        ],
+                        compute,
+                        CellOut::encode,
+                        CellOut::decode,
+                    )
+                }
+                None => compute(),
             }
-            Err(e) => {
+        })
+        .collect();
+    let mut rows: Vec<&CellOut> = Vec::new();
+    for cell in &cells {
+        match &cell.error {
+            None => {
+                println!(
+                    "  {} rate {}: accuracy {:.3}, mean confidence {:.3}, \
+                     {} abstained, {} reacquisitions, {} faults injected",
+                    cell.tm,
+                    cell.rate,
+                    cell.accuracy,
+                    cell.mean_confidence,
+                    cell.abstained,
+                    cell.reacquisitions,
+                    cell.faults_injected,
+                );
+                rows.push(cell);
+            }
+            Some(e) => {
                 report.check(
-                    format!("{tm} campaign completes at rate {rate}"),
+                    format!("{} campaign completes at rate {}", cell.tm, cell.rate),
                     false,
                     format!("failed: {e}"),
                 );
@@ -204,33 +426,57 @@ fn run() {
     );
 
     // ----- Claim 1: benign equivalence with the plain drivers. ----------
-    let mut driver_provider = provider();
-    let tm1_driver = threat_model1::run(&mut driver_provider, &tm1_config()).expect("tm1 driver");
-    let mut driver_provider = provider();
-    let tm2_driver = threat_model2::run(&mut driver_provider, &tm2_config()).expect("tm2 driver");
+    // The drivers are cells too; their outcome digests stand in for the
+    // full series/recovered comparison (equal digest ⇔ bit-equal Debug
+    // rendering ⇔ bit-equal outcome).
+    let driver_cell =
+        |name: &str, config_dbg: String, run: &dyn Fn() -> DriverOut| match cache.as_ref() {
+            Some(cache) => cache.cell(
+                name,
+                &[
+                    ("bin", "fault_tolerance"),
+                    ("driver", name),
+                    ("config", &config_dbg),
+                ],
+                run,
+                encode_driver,
+                decode_driver,
+            ),
+            None => run(),
+        };
+    let tm1_driver = driver_cell("fault_driver_tm1", format!("{:?}", tm1_config()), &|| {
+        let outcome = threat_model1::run(&mut provider(), &tm1_config()).expect("tm1 driver");
+        DriverOut {
+            accuracy: outcome.metrics.accuracy,
+            digest: outcome_digest(&outcome.series, &outcome.recovered),
+        }
+    });
+    let tm2_driver = driver_cell("fault_driver_tm2", format!("{:?}", tm2_config()), &|| {
+        let outcome = threat_model2::run(&mut provider(), &tm2_config()).expect("tm2 driver");
+        DriverOut {
+            accuracy: outcome.metrics.accuracy,
+            digest: outcome_digest(&outcome.series, &outcome.recovered),
+        }
+    });
 
     let find = |tm: &str, rate: f64| rows.iter().find(|r| r.tm == tm && r.rate == rate);
     if let Some(row) = find("tm1", 0.0) {
         report.check(
             "TM1 rate-0 campaign bits identical to the fault-free driver",
-            row.outcome.recovered == tm1_driver.recovered
-                && row.outcome.series == tm1_driver.series,
+            row.digest == tm1_driver.digest,
             format!(
                 "campaign accuracy {:.4}, driver accuracy {:.4}",
-                row.accuracy(),
-                tm1_driver.metrics.accuracy
+                row.accuracy, tm1_driver.accuracy
             ),
         );
     }
     if let Some(row) = find("tm2", 0.0) {
         report.check(
             "TM2 rate-0 campaign bits identical to the fault-free driver",
-            row.outcome.recovered == tm2_driver.recovered
-                && row.outcome.series == tm2_driver.series,
+            row.digest == tm2_driver.digest,
             format!(
                 "campaign accuracy {:.4}, driver accuracy {:.4}",
-                row.accuracy(),
-                tm2_driver.metrics.accuracy
+                row.accuracy, tm2_driver.accuracy
             ),
         );
     }
@@ -239,15 +485,15 @@ fn run() {
     for tm in ["tm1", "tm2"] {
         let acc: Vec<f64> = RATES
             .iter()
-            .filter_map(|&r| find(tm, r).map(SweepRow::accuracy))
+            .filter_map(|&r| find(tm, r).map(|row| row.accuracy))
             .collect();
-        let faults: Vec<usize> = RATES
+        let faults: Vec<u64> = RATES
             .iter()
-            .filter_map(|&r| find(tm, r).map(|row| row.outcome.stats.faults_injected))
+            .filter_map(|&r| find(tm, r).map(|row| row.faults_injected))
             .collect();
         if acc.len() == RATES.len() {
             // One-bit slack: tiny configs quantize accuracy in 1/8 steps.
-            let slack = 1.0 / f64::from(u32::try_from(rows[0].outcome.truth.len()).unwrap_or(8));
+            let slack = 1.0 / f64::from(u32::try_from(rows[0].truth_bits).unwrap_or(8));
             report.check(
                 format!("{tm} accuracy degrades monotonically (±1 bit) with fault rate"),
                 acc.windows(2).all(|w| w[1] <= w[0] + slack),
@@ -263,7 +509,9 @@ fn run() {
 
     // ----- Claim 3: checkpoint/resume is bit-identical. -----------------
     // A preemption is scheduled after the checkpoint hour, so the resumed
-    // campaign must also replay the fault and its recovery.
+    // campaign must also replay the fault and its recovery. The whole
+    // scenario (reference + interrupt + resume + identity verdict) is one
+    // cache cell.
     let interrupted_config = || {
         let mut config = campaign_config(0.02);
         config.fault_plan = config
@@ -272,51 +520,80 @@ fn run() {
             .with_scheduled(Hours::new(30.0), FaultKind::Preemption);
         config
     };
-    let reference = Campaign::new(
-        provider(),
-        Mission::ThreatModel1(tm1_config()),
-        interrupted_config(),
-    )
-    .and_then(|mut c| c.run());
-    let resumed = Campaign::new(
-        provider(),
-        Mission::ThreatModel1(tm1_config()),
-        interrupted_config(),
-    )
-    .and_then(|mut campaign| {
-        for _ in 0..20 {
-            campaign.step()?;
-        }
-        let checkpoint = campaign.checkpoint();
-        drop(campaign); // the original process "dies" here
-        Campaign::resume(checkpoint)
-    })
-    .and_then(|mut c| c.run());
-    match (reference, resumed) {
-        (Ok(reference), Ok(resumed)) => {
-            report.check(
-                "mid-campaign checkpoint + resume reproduces the uninterrupted bits",
-                resumed.recovered == reference.recovered && resumed.series == reference.series,
-                format!(
-                    "resumed accuracy {:.4} vs uninterrupted {:.4}, \
-                     {} reacquisition(s) replayed",
-                    resumed.metrics.accuracy,
-                    reference.metrics.accuracy,
-                    resumed.stats.reacquisitions
-                ),
-            );
-        }
-        (r, s) => {
-            report.check(
-                "checkpoint/resume scenario completes",
-                false,
-                format!(
+    let run_resume_scenario = || {
+        let reference = Campaign::new(
+            provider(),
+            Mission::ThreatModel1(tm1_config()),
+            interrupted_config(),
+        )
+        .and_then(|mut c| c.run());
+        let resumed = Campaign::new(
+            provider(),
+            Mission::ThreatModel1(tm1_config()),
+            interrupted_config(),
+        )
+        .and_then(|mut campaign| {
+            for _ in 0..20 {
+                campaign.step()?;
+            }
+            let checkpoint = campaign.checkpoint();
+            drop(campaign); // the original process "dies" here
+            Campaign::resume(checkpoint)
+        })
+        .and_then(|mut c| c.run());
+        match (reference, resumed) {
+            (Ok(reference), Ok(resumed)) => ResumeOut {
+                completed: true,
+                identical: resumed.recovered == reference.recovered
+                    && resumed.series == reference.series,
+                resumed_accuracy: resumed.metrics.accuracy,
+                reference_accuracy: reference.metrics.accuracy,
+                reacquisitions: u64::from(resumed.stats.reacquisitions),
+                note: String::new(),
+            },
+            (r, s) => ResumeOut {
+                completed: false,
+                identical: false,
+                resumed_accuracy: 0.0,
+                reference_accuracy: 0.0,
+                reacquisitions: 0,
+                note: format!(
                     "uninterrupted: {}, resumed: {}",
                     r.map(|_| "ok".to_owned()).unwrap_or_else(|e| e.to_string()),
                     s.map(|_| "ok".to_owned()).unwrap_or_else(|e| e.to_string()),
                 ),
-            );
+            },
         }
+    };
+    let resume = match cache.as_ref() {
+        Some(cache) => {
+            let config_dbg = format!("{:?}", interrupted_config());
+            cache.cell(
+                "fault_resume",
+                &[
+                    ("bin", "fault_tolerance"),
+                    ("scenario", "checkpoint_resume"),
+                    ("config", &config_dbg),
+                ],
+                run_resume_scenario,
+                encode_resume,
+                decode_resume,
+            )
+        }
+        None => run_resume_scenario(),
+    };
+    if resume.completed {
+        report.check(
+            "mid-campaign checkpoint + resume reproduces the uninterrupted bits",
+            resume.identical,
+            format!(
+                "resumed accuracy {:.4} vs uninterrupted {:.4}, \
+                 {} reacquisition(s) replayed",
+                resume.resumed_accuracy, resume.reference_accuracy, resume.reacquisitions
+            ),
+        );
+    } else {
+        report.check("checkpoint/resume scenario completes", false, resume.note);
     }
 
     // ----- Artifacts. ---------------------------------------------------
@@ -330,16 +607,16 @@ fn run() {
     }
     let json = format!(
         "{{\"seed\":{SWEEP_SEED},\"rates\":{RATES:?},\"rows\":[{}]}}",
-        rows.iter()
-            .map(SweepRow::json)
-            .collect::<Vec<_>>()
-            .join(",")
+        rows.iter().map(|r| r.json()).collect::<Vec<_>>().join(",")
     );
     if let Ok(path) = save_artifact("fault_tolerance.csv", &csv) {
         println!("wrote {}", path.display());
     }
     if let Ok(path) = save_artifact("fault_tolerance.json", &json) {
         println!("wrote {}", path.display());
+    }
+    if let Some(cache) = &cache {
+        cache.finish(&mut report);
     }
     if let Some(sink) = &sink {
         report.check(

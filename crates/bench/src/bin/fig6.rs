@@ -8,6 +8,24 @@ use pentimento::{
     ascii_chart, series_to_csv, AsciiChartConfig, LabExperiment, LabExperimentConfig,
 };
 
+/// Unwraps a class mean, converting an empty-series error into a NaN
+/// plus an attributed failed check: the affected band checks then fail
+/// (NaN compares false) and the process exits nonzero, but the rest of
+/// the figure still renders.
+fn mean_or_flag(
+    report: &mut ShapeReport,
+    label: &str,
+    result: Result<f64, bench::EmptySeriesError>,
+) -> f64 {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            report.check(format!("{label} is computable"), false, e.to_string());
+            f64::NAN
+        }
+    }
+}
+
 fn main() {
     let config = LabExperimentConfig::paper_experiment1(2024);
     println!("Experiment 1 (lab): new ZCU102 @ 60C, 200 h burn + 200 h recovery, 64 routes");
@@ -41,8 +59,16 @@ fn main() {
                 }
             )
         );
-        let up = class_mean_at_hour(&group, target, LogicLevel::One, 200.0);
-        let down = class_mean_at_hour(&group, target, LogicLevel::Zero, 200.0);
+        let up = mean_or_flag(
+            &mut report,
+            &format!("{target} ps burn-1 mean at 200 h"),
+            class_mean_at_hour(&group, target, LogicLevel::One, 200.0),
+        );
+        let down = mean_or_flag(
+            &mut report,
+            &format!("{target} ps burn-0 mean at 200 h"),
+            class_mean_at_hour(&group, target, LogicLevel::Zero, 200.0),
+        );
         println!(
             "mean Δps at hour 200: burn-1 {up:+.2} ps, burn-0 {down:+.2} ps (paper: ±[{lo},{hi}])\n"
         );
@@ -117,7 +143,11 @@ fn main() {
     // Burn-0 recovery is far slower: 100 h into the complement the 10000 ps
     // routes are still several ps below baseline (they only approach zero
     // after 200+ h).
-    let burn0_at_300 = class_mean_at_hour(&outcome.series, 10_000.0, LogicLevel::Zero, 300.0);
+    let burn0_at_300 = mean_or_flag(
+        &mut report,
+        "burn-0 10000 ps mean at 300 h",
+        class_mean_at_hour(&outcome.series, 10_000.0, LogicLevel::Zero, 300.0),
+    );
     report.check(
         "burn-0 10000 ps routes still well below baseline 100 h into recovery (>200 h to recover)",
         burn0_at_300 < -1.0,

@@ -8,6 +8,23 @@ use cloud::{Provider, ProviderConfig};
 use pentimento::threat_model1::{self, ThreatModel1Config};
 use pentimento::{ascii_chart, series_to_csv, AsciiChartConfig};
 
+/// Unwraps a class mean; on an empty-series error records an attributed
+/// failed check and yields NaN so downstream band checks fail (nonzero
+/// exit) without aborting the rest of the figure.
+fn mean_or_flag(
+    report: &mut ShapeReport,
+    label: &str,
+    result: Result<f64, bench::EmptySeriesError>,
+) -> f64 {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            report.check(format!("{label} is computable"), false, e.to_string());
+            f64::NAN
+        }
+    }
+}
+
 fn main() {
     let mut provider = Provider::new(ProviderConfig::aws_f1_like(4, 2024));
     let config = ThreatModel1Config::paper_experiment2(2024);
@@ -40,8 +57,16 @@ fn main() {
                 }
             )
         );
-        let up = class_mean_at_hour(&group, target, LogicLevel::One, 200.0);
-        let down = class_mean_at_hour(&group, target, LogicLevel::Zero, 200.0);
+        let up = mean_or_flag(
+            &mut report,
+            &format!("{target} ps burn-1 mean at 200 h"),
+            class_mean_at_hour(&group, target, LogicLevel::One, 200.0),
+        );
+        let down = mean_or_flag(
+            &mut report,
+            &format!("{target} ps burn-0 mean at 200 h"),
+            class_mean_at_hour(&group, target, LogicLevel::Zero, 200.0),
+        );
         println!(
             "mean Δps at hour 200: burn-1 {up:+.2} ps, burn-0 {down:+.2} ps (paper: ±[0,{paper_hi}])\n"
         );
@@ -69,7 +94,11 @@ fn main() {
     }
 
     // Cloud magnitudes are roughly an order of magnitude below the lab's.
-    let cloud_10k = class_mean_at_hour(&outcome.series, 10_000.0, LogicLevel::One, 200.0);
+    let cloud_10k = mean_or_flag(
+        &mut report,
+        "cloud 10000 ps burn-1 mean at 200 h",
+        class_mean_at_hour(&outcome.series, 10_000.0, LogicLevel::One, 200.0),
+    );
     report.check(
         "aged cloud device imprints ~10x weaker than a new ZCU102 (paper: 10-11 ps lab vs 0-2 ps cloud)",
         cloud_10k > 0.2 && cloud_10k < 3.0,

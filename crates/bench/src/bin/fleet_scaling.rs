@@ -28,7 +28,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use bench::{exit_by, save_artifact, threads_from_args, ObsSink, ShapeReport};
+use bench::{
+    cache_bench_row, exit_by, save_artifact, threads_from_args, ObsSink, ShapeReport, SweepCache,
+};
 use cloud::{
     Assignment, DevicePool, Provider, ProviderConfig, RentRequest, SessionBroker, TenantId,
 };
@@ -239,9 +241,105 @@ struct Row {
     contention_identical: bool,
     completed: usize,
     failed: usize,
+    kills: u64,
     campaigns_per_sec: f64,
     p99_tick_ms: f64,
     arena_bytes_per_device: usize,
+}
+
+// The whole width sweep is ONE cache cell: the cross-width identity
+// claims compare runs against each other, so replaying a subset would
+// be meaningless. Timing fields on a hit are the cold run's (recorded)
+// values — the identity verdicts are what the claims gate on.
+
+fn encode_rows(rows: &Vec<Row>) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&format!(
+            "row={} {} {} {} {} {} {} {} {}\n",
+            r.threads,
+            r.identical,
+            r.contention_identical,
+            r.completed,
+            r.failed,
+            r.kills,
+            obs::json_f64(r.campaigns_per_sec),
+            obs::json_f64(r.p99_tick_ms),
+            r.arena_bytes_per_device,
+        ));
+    }
+    out
+}
+
+fn decode_rows(s: &str) -> Option<Vec<Row>> {
+    let mut rows = Vec::new();
+    for line in s.lines() {
+        let value = line.strip_prefix("row=")?;
+        let mut f = value.split(' ');
+        rows.push(Row {
+            threads: f.next()?.parse().ok()?,
+            identical: f.next()?.parse().ok()?,
+            contention_identical: f.next()?.parse().ok()?,
+            completed: f.next()?.parse().ok()?,
+            failed: f.next()?.parse().ok()?,
+            kills: f.next()?.parse().ok()?,
+            campaigns_per_sec: f.next()?.parse().ok()?,
+            p99_tick_ms: f.next()?.parse().ok()?,
+            arena_bytes_per_device: f.next()?.parse().ok()?,
+        });
+        if f.next().is_some() {
+            return None;
+        }
+    }
+    Some(rows)
+}
+
+/// Runs the full width sweep (contention race + sharded fleet at each
+/// width) and folds each width into a [`Row`]. Pure in the sweep's
+/// inputs apart from the two wall-clock timing fields.
+fn compute_sweep(
+    widths: &[usize],
+    plan: &ChaosPlan,
+    winners: &[Assignment],
+    reference_assignments: &[Assignment],
+) -> Vec<Row> {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut base: Option<(String, String)> = None; // (digest, trace) at width 1
+    for &width in widths {
+        // Contention phase: the flash-attack race at this lane width must
+        // resolve exactly as the serial submission did.
+        let contention_identical = contention_assignments(width) == reference_assignments;
+
+        // Scheduling phase: the sharded fleet at this width.
+        let run = run_at_width(winners, plan, width);
+        let digest = run_digest(&run.report, &run.trace);
+        let identical = match &base {
+            None => {
+                base = Some((digest, run.trace.clone()));
+                true
+            }
+            Some((base_digest, base_trace)) => digest == *base_digest && run.trace == *base_trace,
+        };
+
+        let completed = run.report.completed();
+        let campaigns_per_sec = if run.elapsed_s > 0.0 {
+            completed as f64 / run.elapsed_s
+        } else {
+            0.0
+        };
+        rows.push(Row {
+            threads: width,
+            identical,
+            contention_identical,
+            completed,
+            failed: run.report.failed(),
+            kills: run.report.kills_injected,
+            campaigns_per_sec,
+            p99_tick_ms: run.p99_tick_ms,
+            arena_bytes_per_device: run.report.arena_bytes_per_device,
+        });
+    }
+    rows
 }
 
 fn main() {
@@ -257,6 +355,13 @@ fn main() {
 
     let sink = ObsSink::from_args();
     let sink_recorder = sink.as_ref().map(ObsSink::recorder);
+    let cache = match SweepCache::from_args(sink_recorder.clone()) {
+        Ok(cache) => cache,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "Fleet scaling: {FLEET_SIZE} campaigns over a sharded device pool, widths {widths:?}, \
          {hardware_threads} hardware thread(s)"
@@ -273,57 +378,50 @@ fn main() {
     assert_eq!(winners.len(), FLEET_SIZE, "pool grants exactly one fleet");
 
     let mut report = ShapeReport::new();
-    let mut rows: Vec<Row> = Vec::new();
-    let mut base: Option<(String, String)> = None; // (digest, trace) at width 1
+    let rows: Vec<Row> = match cache.as_ref() {
+        Some(cache) => {
+            let plan_dbg = format!("{plan:?}");
+            let widths_s = format!("{widths:?}");
+            let fleet_size = FLEET_SIZE.to_string();
+            let smoke_s = smoke.to_string();
+            cache.cell(
+                "fleet_sweep",
+                &[
+                    ("bin", "fleet_scaling"),
+                    ("plan", &plan_dbg),
+                    ("widths", &widths_s),
+                    ("fleet_size", &fleet_size),
+                    ("smoke", &smoke_s),
+                ],
+                || compute_sweep(&widths, &plan, &winners, &reference_assignments),
+                encode_rows,
+                decode_rows,
+            )
+        }
+        None => compute_sweep(&widths, &plan, &winners, &reference_assignments),
+    };
+
     let mut all_identical = true;
     let mut all_contention_identical = true;
     let mut all_complete = true;
-
-    for &width in &widths {
-        // Contention phase: the flash-attack race at this lane width must
-        // resolve exactly as the serial submission did.
-        let contention_identical = contention_assignments(width) == reference_assignments;
-
-        // Scheduling phase: the sharded fleet at this width.
-        let run = run_at_width(&winners, &plan, width);
-        let digest = run_digest(&run.report, &run.trace);
-        let identical = match &base {
-            None => {
-                base = Some((digest, run.trace.clone()));
-                true
-            }
-            Some((base_digest, base_trace)) => digest == *base_digest && run.trace == *base_trace,
-        };
-
-        let completed = run.report.completed();
-        let failed = run.report.failed();
-        let campaigns_per_sec = if run.elapsed_s > 0.0 {
-            completed as f64 / run.elapsed_s
-        } else {
-            0.0
-        };
-        all_identical &= identical;
-        all_contention_identical &= contention_identical;
-        all_complete &= completed == FLEET_SIZE && run.report.kills_injected == expected_kills;
-
+    for r in &rows {
+        all_identical &= r.identical;
+        all_contention_identical &= r.contention_identical;
+        all_complete &= r.completed == FLEET_SIZE && r.kills == expected_kills;
         println!(
-            "  threads {width}: {completed} completed / {failed} failed, kills {}, \
-             {campaigns_per_sec:.1} campaigns/sec, p99 tick {:.3} ms, arena {} KiB/device, \
-             identical {identical}, contention identical {contention_identical}",
-            run.report.kills_injected,
-            run.p99_tick_ms,
-            run.report.arena_bytes_per_device / 1024
+            "  threads {}: {} completed / {} failed, kills {}, \
+             {:.1} campaigns/sec, p99 tick {:.3} ms, arena {} KiB/device, \
+             identical {}, contention identical {}",
+            r.threads,
+            r.completed,
+            r.failed,
+            r.kills,
+            r.campaigns_per_sec,
+            r.p99_tick_ms,
+            r.arena_bytes_per_device / 1024,
+            r.identical,
+            r.contention_identical
         );
-        rows.push(Row {
-            threads: width,
-            identical,
-            contention_identical,
-            completed,
-            failed,
-            campaigns_per_sec,
-            p99_tick_ms: run.p99_tick_ms,
-            arena_bytes_per_device: run.report.arena_bytes_per_device,
-        });
     }
 
     report.check(
@@ -394,15 +492,19 @@ fn main() {
     let json = format!(
         concat!(
             "{{\"workload\":\"fleet_scaling\",\"smoke\":{},\"fleet_size\":{},",
-            "\"hardware_threads\":{},\"rows\":[{}]}}"
+            "\"hardware_threads\":{},\"rows\":[{},{}]}}"
         ),
         smoke,
         FLEET_SIZE,
         hardware_threads,
-        json_rows.join(",")
+        json_rows.join(","),
+        cache_bench_row(cache.as_ref())
     );
     if let Ok(path) = save_artifact("BENCH_fleet.json", &json) {
         println!("wrote {}", path.display());
+    }
+    if let Some(cache) = &cache {
+        cache.finish(&mut report);
     }
     if let Some(sink) = &sink {
         report.check(

@@ -6,8 +6,11 @@
 //!   its metrics snapshot), verify canonical event order and
 //!   trace/metrics agreement. Exit 1 with `line, column` positions on
 //!   any violation. Replaces CI's old ad-hoc `python3` validation.
-//! * `indicators <trace> [--metrics m.json] [--json|--md]` — derived
-//!   health indicators; byte-deterministic in both renderings.
+//! * `indicators <trace> [--metrics m.json] [--json|--md] [--stream]` —
+//!   derived health indicators; byte-deterministic in both renderings.
+//!   `--stream` feeds the trace through [`StreamingIndicators`] in
+//!   fixed-size chunks (bounded memory, no event `Vec`); the rendering
+//!   is byte-identical to the batch path by the DESIGN.md §15 contract.
 //! * `diff <base> <cand>` — semantic multiset diff of two traces. Exit 0
 //!   when the runs are semantically identical, 1 otherwise.
 //! * `sentinel --baseline b.json [--current f.json ...] [--write-baseline]`
@@ -17,11 +20,12 @@
 
 use std::collections::BTreeMap;
 use std::fs;
+use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use obs_analyze::diff::diff;
-use obs_analyze::indicators::{compute, IndicatorConfig};
+use obs_analyze::indicators::{compute, IndicatorConfig, Indicators};
 use obs_analyze::json::Value;
 use obs_analyze::parse::{
     cross_check, first_order_violation, parse_metrics, parse_trace, MetricsSnapshot,
@@ -29,6 +33,7 @@ use obs_analyze::parse::{
 use obs_analyze::sentinel::{
     baseline_json, evaluate, parse_baseline, parse_bench, BenchSnapshot, GateStatus,
 };
+use obs_analyze::stream::StreamingIndicators;
 
 /// BENCH artifacts the sentinel tracks when no `--current` is given.
 const DEFAULT_BENCH_SOURCES: [&str; 4] = [
@@ -59,7 +64,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: obs_report <subcommand>\n  \
     validate <trace.jsonl> [metrics.json]\n  \
-    indicators <trace.jsonl> [--metrics metrics.json] [--json|--md]\n  \
+    indicators <trace.jsonl> [--metrics metrics.json] [--json|--md] [--stream]\n  \
     diff <base.jsonl> <candidate.jsonl>\n  \
     sentinel --baseline <bundle.json> [--current <BENCH.json>]... [--write-baseline]";
 
@@ -99,15 +104,45 @@ fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Streams a trace file through [`StreamingIndicators`] in fixed-size
+/// chunks. Peak memory is one chunk plus the engine's per-(phase,route)
+/// cells — the full-trace `String` and event `Vec` of the batch path
+/// never exist here.
+fn stream_indicators(
+    trace_path: &str,
+    metrics: Option<&MetricsSnapshot>,
+) -> Result<Indicators, String> {
+    let mut file =
+        fs::File::open(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let mut engine = StreamingIndicators::new(&IndicatorConfig::default());
+    let mut chunk = [0u8; 8192];
+    loop {
+        let n = file
+            .read(&mut chunk)
+            .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        engine
+            .push_chunk(&chunk[..n])
+            .map_err(|e| format!("{trace_path}: {e}"))?;
+    }
+    engine
+        .finish(metrics)
+        .map_err(|e| format!("{trace_path}: {e}"))
+}
+
 fn cmd_indicators(args: &[String]) -> Result<ExitCode, String> {
     let mut trace_path = None;
     let mut metrics_path: Option<String> = None;
     let mut markdown = false;
+    let mut streaming = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => markdown = false,
             "--md" => markdown = true,
+            "--stream" => streaming = true,
             "--metrics" => {
                 metrics_path = Some(
                     it.next()
@@ -123,9 +158,13 @@ fn cmd_indicators(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let trace_path = trace_path.ok_or_else(|| format!("indicators needs a trace path\n{USAGE}"))?;
-    let events = load_trace(&trace_path)?;
     let metrics = metrics_path.as_deref().map(load_metrics).transpose()?;
-    let ind = compute(&events, metrics.as_ref(), &IndicatorConfig::default());
+    let ind = if streaming {
+        stream_indicators(&trace_path, metrics.as_ref())?
+    } else {
+        let events = load_trace(&trace_path)?;
+        compute(&events, metrics.as_ref(), &IndicatorConfig::default())
+    };
     if markdown {
         print!("{}", ind.to_markdown());
     } else {

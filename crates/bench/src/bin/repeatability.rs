@@ -9,12 +9,12 @@ use cloud::{Provider, ProviderConfig};
 use pentimento::analysis::{mean, std_dev};
 use pentimento::threat_model1::{self, ThreatModel1Config};
 use pentimento::threat_model2::{self, ThreatModel2Config};
-use pentimento::MeasurementMode;
+use pentimento::{MeasurementMode, PentimentoError};
 use rayon::prelude::*;
 
 const SEEDS: [u64; 6] = [11, 23, 47, 101, 499, 997];
 
-fn tm1_accuracy(seed: u64) -> f64 {
+fn tm1_accuracy(seed: u64) -> Result<f64, PentimentoError> {
     let mut provider = Provider::new(ProviderConfig::aws_f1_like(1, seed));
     let config = ThreatModel1Config {
         route_lengths_ps: vec![2_000.0, 5_000.0, 10_000.0],
@@ -25,13 +25,10 @@ fn tm1_accuracy(seed: u64) -> f64 {
         seed,
         measurement_repeats: 4,
     };
-    threat_model1::run(&mut provider, &config)
-        .expect("attack completes")
-        .metrics
-        .accuracy
+    threat_model1::run(&mut provider, &config).map(|o| o.metrics.accuracy)
 }
 
-fn tm2_long_route_accuracy(seed: u64) -> f64 {
+fn tm2_long_route_accuracy(seed: u64) -> Result<f64, PentimentoError> {
     let mut provider = Provider::new(ProviderConfig::aws_f1_like(2, seed));
     let config = ThreatModel2Config {
         route_lengths_ps: vec![5_000.0, 10_000.0],
@@ -44,8 +41,7 @@ fn tm2_long_route_accuracy(seed: u64) -> f64 {
         measurement_repeats: 8,
         victim_hold_and_recover_hours: 0,
     };
-    let outcome = threat_model2::run(&mut provider, &config).expect("attack completes");
-    outcome.metrics.accuracy
+    threat_model2::run(&mut provider, &config).map(|o| o.metrics.accuracy)
 }
 
 fn main() {
@@ -59,13 +55,16 @@ fn run() {
     );
 
     // Seeds are independent: fan both models' runs out as one batch of
-    // 12 jobs, then split the ordered results back apart.
+    // 12 jobs, then split the ordered results back apart. A single
+    // failing (model, seed) cell no longer aborts the batch — it becomes
+    // an attributed failed check and the spread statistics are skipped
+    // (they would be computed over a hole).
     let jobs: Vec<(usize, u64)> = (0..2)
         .flat_map(|model| SEEDS.iter().map(move |&seed| (model, seed)))
         .collect();
-    let accuracies: Vec<f64> = jobs
-        .into_par_iter()
-        .map(|(model, seed)| {
+    let outcomes: Vec<Result<f64, PentimentoError>> = jobs
+        .par_iter()
+        .map(|&(model, seed)| {
             if model == 0 {
                 tm1_accuracy(seed)
             } else {
@@ -73,10 +72,43 @@ fn run() {
             }
         })
         .collect();
-    let (tm1, tm2) = accuracies.split_at(SEEDS.len());
+
+    let mut report = ShapeReport::new();
+    for ((model, seed), outcome) in jobs.iter().zip(&outcomes) {
+        if let Err(e) = outcome {
+            let name = if *model == 0 { "tm1" } else { "tm2" };
+            report.check(
+                format!("{name} seed {seed} attack completes"),
+                false,
+                e.to_string(),
+            );
+        }
+    }
+    let complete: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|r| r.as_ref().ok().copied())
+        .collect();
+    report.check(
+        "all 12 (model, seed) cells completed",
+        complete.len() == outcomes.len(),
+        format!("{}/{}", complete.len(), outcomes.len()),
+    );
+    let mut csv = String::from("model,seed,accuracy\n");
+    for ((model, seed), outcome) in jobs.iter().zip(&outcomes) {
+        if let Ok(a) = outcome {
+            let name = if *model == 0 { "tm1" } else { "tm2" };
+            csv.push_str(&format!("{name},{seed},{a:.4}\n"));
+        }
+    }
+    if complete.len() != outcomes.len() {
+        if let Ok(path) = save_artifact("repeatability.csv", &csv) {
+            println!("wrote {}", path.display());
+        }
+        exit_by(report.finish());
+    }
+    let (tm1, tm2) = complete.split_at(SEEDS.len());
     let (tm1, tm2) = (tm1.to_vec(), tm2.to_vec());
 
-    let mut csv = String::from("model,seed,accuracy\n");
     println!("{:>8} | {:>10} {:>10}", "seed", "TM1", "TM2 (long)");
     for (i, &seed) in SEEDS.iter().enumerate() {
         println!(
@@ -84,8 +116,6 @@ fn run() {
             tm1[i] * 100.0,
             tm2[i] * 100.0
         );
-        csv.push_str(&format!("tm1,{seed},{:.4}\n", tm1[i]));
-        csv.push_str(&format!("tm2,{seed},{:.4}\n", tm2[i]));
     }
     println!(
         "\nTM1: mean {:.1}% (sd {:.1}pp) | TM2 long routes: mean {:.1}% (sd {:.1}pp)",
@@ -95,7 +125,6 @@ fn run() {
         std_dev(&tm2) * 100.0
     );
 
-    let mut report = ShapeReport::new();
     report.check(
         "Threat Model 1 succeeds at every seed (accuracy >= 90%)",
         tm1.iter().all(|&a| a >= 0.9),

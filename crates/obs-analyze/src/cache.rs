@@ -1,0 +1,312 @@
+//! Content-addressed result cache for sweep-bin cell artifacts.
+//!
+//! A sweep bin (attack_accuracy, fault_tolerance, chaos_suite,
+//! fleet_scaling) keys each cell's rendered output artifact by an
+//! FNV-1a digest over the canonicalized cell inputs — config, seed,
+//! smoke flag, and a code-fingerprint string — so a re-run whose inputs
+//! did not change can replay the cell's artifact instead of recomputing
+//! the simulation: the scenario matrix scales O(changed cells), not
+//! O(cells).
+//!
+//! Storage discipline mirrors `fleet::CheckpointStore`: every entry is
+//! committed by writing a `.tmp` sibling, `fsync`ing it, and atomically
+//! renaming it into place, and every entry is self-sealing — a header
+//! echoes the key digest plus the payload's length and FNV digest, and
+//! *any* mismatch (torn write, bit-rot, wrong key, truncation) makes
+//! [`ResultCache::lookup`] report [`Lookup::Corrupt`], which callers
+//! treat exactly like a miss: a damaged entry is recomputed and
+//! overwritten, never trusted.
+//!
+//! Cache-key rule (DESIGN.md §15): parts are `(name, value)` string
+//! pairs, name-sorted and length-prefixed before hashing, so neither
+//! part order nor concatenation ambiguity can alias two different
+//! configurations. `--threads` is deliberately *excluded* — the
+//! workspace determinism contract makes every cell width-invariant, so
+//! a cache written at one thread count is valid at any other. The
+//! code-fingerprint part is the invalidation lever: bump it whenever a
+//! cell's semantics change and every stale entry misses.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version tag of the on-disk entry format; a bump invalidates every
+/// existing entry (the header match fails → miss).
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes` — the workspace's standard cheap content digest
+/// (aging-arena digests and proptest seeding use the same function).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A content-address: the FNV-1a digest of a canonicalized part set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey(u64);
+
+impl CacheKey {
+    /// Digests `(name, value)` parts into a key. Parts are sorted by
+    /// name (then value) and each component is length-prefixed, so the
+    /// key is independent of part order and free of concatenation
+    /// aliasing (`("ab","c")` never collides with `("a","bc")`).
+    #[must_use]
+    pub fn from_parts(parts: &[(&str, &str)]) -> Self {
+        let mut sorted: Vec<&(&str, &str)> = parts.iter().collect();
+        sorted.sort();
+        let mut hash = FNV_OFFSET;
+        let mut feed = |bytes: &[u8]| {
+            for &b in (bytes.len() as u64).to_le_bytes().iter().chain(bytes) {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for (name, value) in sorted {
+            feed(name.as_bytes());
+            feed(value.as_bytes());
+        }
+        Self(hash)
+    }
+
+    /// The raw 64-bit digest.
+    #[must_use]
+    pub fn digest(self) -> u64 {
+        self.0
+    }
+
+    /// The digest as 16 lowercase hex digits (the entry-file suffix).
+    #[must_use]
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// A sealed entry matched: header intact, key echoed, payload digest
+    /// verified. Carries the stored artifact.
+    Hit(String),
+    /// No entry on disk for this (cell, key).
+    Miss,
+    /// An entry exists but failed validation (torn, rotted, truncated,
+    /// or keyed differently). Callers must treat this as a miss and
+    /// overwrite — a damaged entry is never trusted.
+    Corrupt,
+}
+
+/// A directory of self-sealing, content-addressed artifact entries.
+#[derive(Debug)]
+pub struct ResultCache {
+    root: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure to create the root directory.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The cache's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Entry path for a cell: `<root>/<cell>-<digest>.entry`, with any
+    /// non-filename-safe cell characters mapped to `_`.
+    #[must_use]
+    pub fn entry_path(&self, cell: &str, key: CacheKey) -> PathBuf {
+        let safe: String = cell
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.root.join(format!("{safe}-{}.entry", key.hex()))
+    }
+
+    /// Probes the cache for `(cell, key)`. Never errors: any filesystem
+    /// or validation failure degrades to [`Lookup::Miss`] /
+    /// [`Lookup::Corrupt`] — the cache is an accelerator, not a
+    /// dependency.
+    #[must_use]
+    pub fn lookup(&self, cell: &str, key: CacheKey) -> Lookup {
+        let path = self.entry_path(cell, key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => return Lookup::Miss,
+        };
+        match Self::unseal(&bytes, key) {
+            Some(artifact) => Lookup::Hit(artifact),
+            None => Lookup::Corrupt,
+        }
+    }
+
+    /// Validates a raw entry against `key`; `None` on any damage.
+    fn unseal(bytes: &[u8], key: CacheKey) -> Option<String> {
+        let newline = bytes.iter().position(|&b| b == b'\n')?;
+        let header = std::str::from_utf8(&bytes[..newline]).ok()?;
+        let payload = &bytes[newline + 1..];
+        let mut fields = header.split(' ');
+        if fields.next()? != "PENTCACHE" {
+            return None;
+        }
+        if fields.next()? != format!("v{CACHE_FORMAT_VERSION}") {
+            return None;
+        }
+        let mut expected: BTreeMap<&str, &str> = BTreeMap::new();
+        for field in fields {
+            let (name, value) = field.split_once('=')?;
+            expected.insert(name, value);
+        }
+        if *expected.get("key")? != key.hex() {
+            return None;
+        }
+        let len: usize = expected.get("len")?.parse().ok()?;
+        if payload.len() != len {
+            return None;
+        }
+        if *expected.get("fnv")? != format!("{:016x}", fnv1a(payload)) {
+            return None;
+        }
+        String::from_utf8(payload.to_vec()).ok()
+    }
+
+    /// Seals and durably commits `artifact` under `(cell, key)`:
+    /// write-temp → `fsync` → atomic rename, the `CheckpointStore`
+    /// discipline, so a crash mid-store leaves either the previous entry
+    /// or a `.tmp` leftover that `lookup` never reads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first filesystem failure; the previously committed
+    /// entry (if any) is undisturbed.
+    pub fn store(&self, cell: &str, key: CacheKey, artifact: &str) -> io::Result<PathBuf> {
+        let path = self.entry_path(cell, key);
+        let mut sealed = String::new();
+        let _ = write!(
+            sealed,
+            "PENTCACHE v{CACHE_FORMAT_VERSION} key={} len={} fnv={:016x}\n{artifact}",
+            key.hex(),
+            artifact.len(),
+            fnv1a(artifact.as_bytes()),
+        );
+        let tmp = path.with_extension("entry.tmp");
+        {
+            use std::io::Write as _;
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(sealed.as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("obs-analyze-cache-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            Self(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn keys_are_order_invariant_and_alias_free() {
+        let a = CacheKey::from_parts(&[("seed", "7"), ("config", "x")]);
+        let b = CacheKey::from_parts(&[("config", "x"), ("seed", "7")]);
+        assert_eq!(a, b);
+        // Length prefixes kill concatenation aliasing.
+        let c = CacheKey::from_parts(&[("ab", "c")]);
+        let d = CacheKey::from_parts(&[("a", "bc")]);
+        assert_ne!(c, d);
+        // Any part change moves the key.
+        assert_ne!(a, CacheKey::from_parts(&[("seed", "8"), ("config", "x")]));
+        assert_eq!(a.hex().len(), 16);
+    }
+
+    #[test]
+    fn round_trip_miss_store_hit_is_byte_identical() {
+        let scratch = Scratch::new("roundtrip");
+        let cache = ResultCache::open(&scratch.0).expect("opens");
+        let key = CacheKey::from_parts(&[("seed", "41")]);
+        assert_eq!(cache.lookup("cell/a", key), Lookup::Miss);
+        let artifact = "accuracy=0.9375\nrows=4\nunicode=é😀\n";
+        cache.store("cell/a", key, artifact).expect("stores");
+        assert_eq!(
+            cache.lookup("cell/a", key),
+            Lookup::Hit(artifact.to_owned())
+        );
+        // A different key for the same cell misses.
+        assert_eq!(
+            cache.lookup("cell/a", CacheKey::from_parts(&[("seed", "42")])),
+            Lookup::Miss
+        );
+    }
+
+    #[test]
+    fn damaged_entries_are_corrupt_never_trusted() {
+        let scratch = Scratch::new("corrupt");
+        let cache = ResultCache::open(&scratch.0).expect("opens");
+        let key = CacheKey::from_parts(&[("seed", "1")]);
+        let path = cache.store("cell", key, "payload body").expect("stores");
+
+        // Bit-rot in the payload.
+        let mut bytes = fs::read(&path).expect("reads");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x20;
+        fs::write(&path, &bytes).expect("writes");
+        assert_eq!(cache.lookup("cell", key), Lookup::Corrupt);
+
+        // Truncation (torn write after rename).
+        cache.store("cell", key, "payload body").expect("restores");
+        let sealed = fs::read(&path).expect("reads");
+        fs::write(&path, &sealed[..sealed.len() / 2]).expect("tears");
+        assert_eq!(cache.lookup("cell", key), Lookup::Corrupt);
+
+        // Garbage header.
+        fs::write(&path, b"not a cache entry\n").expect("writes");
+        assert_eq!(cache.lookup("cell", key), Lookup::Corrupt);
+
+        // Recomputing over a corrupt entry heals it.
+        cache.store("cell", key, "payload body").expect("heals");
+        assert_eq!(
+            cache.lookup("cell", key),
+            Lookup::Hit("payload body".to_owned())
+        );
+    }
+}

@@ -22,6 +22,14 @@
 //!    lineage with tolerance-banded gates: identity claims gate
 //!    unconditionally, timing gates arm only on real parallel hardware,
 //!    numerical error is banded with head room.
+//! 5. [`stream`] — a bounded-memory incremental twin of
+//!    [`indicators::compute`]: [`StreamingIndicators`] consumes the
+//!    trace line by line (arbitrary chunk boundaries) and produces the
+//!    byte-identical [`Indicators`] value, so fleet-scale traces never
+//!    have to fit in memory.
+//! 6. [`cache`] — a content-addressed result cache for sweep-bin cells:
+//!    FNV-1a keys over canonicalized inputs, self-sealing entries
+//!    committed tmp→fsync→rename, corruption degraded to a miss.
 //!
 //! Like `obs` itself the crate is std-only: the workspace vendors
 //! offline dependency stubs, so anything that must run everywhere (CI,
@@ -34,12 +42,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod diff;
 pub mod indicators;
 pub mod json;
 pub mod parse;
 pub mod sentinel;
+pub mod stream;
 
+pub use cache::{fnv1a, CacheKey, Lookup, ResultCache};
 pub use diff::{diff, TraceDiff};
 pub use indicators::{compute as compute_indicators, IndicatorConfig, Indicators};
 pub use json::{JsonError, Value};
@@ -48,3 +59,4 @@ pub use parse::{
     MetricsSnapshot, ParseError,
 };
 pub use sentinel::{evaluate, parse_bench, BenchSnapshot, GateStatus, SentinelReport};
+pub use stream::StreamingIndicators;

@@ -56,7 +56,7 @@ impl ParseError {
     /// Shifts a single-line error to `line` in a multi-line artifact
     /// (JSONL values are parsed one line at a time, so the inner parser
     /// always reports line 1).
-    fn on_jsonl_line(mut self, line: usize) -> Self {
+    pub(crate) fn on_jsonl_line(mut self, line: usize) -> Self {
         self.line = line;
         self
     }

@@ -66,6 +66,42 @@ else
     echo "(${hw_threads} hardware thread(s): overhead gate informational)"
 fi
 
+echo "== streaming indicators parity (--stream == batch at widths 1/2/4) =="
+# The streaming engine must derive byte-identical reports from real
+# smoke traces at every pool width, in both renderings — and since the
+# indicator report is a pure function of the (width-invariant) trace,
+# every width's report must equal width 1's.
+for t in 1 2 4; do
+    cargo run --release -q -p bench --bin attack_accuracy -- --smoke \
+        --threads "$t" --trace "/tmp/ci_stream_$t.jsonl"
+    for fmt in json md; do
+        cargo run --release -q -p bench --bin obs_report -- \
+            indicators "/tmp/ci_stream_$t.jsonl" "--$fmt" \
+            > "/tmp/ci_ind_batch_$t.$fmt"
+        cargo run --release -q -p bench --bin obs_report -- \
+            indicators "/tmp/ci_stream_$t.jsonl" "--$fmt" --stream \
+            > "/tmp/ci_ind_stream_$t.$fmt"
+        cmp "/tmp/ci_ind_batch_$t.$fmt" "/tmp/ci_ind_stream_$t.$fmt" \
+            || { echo "FAIL: --stream diverged from batch (--$fmt, $t threads)"; exit 1; }
+        cmp "/tmp/ci_ind_stream_1.$fmt" "/tmp/ci_ind_stream_$t.$fmt" \
+            || { echo "FAIL: indicators differ between widths 1 and $t (--$fmt)"; exit 1; }
+    done
+done
+
+echo "== result cache smoke (cold -> warm: all hits, byte-identical) =="
+# Cold run populates the content-addressed cache; the warm rerun (at a
+# different pool width — cache keys exclude --threads) must be all
+# hits, recompute-verified byte-identical, and leave the CSV artifact
+# byte-equal to the cold run's.
+rm -rf /tmp/ci_result_cache
+cargo run --release -q -p bench --bin attack_accuracy -- --smoke \
+    --cache /tmp/ci_result_cache
+cp results/attack_accuracy.csv /tmp/ci_cold_attack_accuracy.csv
+cargo run --release -q -p bench --bin attack_accuracy -- --smoke --threads 2 \
+    --cache /tmp/ci_result_cache --cache-expect-hits --cache-verify
+cmp results/attack_accuracy.csv /tmp/ci_cold_attack_accuracy.csv \
+    || { echo "FAIL: warm cache run changed attack_accuracy.csv"; exit 1; }
+
 echo "== chaos_suite smoke (crash-safe fleet supervision) =="
 # Sweeps the smoke chaos matrix — scheduled kills, torn envelopes, the
 # kill-9 torn-store cell, a doomed campaign — asserting every supervised
@@ -73,10 +109,19 @@ echo "== chaos_suite smoke (crash-safe fleet supervision) =="
 # fails typed + quarantined, deterministically across pool widths. The
 # combined supervisor + campaign trace must validate through the strict
 # obs-analyze parser (fleet events ride the tick axis, content-sorted).
+# The cold run populates a result cache; the warm rerun must be all
+# hits and reproduce BENCH_chaos.json byte-identically.
+rm -rf /tmp/ci_chaos_cache
 cargo run --release -q -p bench --bin chaos_suite -- --smoke \
+    --cache /tmp/ci_chaos_cache \
     --trace /tmp/ci_chaos_trace.jsonl --metrics /tmp/ci_chaos_metrics.json
 cargo run --release -q -p bench --bin obs_report -- \
     validate /tmp/ci_chaos_trace.jsonl /tmp/ci_chaos_metrics.json
+cp results/BENCH_chaos.json /tmp/ci_cold_BENCH_chaos.json
+cargo run --release -q -p bench --bin chaos_suite -- --smoke \
+    --cache /tmp/ci_chaos_cache --cache-expect-hits
+cmp results/BENCH_chaos.json /tmp/ci_cold_BENCH_chaos.json \
+    || { echo "FAIL: warm cache run changed BENCH_chaos.json"; exit 1; }
 
 echo "== fleet_scaling smoke (sharded scheduler, 2 worker lanes) =="
 # Drives the full 64-campaign fleet through the sharded lane/barrier
