@@ -20,7 +20,12 @@
 //!
 //! Flags: `--smoke` shrinks the matrix for CI; `--threads N` caps the
 //! widest pool swept (default 4); `--trace/--metrics PATH` drain the
-//! supervisor + campaign telemetry of one run per cell into artifacts.
+//! supervisor + campaign telemetry of one run per cell into artifacts;
+//! `--flight-dir DIR` seals every quarantined campaign's flight-recorder
+//! dump under `DIR/<cell>/<campaign>.jsonl` (the default is each run's
+//! scratch store, which is removed on drop). Dump *bodies* are part of
+//! every cell digest regardless of the flag, so width-invariance and
+//! replay determinism of the flight recorder are always gated.
 //!
 //! Artifact: `BENCH_chaos.json` (per-cell identity verdicts and chaos
 //! accounting; `bit_identical`/`gate_passed` are sentinel-gated).
@@ -31,7 +36,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bench::{
-    cache_bench_row, exit_by, save_artifact, threads_from_args, ObsSink, ShapeReport, SweepCache,
+    cache_bench_row, exit_by, path_from_args, save_artifact, threads_from_args, ObsSink,
+    ShapeReport, SweepCache,
 };
 use cloud::{Provider, ProviderConfig};
 use fleet::{CampaignSpec, ChaosPlan, FleetConfig, FleetReport, Supervisor};
@@ -84,7 +90,20 @@ fn fleet_config(checkpoint_every: usize) -> FleetConfig {
     }
 }
 
-fn matrix(smoke: bool) -> Vec<Cell> {
+fn matrix(smoke: bool, flight_dir: Option<&PathBuf>) -> Vec<Cell> {
+    let mut cells = matrix_cells(smoke);
+    // One stable per-cell flight directory when the flag asks for dumps
+    // to survive the scratch stores; campaign ids repeat across cells,
+    // so each cell gets its own subdirectory.
+    if let Some(dir) = flight_dir {
+        for cell in &mut cells {
+            cell.config.flight_dir = Some(dir.join(cell.name));
+        }
+    }
+    cells
+}
+
+fn matrix_cells(smoke: bool) -> Vec<Cell> {
     let mut cells = Vec::new();
     cells.push(Cell {
         name: "benign",
@@ -228,8 +247,10 @@ fn references(cell: &Cell, burn_hours: usize) -> Vec<CampaignOutcome> {
         .collect()
 }
 
-/// A compact, comparable digest of everything a run observed.
-fn run_digest(report: &FleetReport, trace: &str) -> String {
+/// A compact, comparable digest of everything a run observed. The
+/// flight entries are `(campaign, fnv1a(dump body))`, so flight-dump
+/// byte drift across widths or replays breaks digest equality.
+fn run_digest(report: &FleetReport, trace: &str, flights: &[(String, u64)]) -> String {
     let results: Vec<String> = report
         .results
         .iter()
@@ -240,7 +261,7 @@ fn run_digest(report: &FleetReport, trace: &str) -> String {
         .collect();
     format!(
         "results=[{}] kills={} corruptions={} truncations={} restarts={} rollbacks={} \
-         quarantine={:?} ticks={} trace_bytes={}",
+         quarantine={:?} ticks={} trace_bytes={} flight={:?}",
         results.join(","),
         report.kills_injected,
         report.corruptions_injected,
@@ -254,15 +275,22 @@ fn run_digest(report: &FleetReport, trace: &str) -> String {
             .map(|q| format!("{}/{}", q.campaign, q.reason.tag()))
             .collect::<Vec<_>>(),
         report.ticks,
-        trace.len()
+        trace.len(),
+        flights
+            .iter()
+            .map(|(id, hash)| format!("{id}:{hash:016x}"))
+            .collect::<Vec<_>>(),
     )
 }
 
-fn run_once(
-    cell: &Cell,
-    burn_hours: usize,
-    recorder: Option<&Arc<Recorder>>,
-) -> (FleetReport, String) {
+struct CellRun {
+    report: FleetReport,
+    trace: String,
+    /// `(campaign, fnv1a(dump body))` per sealed flight dump.
+    flights: Vec<(String, u64)>,
+}
+
+fn run_once(cell: &Cell, burn_hours: usize, recorder: Option<&Arc<Recorder>>) -> CellRun {
     let scratch = Scratch::new();
     let mut supervisor = Supervisor::new(&scratch.0, cell.config.clone()).expect("store opens");
     let effective = recorder
@@ -270,10 +298,19 @@ fn run_once(
         .unwrap_or_else(|| Arc::new(Recorder::new()));
     supervisor.set_recorder(Some(Arc::clone(&effective)));
     let report = supervisor.run(specs(cell, burn_hours, Some(&effective)), cell.plan.clone());
-    (report, effective.trace_jsonl())
+    let flights = supervisor
+        .flight_dumps()
+        .iter()
+        .map(|(id, body)| (id.clone(), obs_analyze::fnv1a(body.as_bytes())))
+        .collect();
+    CellRun {
+        report,
+        trace: effective.trace_jsonl(),
+        flights,
+    }
 }
 
-fn run_at_width(cell: &Cell, burn_hours: usize, width: usize) -> (FleetReport, String) {
+fn run_at_width(cell: &Cell, burn_hours: usize, width: usize) -> CellRun {
     rayon::ThreadPoolBuilder::new()
         .num_threads(width)
         .build()
@@ -367,19 +404,20 @@ fn compute_cell(cell: &Cell, burn_hours: usize, widths: &[usize]) -> (CellRow, S
 
     // Width sweep: the whole fleet run must be observable-identical at
     // every pool width.
-    let runs: Vec<(FleetReport, String)> = widths
+    let runs: Vec<CellRun> = widths
         .iter()
         .map(|&w| run_at_width(cell, burn_hours, w))
         .collect();
-    let (base_report, base_trace) = &runs[0];
-    let width_identical = runs
-        .iter()
-        .all(|(r, t)| t == base_trace && run_digest(r, t) == run_digest(base_report, base_trace));
+    let base = &runs[0];
+    let base_report = &base.report;
+    let base_digest = run_digest(base_report, &base.trace, &base.flights);
+    let width_identical = runs.iter().all(|run| {
+        run.trace == base.trace && run_digest(&run.report, &run.trace, &run.flights) == base_digest
+    });
 
     // Determinism: replaying the cell at the base width is byte-identical.
-    let (replay_report, replay_trace) = run_at_width(cell, burn_hours, widths[0]);
-    let deterministic =
-        run_digest(&replay_report, &replay_trace) == run_digest(base_report, base_trace);
+    let replay = run_at_width(cell, burn_hours, widths[0]);
+    let deterministic = run_digest(&replay.report, &replay.trace, &replay.flights) == base_digest;
 
     // The invariant: completed-bit-identical or typed-error-plus-quarantine.
     let mut bit_identical = true;
@@ -399,9 +437,17 @@ fn compute_cell(cell: &Cell, burn_hours: usize, widths: &[usize]) -> (CellRow, S
     }
     bit_identical &= width_identical;
 
+    // The observability half of the invariant: every quarantined
+    // campaign sealed a flight dump (its last-N event black box).
+    let flight_covered = base_report
+        .quarantine
+        .records()
+        .iter()
+        .all(|q| base.flights.iter().any(|(id, _)| *id == q.campaign));
+
     let completed = base_report.completed();
     let failed = base_report.failed();
-    let mut gate = bit_identical && typed_and_quarantined && deterministic;
+    let mut gate = bit_identical && typed_and_quarantined && deterministic && flight_covered;
     gate &= base_report.failures_all_quarantined();
     if cell.expect_all_complete {
         gate &= failed == 0;
@@ -412,8 +458,11 @@ fn compute_cell(cell: &Cell, burn_hours: usize, widths: &[usize]) -> (CellRow, S
 
     let observed = format!(
         "{completed} completed / {failed} failed, kills {}, rollbacks {}, \
-         deterministic {deterministic}, widths {widths:?} identical {width_identical}",
-        base_report.kills_injected, base_report.rollbacks
+         deterministic {deterministic}, widths {widths:?} identical {width_identical}, \
+         flight dumps {} (covered {flight_covered})",
+        base_report.kills_injected,
+        base_report.rollbacks,
+        base.flights.len()
     );
 
     (
@@ -610,7 +659,8 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let cells = matrix(smoke);
+    let flight_dir = path_from_args("flight-dir");
+    let cells = matrix(smoke, flight_dir.as_ref());
     println!(
         "Chaos suite: {} matrix cell(s) + torn-store kill-9, {burn_hours}h campaigns, \
          widths {widths:?}, {hardware_threads} hardware thread(s)",

@@ -195,9 +195,15 @@ pub fn threads_from_args() -> Option<usize> {
     threads_from(std::env::args().skip(1))
 }
 
+/// Parses a `--NAME PATH` flag from the process command line.
+#[must_use]
+pub fn path_from_args(name: &str) -> Option<PathBuf> {
+    path_value_from(std::env::args().skip(1), name)
+}
+
 /// Parses a `--NAME PATH` (or `--NAME=PATH`) flag value from `args`.
 /// Returns `None` when the flag is absent or has no value.
-fn path_value_from<I: IntoIterator<Item = String>>(args: I, name: &str) -> Option<PathBuf> {
+pub fn path_value_from<I: IntoIterator<Item = String>>(args: I, name: &str) -> Option<PathBuf> {
     let long = format!("--{name}");
     let assigned = format!("--{name}=");
     let mut args = args.into_iter();
@@ -325,7 +331,7 @@ impl ObsSink {
 /// artifact encoding, claim derivation): every existing entry then
 /// misses and the sweep recomputes cleanly. The crate version rides
 /// along so release bumps also invalidate.
-pub const CACHE_CODE_FINGERPRINT: &str = concat!("bench-", env!("CARGO_PKG_VERSION"), "-epoch1");
+pub const CACHE_CODE_FINGERPRINT: &str = concat!("bench-", env!("CARGO_PKG_VERSION"), "-epoch2");
 
 /// Opt-in content-addressed result cache for a sweep bin's cells.
 ///

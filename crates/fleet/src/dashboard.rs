@@ -1,0 +1,154 @@
+//! Zero-dependency ANSI fleet-health dashboard.
+//!
+//! [`render_frame`] turns the supervisor's per-tick
+//! [`HealthSnapshot`] series into one fixed-width box-drawing frame: the
+//! latest rollup as labelled rows plus a sparkline of the live-slot
+//! count over the trailing window. The frame is a pure function of the
+//! snapshot series — no wall clock, no terminal queries — so the
+//! snapshots being width-invariant (DESIGN.md §16) makes the frame
+//! byte-identical at every thread width too, which is what lets
+//! `fleet_scaling --dashboard-once` and CI `cmp(1)` frames across
+//! `--threads 1/2/4`.
+//!
+//! Live mode (`FleetConfig::dashboard`) repaints by prefixing
+//! [`CLEAR_SCREEN`]; the deterministic mode writes one frame to a file
+//! and never touches the terminal.
+
+use std::fmt::Write as _;
+
+use crate::supervisor::HealthSnapshot;
+
+/// ANSI clear-screen + cursor-home prefix the live repaint uses.
+pub const CLEAR_SCREEN: &str = "\x1b[2J\x1b[H";
+
+/// Inner text width of a frame, in columns.
+const INNER: usize = 60;
+
+/// Ticks of trailing history the live-count sparkline shows.
+const SPARK_WINDOW: usize = 32;
+
+/// Eighth-block ramp for the sparkline, lowest to highest.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn push_row(out: &mut String, text: &str) {
+    let pad = INNER.saturating_sub(text.chars().count());
+    let _ = writeln!(out, "│ {}{} │", text, " ".repeat(pad));
+}
+
+/// The live-slot count over the trailing window, scaled onto the
+/// eighth-block ramp (the window maximum maps to the full block).
+fn sparkline(history: &[HealthSnapshot]) -> String {
+    let window = &history[history.len().saturating_sub(SPARK_WINDOW)..];
+    let max = window.iter().map(|s| s.live).max().unwrap_or(0).max(1);
+    window
+        .iter()
+        .map(|s| SPARKS[(s.live * (SPARKS.len() - 1)) / max])
+        .collect()
+}
+
+/// Renders one dashboard frame from the snapshot series (the latest
+/// snapshot carries the numbers; the series feeds the sparkline).
+/// Deterministic: byte-identical frames for byte-identical series.
+#[must_use]
+pub fn render_frame(history: &[HealthSnapshot]) -> String {
+    let mut out = String::new();
+    let title = "─ fleet health ";
+    let _ = writeln!(
+        out,
+        "┌{}{}┐",
+        title,
+        "─".repeat(INNER + 2 - title.chars().count())
+    );
+    match history.last() {
+        None => push_row(&mut out, "awaiting first tick"),
+        Some(latest) => {
+            push_row(
+                &mut out,
+                &format!(
+                    "tick {:>6}   live {:>4}   completed {:>4}   failed {:>4}",
+                    latest.tick, latest.live, latest.completed, latest.failed
+                ),
+            );
+            push_row(
+                &mut out,
+                &format!(
+                    "quarantined {:>4}   open breakers {:>3}   restarts {:>6}",
+                    latest.quarantined, latest.open_breakers, latest.restarts
+                ),
+            );
+            push_row(
+                &mut out,
+                &format!(
+                    "kills {:>5}   alerts raised {:>4} / active {:>4}   dumps {:>3}",
+                    latest.kills, latest.alerts_raised, latest.alerts_active, latest.flight_dumps
+                ),
+            );
+            push_row(
+                &mut out,
+                &format!(
+                    "backoff {:>9.1} s   arena peak {:>14} B",
+                    latest.backoff_seconds, latest.arena_bytes_peak
+                ),
+            );
+            push_row(&mut out, "");
+            push_row(&mut out, &format!("live {}", sparkline(history)));
+        }
+    }
+    let _ = writeln!(out, "└{}┘", "─".repeat(INNER + 2));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(tick: u64, live: usize) -> HealthSnapshot {
+        HealthSnapshot {
+            tick,
+            live,
+            completed: 2,
+            failed: 1,
+            quarantined: 1,
+            open_breakers: 0,
+            restarts: 3,
+            kills: 4,
+            alerts_raised: 2,
+            alerts_active: 1,
+            flight_dumps: 1,
+            arena_bytes_peak: 4096,
+            backoff_seconds: 7.5,
+        }
+    }
+
+    #[test]
+    fn frames_are_fixed_width_and_deterministic() {
+        let history: Vec<HealthSnapshot> =
+            (1..=40).map(|t| snapshot(t, (t as usize) % 9)).collect();
+        let frame = render_frame(&history);
+        assert_eq!(frame, render_frame(&history), "pure function of input");
+        for line in frame.lines() {
+            assert_eq!(
+                line.chars().count(),
+                INNER + 4,
+                "every row is the same width: {line:?}"
+            );
+        }
+        assert!(frame.contains("tick     40"));
+        assert!(frame.contains("alerts raised    2 / active    1"));
+    }
+
+    #[test]
+    fn sparkline_windows_the_trailing_history() {
+        let history: Vec<HealthSnapshot> = (1..=100).map(|t| snapshot(t, t as usize)).collect();
+        let spark = sparkline(&history);
+        assert_eq!(spark.chars().count(), SPARK_WINDOW);
+        assert_eq!(spark.chars().last(), Some('█'), "window max is full block");
+    }
+
+    #[test]
+    fn an_empty_history_renders_a_placeholder_frame() {
+        let frame = render_frame(&[]);
+        assert!(frame.contains("awaiting first tick"));
+        assert_eq!(frame.lines().count(), 3);
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod breaker;
 pub mod chaos;
+pub mod dashboard;
 pub mod error;
 pub mod store;
 pub mod supervisor;
@@ -46,9 +47,12 @@ pub use breaker::{
     QuarantineRecord,
 };
 pub use chaos::{ChaosAction, ChaosCursor, ChaosPlan, ChaosState};
+pub use dashboard::render_frame;
 pub use error::{FleetError, StoreError};
 pub use store::{CheckpointStore, Envelope, SnapshotVault};
-pub use supervisor::{CampaignResult, CampaignSpec, FleetConfig, FleetReport, Supervisor};
+pub use supervisor::{
+    CampaignResult, CampaignSpec, FleetConfig, FleetReport, HealthSnapshot, Supervisor,
+};
 
 #[cfg(test)]
 mod tests {

@@ -51,11 +51,16 @@
 //! successful commit in both designs), and the draw sequence is a pure
 //! function of the plan, so width-determinism is preserved.
 
-use std::path::Path;
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-use obs::{CampaignEvent, EventKind, Recorder};
+use obs::{CampaignEvent, EventKind, FlightRecorder, Recorder};
+use obs_analyze::indicators::FLEET_TICK_HISTOGRAM;
+use obs_analyze::{AlertConfig, AlertEngine};
 use pentimento::{Campaign, CampaignCheckpoint, CampaignOutcome, PentimentoError};
 use rayon::prelude::*;
 
@@ -89,6 +94,16 @@ pub struct FleetConfig {
     pub backoff_base_s: f64,
     /// Ceiling on any single restart backoff, in seconds.
     pub backoff_max_s: f64,
+    /// Events retained in each slot's [`FlightRecorder`] ring (clamped
+    /// to at least 1). The last N events a campaign emitted are sealed
+    /// to `flight/<id>.jsonl` when it is quarantined.
+    pub flight_recorder_capacity: usize,
+    /// Directory flight dumps are sealed into; `None` uses
+    /// `<store root>/flight`.
+    pub flight_dir: Option<PathBuf>,
+    /// Repaint a live fleet-health dashboard frame on stdout after
+    /// every tick. Human-eyes only — artifacts are unaffected.
+    pub dashboard: bool,
 }
 
 impl Default for FleetConfig {
@@ -101,7 +116,56 @@ impl Default for FleetConfig {
             breaker: BreakerConfig::default(),
             backoff_base_s: 1.0,
             backoff_max_s: 60.0,
+            flight_recorder_capacity: 64,
+            flight_dir: None,
+            dashboard: false,
         }
+    }
+}
+
+/// One per-tick rollup of fleet health, the dashboard's data row. Pure
+/// function of the (deterministic) fleet state — no wall clock — so the
+/// snapshot series, like every other artifact, is identical at every
+/// thread width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSnapshot {
+    /// Supervisor tick this snapshot was taken at (1-based).
+    pub tick: u64,
+    /// Slots with a live campaign image this tick.
+    pub live: usize,
+    /// Campaigns completed so far.
+    pub completed: usize,
+    /// Campaigns terminally failed so far.
+    pub failed: usize,
+    /// Quarantine-ledger records so far.
+    pub quarantined: usize,
+    /// Circuit breakers currently open.
+    pub open_breakers: usize,
+    /// Supervisor restarts performed so far.
+    pub restarts: u64,
+    /// Chaos kills injected so far.
+    pub kills: u64,
+    /// Alerts raised so far (firing edges).
+    pub alerts_raised: u64,
+    /// Alerts still firing.
+    pub alerts_active: u64,
+    /// Flight dumps sealed so far.
+    pub flight_dumps: usize,
+    /// Peak per-device aging-arena bytes observed so far.
+    pub arena_bytes_peak: usize,
+    /// Deterministic backoff accounted so far, in seconds.
+    pub backoff_seconds: f64,
+}
+
+impl HealthSnapshot {
+    /// One-line deterministic summary, the `health_snapshot` trace
+    /// event's detail.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "live={} completed={} failed={} open_breakers={} alerts_active={}",
+            self.live, self.completed, self.failed, self.open_breakers, self.alerts_active
+        )
     }
 }
 
@@ -226,6 +290,9 @@ struct Slot {
     /// Peak per-device aging-arena bytes, read from the provider at
     /// campaign completion (arenas are append-only, so that is the peak).
     arena_bytes: usize,
+    /// The last N supervisor events touching this slot, sealed to a
+    /// `flight/<id>.jsonl` artifact if the campaign is quarantined.
+    flight: FlightRecorder,
 }
 
 /// A checkpoint the lane captured for the barrier to land: the batch
@@ -251,6 +318,10 @@ struct LaneEffect {
     backoff_seconds: f64,
     commit: Option<CommitIntent>,
     quarantine: Option<QuarantineRecord>,
+    /// Every event the lane emitted for this slot, replayed at the
+    /// barrier into the slot's flight ring and the tick's alert feed
+    /// (in slot-index order, so the feed is width-invariant).
+    events: Vec<CampaignEvent>,
 }
 
 /// The read-only context a worker lane operates under: configuration,
@@ -266,10 +337,12 @@ struct LaneCtx<'a> {
 }
 
 impl LaneCtx<'_> {
-    fn emit(&self, kind: EventKind, at: f64, value: f64, detail: &str) {
+    fn emit(&self, kind: EventKind, at: f64, value: f64, detail: &str, effect: &mut LaneEffect) {
+        let event = CampaignEvent::new(kind, at).value(value).detail(detail);
         if let Some(r) = self.recorder {
-            r.event(CampaignEvent::new(kind, at).value(value).detail(detail));
+            r.event(event.clone());
         }
+        effect.events.push(event);
     }
 
     fn incr(&self, counter: &'static str) {
@@ -291,6 +364,7 @@ impl LaneCtx<'_> {
             slot.ticks as f64,
             f64::from(slot.device.0),
             record.reason.tag(),
+            effect,
         );
         self.incr("fleet.quarantines");
         effect.quarantine = Some(record);
@@ -331,6 +405,7 @@ impl LaneCtx<'_> {
             slot.ticks as f64,
             f64::from(slot.device.0),
             &slot.id,
+            effect,
         );
         self.incr("fleet.circuit_open");
         let error = FleetError::CircuitOpen {
@@ -413,7 +488,13 @@ impl LaneCtx<'_> {
             * 2f64.powi(slot.restarts.saturating_sub(1).min(30) as i32))
         .min(self.config.backoff_max_s);
         effect.backoff_seconds += backoff;
-        self.emit(EventKind::Backoff, slot.ticks as f64, backoff, &slot.id);
+        self.emit(
+            EventKind::Backoff,
+            slot.ticks as f64,
+            backoff,
+            &slot.id,
+            effect,
+        );
 
         match self.restore(slot) {
             Ok((campaign, generation, rollbacks)) => {
@@ -426,6 +507,7 @@ impl LaneCtx<'_> {
                     slot.ticks as f64,
                     generation as f64,
                     &slot.id,
+                    effect,
                 );
                 self.incr("fleet.recovery_scans");
                 slot.generation = generation + 1;
@@ -435,6 +517,7 @@ impl LaneCtx<'_> {
                         slot.ticks as f64,
                         f64::from(slot.device.0),
                         &slot.id,
+                        effect,
                     );
                     self.incr("fleet.circuit_close");
                 }
@@ -564,6 +647,17 @@ pub struct Supervisor {
     /// in seconds. Diagnostics only — never part of any report or
     /// determinism comparison.
     tick_latencies_s: Vec<f64>,
+    /// Events emitted since the last alert pump, fed to the online
+    /// [`AlertEngine`] in canonical (`cmp_key`) order once per tick so
+    /// the feed — and therefore every alert edge — is width-invariant.
+    tick_events: Vec<CampaignEvent>,
+    /// Per-tick health rollups of the most recent [`run`](Self::run).
+    health: Vec<HealthSnapshot>,
+    /// Flight-dump bodies sealed during the most recent run, keyed by
+    /// campaign id — the in-memory mirror of `flight/<id>.jsonl`, so
+    /// determinism harnesses can compare dumps without racing scratch
+    /// directory cleanup.
+    flight_dumps: BTreeMap<String, String>,
 }
 
 impl Supervisor {
@@ -580,6 +674,9 @@ impl Supervisor {
             vault: SnapshotVault::new(),
             recorder: None,
             tick_latencies_s: Vec::new(),
+            tick_events: Vec::new(),
+            health: Vec::new(),
+            flight_dumps: BTreeMap::new(),
         })
     }
 
@@ -628,6 +725,30 @@ impl Supervisor {
         &self.tick_latencies_s
     }
 
+    /// Per-tick [`HealthSnapshot`] rollups of the most recent
+    /// [`run`](Self::run), in tick order — the dashboard's data. Fully
+    /// deterministic: identical at every thread width.
+    #[must_use]
+    pub fn health_snapshots(&self) -> &[HealthSnapshot] {
+        &self.health
+    }
+
+    /// Flight-dump bodies sealed during the most recent run, keyed by
+    /// campaign id — byte-identical to the `flight/<id>.jsonl` files.
+    #[must_use]
+    pub fn flight_dumps(&self) -> &BTreeMap<String, String> {
+        &self.flight_dumps
+    }
+
+    /// The directory flight dumps are sealed into.
+    #[must_use]
+    pub fn flight_dir(&self) -> PathBuf {
+        self.config
+            .flight_dir
+            .clone()
+            .unwrap_or_else(|| self.store.root().join("flight"))
+    }
+
     fn lane_ctx(&self) -> LaneCtx<'_> {
         LaneCtx {
             config: &self.config,
@@ -637,10 +758,14 @@ impl Supervisor {
         }
     }
 
-    fn emit(&self, kind: EventKind, at: f64, value: f64, detail: &str) {
+    /// Barrier-side event emission: the event reaches the shared
+    /// recorder *and* the tick's alert feed.
+    fn emit(&mut self, kind: EventKind, at: f64, value: f64, detail: &str) {
+        let event = CampaignEvent::new(kind, at).value(value).detail(detail);
         if let Some(r) = &self.recorder {
-            r.event(CampaignEvent::new(kind, at).value(value).detail(detail));
+            r.event(event.clone());
         }
+        self.tick_events.push(event);
     }
 
     fn incr(&self, counter: &'static str) {
@@ -706,7 +831,7 @@ impl Supervisor {
         Ok(())
     }
 
-    fn quarantine(&mut self, slot: &Slot, reason: QuarantineReason, report: &mut FleetReport) {
+    fn quarantine(&mut self, slot: &mut Slot, reason: QuarantineReason, report: &mut FleetReport) {
         let record = QuarantineRecord {
             campaign: slot.id.clone(),
             device: slot.device,
@@ -714,12 +839,14 @@ impl Supervisor {
             reason,
             consecutive_failures: slot.breaker.consecutive_failures(),
         };
-        self.emit(
-            EventKind::Quarantine,
-            slot.ticks as f64,
-            f64::from(slot.device.0),
-            record.reason.tag(),
-        );
+        let event = CampaignEvent::new(EventKind::Quarantine, slot.ticks as f64)
+            .value(f64::from(slot.device.0))
+            .detail(record.reason.tag());
+        slot.flight.push(event.clone());
+        if let Some(r) = &self.recorder {
+            r.event(event.clone());
+        }
+        self.tick_events.push(event);
         self.incr("fleet.quarantines");
         report.quarantine.push(record);
     }
@@ -732,8 +859,121 @@ impl Supervisor {
         report: &mut FleetReport,
     ) {
         self.quarantine(slot, reason, report);
+        self.dump_flight(slot);
         slot.campaign = None;
         slot.result = Some(CampaignResult::Failed(error));
+    }
+
+    /// Seals the slot's flight ring to `<flight dir>/<id>.jsonl` with
+    /// the store's own write-temp → fsync → rename idiom, and mirrors
+    /// the body in memory for determinism harnesses. I/O failure only
+    /// costs the artifact (`fleet.flight_dump_failures` counts it) —
+    /// the black box must never take the fleet down with it.
+    fn dump_flight(&mut self, slot: &Slot) {
+        let body = slot.flight.jsonl();
+        let events = slot.flight.len();
+        let dir = self.flight_dir();
+        let path = dir.join(format!("{}.jsonl", slot.id));
+        let sealed = (|| -> std::io::Result<()> {
+            fs::create_dir_all(&dir)?;
+            let tmp = path.with_extension("jsonl.tmp");
+            let mut file = File::create(&tmp)?;
+            file.write_all(body.as_bytes())?;
+            file.sync_all()?;
+            fs::rename(&tmp, &path)
+        })();
+        if sealed.is_err() {
+            self.incr("fleet.flight_dump_failures");
+        }
+        self.flight_dumps.insert(slot.id.clone(), body);
+        self.emit(
+            EventKind::FlightDump,
+            slot.ticks as f64,
+            events as f64,
+            &slot.id,
+        );
+        self.incr("fleet.flight_dumps");
+    }
+
+    /// Feeds the events buffered since the last pump to the online
+    /// alert engine — sorted by the canonical content key first, so the
+    /// feed order is a pure function of the events themselves — and
+    /// emits every new firing/clearing edge back into the trace.
+    fn pump_alerts(&mut self, alerts: &mut AlertEngine) {
+        self.tick_events.sort_by(|a, b| a.cmp_key(b));
+        for event in std::mem::take(&mut self.tick_events) {
+            alerts.ingest(&event);
+        }
+        for edge in alerts.drain_new_edges() {
+            if let Some(r) = &self.recorder {
+                r.event(edge.trace_event());
+            }
+            self.incr(if edge.raised {
+                "fleet.alerts_raised"
+            } else {
+                "fleet.alerts_cleared"
+            });
+        }
+    }
+
+    /// Rolls up one per-tick [`HealthSnapshot`], records it as a
+    /// `health_snapshot` trace event (recorder only — snapshots are
+    /// derived from alerts, never fed back into them), and repaints the
+    /// live dashboard when configured.
+    fn snapshot_health(
+        &mut self,
+        tick: u64,
+        slots: &[Slot],
+        report: &FleetReport,
+        alerts: &AlertEngine,
+    ) {
+        let mut completed = 0;
+        let mut failed = 0;
+        for slot in slots {
+            match slot.result {
+                Some(CampaignResult::Completed(_)) => completed += 1,
+                Some(CampaignResult::Failed(_)) => failed += 1,
+                None => {}
+            }
+        }
+        let snapshot = HealthSnapshot {
+            tick,
+            live: slots
+                .iter()
+                .filter(|s| s.result.is_none() && s.campaign.is_some())
+                .count(),
+            completed,
+            failed,
+            quarantined: report.quarantine.records().len(),
+            open_breakers: slots
+                .iter()
+                .filter(|s| s.breaker.state() == crate::breaker::BreakerState::Open)
+                .count(),
+            restarts: report.restarts,
+            kills: report.kills_injected,
+            alerts_raised: alerts.raised_total(),
+            alerts_active: alerts.active_count(),
+            flight_dumps: self.flight_dumps.len(),
+            arena_bytes_peak: slots.iter().map(|s| s.arena_bytes).max().unwrap_or(0),
+            backoff_seconds: report.backoff_seconds,
+        };
+        if let Some(r) = &self.recorder {
+            r.event(
+                CampaignEvent::new(EventKind::HealthSnapshot, tick as f64)
+                    .value(snapshot.live as f64)
+                    .detail(snapshot.summary()),
+            );
+        }
+        self.incr("fleet.health_snapshots");
+        self.health.push(snapshot);
+        if self.config.dashboard {
+            print!(
+                "{}{}",
+                crate::dashboard::CLEAR_SCREEN,
+                crate::dashboard::render_frame(&self.health)
+            );
+            let _ = std::io::stdout().flush();
+        }
     }
 
     /// Converts drained slots into the report's result rows. A slot
@@ -751,7 +991,8 @@ impl Supervisor {
                         id: slot.id.clone(),
                         invariant: "slot left unresolved at fleet drain",
                     };
-                    self.quarantine(&slot, QuarantineReason::SchedulerInvariant, report);
+                    self.quarantine(&mut slot, QuarantineReason::SchedulerInvariant, report);
+                    self.dump_flight(&slot);
                     CampaignResult::Failed(error)
                 }
             };
@@ -765,6 +1006,10 @@ impl Supervisor {
     pub fn run(&mut self, specs: Vec<CampaignSpec>, chaos: ChaosPlan) -> FleetReport {
         let mut report = FleetReport::default();
         self.tick_latencies_s.clear();
+        self.tick_events.clear();
+        self.health.clear();
+        self.flight_dumps.clear();
+        let mut alerts = AlertEngine::new(&AlertConfig::default());
 
         // Startup crash-recovery scan: every campaign directory already
         // in the store is a survivor of a previous incarnation.
@@ -792,6 +1037,7 @@ impl Supervisor {
                 result: None,
                 last_error: None,
                 arena_bytes: 0,
+                flight: FlightRecorder::new(self.config.flight_recorder_capacity),
             };
             if survivors.contains(&slot.id) {
                 // Resume the survivor from its newest good generation;
@@ -850,6 +1096,9 @@ impl Supervisor {
             }
             slots.push(slot);
         }
+        // Startup emissions (recovery scans, store-failure quarantines)
+        // reach the alert engine before the first tick.
+        self.pump_alerts(&mut alerts);
 
         // The sharded tick loop: lanes advance every unresolved slot in
         // parallel, then the barrier merges effects in slot-index order.
@@ -874,8 +1123,12 @@ impl Supervisor {
                     .collect()
             };
 
-            // Barrier phase 1: merge accounting and quarantines in
-            // slot-index order, and collect the tick's commit batch.
+            // Barrier phase 1: merge accounting, events, and
+            // quarantines in slot-index order, and collect the tick's
+            // commit batch. Lane events replay into the slot's flight
+            // ring and the tick's alert feed here, so both observe the
+            // same width-invariant order; a lane quarantine seals the
+            // flight dump once its own event is in the ring.
             let mut intents: Vec<(usize, CommitIntent)> = Vec::new();
             for (index, effect) in effects.into_iter().enumerate() {
                 let Some(mut effect) = effect else { continue };
@@ -883,8 +1136,13 @@ impl Supervisor {
                 report.restarts += effect.restarts;
                 report.rollbacks += effect.rollbacks;
                 report.backoff_seconds += effect.backoff_seconds;
+                for event in effect.events.drain(..) {
+                    slots[index].flight.push(event.clone());
+                    self.tick_events.push(event);
+                }
                 if let Some(record) = effect.quarantine.take() {
                     report.quarantine.push(record);
+                    self.dump_flight(&slots[index]);
                 }
                 if let Some(intent) = effect.commit.take() {
                     intents.push((index, intent));
@@ -930,11 +1188,21 @@ impl Supervisor {
                     }
                 }
             }
-            self.tick_latencies_s
-                .push(tick_started.elapsed().as_secs_f64());
+            // Barrier phase 3: the observability loop — pump the tick's
+            // events through the alert engine, then roll up and record
+            // the tick's health snapshot.
+            self.pump_alerts(&mut alerts);
+            self.snapshot_health(report.ticks, &slots, &report, &alerts);
+
+            let elapsed = tick_started.elapsed().as_secs_f64();
+            if let Some(r) = &self.recorder {
+                r.observe(FLEET_TICK_HISTOGRAM, elapsed * 1000.0);
+            }
+            self.tick_latencies_s.push(elapsed);
         }
 
         self.drain_slots(slots, &mut report);
+        self.pump_alerts(&mut alerts);
         report
     }
 }
@@ -983,6 +1251,7 @@ mod tests {
             result: None,
             last_error: None,
             arena_bytes: 0,
+            flight: FlightRecorder::new(8),
         }
     }
 

@@ -1,0 +1,789 @@
+//! Rule-based online anomaly detection over the canonical event stream.
+//!
+//! The [`AlertEngine`] consumes [`CampaignEvent`]s one at a time — fed
+//! either by [`crate::stream::StreamingIndicators`] (attach with
+//! `with_alerts`) or by the batch twin [`compute_alerts`] — and
+//! maintains the firing state of five rules that encode what a hostile
+//! cloud does to a remanence fleet at scale: retry storms, abstain-rate
+//! spikes, quorum-failure spikes, decay-cache collapse, and
+//! circuit-breaker flapping. Every threshold crossing appends one
+//! [`AlertEdge`] (a firing or clearing transition) to an append-only
+//! log.
+//!
+//! Determinism contract (DESIGN.md §16): the engine holds no wall-clock
+//! state and evaluates its rules in [`AlertKind`] declaration order
+//! after every ingested event, so the edge log is a pure function of
+//! the *sequence* of events fed in. Feed it a canonical-order trace
+//! (what every `trace_jsonl()` artifact is) and the log — and both
+//! renderers — are byte-identical across thread-pool widths, replay
+//! runs, and arbitrary `push_chunk` strides. The batch twin sorts its
+//! input by `cmp_key` first, exactly like `indicators::compute`, so
+//! streaming ≡ batch on any valid trace (proven by proptest in
+//! `tests/streaming_cache.rs`).
+//!
+//! Rule semantics:
+//!
+//! * **Accumulating rules** ([`AlertKind::RetryStorm`],
+//!   [`AlertKind::BreakerFlapping`]) watch monotone counters, so they
+//!   raise at most once per subject and never clear.
+//! * **Ratio rules** ([`AlertKind::AbstainRate`],
+//!   [`AlertKind::QuorumFailureRate`], [`AlertKind::CacheHitCollapse`])
+//!   re-evaluate after every event once a minimum traffic floor is met,
+//!   and emit both firing and clearing edges as the ratio crosses the
+//!   threshold in either direction.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use obs::{json_f64, CampaignEvent, EventKind};
+
+use crate::indicators::{RetryCellKey, PRE_PHASE};
+
+/// Schema version of the alert report JSON.
+pub const ALERTS_SCHEMA_VERSION: u32 = 1;
+
+/// Every anomaly rule the engine evaluates. Declaration order is the
+/// evaluation (and tie-break) order, mirroring `EventKind`'s rank
+/// discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AlertKind {
+    /// One `(phase, route)` retry cell exceeded the storm threshold.
+    RetryStorm,
+    /// Abstains per observed route exceeded the rate threshold.
+    AbstainRate,
+    /// Quorum failures per measurement phase exceeded the threshold.
+    QuorumFailureRate,
+    /// The decay-cache hit ratio fell under the collapse floor.
+    CacheHitCollapse,
+    /// One circuit breaker accumulated too many open/close transitions.
+    BreakerFlapping,
+}
+
+impl AlertKind {
+    /// All kinds, in rank order.
+    pub const ALL: [AlertKind; 5] = [
+        AlertKind::RetryStorm,
+        AlertKind::AbstainRate,
+        AlertKind::QuorumFailureRate,
+        AlertKind::CacheHitCollapse,
+        AlertKind::BreakerFlapping,
+    ];
+
+    /// Stable wire name used in alert JSON, Markdown, and the `detail`
+    /// of derived `alert_raised`/`alert_cleared` trace events.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertKind::RetryStorm => "retry_storm",
+            AlertKind::AbstainRate => "abstain_rate",
+            AlertKind::QuorumFailureRate => "quorum_failure_rate",
+            AlertKind::CacheHitCollapse => "cache_hit_collapse",
+            AlertKind::BreakerFlapping => "breaker_flapping",
+        }
+    }
+}
+
+/// Thresholds for the five rules. The retry-storm threshold matches
+/// [`crate::indicators::IndicatorConfig`]'s default so the online alert
+/// and the batch indicator flag the same cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertConfig {
+    /// A `(phase, route)` cell whose summed retries exceed this fires
+    /// [`AlertKind::RetryStorm`].
+    pub retry_storm_threshold: f64,
+    /// `abstains / routes_observed` above this fires
+    /// [`AlertKind::AbstainRate`].
+    pub abstain_rate_threshold: f64,
+    /// Abstain rule stays silent until this many routes were observed
+    /// (one abstain on the first route is noise, not an anomaly).
+    pub abstain_min_routes: u64,
+    /// `quorum_failures / measure_phases` above this fires
+    /// [`AlertKind::QuorumFailureRate`].
+    pub quorum_failure_rate_threshold: f64,
+    /// Quorum rule stays silent until this many measurement phases ran.
+    pub quorum_min_measure_phases: u64,
+    /// Hit ratio below this fires [`AlertKind::CacheHitCollapse`].
+    pub cache_hit_ratio_floor: f64,
+    /// Cache rule stays silent until summed hit+miss traffic reaches
+    /// this (a cold cache's first misses are expected, not a collapse).
+    pub cache_min_traffic: f64,
+    /// One breaker key reaching this many `circuit_open` +
+    /// `circuit_close` transitions fires [`AlertKind::BreakerFlapping`].
+    pub breaker_flap_transitions: u64,
+}
+
+impl Default for AlertConfig {
+    fn default() -> Self {
+        Self {
+            retry_storm_threshold: 5.0,
+            abstain_rate_threshold: 0.5,
+            abstain_min_routes: 2,
+            quorum_failure_rate_threshold: 0.5,
+            quorum_min_measure_phases: 2,
+            cache_hit_ratio_floor: 0.5,
+            cache_min_traffic: 8.0,
+            breaker_flap_transitions: 3,
+        }
+    }
+}
+
+/// One threshold crossing: a rule started firing (`raised`) or stopped
+/// (`!raised`), at the event that crossed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEdge {
+    /// Campaign-time coordinate of the crossing event.
+    pub at: f64,
+    /// Which rule crossed.
+    pub kind: AlertKind,
+    /// Phase attribution: the retry cell's phase for storms, the
+    /// current phase for everything else ([`PRE_PHASE`] before any
+    /// transition).
+    pub phase: String,
+    /// Route attribution (the storm cell's route; `None` for
+    /// fleet-wide ratio rules).
+    pub route: Option<u64>,
+    /// Rule-specific subject — the flapping breaker's key; empty for
+    /// rules fully attributed by `phase`/`route`.
+    pub subject: String,
+    /// Observed magnitude at the crossing (cell total, ratio, or
+    /// transition count).
+    pub value: f64,
+    /// The threshold it was judged against.
+    pub threshold: f64,
+    /// `true` = firing edge, `false` = clearing edge.
+    pub raised: bool,
+}
+
+impl AlertEdge {
+    /// One line of deterministic JSON for the alert log array.
+    #[must_use]
+    pub fn json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = write!(
+            out,
+            "{{\"at\":{},\"alert\":\"{}\",\"edge\":\"{}\",\"phase\":\"{}\",\"route\":{},\"subject\":\"{}\",\"value\":{},\"threshold\":{}}}",
+            json_f64(self.at),
+            self.kind.as_str(),
+            if self.raised { "raised" } else { "cleared" },
+            obs::escape_json(&self.phase),
+            self.route
+                .map_or_else(|| "null".to_owned(), |r| r.to_string()),
+            obs::escape_json(&self.subject),
+            json_f64(self.value),
+            json_f64(self.threshold),
+        );
+        out
+    }
+
+    /// The edge as a trace event (`alert_raised` / `alert_cleared`),
+    /// for recorders that fold alerts back into the campaign trace.
+    /// The detail carries the full attribution so a trace diff can
+    /// compare alert streams line-for-line.
+    #[must_use]
+    pub fn trace_event(&self) -> CampaignEvent {
+        let kind = if self.raised {
+            EventKind::AlertRaised
+        } else {
+            EventKind::AlertCleared
+        };
+        let mut detail = format!("{} phase={}", self.kind.as_str(), self.phase);
+        if !self.subject.is_empty() {
+            let _ = write!(detail, " subject={}", self.subject);
+        }
+        let mut event = CampaignEvent::new(kind, self.at)
+            .value(self.value)
+            .detail(detail);
+        if let Some(route) = self.route {
+            event = event.route(route);
+        }
+        event
+    }
+}
+
+/// Per-kind raised/cleared/active tallies for the report summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AlertTally {
+    /// Firing edges of this kind.
+    pub raised: u64,
+    /// Clearing edges of this kind.
+    pub cleared: u64,
+}
+
+impl AlertTally {
+    /// Alerts of this kind still firing at the end of the stream.
+    #[must_use]
+    pub fn active(self) -> u64 {
+        self.raised - self.cleared
+    }
+}
+
+/// The sealed alert report: the edge log plus per-kind tallies and the
+/// thresholds they were judged against. Byte-stable renderers mirror
+/// the indicator report's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertLog {
+    /// The thresholds in force.
+    pub config: AlertConfig,
+    /// Every threshold crossing, in ingestion order.
+    pub edges: Vec<AlertEdge>,
+    /// Raised/cleared tallies per kind — every kind, zeros included.
+    pub tallies: BTreeMap<AlertKind, AlertTally>,
+}
+
+impl AlertLog {
+    /// Total alerts still firing at the end of the stream.
+    #[must_use]
+    pub fn active(&self) -> u64 {
+        self.tallies.values().map(|t| t.active()).sum()
+    }
+
+    /// Total firing edges.
+    #[must_use]
+    pub fn raised_total(&self) -> u64 {
+        self.tallies.values().map(|t| t.raised).sum()
+    }
+
+    /// Whether any rule ever fired.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Every edge as a trace event, for folding alerts back into a
+    /// recorder's event log.
+    #[must_use]
+    pub fn to_trace_events(&self) -> Vec<CampaignEvent> {
+        self.edges.iter().map(AlertEdge::trace_event).collect()
+    }
+
+    /// Human-readable threshold description for one rule.
+    #[must_use]
+    pub fn threshold_label(&self, kind: AlertKind) -> String {
+        match kind {
+            AlertKind::RetryStorm => format!(
+                "> {} retries per (phase, route)",
+                json_f64(self.config.retry_storm_threshold)
+            ),
+            AlertKind::AbstainRate => format!(
+                "> {} abstains/route (≥ {} routes)",
+                json_f64(self.config.abstain_rate_threshold),
+                self.config.abstain_min_routes
+            ),
+            AlertKind::QuorumFailureRate => format!(
+                "> {} failures/measure phase (≥ {} phases)",
+                json_f64(self.config.quorum_failure_rate_threshold),
+                self.config.quorum_min_measure_phases
+            ),
+            AlertKind::CacheHitCollapse => format!(
+                "hit ratio < {} (≥ {} traffic)",
+                json_f64(self.config.cache_hit_ratio_floor),
+                json_f64(self.config.cache_min_traffic)
+            ),
+            AlertKind::BreakerFlapping => format!(
+                "≥ {} open/close transitions per breaker",
+                self.config.breaker_flap_transitions
+            ),
+        }
+    }
+
+    /// The report as one line of deterministic JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"schema_version\":{ALERTS_SCHEMA_VERSION},\"edges\":{},\"raised\":{},\"active\":{},\"kinds\":{{",
+            self.edges.len(),
+            self.raised_total(),
+            self.active(),
+        );
+        for (n, (kind, tally)) in self.tallies.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"raised\":{},\"cleared\":{},\"active\":{}}}",
+                kind.as_str(),
+                tally.raised,
+                tally.cleared,
+                tally.active(),
+            );
+        }
+        let _ = write!(
+            out,
+            "}},\"thresholds\":{{\"retry_storm\":{},\"abstain_rate\":{},\"abstain_min_routes\":{},\"quorum_failure_rate\":{},\"quorum_min_measure_phases\":{},\"cache_hit_ratio_floor\":{},\"cache_min_traffic\":{},\"breaker_flap_transitions\":{}}},\"log\":[",
+            json_f64(self.config.retry_storm_threshold),
+            json_f64(self.config.abstain_rate_threshold),
+            self.config.abstain_min_routes,
+            json_f64(self.config.quorum_failure_rate_threshold),
+            self.config.quorum_min_measure_phases,
+            json_f64(self.config.cache_hit_ratio_floor),
+            json_f64(self.config.cache_min_traffic),
+            self.config.breaker_flap_transitions,
+        );
+        for (n, edge) in self.edges.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            out.push_str(&edge.json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The report as deterministic Markdown, mirroring
+    /// `Indicators::to_markdown`.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("# Campaign alerts\n\n");
+        let _ = writeln!(out, "- edges: {}", self.edges.len());
+        let _ = writeln!(out, "- raised: {}", self.raised_total());
+        let _ = writeln!(out, "- active at end of trace: {}", self.active());
+        out.push_str(
+            "\n## Rules\n\n| alert | threshold | raised | cleared | active |\n|---|---|---:|---:|---:|\n",
+        );
+        for (kind, tally) in &self.tallies {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} |",
+                kind.as_str(),
+                self.threshold_label(*kind),
+                tally.raised,
+                tally.cleared,
+                tally.active(),
+            );
+        }
+        out.push_str("\n## Alert log\n\n");
+        if self.edges.is_empty() {
+            out.push_str("- no alerts fired\n");
+        } else {
+            out.push_str(
+                "| at | alert | edge | phase | route | subject | value | threshold |\n|---:|---|---|---|---|---|---:|---:|\n",
+            );
+            for edge in &self.edges {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | {} | {} | {} |",
+                    json_f64(edge.at),
+                    edge.kind.as_str(),
+                    if edge.raised { "raised" } else { "cleared" },
+                    edge.phase,
+                    edge.route.map_or_else(|| "-".to_owned(), |r| r.to_string()),
+                    if edge.subject.is_empty() {
+                        "-"
+                    } else {
+                        &edge.subject
+                    },
+                    json_f64(edge.value),
+                    json_f64(edge.threshold),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// The online anomaly engine. Feed it events in a deterministic order
+/// (canonical trace order, or any order your pipeline reproduces
+/// bit-identically) and the edge log is deterministic too.
+#[derive(Debug, Clone)]
+pub struct AlertEngine {
+    config: AlertConfig,
+    current_phase: String,
+    // Retry-storm state.
+    retry_cells: BTreeMap<RetryCellKey, f64>,
+    storms_fired: BTreeSet<RetryCellKey>,
+    // Abstain-rate state.
+    routes: BTreeSet<u64>,
+    abstains: u64,
+    abstain_firing: bool,
+    // Quorum-failure-rate state.
+    quorum_failures: f64,
+    measure_phases: u64,
+    quorum_firing: bool,
+    // Cache-collapse state.
+    cache_hits: f64,
+    cache_misses: f64,
+    cache_firing: bool,
+    // Breaker-flapping state, keyed by the event detail (the breaker's
+    // slot/campaign id in fleet traces).
+    breaker_transitions: BTreeMap<String, u64>,
+    flaps_fired: BTreeSet<String>,
+    edges: Vec<AlertEdge>,
+    /// Edges already handed out by [`drain_new_edges`](Self::drain_new_edges).
+    drained: usize,
+}
+
+impl AlertEngine {
+    /// An idle engine with the given thresholds.
+    #[must_use]
+    pub fn new(config: &AlertConfig) -> Self {
+        Self {
+            config: config.clone(),
+            current_phase: PRE_PHASE.to_owned(),
+            retry_cells: BTreeMap::new(),
+            storms_fired: BTreeSet::new(),
+            routes: BTreeSet::new(),
+            abstains: 0,
+            abstain_firing: false,
+            quorum_failures: 0.0,
+            measure_phases: 0,
+            quorum_firing: false,
+            cache_hits: 0.0,
+            cache_misses: 0.0,
+            cache_firing: false,
+            breaker_transitions: BTreeMap::new(),
+            flaps_fired: BTreeSet::new(),
+            edges: Vec::new(),
+            drained: 0,
+        }
+    }
+
+    /// Folds one event into every rule, appending any threshold
+    /// crossings to the edge log. Rules are evaluated in [`AlertKind`]
+    /// declaration order so same-event edges have a deterministic
+    /// log order.
+    pub fn ingest(&mut self, event: &CampaignEvent) {
+        if event.kind == EventKind::PhaseTransition {
+            self.current_phase = if event.detail.is_empty() {
+                PRE_PHASE.to_owned()
+            } else {
+                event.detail.clone()
+            };
+            if event.detail == "measure" {
+                self.measure_phases += 1;
+            }
+        }
+        if let Some(route) = event.route {
+            self.routes.insert(route);
+        }
+        match event.kind {
+            EventKind::Retry => {
+                let key = RetryCellKey {
+                    phase: self.current_phase.clone(),
+                    route: event.route,
+                };
+                let total = self.retry_cells.entry(key.clone()).or_insert(0.0);
+                *total += event.value;
+                let total = *total;
+                if total > self.config.retry_storm_threshold
+                    && self.storms_fired.insert(key.clone())
+                {
+                    self.edges.push(AlertEdge {
+                        at: event.at,
+                        kind: AlertKind::RetryStorm,
+                        phase: key.phase,
+                        route: key.route,
+                        subject: String::new(),
+                        value: total,
+                        threshold: self.config.retry_storm_threshold,
+                        raised: true,
+                    });
+                }
+            }
+            EventKind::Abstain => self.abstains += 1,
+            EventKind::QuorumFailure => self.quorum_failures += event.value,
+            EventKind::CacheHit => self.cache_hits += event.value,
+            EventKind::CacheMiss => self.cache_misses += event.value,
+            EventKind::CircuitOpen | EventKind::CircuitClose => {
+                let count = self
+                    .breaker_transitions
+                    .entry(event.detail.clone())
+                    .or_insert(0);
+                *count += 1;
+                let count = *count;
+                if count >= self.config.breaker_flap_transitions
+                    && self.flaps_fired.insert(event.detail.clone())
+                {
+                    self.edges.push(AlertEdge {
+                        at: event.at,
+                        kind: AlertKind::BreakerFlapping,
+                        phase: self.current_phase.clone(),
+                        route: event.route,
+                        subject: event.detail.clone(),
+                        value: count as f64,
+                        threshold: self.config.breaker_flap_transitions as f64,
+                        raised: true,
+                    });
+                }
+            }
+            _ => {}
+        }
+        self.evaluate_ratios(event.at);
+    }
+
+    /// Re-judges the three clearable ratio rules against the current
+    /// accumulators, emitting firing/clearing edges on state changes.
+    fn evaluate_ratios(&mut self, at: f64) {
+        // AbstainRate.
+        let abstain_over = self.routes.len() as u64 >= self.config.abstain_min_routes
+            && !self.routes.is_empty()
+            && self.abstains as f64 / self.routes.len() as f64 > self.config.abstain_rate_threshold;
+        if abstain_over != self.abstain_firing {
+            self.abstain_firing = abstain_over;
+            self.edges.push(AlertEdge {
+                at,
+                kind: AlertKind::AbstainRate,
+                phase: self.current_phase.clone(),
+                route: None,
+                subject: String::new(),
+                value: self.abstains as f64 / self.routes.len().max(1) as f64,
+                threshold: self.config.abstain_rate_threshold,
+                raised: abstain_over,
+            });
+        }
+        // QuorumFailureRate.
+        let quorum_over = self.measure_phases >= self.config.quorum_min_measure_phases
+            && self.measure_phases > 0
+            && self.quorum_failures / self.measure_phases as f64
+                > self.config.quorum_failure_rate_threshold;
+        if quorum_over != self.quorum_firing {
+            self.quorum_firing = quorum_over;
+            self.edges.push(AlertEdge {
+                at,
+                kind: AlertKind::QuorumFailureRate,
+                phase: self.current_phase.clone(),
+                route: None,
+                subject: String::new(),
+                value: self.quorum_failures / (self.measure_phases.max(1)) as f64,
+                threshold: self.config.quorum_failure_rate_threshold,
+                raised: quorum_over,
+            });
+        }
+        // CacheHitCollapse.
+        let traffic = self.cache_hits + self.cache_misses;
+        let cache_under = traffic >= self.config.cache_min_traffic
+            && traffic > 0.0
+            && self.cache_hits / traffic < self.config.cache_hit_ratio_floor;
+        if cache_under != self.cache_firing {
+            self.cache_firing = cache_under;
+            self.edges.push(AlertEdge {
+                at,
+                kind: AlertKind::CacheHitCollapse,
+                phase: self.current_phase.clone(),
+                route: None,
+                subject: String::new(),
+                value: if traffic > 0.0 {
+                    self.cache_hits / traffic
+                } else {
+                    0.0
+                },
+                threshold: self.config.cache_hit_ratio_floor,
+                raised: cache_under,
+            });
+        }
+    }
+
+    /// Edges appended since the previous call — the incremental feed a
+    /// live consumer (the fleet supervisor) emits as
+    /// `alert_raised`/`alert_cleared` trace events.
+    pub fn drain_new_edges(&mut self) -> Vec<AlertEdge> {
+        let new = self.edges[self.drained..].to_vec();
+        self.drained = self.edges.len();
+        new
+    }
+
+    /// Alerts currently firing.
+    #[must_use]
+    pub fn active_count(&self) -> u64 {
+        let mut tallies: BTreeMap<AlertKind, AlertTally> = BTreeMap::new();
+        for edge in &self.edges {
+            let t = tallies.entry(edge.kind).or_default();
+            if edge.raised {
+                t.raised += 1;
+            } else {
+                t.cleared += 1;
+            }
+        }
+        tallies.values().map(|t| t.active()).sum()
+    }
+
+    /// Total firing edges so far.
+    #[must_use]
+    pub fn raised_total(&self) -> u64 {
+        self.edges.iter().filter(|e| e.raised).count() as u64
+    }
+
+    /// Snapshots the sealed report (every kind tallied, zeros included).
+    #[must_use]
+    pub fn log(&self) -> AlertLog {
+        let mut tallies: BTreeMap<AlertKind, AlertTally> = AlertKind::ALL
+            .into_iter()
+            .map(|k| (k, AlertTally::default()))
+            .collect();
+        for edge in &self.edges {
+            let t = tallies.entry(edge.kind).or_default();
+            if edge.raised {
+                t.raised += 1;
+            } else {
+                t.cleared += 1;
+            }
+        }
+        AlertLog {
+            config: self.config.clone(),
+            edges: self.edges.clone(),
+            tallies,
+        }
+    }
+}
+
+/// Batch reference twin of the online engine: sorts a copy of the
+/// events by the canonical content key (exactly as
+/// `indicators::compute` does) and replays them through an
+/// [`AlertEngine`]. On an already-canonical trace the sort is the
+/// identity permutation, so streaming and batch logs are byte-identical.
+#[must_use]
+pub fn compute_alerts(events: &[CampaignEvent], config: &AlertConfig) -> AlertLog {
+    let mut sorted: Vec<&CampaignEvent> = events.iter().collect();
+    sorted.sort_by(|a, b| a.cmp_key(b));
+    let mut engine = AlertEngine::new(config);
+    for event in sorted {
+        engine.ingest(event);
+    }
+    engine.log()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: EventKind, at: f64) -> CampaignEvent {
+        CampaignEvent::new(kind, at)
+    }
+
+    #[test]
+    fn retry_storm_fires_once_per_cell_and_never_clears() {
+        let mut engine = AlertEngine::new(&AlertConfig::default());
+        engine.ingest(&event(EventKind::PhaseTransition, 0.0).detail("measure"));
+        engine.ingest(&event(EventKind::Retry, 1.0).route(1).value(3.0));
+        assert_eq!(engine.raised_total(), 0, "below threshold");
+        engine.ingest(&event(EventKind::Retry, 2.0).route(1).value(3.0));
+        assert_eq!(engine.raised_total(), 1, "cell crossed 5.0");
+        engine.ingest(&event(EventKind::Retry, 3.0).route(1).value(10.0));
+        assert_eq!(engine.raised_total(), 1, "one edge per cell");
+        let log = engine.log();
+        assert_eq!(log.edges[0].kind, AlertKind::RetryStorm);
+        assert_eq!(log.edges[0].route, Some(1));
+        assert_eq!(log.edges[0].phase, "measure");
+        assert_eq!(log.edges[0].value, 6.0);
+        assert_eq!(log.active(), 1);
+    }
+
+    #[test]
+    fn abstain_rate_fires_and_clears_as_the_ratio_crosses() {
+        let config = AlertConfig::default();
+        let mut engine = AlertEngine::new(&config);
+        // Two routes, two abstains → rate 1.0 > 0.5: fires.
+        engine.ingest(&event(EventKind::Abstain, 1.0).route(0));
+        assert_eq!(engine.raised_total(), 0, "min-routes floor not met");
+        engine.ingest(&event(EventKind::Abstain, 2.0).route(1));
+        assert_eq!(engine.raised_total(), 1);
+        assert_eq!(engine.active_count(), 1);
+        // Six more silent routes → rate 2/8 = 0.25 ≤ 0.5: clears.
+        for r in 2..8 {
+            engine.ingest(&event(EventKind::Retry, 3.0).route(r).value(1.0));
+        }
+        assert_eq!(engine.active_count(), 0);
+        let log = engine.log();
+        let t = log.tallies[&AlertKind::AbstainRate];
+        assert_eq!((t.raised, t.cleared), (1, 1));
+    }
+
+    #[test]
+    fn quorum_failure_rate_respects_the_phase_floor() {
+        let mut engine = AlertEngine::new(&AlertConfig::default());
+        engine.ingest(&event(EventKind::PhaseTransition, 0.0).detail("measure"));
+        engine.ingest(&event(EventKind::QuorumFailure, 0.5).value(3.0));
+        assert_eq!(engine.raised_total(), 0, "one measure phase is noise");
+        engine.ingest(&event(EventKind::PhaseTransition, 1.0).detail("measure"));
+        // 3 failures / 2 phases = 1.5 > 0.5 — the transition itself
+        // re-evaluates, so the edge lands on the phase event.
+        assert_eq!(engine.raised_total(), 1);
+        assert_eq!(engine.log().edges[0].kind, AlertKind::QuorumFailureRate);
+    }
+
+    #[test]
+    fn cache_collapse_waits_for_traffic_then_tracks_recovery() {
+        let mut engine = AlertEngine::new(&AlertConfig::default());
+        engine.ingest(&event(EventKind::CacheMiss, 1.0).value(4.0));
+        assert_eq!(engine.raised_total(), 0, "traffic floor not met");
+        engine.ingest(&event(EventKind::CacheMiss, 2.0).value(4.0));
+        assert_eq!(engine.raised_total(), 1, "ratio 0.0 under floor 0.5");
+        engine.ingest(&event(EventKind::CacheHit, 3.0).value(24.0));
+        assert_eq!(engine.active_count(), 0, "ratio recovered to 0.75");
+    }
+
+    #[test]
+    fn breaker_flapping_counts_transitions_per_key() {
+        let mut engine = AlertEngine::new(&AlertConfig::default());
+        engine.ingest(&event(EventKind::CircuitOpen, 1.0).detail("c0"));
+        engine.ingest(&event(EventKind::CircuitClose, 2.0).detail("c0"));
+        engine.ingest(&event(EventKind::CircuitOpen, 3.0).detail("c1"));
+        assert_eq!(engine.raised_total(), 0, "no key reached 3");
+        engine.ingest(&event(EventKind::CircuitOpen, 4.0).detail("c0"));
+        assert_eq!(engine.raised_total(), 1);
+        let log = engine.log();
+        assert_eq!(log.edges[0].kind, AlertKind::BreakerFlapping);
+        assert_eq!(log.edges[0].subject, "c0");
+        assert_eq!(log.edges[0].value, 3.0);
+    }
+
+    #[test]
+    fn batch_twin_is_order_invariant_and_renderers_are_stable() {
+        let events = vec![
+            event(EventKind::PhaseTransition, 0.0).detail("measure"),
+            event(EventKind::Retry, 1.0).route(1).value(6.0),
+            event(EventKind::CircuitOpen, 2.0).detail("c3"),
+            event(EventKind::CircuitClose, 3.0).detail("c3"),
+            event(EventKind::CircuitOpen, 4.0).detail("c3"),
+        ];
+        let mut reversed = events.clone();
+        reversed.reverse();
+        let config = AlertConfig::default();
+        let a = compute_alerts(&events, &config);
+        let b = compute_alerts(&reversed, &config);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_markdown(), b.to_markdown());
+        assert_eq!(a.raised_total(), 2);
+        assert!(a.to_json().starts_with("{\"schema_version\":1,"));
+        assert!(a.to_markdown().contains("| retry_storm |"));
+    }
+
+    #[test]
+    fn trace_events_round_trip_the_edge_attribution() {
+        let events = vec![
+            event(EventKind::PhaseTransition, 0.0).detail("measure"),
+            event(EventKind::Retry, 1.0).route(7).value(9.0),
+        ];
+        let log = compute_alerts(&events, &AlertConfig::default());
+        let derived = log.to_trace_events();
+        assert_eq!(derived.len(), 1);
+        assert_eq!(derived[0].kind, EventKind::AlertRaised);
+        assert_eq!(derived[0].route, Some(7));
+        assert_eq!(derived[0].at, 1.0);
+        assert!(derived[0].detail.contains("retry_storm"));
+        assert!(derived[0].detail.contains("phase=measure"));
+    }
+
+    #[test]
+    fn drain_new_edges_is_an_incremental_cursor() {
+        let mut engine = AlertEngine::new(&AlertConfig::default());
+        engine.ingest(&event(EventKind::PhaseTransition, 0.0).detail("measure"));
+        engine.ingest(&event(EventKind::Retry, 1.0).route(0).value(6.0));
+        assert_eq!(engine.drain_new_edges().len(), 1);
+        assert_eq!(engine.drain_new_edges().len(), 0);
+        engine.ingest(&event(EventKind::Retry, 2.0).route(1).value(6.0));
+        assert_eq!(engine.drain_new_edges().len(), 1);
+        assert_eq!(engine.log().edges.len(), 2, "log keeps everything");
+    }
+
+    #[test]
+    fn quiet_log_renders_empty_but_valid_reports() {
+        let log = compute_alerts(&[], &AlertConfig::default());
+        assert!(log.is_quiet());
+        assert_eq!(log.active(), 0);
+        assert_eq!(log.tallies.len(), AlertKind::ALL.len());
+        assert!(log.to_json().contains("\"log\":[]"));
+        assert!(log.to_markdown().contains("- no alerts fired"));
+    }
+}

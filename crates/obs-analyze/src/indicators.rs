@@ -117,6 +117,39 @@ pub struct Indicators {
 /// Phase label assigned to events recorded before any `PhaseTransition`.
 pub const PRE_PHASE: &str = "(pre)";
 
+/// Name of the metrics-only histogram the fleet supervisor fills with
+/// per-tick scheduler latencies, in **milliseconds**. Surfaced in the
+/// spans table alongside the `span_seconds.*` histograms (its stats are
+/// ms where theirs are seconds — the name carries the unit).
+pub const FLEET_TICK_HISTOGRAM: &str = "fleet.tick_ms";
+
+/// Extracts the spans table from a metrics snapshot: every
+/// `span_seconds.*` histogram (stats in seconds) plus the fleet
+/// scheduler's [`FLEET_TICK_HISTOGRAM`] (stats in milliseconds).
+/// Shared by the batch and streaming engines so the table cannot drift.
+pub(crate) fn spans_from_metrics(metrics: &MetricsSnapshot) -> BTreeMap<String, SpanStats> {
+    let mut spans = BTreeMap::new();
+    for (name, hist) in &metrics.histograms {
+        let short = match name.strip_prefix("span_seconds.") {
+            Some(short) => short,
+            None if name == FLEET_TICK_HISTOGRAM => name.as_str(),
+            None => continue,
+        };
+        let q = |q: f64| hist.quantile(q).unwrap_or(0.0);
+        spans.insert(
+            short.to_owned(),
+            SpanStats {
+                count: hist.count,
+                seconds_total: hist.sum,
+                p50: q(0.50),
+                p90: q(0.90),
+                p99: q(0.99),
+            },
+        );
+    }
+    spans
+}
+
 /// Derives the indicator set from a trace (and optionally the matching
 /// metrics snapshot, which contributes the wall-clock span percentiles).
 /// The events may be in any order; derivation sorts a copy by the
@@ -190,25 +223,7 @@ pub fn compute(
         .collect();
 
     let cache_traffic = cache_hits + cache_misses;
-    let mut spans = BTreeMap::new();
-    if let Some(metrics) = metrics {
-        for (name, hist) in &metrics.histograms {
-            let Some(short) = name.strip_prefix("span_seconds.") else {
-                continue;
-            };
-            let q = |q: f64| hist.quantile(q).unwrap_or(0.0);
-            spans.insert(
-                short.to_owned(),
-                SpanStats {
-                    count: hist.count,
-                    seconds_total: hist.sum,
-                    p50: q(0.50),
-                    p90: q(0.90),
-                    p99: q(0.99),
-                },
-            );
-        }
-    }
+    let spans = metrics.map(spans_from_metrics).unwrap_or_default();
 
     Indicators {
         events: events.len() as u64,
@@ -515,10 +530,27 @@ mod tests {
         let ind = compute(&[], Some(&metrics), &IndicatorConfig::default());
         assert_eq!(ind.spans.len(), 1);
         let s = &ind.spans["measure_batch"];
+        assert!(!ind.spans.contains_key("not_a_span"));
         assert_eq!(s.count, 4);
         assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
         assert!(s.p99 <= 0.5);
         let without = compute(&[], None, &IndicatorConfig::default());
         assert!(without.spans.is_empty());
+    }
+
+    #[test]
+    fn fleet_tick_histogram_is_surfaced_in_the_spans_table() {
+        let r = obs::Recorder::new();
+        for v in [1.5, 2.0, 2.5, 40.0] {
+            r.observe(FLEET_TICK_HISTOGRAM, v);
+        }
+        let metrics = crate::parse::parse_metrics(&r.metrics_json()).expect("parses");
+        let ind = compute(&[], Some(&metrics), &IndicatorConfig::default());
+        let s = &ind.spans[FLEET_TICK_HISTOGRAM];
+        assert_eq!(s.count, 4);
+        assert_eq!(s.seconds_total, 46.0, "stats carry the source unit (ms)");
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        assert!(ind.to_json().contains("\"fleet.tick_ms\""));
+        assert!(ind.to_markdown().contains("fleet.tick_ms"));
     }
 }

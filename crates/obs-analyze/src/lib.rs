@@ -30,6 +30,11 @@
 //! 6. [`cache`] — a content-addressed result cache for sweep-bin cells:
 //!    FNV-1a keys over canonicalized inputs, self-sealing entries
 //!    committed tmp→fsync→rename, corruption degraded to a miss.
+//! 7. [`alerts`] — rule-based online anomaly detection driven off the
+//!    streaming engine: retry storms, abstain/quorum-rate spikes,
+//!    cache collapse, and breaker flapping, each threshold crossing
+//!    logged as a deterministic firing/clearing [`alerts::AlertEdge`]
+//!    with byte-stable JSON and Markdown renderings.
 //!
 //! Like `obs` itself the crate is std-only: the workspace vendors
 //! offline dependency stubs, so anything that must run everywhere (CI,
@@ -42,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod cache;
 pub mod diff;
 pub mod indicators;
@@ -50,6 +56,7 @@ pub mod parse;
 pub mod sentinel;
 pub mod stream;
 
+pub use alerts::{compute_alerts, AlertConfig, AlertEdge, AlertEngine, AlertKind, AlertLog};
 pub use cache::{fnv1a, CacheKey, Lookup, ResultCache};
 pub use diff::{diff, TraceDiff};
 pub use indicators::{compute as compute_indicators, IndicatorConfig, Indicators};

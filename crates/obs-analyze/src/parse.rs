@@ -85,7 +85,7 @@ fn f64_or_null(v: &Value, m: &Member) -> Result<f64, ParseError> {
 ///
 /// Strictness: the object must contain exactly the five schema keys
 /// (`at`, `kind`, `route`, `value`, `detail`) — any order, no extras, no
-/// omissions — with `kind` one of the 16 wire names and `route` a
+/// omissions — with `kind` one of the 22 wire names and `route` a
 /// non-negative integer or null.
 ///
 /// # Errors

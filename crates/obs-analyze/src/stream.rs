@@ -33,7 +33,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use obs::{CampaignEvent, EventKind};
 
-use crate::indicators::{IndicatorConfig, Indicators, RetryCellKey, SpanStats, PRE_PHASE};
+use crate::alerts::{AlertConfig, AlertEngine, AlertLog};
+use crate::indicators::{spans_from_metrics, IndicatorConfig, Indicators, RetryCellKey, PRE_PHASE};
 use crate::parse::{parse_trace_line, MetricsSnapshot, ParseError};
 
 /// Incremental indicator state machine; see the module docs for the
@@ -67,6 +68,10 @@ pub struct StreamingIndicators {
     measure_phases: u64,
     phase_events: BTreeMap<String, u64>,
     current_phase: String,
+    /// Optional online alert engine fed every accepted event — the
+    /// "driven incrementally off `StreamingIndicators`" half of the
+    /// anomaly layer (see [`crate::alerts`]).
+    alerts: Option<AlertEngine>,
 }
 
 impl StreamingIndicators {
@@ -94,7 +99,27 @@ impl StreamingIndicators {
             measure_phases: 0,
             phase_events: BTreeMap::new(),
             current_phase: PRE_PHASE.to_owned(),
+            alerts: None,
         }
+    }
+
+    /// Attaches an online [`AlertEngine`]: every event the stream
+    /// accepts is also folded into the alert rules. Snapshot the sealed
+    /// log with [`alert_log`](Self::alert_log) any time before
+    /// [`finish`](Self::finish) consumes the engine.
+    #[must_use]
+    pub fn with_alerts(mut self, config: &AlertConfig) -> Self {
+        self.alerts = Some(AlertEngine::new(config));
+        self
+    }
+
+    /// The alert log accumulated so far (`None` when
+    /// [`with_alerts`](Self::with_alerts) was never called). Callable at
+    /// any point — alert edges are append-only, so a mid-stream snapshot
+    /// is a prefix of the final log.
+    #[must_use]
+    pub fn alert_log(&self) -> Option<AlertLog> {
+        self.alerts.as_ref().map(AlertEngine::log)
     }
 
     /// Complete lines consumed so far.
@@ -211,6 +236,9 @@ impl StreamingIndicators {
             _ => {}
         }
         self.events += 1;
+        if let Some(alerts) = &mut self.alerts {
+            alerts.ingest(&event);
+        }
         self.last = Some(event);
         true
     }
@@ -239,25 +267,7 @@ impl StreamingIndicators {
             .map(|(key, &total)| (key.clone(), total))
             .collect();
         let cache_traffic = self.cache_hits + self.cache_misses;
-        let mut spans = BTreeMap::new();
-        if let Some(metrics) = metrics {
-            for (name, hist) in &metrics.histograms {
-                let Some(short) = name.strip_prefix("span_seconds.") else {
-                    continue;
-                };
-                let q = |q: f64| hist.quantile(q).unwrap_or(0.0);
-                spans.insert(
-                    short.to_owned(),
-                    SpanStats {
-                        count: hist.count,
-                        seconds_total: hist.sum,
-                        p50: q(0.50),
-                        p90: q(0.90),
-                        p99: q(0.99),
-                    },
-                );
-            }
-        }
+        let spans = metrics.map(spans_from_metrics).unwrap_or_default();
         Ok(Indicators {
             events: self.events,
             kind_counts: self.kind_counts,

@@ -50,10 +50,13 @@ use std::time::Instant;
 /// * **4** — the sharded-scheduler kinds (`scheduler_tick`,
 ///   `commit_batch`) may now appear in `event_kinds`; same reasoning as
 ///   the version-3 bump.
+/// * **5** — the observability-loop kinds (`alert_raised`,
+///   `alert_cleared`, `flight_dump`, `health_snapshot`) may now appear
+///   in `event_kinds`; same reasoning as the version-3 bump.
 ///
 /// The analysis layer (`obs-analyze`) accepts version N and N−1, so a
 /// schema bump here must keep one generation of old artifacts readable.
-pub const METRICS_SCHEMA_VERSION: u32 = 4;
+pub const METRICS_SCHEMA_VERSION: u32 = 5;
 
 /// Schema version of the JSONL trace line shape (the five-key
 /// `at`/`kind`/`route`/`value`/`detail` object emitted by
@@ -112,11 +115,22 @@ pub enum EventKind {
     /// The scheduler barrier landed a batched checkpoint commit
     /// (value = checkpoints in the batch).
     CommitBatch,
+    /// An alert rule crossed its firing threshold (value = observed
+    /// magnitude, detail = rule attribution).
+    AlertRaised,
+    /// A previously firing alert rule dropped back under threshold.
+    AlertCleared,
+    /// A flight-recorder ring buffer was sealed to a post-mortem
+    /// artifact (value = events in the dump, detail = campaign id).
+    FlightDump,
+    /// The fleet supervisor rolled up a per-tick health snapshot
+    /// (value = live slots, detail = the snapshot's summary line).
+    HealthSnapshot,
 }
 
 impl EventKind {
     /// All kinds, in rank order.
-    pub const ALL: [EventKind; 18] = [
+    pub const ALL: [EventKind; 22] = [
         EventKind::PhaseTransition,
         EventKind::SessionAcquired,
         EventKind::SessionReleased,
@@ -135,6 +149,10 @@ impl EventKind {
         EventKind::RecoveryScan,
         EventKind::SchedulerTick,
         EventKind::CommitBatch,
+        EventKind::AlertRaised,
+        EventKind::AlertCleared,
+        EventKind::FlightDump,
+        EventKind::HealthSnapshot,
     ];
 
     /// Stable wire name used in JSONL traces and the summary table.
@@ -159,11 +177,15 @@ impl EventKind {
             EventKind::RecoveryScan => "recovery_scan",
             EventKind::SchedulerTick => "scheduler_tick",
             EventKind::CommitBatch => "commit_batch",
+            EventKind::AlertRaised => "alert_raised",
+            EventKind::AlertCleared => "alert_cleared",
+            EventKind::FlightDump => "flight_dump",
+            EventKind::HealthSnapshot => "health_snapshot",
         }
     }
 }
 
-/// Error returned when a string is not one of the 18 wire names in
+/// Error returned when a string is not one of the 22 wire names in
 /// [`EventKind::as_str`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseEventKindError {
@@ -675,6 +697,96 @@ impl Drop for Span<'_> {
     }
 }
 
+/// Bounded ring buffer of the last-N [`CampaignEvent`]s one campaign
+/// emitted — the fleet supervisor's black box. Memory is O(capacity)
+/// regardless of campaign length: once full, each push evicts the
+/// oldest event. Drains follow the same content-sorted discipline as
+/// [`Recorder::trace_jsonl`], so a sealed flight dump is itself a valid
+/// canonical-order trace (`obs_report validate` passes on it) and is
+/// byte-identical across thread-pool widths whenever the retained
+/// multiset is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecorder {
+    capacity: usize,
+    /// Ring storage; `head` is the index the next push overwrites.
+    ring: Vec<CampaignEvent>,
+    head: usize,
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// An empty recorder retaining at most `capacity` events (clamped to
+    /// at least 1 — a zero-capacity black box records nothing and would
+    /// make every post-mortem empty by construction).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            ring: Vec::with_capacity(capacity),
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// The retention bound this recorder was built with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently retained (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total events ever pushed, including evicted ones — the dump
+    /// header's "N of M" context.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Records one event, evicting the oldest when full.
+    pub fn push(&mut self, event: CampaignEvent) {
+        self.recorded += 1;
+        if self.ring.len() < self.capacity {
+            self.ring.push(event);
+            return;
+        }
+        self.ring[self.head] = event;
+        self.head = (self.head + 1) % self.capacity;
+    }
+
+    /// The retained events in canonical content order (non-draining).
+    #[must_use]
+    pub fn events_sorted(&self) -> Vec<CampaignEvent> {
+        let mut events = self.ring.clone();
+        events.sort_by(CampaignEvent::cmp_key);
+        events
+    }
+
+    /// The retained window as JSON Lines in canonical order — the
+    /// sealed flight-dump artifact body. Same line shape as
+    /// [`Recorder::trace_jsonl`], so the strict trace parser accepts it.
+    #[must_use]
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.events_sorted() {
+            out.push_str(&event.json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -831,6 +943,49 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(json.contains("\"cache_hit\":1"));
+    }
+
+    #[test]
+    fn flight_recorder_keeps_only_the_last_n_events() {
+        let mut fr = FlightRecorder::new(3);
+        assert!(fr.is_empty());
+        for i in 0..5 {
+            fr.push(CampaignEvent::new(EventKind::Retry, f64::from(i)).value(1.0));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.capacity(), 3);
+        assert_eq!(fr.recorded(), 5);
+        let ats: Vec<f64> = fr.events_sorted().iter().map(|e| e.at).collect();
+        assert_eq!(ats, vec![2.0, 3.0, 4.0], "oldest two were evicted");
+    }
+
+    #[test]
+    fn flight_recorder_drain_is_content_sorted_like_trace_jsonl() {
+        let mut forward = FlightRecorder::new(8);
+        let mut reverse = FlightRecorder::new(8);
+        let events = vec![
+            CampaignEvent::new(EventKind::Backoff, 2.0).value(0.5),
+            CampaignEvent::new(EventKind::Retry, 2.0).value(1.0),
+            CampaignEvent::new(EventKind::Quarantine, 3.0).detail("deadline_exceeded"),
+        ];
+        for e in &events {
+            forward.push(e.clone());
+        }
+        for e in events.iter().rev() {
+            reverse.push(e.clone());
+        }
+        assert_eq!(forward.jsonl(), reverse.jsonl());
+        assert_eq!(forward.jsonl().lines().count(), 3);
+        assert_eq!(forward.events_sorted()[0].kind, EventKind::Retry);
+    }
+
+    #[test]
+    fn flight_recorder_zero_capacity_clamps_to_one() {
+        let mut fr = FlightRecorder::new(0);
+        fr.push(CampaignEvent::new(EventKind::Retry, 1.0));
+        fr.push(CampaignEvent::new(EventKind::Retry, 2.0));
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.events_sorted()[0].at, 2.0);
     }
 
     #[test]

@@ -110,18 +110,48 @@ echo "== chaos_suite smoke (crash-safe fleet supervision) =="
 # combined supervisor + campaign trace must validate through the strict
 # obs-analyze parser (fleet events ride the tick axis, content-sorted).
 # The cold run populates a result cache; the warm rerun must be all
-# hits and reproduce BENCH_chaos.json byte-identically.
-rm -rf /tmp/ci_chaos_cache
+# hits and reproduce BENCH_chaos.json byte-identically. Both runs pass
+# the same --flight-dir: the flight destination is part of FleetConfig,
+# hence part of the cache key.
+rm -rf /tmp/ci_chaos_cache /tmp/ci_chaos_flight
 cargo run --release -q -p bench --bin chaos_suite -- --smoke \
-    --cache /tmp/ci_chaos_cache \
+    --cache /tmp/ci_chaos_cache --flight-dir /tmp/ci_chaos_flight \
     --trace /tmp/ci_chaos_trace.jsonl --metrics /tmp/ci_chaos_metrics.json
 cargo run --release -q -p bench --bin obs_report -- \
     validate /tmp/ci_chaos_trace.jsonl /tmp/ci_chaos_metrics.json
+# Every quarantined campaign sealed a flight-recorder dump: the binary
+# gates the per-campaign coverage mapping (flight_covered) and folds
+# dump digests into the width/replay determinism digest; CI re-checks
+# that the artifacts actually landed on disk and that each one is a
+# valid canonical trace in its own right.
+flight_dumps=$(find /tmp/ci_chaos_flight -name '*.jsonl' | sort)
+test -n "$flight_dumps" \
+    || { echo "FAIL: no flight dumps sealed (doomed cell quarantines)"; exit 1; }
+for dump in $flight_dumps; do
+    cargo run --release -q -p bench --bin obs_report -- validate "$dump" \
+        || { echo "FAIL: flight dump $dump does not validate"; exit 1; }
+done
 cp results/BENCH_chaos.json /tmp/ci_cold_BENCH_chaos.json
 cargo run --release -q -p bench --bin chaos_suite -- --smoke \
-    --cache /tmp/ci_chaos_cache --cache-expect-hits
+    --cache /tmp/ci_chaos_cache --flight-dir /tmp/ci_chaos_flight \
+    --cache-expect-hits
 cmp results/BENCH_chaos.json /tmp/ci_cold_BENCH_chaos.json \
     || { echo "FAIL: warm cache run changed BENCH_chaos.json"; exit 1; }
+
+echo "== alert engine smoke (batch == --stream on the chaos trace) =="
+# The online anomaly rules replay the real chaos telemetry; the
+# streaming derivation must be byte-identical to batch in both
+# renderings (an alert firing is a report, not a CI failure).
+for fmt in json md; do
+    cargo run --release -q -p bench --bin obs_report -- \
+        alerts /tmp/ci_chaos_trace.jsonl "--$fmt" \
+        > "/tmp/ci_alerts_batch.$fmt"
+    cargo run --release -q -p bench --bin obs_report -- \
+        alerts /tmp/ci_chaos_trace.jsonl "--$fmt" --stream \
+        > "/tmp/ci_alerts_stream.$fmt"
+    cmp "/tmp/ci_alerts_batch.$fmt" "/tmp/ci_alerts_stream.$fmt" \
+        || { echo "FAIL: alerts --stream diverged from batch (--$fmt)"; exit 1; }
+done
 
 echo "== fleet_scaling smoke (sharded scheduler, 2 worker lanes) =="
 # Drives the full 64-campaign fleet through the sharded lane/barrier
@@ -135,6 +165,19 @@ cargo run --release -q -p bench --bin fleet_scaling -- --smoke --threads 2 \
     --trace /tmp/ci_fleet_trace.jsonl --metrics /tmp/ci_fleet_metrics.json
 cargo run --release -q -p bench --bin obs_report -- \
     validate /tmp/ci_fleet_trace.jsonl /tmp/ci_fleet_metrics.json
+
+echo "== fleet dashboard (one frame, byte-identical at widths 1/2/4) =="
+# The health dashboard is a pure function of the per-tick HealthSnapshot
+# rollups, which are themselves width-invariant — so the rendered frame
+# must be byte-identical whatever pool width drove the fleet.
+for t in 1 2 4; do
+    cargo run --release -q -p bench --bin fleet_scaling -- --smoke \
+        --threads "$t" --dashboard-once "/tmp/ci_dash_$t.txt"
+done
+for t in 2 4; do
+    cmp /tmp/ci_dash_1.txt "/tmp/ci_dash_$t.txt" \
+        || { echo "FAIL: dashboard frame differs between widths 1 and $t"; exit 1; }
+done
 
 echo "== regression sentinel (BENCH lineage vs checked-in baseline) =="
 # The parallel_scaling, kernel_bench, chaos_suite, and fleet_scaling
